@@ -1,0 +1,268 @@
+package repro
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	apiOnce  sync.Once
+	apiStudy *Study
+	apiErr   error
+)
+
+func smallStudy(t *testing.T) *Study {
+	t.Helper()
+	apiOnce.Do(func() {
+		apiStudy, apiErr = NewStudy(Config{Packages: 400, Installations: 500000, Seed: 99})
+	})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	return apiStudy
+}
+
+func TestStudyBasics(t *testing.T) {
+	s := smallStudy(t)
+	if got := s.Importance("read"); got < 0.999 {
+		t.Errorf("Importance(read) = %v", got)
+	}
+	if got := s.Importance("lookup_dcookie"); got != 0 {
+		t.Errorf("Importance(lookup_dcookie) = %v, want 0 (Table 3)", got)
+	}
+	if got := s.UnweightedImportance("read"); got < 0.999 {
+		t.Errorf("UnweightedImportance(read) = %v", got)
+	}
+	if len(s.Packages()) != 400 {
+		t.Errorf("Packages = %d", len(s.Packages()))
+	}
+}
+
+func TestWeightedCompletenessAPI(t *testing.T) {
+	s := smallStudy(t)
+	none := s.WeightedCompleteness(nil)
+	path := s.GreedyPath()
+	var top []string
+	for _, p := range path[:145] {
+		top = append(top, p.API.Name)
+	}
+	half := s.WeightedCompleteness(top)
+	var all []string
+	for _, p := range path {
+		all = append(all, p.API.Name)
+	}
+	full := s.WeightedCompleteness(all)
+	if !(none < half && half < full) {
+		t.Errorf("completeness not increasing: %v %v %v", none, half, full)
+	}
+	if full < 0.999 {
+		t.Errorf("full support completeness = %v", full)
+	}
+}
+
+func TestSuggestNext(t *testing.T) {
+	s := smallStudy(t)
+	path := s.GreedyPath()
+	var supported []string
+	for _, p := range path[:100] {
+		supported = append(supported, p.API.Name)
+	}
+	sugs := s.SuggestNext(supported, 5)
+	if len(sugs) != 5 {
+		t.Fatalf("suggestions = %d", len(sugs))
+	}
+	if sugs[0].Syscall != path[100].API.Name {
+		t.Errorf("first suggestion = %s, want %s", sugs[0].Syscall, path[100].API.Name)
+	}
+	base := s.WeightedCompleteness(supported)
+	prev := base
+	for _, sg := range sugs {
+		// Summation order over package maps varies per call; allow float
+		// noise when successive values are equal.
+		if sg.CompletenessAfter < prev-1e-9 {
+			t.Errorf("completeness after %s decreased", sg.Syscall)
+		}
+		prev = sg.CompletenessAfter
+	}
+}
+
+func TestPackageFootprintAndSeccomp(t *testing.T) {
+	s := smallStudy(t)
+	fp := s.PackageFootprint("coreutils")
+	if len(fp) < 40 {
+		t.Fatalf("coreutils footprint = %d syscalls", len(fp))
+	}
+	pol, prog, err := s.SeccompPolicy("coreutils", SeccompKill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.Allowed) != len(fp) {
+		t.Errorf("policy allows %d, footprint has %d", len(pol.Allowed), len(fp))
+	}
+	if len(prog) == 0 {
+		t.Error("empty program")
+	}
+	if _, _, err := s.SeccompPolicy("no-such-package", SeccompKill); err == nil {
+		t.Error("unknown package must error")
+	}
+}
+
+func TestAnalyzeBinary(t *testing.T) {
+	s := smallStudy(t)
+	// Re-analyze one of the corpus's own executables through the public
+	// entry point.
+	pkg := s.Core().Corpus.Repo.Get("coreutils")
+	var analyzed bool
+	for _, f := range pkg.Files {
+		if !strings.HasPrefix(f.Path, "/usr/bin/") {
+			continue
+		}
+		res, err := s.AnalyzeBinary(f.Path, f.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.APIs) == 0 {
+			t.Error("no APIs extracted")
+		}
+		analyzed = true
+		break
+	}
+	if !analyzed {
+		t.Fatal("no executable found")
+	}
+	if _, err := s.AnalyzeBinary("x", []byte("not elf")); err == nil {
+		t.Error("non-ELF must error")
+	}
+}
+
+func TestEvaluations(t *testing.T) {
+	s := smallStudy(t)
+	systems := s.EvaluateSystems()
+	if len(systems) != 5 {
+		t.Errorf("systems = %d", len(systems))
+	}
+	variants := s.EvaluateLibcVariants()
+	if len(variants) != 4 {
+		t.Errorf("variants = %d", len(variants))
+	}
+	stripped := s.StrippedLibc(0.90)
+	if stripped.Kept == 0 || stripped.SizeFraction <= 0 {
+		t.Errorf("stripped libc = %+v", stripped)
+	}
+}
+
+func TestReportAllRendersEveryExperiment(t *testing.T) {
+	s := smallStudy(t)
+	out := s.ReportAll()
+	for _, want := range []string{
+		"Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+		"Figure 6", "Figure 7", "Figure 8",
+		"Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+		"Table 6", "Table 7", "Table 8", "Table 9", "Table 10",
+		"Table 11", "Table 12", "Section 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if len(out) < 3000 {
+		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestVectoredSeccompPolicy(t *testing.T) {
+	s := smallStudy(t)
+	// libc-bin's footprint includes ioctl opcodes (it anchors the 100%
+	// codes), so its vectored policy must carry argument filters.
+	vp, prog, err := s.VectoredSeccompPolicy("libc-bin", SeccompKill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vp.Filters) == 0 {
+		t.Fatal("no argument filters for libc-bin")
+	}
+	if len(prog) <= len(vp.Allowed) {
+		t.Errorf("vectored program suspiciously small: %d instructions", len(prog))
+	}
+	if _, _, err := s.VectoredSeccompPolicy("nope", SeccompKill); err == nil {
+		t.Error("unknown package must error")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	s := smallStudy(t)
+	other, err := NewStudy(Config{Packages: 400, Installations: 500000, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := s.Diff(other, 0.02)
+	if len(deltas) == 0 {
+		t.Fatal("different seeds should move some APIs")
+	}
+	// Sorted by absolute movement.
+	prev := 2.0
+	for _, d := range deltas {
+		move := d.NewImportance - d.OldImportance
+		if move < 0 {
+			move = -move
+		}
+		if move > prev+1e-9 {
+			t.Fatalf("deltas not sorted by movement")
+		}
+		prev = move
+	}
+	// Self-diff is empty at any positive threshold.
+	if self := s.Diff(s, 0.001); len(self) != 0 {
+		t.Errorf("self diff = %d rows", len(self))
+	}
+}
+
+func TestSaveLoadStudyRoundTrip(t *testing.T) {
+	s := smallStudy(t)
+	dir := t.TempDir()
+	if err := s.SaveCorpus(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStudy(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded study re-measures from binaries only; every footprint
+	// must match the original analysis.
+	for _, pkg := range s.Packages() {
+		a := s.PackageFootprint(pkg)
+		b := loaded.PackageFootprint(pkg)
+		if len(a) != len(b) {
+			t.Fatalf("%s: footprint %d vs %d syscalls after reload", pkg, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: footprint differs at %s vs %s", pkg, a[i], b[i])
+			}
+		}
+	}
+	if s.Importance("access") != loaded.Importance("access") {
+		t.Error("importance differs after reload")
+	}
+}
+
+func TestEmulate(t *testing.T) {
+	s := smallStudy(t)
+	traces, err := s.Emulate("tar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("no traces")
+	}
+	if len(traces[0].Events) == 0 {
+		t.Error("no syscall events in the trace")
+	}
+	if !traces[0].Syscalls()["read"] {
+		t.Error("trace missing the base set")
+	}
+	if _, err := s.Emulate("no-such"); err == nil {
+		t.Error("unknown package must error")
+	}
+}

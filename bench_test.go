@@ -1,0 +1,377 @@
+package repro
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`). Each benchmark
+// recomputes its experiment from the shared analyzed corpus; the rendered
+// rows are what cmd/apistudy prints. BenchmarkPipeline* cover the raw
+// analysis stages, and BenchmarkAblation* cover the design choices
+// DESIGN.md calls out.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/elfx"
+	"repro/internal/footprint"
+	"repro/internal/linuxapi"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/seccomp"
+	"repro/internal/x86"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *Study
+	benchErr   error
+)
+
+func benchSetup(b *testing.B) *Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchStudy, benchErr = NewStudy(Config{
+			Packages: 600, Installations: 2935744, Seed: 1504,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStudy
+}
+
+func sinkString(b *testing.B, s string) {
+	if len(s) == 0 {
+		b.Fatal("experiment rendered nothing")
+	}
+}
+
+// --- One benchmark per figure and table -------------------------------
+
+func BenchmarkFigure1BinaryTypes(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Figure1())
+	}
+}
+
+func BenchmarkFigure2SyscallImportance(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := report.New(s.Core()) // recompute importance from footprints
+		sinkString(b, r.Figure2())
+	}
+}
+
+func BenchmarkTable1LibraryOnlySyscalls(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Table1())
+	}
+}
+
+func BenchmarkTable2SinglePackageSyscalls(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Table2())
+	}
+}
+
+func BenchmarkTable3UnusedSyscalls(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Table3())
+	}
+}
+
+func BenchmarkFigure3WeightedCompleteness(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The full greedy path is the figure's series.
+		path := metrics.GreedyPath(s.Core().Input, linuxapi.KindSyscall)
+		if len(path) == 0 {
+			b.Fatal("empty path")
+		}
+	}
+}
+
+func BenchmarkTable4Stages(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Table4())
+	}
+}
+
+func BenchmarkFigure4IoctlOpcodes(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Figure4())
+	}
+}
+
+func BenchmarkFigure5FcntlPrctl(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Figure5())
+	}
+}
+
+func BenchmarkFigure6PseudoFiles(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Figure6())
+	}
+}
+
+func BenchmarkFigure7LibcImportance(b *testing.B) {
+	s := benchSetup(b)
+	stripped := s.StrippedLibc(0.90)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Figure7(stripped))
+	}
+}
+
+func BenchmarkTable5LibcInitSyscalls(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Table5())
+	}
+}
+
+func BenchmarkTable6LinuxSystems(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := s.EvaluateSystems()
+		if len(results) != 5 {
+			b.Fatal("expected 5 systems")
+		}
+	}
+}
+
+func BenchmarkTable7LibcVariants(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Includes the __chk-normalization ablation: both columns.
+		results := s.EvaluateLibcVariants()
+		for _, r := range results {
+			if r.Normalized < r.Raw-1e-9 {
+				b.Fatal("normalization must not reduce completeness")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure8UnweightedImportance(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Figure8())
+	}
+}
+
+func BenchmarkTable8SecureVariants(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Table8())
+	}
+}
+
+func BenchmarkTable9OldNewVariants(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Table9())
+	}
+}
+
+func BenchmarkTable10PortableVariants(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Table10())
+	}
+}
+
+func BenchmarkTable11SimplicityVariants(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Table11())
+	}
+}
+
+func BenchmarkTable12Implementation(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Table12())
+	}
+}
+
+func BenchmarkSection6UniqueFootprints(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString(b, s.Metrics().Section6())
+	}
+}
+
+func BenchmarkSection6SeccompGeneration(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol, prog, err := s.SeccompPolicy("coreutils", seccomp.RetKill)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pol.Allowed) == 0 || len(prog) == 0 {
+			b.Fatal("empty policy")
+		}
+	}
+}
+
+// --- Pipeline-stage benchmarks -----------------------------------------
+
+func BenchmarkPipelineCorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := corpus.Generate(corpus.Config{Packages: 150, Installations: 1 << 20, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.Repo.Len() != 150 {
+			b.Fatal("bad corpus")
+		}
+	}
+}
+
+func BenchmarkPipelineFullStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := corpus.Generate(corpus.Config{Packages: 150, Installations: 1 << 20, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Run(c, footprint.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineAnalyzeBinary(b *testing.B) {
+	s := benchSetup(b)
+	pkg := s.Core().Corpus.Repo.Get("coreutils")
+	var data []byte
+	var path string
+	for _, f := range pkg.Files {
+		if len(f.Data) > 4 && f.Data[0] == 0x7F {
+			data, path = f.Data, f.Path
+			break
+		}
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bin, err := elfx.Open(path, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := footprint.Analyze(bin, footprint.Options{})
+		if a == nil {
+			b.Fatal("nil analysis")
+		}
+	}
+}
+
+func BenchmarkPipelineDecode(b *testing.B) {
+	s := benchSetup(b)
+	pkg := s.Core().Corpus.Repo.Get("libc6")
+	var text []byte
+	for _, f := range pkg.Files {
+		if f.Path == "/lib/x86_64-linux-gnu/libc.so.6" {
+			bin, err := elfx.Open(f.Path, f.Data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			text = bin.Text.Data
+		}
+	}
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		insts := 0
+		for pos := 0; pos < len(text); {
+			inst := x86.Decode(text[pos:], uint64(pos))
+			pos += inst.Len
+			insts++
+		}
+		if insts == 0 {
+			b.Fatal("no instructions")
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md) ------------------------------------
+
+func benchAblation(b *testing.B, opts footprint.Options) {
+	c, err := corpus.Generate(corpus.Config{Packages: 150, Installations: 1 << 20, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := core.Run(c, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp := metrics.Importance(s.Input)
+		if len(imp) == 0 {
+			b.Fatal("no importance measured")
+		}
+	}
+}
+
+func BenchmarkAblationReachabilityVsWholeBinary(b *testing.B) {
+	b.Run("reachability", func(b *testing.B) { benchAblation(b, footprint.Options{}) })
+	b.Run("whole-binary", func(b *testing.B) { benchAblation(b, footprint.Options{WholeBinary: true}) })
+}
+
+func BenchmarkAblationFunctionPointers(b *testing.B) {
+	b.Run("with-taken-edges", func(b *testing.B) { benchAblation(b, footprint.Options{}) })
+	b.Run("without", func(b *testing.B) { benchAblation(b, footprint.Options{NoFunctionPointers: true}) })
+}
+
+func BenchmarkAblationDependencyPropagation(b *testing.B) {
+	s := benchSetup(b)
+	supported := compat.SupportedSet(compat.Systems[2], s.Metrics().Path)
+	run := func(b *testing.B, opts metrics.CompletenessOptions) {
+		for i := 0; i < b.N; i++ {
+			wc := metrics.WeightedCompleteness(s.Core().Input, supported, opts)
+			if wc <= 0 || wc > 1 {
+				b.Fatalf("wc = %v", wc)
+			}
+		}
+	}
+	b.Run("with-propagation", func(b *testing.B) {
+		run(b, metrics.CompletenessOptions{Kind: linuxapi.KindSyscall})
+	})
+	b.Run("without", func(b *testing.B) {
+		run(b, metrics.CompletenessOptions{Kind: linuxapi.KindSyscall,
+			NoDependencyPropagation: true})
+	})
+}

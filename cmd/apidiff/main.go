@@ -1,0 +1,67 @@
+// Command apidiff compares API usage between two studies — the
+// longitudinal view the paper lists as future work ("this data set does
+// not include sufficient historical data to compare changes to the API
+// usage over time"). Two corpus configurations stand in for two archive
+// snapshots; the tool reports the APIs whose importance moved, appeared,
+// or vanished, which is exactly the signal an OS maintainer needs before
+// retiring an interface.
+//
+// Usage:
+//
+//	apidiff -old-seed 1504 -new-seed 1604 [-packages 500] [-threshold 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apidiff: ")
+	var (
+		packages  = flag.Int("packages", 500, "corpus size for both snapshots")
+		oldSeed   = flag.Int64("old-seed", 1504, "seed of the old snapshot")
+		newSeed   = flag.Int64("new-seed", 1604, "seed of the new snapshot")
+		threshold = flag.Float64("threshold", 0.05, "minimum importance movement to report")
+		limit     = flag.Int("limit", 25, "maximum rows")
+	)
+	flag.Parse()
+
+	oldStudy, err := repro.NewStudy(repro.Config{Packages: *packages, Seed: *oldSeed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	newStudy, err := repro.NewStudy(repro.Config{Packages: *packages, Seed: *newSeed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	deltas := newStudy.Diff(oldStudy, *threshold)
+	fmt.Printf("APIs moving by >= %.0f%% importance between seed %d and seed %d:\n",
+		*threshold*100, *oldSeed, *newSeed)
+	shown := 0
+	for _, d := range deltas {
+		if shown >= *limit {
+			fmt.Printf("  ... %d more\n", len(deltas)-shown)
+			break
+		}
+		tag := ""
+		switch {
+		case d.Appeared:
+			tag = "  [NEW]"
+		case d.Disappeared:
+			tag = "  [GONE]"
+		}
+		fmt.Printf("  %-10s %-24s importance %6.2f%% -> %6.2f%%   usage %5.2f%% -> %5.2f%%%s\n",
+			d.Kind, d.API, d.OldImportance*100, d.NewImportance*100,
+			d.OldUnweighted*100, d.NewUnweighted*100, tag)
+		shown++
+	}
+	if shown == 0 {
+		fmt.Println("  (none)")
+	}
+}

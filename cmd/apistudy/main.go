@@ -1,0 +1,102 @@
+// Command apistudy runs the full measurement study and prints every table
+// and figure of the paper's evaluation, side by side with the published
+// values.
+//
+// Usage:
+//
+//	apistudy [-packages N] [-seed S] [-installations M] [-experiment all|fig1|...|tab12|sec6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apistudy: ")
+	var (
+		packages      = flag.Int("packages", 3000, "number of packages in the synthetic repository")
+		seed          = flag.Int64("seed", 1504, "corpus generation seed")
+		installations = flag.Int64("installations", 2935744, "survey population")
+		corpusDir     = flag.String("corpus", "", "analyze an on-disk corpus (from cmd/corpusgen) instead of generating one")
+		experiment    = flag.String("experiment", "all", "which experiment to print: all, fig1..fig8, tab1..tab12, sec6")
+		series        = flag.String("series", "", "emit a figure's raw data series instead (fig2, fig3, fig4, fig5f, fig5p, fig6, fig7, fig8)")
+		format        = flag.String("format", "csv", "series format: csv or json")
+		verbose       = flag.Bool("v", false, "log pipeline timing")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	var study *repro.Study
+	var err error
+	if *corpusDir != "" {
+		study, err = repro.LoadStudy(*corpusDir)
+	} else {
+		study, err = repro.NewStudy(repro.Config{
+			Packages:      *packages,
+			Seed:          *seed,
+			Installations: *installations,
+		})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verbose {
+		log.Printf("analyzed %d packages in %v", len(study.Packages()), time.Since(start))
+	}
+
+	r := study.Metrics()
+	if *series != "" {
+		var err error
+		switch *format {
+		case "csv":
+			err = r.WriteSeriesCSV(os.Stdout, *series)
+		case "json":
+			err = r.WriteSeriesJSON(os.Stdout, *series)
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	stripped := study.StrippedLibc(0.90)
+	sections := map[string]func() string{
+		"fig1": r.Figure1, "fig2": r.Figure2, "fig3": r.Figure3,
+		"fig4": r.Figure4, "fig5": r.Figure5, "fig6": r.Figure6,
+		"fig7": func() string { return r.Figure7(stripped) },
+		"fig8": r.Figure8,
+		"tab1": r.Table1, "tab2": r.Table2, "tab3": r.Table3,
+		"tab4": r.Table4, "tab5": r.Table5, "tab6": r.Table6,
+		"tab7": r.Table7, "tab8": r.Table8, "tab9": r.Table9,
+		"tab10": r.Table10, "tab11": r.Table11, "tab12": r.Table12,
+		"sec6": r.Section6,
+	}
+	switch key := strings.ToLower(*experiment); key {
+	case "all":
+		fmt.Print(study.ReportAll())
+	case "ablations":
+		text, err := report.AblationSummary(study.Core().Corpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(text)
+	default:
+		fn, ok := sections[key]
+		if !ok {
+			log.Printf("unknown experiment %q; known:", *experiment)
+			fmt.Fprintln(os.Stderr, "  all fig1..fig8 tab1..tab12 sec6")
+			os.Exit(2)
+		}
+		fmt.Print(fn())
+	}
+}

@@ -1,0 +1,86 @@
+// Command compat computes the weighted completeness of a prototype system
+// described by its supported system-call list, and suggests the most
+// valuable calls to add next — the workflow §2.2 and Table 6 describe for
+// evaluating research prototypes.
+//
+// Usage:
+//
+//	compat -syscalls read,write,open,...            # inline list
+//	compat -file mylist.txt -suggest 10             # one name per line
+//	compat -top 145                                  # the N most important
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("compat: ")
+	var (
+		list     = flag.String("syscalls", "", "comma-separated supported system calls")
+		file     = flag.String("file", "", "file with one system-call name per line")
+		top      = flag.Int("top", 0, "shorthand: support the N most important calls")
+		suggest  = flag.Int("suggest", 5, "how many additions to suggest")
+		packages = flag.Int("packages", 500, "corpus size")
+		seed     = flag.Int64("seed", 1504, "corpus seed")
+	)
+	flag.Parse()
+
+	study, err := repro.NewStudy(repro.Config{Packages: *packages, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var supported []string
+	switch {
+	case *top > 0:
+		for i, p := range study.GreedyPath() {
+			if i >= *top {
+				break
+			}
+			supported = append(supported, p.API.Name)
+		}
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			if name := strings.TrimSpace(sc.Text()); name != "" && !strings.HasPrefix(name, "#") {
+				supported = append(supported, name)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	case *list != "":
+		for _, name := range strings.Split(*list, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				supported = append(supported, name)
+			}
+		}
+	default:
+		log.Fatal("one of -syscalls, -file or -top is required")
+	}
+
+	wc := study.WeightedCompleteness(supported)
+	fmt.Printf("supported system calls: %d\n", len(supported))
+	fmt.Printf("weighted completeness:  %.2f%%\n", wc*100)
+	if *suggest > 0 {
+		fmt.Println("most valuable additions:")
+		for _, s := range study.SuggestNext(supported, *suggest) {
+			fmt.Printf("  %-22s importance %6.2f%%  -> completeness %.2f%%\n",
+				s.Syscall, s.Importance*100, s.CompletenessAfter*100)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Command corpusgen writes a synthetic repository to disk: every package's
+// ELF binaries and scripts under <out>/pool/<package>/, a Debian-style
+// Packages index, and a popularity-contest by_inst file. The written tree
+// can be re-analyzed with cmd/footprint or inspected with standard tools
+// (readelf, objdump).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/corpus"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("corpusgen: ")
+	var (
+		out           = flag.String("out", "corpus", "output directory")
+		packages      = flag.Int("packages", 500, "number of packages")
+		seed          = flag.Int64("seed", 1504, "generation seed")
+		installations = flag.Int64("installations", 2935744, "survey population")
+	)
+	flag.Parse()
+
+	c, err := corpus.Generate(corpus.Config{
+		Packages:      *packages,
+		Seed:          *seed,
+		Installations: *installations,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := c.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	var files, bytes int
+	for _, name := range c.Repo.Names() {
+		for _, f := range c.Repo.Get(name).Files {
+			files++
+			bytes += len(f.Data)
+		}
+	}
+
+	fmt.Printf("wrote %d packages, %d files (%.1f MiB) to %s\n",
+		c.Repo.Len(), files, float64(bytes)/(1<<20), *out)
+}

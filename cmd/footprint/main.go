@@ -1,0 +1,144 @@
+// Command footprint statically analyzes an ELF binary — including real
+// binaries from the host system — and prints the system APIs its code can
+// reach: direct system calls (with constant-propagated numbers), vectored
+// operation codes, hard-coded pseudo-file paths, and imported libc symbols.
+//
+// Usage:
+//
+//	footprint [-whole] [-no-fp] /bin/ls [/usr/bin/ssh ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/elfx"
+	"repro/internal/footprint"
+	"repro/internal/linuxapi"
+	"repro/internal/x86"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("footprint: ")
+	var (
+		whole = flag.Bool("whole", false, "scan every function instead of entry-reachable code")
+		noFP  = flag.Bool("no-fp", false, "disable the address-taken function over-approximation")
+		sites = flag.Bool("sites", false, "list each system-call site with its instruction window")
+		libs  = flag.String("libs", "", "directory of shared libraries to resolve imports against (e.g. /lib/x86_64-linux-gnu)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: footprint [flags] <elf-binary>...")
+	}
+	opts := footprint.Options{WholeBinary: *whole, NoFunctionPointers: *noFP}
+	resolver := footprint.NewResolver()
+	if *libs != "" {
+		n, err := registerLibraries(resolver, *libs, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "registered %d shared libraries from %s\n", n, *libs)
+	}
+
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bin, err := elfx.Open(path, data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := footprint.Analyze(bin, opts)
+		res := resolver.Footprint(a)
+
+		fmt.Printf("%s: %s, %d functions, %d syscall sites (%d unresolved)\n",
+			path, bin.Class, len(bin.Funcs), res.Sites, res.Unresolved)
+		var byKind [6][]string
+		for _, api := range res.APIs.Sorted() {
+			byKind[api.Kind] = append(byKind[api.Kind], api.Name)
+		}
+		printKind := func(kind linuxapi.Kind, label string) {
+			names := byKind[kind]
+			if len(names) == 0 {
+				return
+			}
+			fmt.Printf("  %s (%d):\n", label, len(names))
+			for i := 0; i < len(names); i += 8 {
+				end := i + 8
+				if end > len(names) {
+					end = len(names)
+				}
+				fmt.Print("    ")
+				for _, n := range names[i:end] {
+					fmt.Printf("%s ", n)
+				}
+				fmt.Println()
+			}
+		}
+		printKind(linuxapi.KindSyscall, "system calls")
+		printKind(linuxapi.KindIoctl, "ioctl codes")
+		printKind(linuxapi.KindFcntl, "fcntl codes")
+		printKind(linuxapi.KindPrctl, "prctl codes")
+		printKind(linuxapi.KindPseudoFile, "pseudo files")
+		printKind(linuxapi.KindLibcSym, "libc symbols")
+		if *sites {
+			for _, site := range x86.FindSyscallSites(bin.Text.Data, bin.Text.Addr, 4) {
+				name := "(unresolved)"
+				if site.Num >= 0 {
+					if d := linuxapi.SyscallByNum(int(site.Num)); d != nil {
+						name = d.Name
+					}
+				}
+				fmt.Printf("  site %#x -> %s\n", site.Addr, name)
+				for _, line := range site.Window {
+					fmt.Printf("    %s\n", line)
+				}
+			}
+		}
+		if len(bin.Needed) > 0 {
+			note := "pass -libs <dir> to resolve their footprints too"
+			if *libs != "" {
+				note = "resolved against -libs"
+			}
+			fmt.Printf("  needed: %v (%s)\n", bin.Needed, note)
+		}
+	}
+}
+
+// registerLibraries analyzes every shared library in dir and registers it
+// with the resolver, so analyzed binaries inherit their libraries' system
+// calls exactly as the study pipeline does.
+func registerLibraries(resolver *footprint.Resolver, dir string, opts footprint.Options) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.Contains(e.Name(), ".so") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		class, _ := elfx.Classify(data)
+		if class != elfx.ClassELFLib {
+			continue
+		}
+		bin, err := elfx.Open(path, data)
+		if err != nil {
+			continue
+		}
+		resolver.AddLibrary(footprint.Analyze(bin, opts))
+		n++
+	}
+	return n, nil
+}

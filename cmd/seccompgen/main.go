@@ -1,0 +1,142 @@
+// Command seccompgen generates a seccomp-BPF sandbox policy from a
+// package's measured system-call footprint (§6 of the paper), verifies it
+// with the built-in cBPF interpreter, and prints the program.
+//
+// Usage:
+//
+//	seccompgen -package coreutils [-errno 38] [-packages 500]
+//	seccompgen -binary /usr/bin/ls -libs /lib/x86_64-linux-gnu
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro"
+	"repro/internal/elfx"
+	"repro/internal/footprint"
+	"repro/internal/seccomp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seccompgen: ")
+	var (
+		pkg      = flag.String("package", "", "corpus package whose footprint becomes the allow list")
+		binary   = flag.String("binary", "", "real ELF binary to derive the policy from instead")
+		libs     = flag.String("libs", "", "with -binary: directory of shared libraries for import resolution")
+		errno    = flag.Int("errno", 0, "deny with this errno instead of killing")
+		vectored = flag.Bool("vectored", false, "restrict ioctl/fcntl/prctl to the footprint's operation codes")
+		packages = flag.Int("packages", 500, "corpus size")
+		seed     = flag.Int64("seed", 1504, "corpus seed")
+	)
+	flag.Parse()
+	if *pkg == "" && *binary == "" {
+		log.Fatal("-package or -binary is required (try: -package coreutils)")
+	}
+
+	deny0 := seccomp.RetKill
+	if *errno > 0 {
+		deny0 = seccomp.RetErrno | uint32(*errno)
+	}
+	if *binary != "" {
+		fromBinary(*binary, *libs, deny0, *vectored)
+		return
+	}
+
+	study, err := repro.NewStudy(repro.Config{Packages: *packages, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	deny := deny0
+	if *vectored {
+		vp, prog, err := study.VectoredSeccompPolicy(*pkg, deny)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# vectored seccomp policy for package %q\n", *pkg)
+		fmt.Printf("# %d system calls allowed, %d argument filters, %d BPF instructions, verified\n",
+			len(vp.Allowed), len(vp.Filters), len(prog))
+		for _, f := range vp.Filters {
+			fmt.Printf("#   nr %d arg %d: %d allowed values\n", f.Nr, f.Arg, len(f.Allowed))
+		}
+		fmt.Print(prog.Disassemble())
+		return
+	}
+	pol, prog, err := study.SeccompPolicy(*pkg, deny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# seccomp policy for package %q\n", *pkg)
+	fmt.Printf("# %d system calls allowed, %d BPF instructions, verified by interpretation\n",
+		len(pol.Allowed), len(prog))
+	fmt.Print(prog.Disassemble())
+}
+
+// fromBinary derives a policy from a real ELF binary's measured footprint.
+func fromBinary(path, libDir string, deny uint32, vectored bool) {
+	resolver := footprint.NewResolver()
+	if libDir != "" {
+		entries, err := os.ReadDir(libDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.Contains(e.Name(), ".so") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(libDir, e.Name()))
+			if err != nil {
+				continue
+			}
+			if class, _ := elfx.Classify(data); class != elfx.ClassELFLib {
+				continue
+			}
+			bin, err := elfx.Open(filepath.Join(libDir, e.Name()), data)
+			if err != nil {
+				continue
+			}
+			resolver.AddLibrary(footprint.Analyze(bin, footprint.Options{}))
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bin, err := elfx.Open(path, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := resolver.Footprint(footprint.Analyze(bin, footprint.Options{}))
+	if vectored {
+		vp := seccomp.NewVectoredPolicy(res.APIs, deny)
+		prog, err := vp.Compile()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := vp.Verify(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# vectored seccomp policy for %s\n", path)
+		fmt.Printf("# %d system calls allowed, %d argument filters, %d BPF instructions, verified\n",
+			len(vp.Allowed), len(vp.Filters), len(prog))
+		fmt.Print(prog.Disassemble())
+		return
+	}
+	pol := seccomp.NewPolicy(res.APIs, deny)
+	prog, err := pol.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pol.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# seccomp policy for %s\n", path)
+	fmt.Printf("# %d system calls allowed, %d BPF instructions, verified by interpretation\n",
+		len(pol.Allowed), len(prog))
+	fmt.Print(prog.Disassemble())
+}

@@ -1,0 +1,68 @@
+// Deprecation audit: the OS-maintainer workflow of §3.1 and §5 — find
+// system calls that could be retired with little disruption, measure how
+// far security-motivated replacements have actually been adopted, and name
+// the packages that would have to migrate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+	"repro/internal/linuxapi"
+)
+
+func main() {
+	log.SetFlags(0)
+	study, err := repro.NewStudy(repro.Config{Packages: 500, Seed: 1504})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Candidates for removal: defined but never used (Table 3).
+	fmt.Println("Never used — removable with zero disruption (Table 3):")
+	var unused []string
+	for _, d := range linuxapi.Syscalls {
+		if study.Importance(d.Name) == 0 && study.UnweightedImportance(d.Name) == 0 {
+			unused = append(unused, d.Name)
+		}
+	}
+	fmt.Printf("  %s\n\n", strings.Join(unused, ", "))
+
+	// Retired calls still attempted: removal breaks someone — name them
+	// so maintainers can reach out (§3.1, §6).
+	fmt.Println("Officially retired but still attempted:")
+	for name := range linuxapi.RetiredAttempted {
+		if imp := study.Importance(name); imp > 0 {
+			users := study.Core().Input.UsersOf(linuxapi.Sys(name))
+			fmt.Printf("  %-14s importance %5.2f%%  attempted by: %s\n",
+				name, imp*100, strings.Join(users, ", "))
+		}
+	}
+
+	// Security-variant adoption (Table 8): is the safer API winning?
+	fmt.Println("\nAdoption of secure variants (Table 8):")
+	for _, p := range linuxapi.SecureVariantPairs[:6] {
+		insecure := study.UnweightedImportance(p.Left)
+		secure := study.UnweightedImportance(p.Right)
+		verdict := "MIGRATION STALLED"
+		if secure > insecure {
+			verdict = "migrating"
+		}
+		fmt.Printf("  %-10s %6.2f%%  vs  %-12s %6.2f%%   %s\n",
+			p.Left, insecure*100, p.Right, secure*100, verdict)
+	}
+
+	// Low-importance calls wrapped entirely by libraries (Table 1): one
+	// library patch retires the usage.
+	fmt.Println("\nLibrary-mediated calls (fix the library, retire the call):")
+	for _, row := range linuxapi.LibraryOnlySyscalls {
+		for _, sys := range row.Syscalls {
+			if imp := study.Importance(sys); imp > 0 && imp < 0.999 {
+				fmt.Printf("  %-14s importance %5.2f%%  via %s\n",
+					sys, imp*100, strings.Join(row.Libraries, ", "))
+			}
+		}
+	}
+}

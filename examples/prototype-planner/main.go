@@ -1,0 +1,70 @@
+// Prototype planner: the workflow of §3.2 — plot the optimal path for
+// adding system calls to a new OS prototype or compatibility layer, phase
+// by phase, and evaluate a hypothetical current prototype against it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/linuxapi"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	study, err := repro.NewStudy(repro.Config{Packages: 500, Seed: 1504})
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := study.GreedyPath()
+
+	// Table 4's five development stages.
+	fmt.Println("Recommended implementation phases (Table 4):")
+	for _, st := range metrics.Stages(path, []int{40, 81, 145, 202}, 5) {
+		var names []string
+		for _, api := range st.Samples {
+			names = append(names, api.Name)
+		}
+		fmt.Printf("  stage %-3s: +%3d calls (total %3d) -> %6.2f%% of a typical install\n",
+			st.Label, st.Added, st.LastN, st.Completeness*100)
+		fmt.Printf("             start with: %v\n", names)
+	}
+
+	// Suppose our prototype currently implements a haphazard set: the base
+	// plus whatever was needed for a web-server demo.
+	prototype := []string{
+		"read", "write", "open", "close", "fstat", "lstat", "mmap", "munmap",
+		"mprotect", "brk", "rt_sigaction", "rt_sigprocmask", "rt_sigreturn",
+		"execve", "exit", "exit_group", "getpid", "gettid", "futex",
+		"socket", "bind", "listen", "accept", "connect", "sendto",
+		"recvfrom", "setsockopt", "epoll_create1", "epoll_ctl", "epoll_wait",
+	}
+	wc := study.WeightedCompleteness(prototype)
+	fmt.Printf("\nCurrent prototype: %d calls, weighted completeness %.3f%%\n",
+		len(prototype), wc*100)
+
+	fmt.Println("Ten most valuable additions:")
+	for _, s := range study.SuggestNext(prototype, 10) {
+		fmt.Printf("  %-22s importance %6.2f%% -> completeness %.3f%%\n",
+			s.Syscall, s.Importance*100, s.CompletenessAfter*100)
+	}
+
+	// How far must the prototype go for the niche workloads? qemu is the
+	// most demanding application in the study (§3.2: 270 calls).
+	qemu := study.PackageFootprint("qemu-user")
+	fmt.Printf("\nThe most demanding package (qemu-user) needs %d system calls.\n", len(qemu))
+
+	// Vectored system calls matter too (§3.3): a prototype can defer most
+	// opcodes.
+	imp := study.Metrics().Importance
+	var essentialIoctls int
+	for _, d := range linuxapi.Ioctls {
+		if imp[linuxapi.Ioctl(d.Name)] >= 0.999 {
+			essentialIoctls++
+		}
+	}
+	fmt.Printf("Of %d defined ioctl codes, only %d are essential at first.\n",
+		linuxapi.TotalIoctlCodes, essentialIoctls)
+}

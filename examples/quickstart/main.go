@@ -1,0 +1,52 @@
+// Quickstart: generate a calibrated corpus, run the full measurement
+// pipeline, and ask the study the paper's headline questions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A small corpus keeps the example fast; the shapes scale.
+	study, err := repro.NewStudy(repro.Config{
+		Packages:      400,
+		Installations: 2935744,
+		Seed:          1504,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// How important are individual system calls? (§2.1)
+	for _, name := range []string{"read", "ioctl", "access", "faccessat",
+		"mbind", "kexec_load", "lookup_dcookie"} {
+		fmt.Printf("importance(%-14s) = %6.2f%%   used by %5.2f%% of packages\n",
+			name, study.Importance(name)*100,
+			study.UnweightedImportance(name)*100)
+	}
+
+	// How complete would a prototype with the 145 most important calls be?
+	// (§2.2, Figure 3: the paper measures ~50% at 145.)
+	path := study.GreedyPath()
+	var top145 []string
+	for _, p := range path[:145] {
+		top145 = append(top145, p.API.Name)
+	}
+	fmt.Printf("\nweighted completeness with the top 145 calls: %.2f%% (paper: 50.09%%)\n",
+		study.WeightedCompleteness(top145)*100)
+
+	// What should such a prototype implement next? (§1)
+	fmt.Println("\nmost valuable additions:")
+	for _, s := range study.SuggestNext(top145, 3) {
+		fmt.Printf("  %-20s -> completeness %.2f%%\n", s.Syscall, s.CompletenessAfter*100)
+	}
+
+	// What does one package actually need? (§6)
+	fp := study.PackageFootprint("tar")
+	fmt.Printf("\npackage tar uses %d system calls; first few: %v\n", len(fp), fp[:6])
+}

@@ -1,0 +1,22 @@
+package apt_test
+
+import (
+	"fmt"
+
+	"repro/internal/apt"
+)
+
+// ExampleRepository_DependencyClosure resolves the transitive install set
+// of a package, the relation weighted completeness propagates through.
+func ExampleRepository_DependencyClosure() {
+	repo := apt.NewRepository()
+	repo.Add(&apt.Package{Name: "libc6"})
+	repo.Add(&apt.Package{Name: "libssl", Depends: []string{"libc6"}})
+	repo.Add(&apt.Package{Name: "curl", Depends: []string{"libssl", "libc6"}})
+
+	fmt.Println(repo.DependencyClosure("curl"))
+	fmt.Println(repo.ReverseDependencies("libc6"))
+	// Output:
+	// [curl libc6 libssl]
+	// [curl libssl]
+}

@@ -1,0 +1,244 @@
+// Package callgraph builds the per-binary whole-program call graph the
+// paper's static analysis is based on (§7): functions from the symbol
+// table, direct call/tail-call edges, calls through the PLT resolved to
+// imported symbols via .rela.plt, and the deliberate over-approximation
+// that treats every function whose address is taken (lea with a
+// RIP-relative operand landing in .text) as callable from the taking
+// function.
+package callgraph
+
+import (
+	"sort"
+
+	"repro/internal/elfx"
+	"repro/internal/x86"
+)
+
+// Node is one function in the graph.
+type Node struct {
+	// Name is the symbol name, or a synthesized "sub_<addr>" for code not
+	// covered by any symbol.
+	Name string
+	// Addr/Size delimit the function body in .text.
+	Addr, Size uint64
+	// Exported marks dynamic-symbol exports (library entry points).
+	Exported bool
+	// Insts are the decoded instructions of the body, in address order.
+	Insts []x86.Inst
+	// Calls are direct local callees (calls and tail jumps).
+	Calls []*Node
+	// Imports are the names of imported symbols this function calls
+	// through the PLT.
+	Imports []string
+	// Taken are functions whose address this function materializes with a
+	// RIP-relative lea: the over-approximated indirect-call edges.
+	Taken []*Node
+}
+
+// Graph is the whole-program call graph of one binary.
+type Graph struct {
+	Bin    *elfx.Binary
+	Funcs  []*Node
+	byName map[string]*Node
+	// pltSyms maps a PLT stub address to the imported symbol it forwards
+	// to, recovered by decoding each stub's jmp [rip+disp] against the
+	// relocated GOT slots.
+	pltSyms map[uint64]string
+}
+
+// Build decodes the binary's text and constructs the graph.
+func Build(bin *elfx.Binary) *Graph {
+	g := &Graph{
+		Bin:     bin,
+		byName:  make(map[string]*Node),
+		pltSyms: make(map[uint64]string),
+	}
+
+	// Resolve PLT stubs: decode .plt, map stub VA -> import name.
+	if len(bin.Plt.Data) > 0 {
+		for _, inst := range x86.DecodeAll(bin.Plt.Data, bin.Plt.Addr) {
+			if inst.Op == x86.OpJmpIndirect && inst.HasTarget {
+				if sym, ok := bin.PLTSlots[inst.Target]; ok {
+					g.pltSyms[inst.Addr] = sym
+				}
+			}
+		}
+	}
+
+	// Function ranges: symbols inside .text, sorted; gaps (including an
+	// uncovered entry point and fully-stripped binaries) become synthetic
+	// nodes so every byte of .text belongs to exactly one function.
+	text := bin.Text
+	type rng struct {
+		name     string
+		addr     uint64
+		exported bool
+	}
+	var starts []rng
+	for _, f := range bin.Funcs {
+		if text.Contains(f.Addr) {
+			starts = append(starts, rng{f.Name, f.Addr, f.Exported})
+		}
+	}
+	if bin.Entry != 0 && text.Contains(bin.Entry) {
+		covered := false
+		for _, s := range starts {
+			if s.addr == bin.Entry {
+				covered = true
+			}
+		}
+		if !covered {
+			starts = append(starts, rng{"entry", bin.Entry, true})
+		}
+	}
+	if len(starts) == 0 && len(text.Data) > 0 {
+		starts = append(starts, rng{"text", text.Addr, true})
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i].addr < starts[j].addr })
+	// Deduplicate identical start addresses (dynsym ∪ symtab aliases).
+	dedup := starts[:0]
+	for _, s := range starts {
+		if len(dedup) > 0 && dedup[len(dedup)-1].addr == s.addr {
+			if s.exported {
+				dedup[len(dedup)-1].exported = true
+			}
+			continue
+		}
+		dedup = append(dedup, s)
+	}
+	starts = dedup
+
+	textEnd := text.Addr + uint64(len(text.Data))
+	for i, s := range starts {
+		end := textEnd
+		if i+1 < len(starts) {
+			end = starts[i+1].addr
+		}
+		n := &Node{Name: s.name, Addr: s.addr, Size: end - s.addr, Exported: s.exported}
+		g.Funcs = append(g.Funcs, n)
+		g.byName[n.Name] = n
+	}
+
+	// Decode each function body and wire edges.
+	for _, n := range g.Funcs {
+		lo := n.Addr - text.Addr
+		hi := lo + n.Size
+		n.Insts = x86.DecodeAll(text.Data[lo:hi], n.Addr)
+		for _, inst := range n.Insts {
+			switch inst.Op {
+			case x86.OpCallRel, x86.OpJmpRel:
+				if !inst.HasTarget {
+					continue
+				}
+				if sym, ok := g.pltSyms[inst.Target]; ok {
+					n.Imports = appendUnique(n.Imports, sym)
+					continue
+				}
+				if callee := g.NodeAt(inst.Target); callee != nil && callee != n {
+					n.Calls = appendNode(n.Calls, callee)
+				}
+			case x86.OpLeaRIP:
+				if callee := g.NodeAt(inst.Target); callee != nil && inst.Target == callee.Addr {
+					// Only function-entry addresses count as taken; a lea
+					// into the middle of a function is data arithmetic.
+					n.Taken = appendNode(n.Taken, callee)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func appendUnique(ss []string, s string) []string {
+	for _, x := range ss {
+		if x == s {
+			return ss
+		}
+	}
+	return append(ss, s)
+}
+
+func appendNode(ns []*Node, n *Node) []*Node {
+	for _, x := range ns {
+		if x == n {
+			return ns
+		}
+	}
+	return append(ns, n)
+}
+
+// NodeAt returns the function containing va, or nil.
+func (g *Graph) NodeAt(va uint64) *Node {
+	i := sort.Search(len(g.Funcs), func(i int) bool { return g.Funcs[i].Addr > va })
+	if i == 0 {
+		return nil
+	}
+	n := g.Funcs[i-1]
+	if va >= n.Addr+n.Size {
+		return nil
+	}
+	return n
+}
+
+// NodeNamed returns the function with the given symbol name, or nil.
+func (g *Graph) NodeNamed(name string) *Node { return g.byName[name] }
+
+// EntryNodes returns the roots reachability starts from: the ELF entry
+// point for executables, every exported function for shared libraries.
+// (The paper measures "system calls reachable from the binary entry point";
+// for libraries the entry points are the exports applications can call.)
+func (g *Graph) EntryNodes() []*Node {
+	var roots []*Node
+	if g.Bin.Entry != 0 {
+		if n := g.NodeAt(g.Bin.Entry); n != nil {
+			roots = append(roots, n)
+		}
+	}
+	for _, n := range g.Funcs {
+		if n.Exported {
+			roots = appendNode(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		roots = g.Funcs
+	}
+	return roots
+}
+
+// Reachable returns the set of functions reachable from roots. When
+// followTaken is set, address-taken edges are traversed too — the paper's
+// over-approximation for indirect calls; disabling it is the ablation knob.
+func (g *Graph) Reachable(roots []*Node, followTaken bool) []*Node {
+	seen := make(map[*Node]bool, len(roots))
+	var out []*Node
+	var work []*Node
+	push := func(n *Node) {
+		if n != nil && !seen[n] {
+			seen[n] = true
+			work = append(work, n)
+			out = append(out, n)
+		}
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, c := range n.Calls {
+			push(c)
+		}
+		if followTaken {
+			for _, c := range n.Taken {
+				push(c)
+			}
+		}
+	}
+	return out
+}
+
+// ReachableFromEntry is the common full pipeline: roots from EntryNodes
+// with function-pointer over-approximation enabled.
+func (g *Graph) ReachableFromEntry() []*Node {
+	return g.Reachable(g.EntryNodes(), true)
+}

@@ -1,0 +1,286 @@
+// Package core orchestrates the full measurement pipeline of the paper:
+// classify every file of every package (Figure 1), statically analyze each
+// ELF binary (disassembly → call graph → footprint extraction),
+// resolve cross-library closures the way the paper's recursive queries do,
+// attribute interpreted scripts to their interpreter's footprint, and
+// assemble the metrics input (package footprints × installation survey)
+// that every table and figure is computed from.
+package core
+
+import (
+	"crypto/sha256"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/apt"
+	"repro/internal/corpus"
+	"repro/internal/elfx"
+	"repro/internal/footprint"
+	"repro/internal/linuxapi"
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// FileCensus aggregates Figure 1's classification counts.
+type FileCensus struct {
+	// ELFExec / ELFLib / ELFStatic split the ELF binaries.
+	ELFExec, ELFLib, ELFStatic int
+	// Scripts counts interpreted files by interpreter program name.
+	Scripts map[string]int
+	// Other counts unclassifiable files.
+	Other int
+}
+
+// Total returns the number of classified files.
+func (c *FileCensus) Total() int {
+	n := c.ELFExec + c.ELFLib + c.ELFStatic + c.Other
+	for _, v := range c.Scripts {
+		n += v
+	}
+	return n
+}
+
+// ELF returns the number of ELF binaries.
+func (c *FileCensus) ELF() int { return c.ELFExec + c.ELFLib + c.ELFStatic }
+
+// Stats carries the pipeline-level counters the paper reports in §6/§7.
+type Stats struct {
+	Census FileCensus
+	// TotalSites and UnresolvedSites census the system-call instruction
+	// sites (§7: 2,454 unresolved, 4% of sites).
+	TotalSites, UnresolvedSites int
+	// DirectSyscallExecs/Libs count binaries that issue system calls
+	// directly rather than through libc (§7: 7,259 and 2,752).
+	DirectSyscallExecs, DirectSyscallLibs int
+	// DistinctFootprints and UniqueFootprints summarize §6's observation
+	// that a third of applications have a unique system-call footprint.
+	Executables, DistinctFootprints, UniqueFootprints int
+	// SkippedFiles counts files that classified as ELF but failed to
+	// parse; a real archive contains some junk, and the pipeline skips it
+	// rather than aborting the study.
+	SkippedFiles int
+}
+
+// Study is the analyzed corpus: everything the reports need.
+type Study struct {
+	Corpus   *corpus.Corpus
+	Input    *metrics.Input
+	Resolver *footprint.Resolver
+	DB       *store.DB
+	Tables   *metrics.Tables
+	// BinaryDirect maps "package/path" to the APIs that binary's own code
+	// requests (for the attribution tables).
+	BinaryDirect map[string]footprint.Set
+	Stats        Stats
+	Opts         footprint.Options
+}
+
+// Run executes the pipeline over a generated corpus.
+func Run(c *corpus.Corpus, opts footprint.Options) (*Study, error) {
+	s := &Study{
+		Corpus:       c,
+		Resolver:     footprint.NewResolver(),
+		DB:           store.NewDB(),
+		BinaryDirect: make(map[string]footprint.Set),
+		Opts:         opts,
+	}
+	s.Stats.Census.Scripts = make(map[string]int)
+
+	names := c.Repo.Names()
+
+	// Disassembly and extraction dominate the pipeline; binaries are
+	// independent, so analyze them on all cores (the paper's own run took
+	// three days over 30,976 packages — §7).
+	type job struct {
+		pkg  string
+		file apt.File
+		lib  bool
+	}
+	var jobs []job
+	for _, name := range names {
+		pkg := c.Repo.Get(name)
+		for _, f := range pkg.Files {
+			class, _ := elfx.Classify(f.Data)
+			switch class {
+			case elfx.ClassELFLib:
+				jobs = append(jobs, job{name, f, true})
+			case elfx.ClassELFExec, elfx.ClassELFStatic:
+				jobs = append(jobs, job{name, f, false})
+			}
+		}
+	}
+	analyses := make([]*footprint.Analysis, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	next := make(chan int, len(jobs))
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	workers := runtime.NumCPU()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				j := jobs[i]
+				bin, err := elfx.Open(j.file.Path, j.file.Data)
+				if err != nil {
+					// Malformed ELF: skip the file, keep the study going.
+					errs[i] = err
+					continue
+				}
+				analyses[i] = footprint.Analyze(bin, opts)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			s.Stats.SkippedFiles++
+		}
+	}
+
+	// Pass 1: register every shared library with the resolver so imports
+	// resolve regardless of package analysis order.
+	libAnalyses := make(map[string]*footprint.Analysis)
+	execAnalyses := make(map[string]*footprint.Analysis)
+	for i, j := range jobs {
+		if j.lib {
+			s.Resolver.AddLibrary(analyses[i])
+			libAnalyses[j.pkg+"/"+j.file.Path] = analyses[i]
+		} else {
+			execAnalyses[j.pkg+"/"+j.file.Path] = analyses[i]
+		}
+	}
+
+	// Pass 2: analyze executables, build package footprints.
+	pkgFootprints := make(map[string]footprint.Set, len(names))
+	pkgDirect := make(map[string]footprint.Set, len(names))
+	scriptInterps := make(map[string][]string) // package -> interpreter names
+	execFootprintHashes := make(map[string]int)
+
+	for _, name := range names {
+		pkg := c.Repo.Get(name)
+		fp := make(footprint.Set)
+		direct := make(footprint.Set)
+		for _, f := range pkg.Files {
+			class, interp := elfx.Classify(f.Data)
+			switch class {
+			case elfx.ClassScript:
+				s.Stats.Census.Scripts[interp]++
+				scriptInterps[name] = append(scriptInterps[name], interp)
+				continue
+			case elfx.ClassELFLib:
+				s.Stats.Census.ELFLib++
+				// Libraries contribute through executables that link them
+				// (§2: a package's footprint is the union over its
+				// standalone executables), but their direct usage matters
+				// for the attribution tables.
+				a := libAnalyses[name+"/"+f.Path]
+				if a == nil {
+					continue // skipped as malformed during analysis
+				}
+				res := s.Resolver.Footprint(a)
+				s.BinaryDirect[name+"/"+f.Path] = res.Direct
+				s.Stats.TotalSites += res.Sites
+				s.Stats.UnresolvedSites += res.Unresolved
+				if a.DirectSyscallUser() {
+					s.Stats.DirectSyscallLibs++
+				}
+				continue
+			case elfx.ClassELFExec, elfx.ClassELFStatic:
+				if class == elfx.ClassELFStatic {
+					s.Stats.Census.ELFStatic++
+				} else {
+					s.Stats.Census.ELFExec++
+				}
+			default:
+				s.Stats.Census.Other++
+				continue
+			}
+			a := execAnalyses[name+"/"+f.Path]
+			if a == nil {
+				continue // skipped as malformed during analysis
+			}
+			res := s.Resolver.Footprint(a)
+			fp.AddAll(res.APIs)
+			direct.AddAll(res.Direct)
+			s.BinaryDirect[name+"/"+f.Path] = res.Direct
+			s.Stats.TotalSites += res.Sites
+			s.Stats.UnresolvedSites += res.Unresolved
+			if a.DirectSyscallUser() {
+				s.Stats.DirectSyscallExecs++
+			}
+			s.Stats.Executables++
+			execFootprintHashes[footprintHash(res.APIs)]++
+		}
+		pkgFootprints[name] = fp
+		pkgDirect[name] = direct
+	}
+
+	// Pass 3: scripts inherit the interpreter package's footprint (§2.3:
+	// "the system call footprint of the interpreter ... over-approximates
+	// the expected footprint of the applications").
+	for name, interps := range scriptInterps {
+		for _, interp := range interps {
+			ipkg, ok := c.InterpreterPkg[interp]
+			if !ok {
+				continue
+			}
+			if ifp, ok := pkgFootprints[ipkg]; ok {
+				pkgFootprints[name].AddAll(ifp)
+			}
+		}
+	}
+
+	s.Stats.DistinctFootprints = len(execFootprintHashes)
+	for _, n := range execFootprintHashes {
+		if n == 1 {
+			s.Stats.UniqueFootprints++
+		}
+	}
+
+	s.Input = &metrics.Input{
+		Repo:       c.Repo,
+		Survey:     c.Survey,
+		Footprints: pkgFootprints,
+		Direct:     pkgDirect,
+	}
+	s.Tables = metrics.Record(s.DB, s.Input)
+	return s, nil
+}
+
+// footprintHash fingerprints the system-call portion of a footprint.
+func footprintHash(fp footprint.Set) string {
+	var names []string
+	for api := range fp {
+		if api.Kind == linuxapi.KindSyscall {
+			names = append(names, api.Name)
+		}
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, n := range names {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return string(h.Sum(nil))
+}
+
+// PackageFor returns the package metadata for a name.
+func (s *Study) PackageFor(name string) *apt.Package { return s.Corpus.Repo.Get(name) }
+
+// SupportedSyscallSet builds a footprint.Set of syscall APIs from names,
+// convenient for completeness queries.
+func SupportedSyscallSet(names []string) footprint.Set {
+	set := make(footprint.Set, len(names))
+	for _, n := range names {
+		set.Add(linuxapi.Sys(n))
+	}
+	return set
+}

@@ -1,0 +1,372 @@
+package corpus
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linuxapi"
+)
+
+func testConfig() Config {
+	return Config{Packages: 400, Installations: 1000000, Seed: 42}
+}
+
+func TestModelBands(t *testing.T) {
+	m := NewModel()
+	counts := map[Band]int{}
+	for _, s := range m.Syscalls {
+		counts[s.Band]++
+	}
+	if counts[BandBase] != 40 {
+		t.Errorf("base band = %d, want 40", counts[BandBase])
+	}
+	if counts[BandUniversal] != 184 {
+		t.Errorf("universal band = %d, want 184 (ranks 41..224)", counts[BandUniversal])
+	}
+	if counts[BandCommon] != 33 {
+		t.Errorf("common band = %d, want 33 (ranks 225..257)", counts[BandCommon])
+	}
+	if counts[BandUnused] != 18 {
+		t.Errorf("unused band = %d, want 18 (Table 3)", counts[BandUnused])
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != linuxapi.SyscallCount() {
+		t.Errorf("model covers %d syscalls, table has %d", total, linuxapi.SyscallCount())
+	}
+}
+
+func TestModelRanksAreDense(t *testing.T) {
+	m := NewModel()
+	seen := map[int]string{}
+	maxRank := 0
+	for _, s := range m.Syscalls {
+		if s.Band == BandUnused {
+			if s.Rank != 0 {
+				t.Errorf("unused %s has rank %d", s.Name, s.Rank)
+			}
+			continue
+		}
+		if s.Rank <= 0 {
+			t.Errorf("%s has no rank", s.Name)
+			continue
+		}
+		if prev, dup := seen[s.Rank]; dup {
+			t.Errorf("rank %d used by %s and %s", s.Rank, prev, s.Name)
+		}
+		seen[s.Rank] = s.Name
+		if s.Rank > maxRank {
+			maxRank = s.Rank
+		}
+	}
+	if maxRank != m.UsedSyscallCount() {
+		t.Errorf("max rank %d != used count %d", maxRank, m.UsedSyscallCount())
+	}
+	for r := 1; r <= maxRank; r++ {
+		if _, ok := seen[r]; !ok {
+			t.Errorf("rank %d unassigned", r)
+		}
+	}
+}
+
+func TestModelNamedTargets(t *testing.T) {
+	m := NewModel()
+	check := func(name string, band Band, imp float64) {
+		tg := m.SyscallTargetFor(name)
+		if tg == nil {
+			t.Fatalf("no target for %s", name)
+		}
+		if tg.Band != band {
+			t.Errorf("%s band = %v, want %v", name, tg.Band, band)
+		}
+		if imp >= 0 && math.Abs(tg.Importance-imp) > 1e-9 {
+			t.Errorf("%s importance = %v, want %v", name, tg.Importance, imp)
+		}
+	}
+	check("read", BandBase, 1.0)
+	check("ioctl", BandUniversal, 1.0)
+	check("access", BandUniversal, 1.0)
+	check("mbind", BandCommon, 0.36)
+	check("kexec_load", BandRare, 0.01)
+	check("nfsservctl", BandRare, 0.07)
+	check("lookup_dcookie", BandUnused, -1)
+	check("faccessat", BandRare, -1) // Table 8's low-adoption variants lead the rare band
+
+	if tg := m.SyscallTargetFor("access"); tg.Unweighted != 0.7424 {
+		t.Errorf("access unweighted = %v, want 0.7424", tg.Unweighted)
+	}
+	if tg := m.SyscallTargetFor("wait4"); tg.Unweighted != 0.6056 {
+		t.Errorf("wait4 unweighted = %v, want 0.6056", tg.Unweighted)
+	}
+}
+
+func TestModelAPITargetCounts(t *testing.T) {
+	m := NewModel()
+	if len(m.Ioctls) != linuxapi.TotalIoctlCodes {
+		t.Errorf("ioctl targets = %d, want %d", len(m.Ioctls), linuxapi.TotalIoctlCodes)
+	}
+	var hundred, unused int
+	for _, tg := range m.Ioctls {
+		if tg.Importance >= 0.999 {
+			hundred++
+		}
+		if tg.Importance == 0 {
+			unused++
+		}
+	}
+	if hundred != 52 {
+		t.Errorf("ioctl codes at 100%% = %d, want 52", hundred)
+	}
+	if got := len(m.Ioctls) - unused; got < 270 || got > 290 {
+		t.Errorf("used ioctl codes = %d, want ~280", got)
+	}
+	if len(m.Fcntls) != 18 || len(m.Prctls) != 44 {
+		t.Errorf("fcntl/prctl targets = %d/%d", len(m.Fcntls), len(m.Prctls))
+	}
+	hundred = 0
+	for _, tg := range m.Fcntls {
+		if tg.Importance >= 0.999 {
+			hundred++
+		}
+	}
+	if hundred != 11 {
+		t.Errorf("fcntl codes at 100%% = %d, want 11", hundred)
+	}
+	hundred = 0
+	over20 := 0
+	for _, tg := range m.Prctls {
+		if tg.Importance >= 0.999 {
+			hundred++
+		}
+		if tg.Importance >= 0.20 {
+			over20++
+		}
+	}
+	if hundred != 9 {
+		t.Errorf("prctl codes at 100%% = %d, want 9", hundred)
+	}
+	if over20 != 18 {
+		t.Errorf("prctl codes over 20%% = %d, want 18", over20)
+	}
+}
+
+func TestModelLibcCalibration(t *testing.T) {
+	m := NewModel()
+	if len(m.LibcSyms) != linuxapi.GNULibcSymbolCount {
+		t.Fatalf("libc targets = %d, want %d", len(m.LibcSyms), linuxapi.GNULibcSymbolCount)
+	}
+	var hundred, belowHalf, below1, unused int
+	for _, tg := range m.LibcSyms {
+		switch {
+		case tg.Importance >= 0.999:
+			hundred++
+		}
+		if tg.Importance < 0.50 {
+			belowHalf++
+		}
+		if tg.Importance < 0.01 {
+			below1++
+		}
+		if tg.Importance == 0 {
+			unused++
+		}
+		if tg.Size <= 0 {
+			t.Fatalf("symbol %s has no size", tg.Name)
+		}
+	}
+	// Figure 7: 42.8% at 100%, 50.6% below 50%, 39.7% below 1%; §6: 222
+	// entirely unused.
+	if got := float64(hundred) / float64(len(m.LibcSyms)); math.Abs(got-0.428) > 0.01 {
+		t.Errorf("libc 100%% fraction = %.3f, want ~0.428", got)
+	}
+	if got := float64(belowHalf) / float64(len(m.LibcSyms)); math.Abs(got-0.506) > 0.03 {
+		t.Errorf("libc <50%% fraction = %.3f, want ~0.506", got)
+	}
+	if got := float64(below1) / float64(len(m.LibcSyms)); math.Abs(got-0.397) > 0.03 {
+		t.Errorf("libc <1%% fraction = %.3f, want ~0.397", got)
+	}
+	if unused != 222 {
+		t.Errorf("unused libc symbols = %d, want 222", unused)
+	}
+}
+
+func TestWCTargetInterpolation(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0}, {39, 0}, {40, 0.0112}, {81, 0.1068}, {125, 0.25},
+		{145, 0.5009}, {202, 0.9061}, {305, 1.0}, {400, 1.0},
+	}
+	for _, c := range cases {
+		if got := WCTarget(c.n); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("WCTarget(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+	prev := -1.0
+	for n := 0; n <= 310; n++ {
+		v := WCTarget(n)
+		if v < prev {
+			t.Fatalf("WCTarget not monotone at %d", n)
+		}
+		prev = v
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	c, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Repo.Len() != testConfig().Packages {
+		t.Errorf("packages = %d, want %d", c.Repo.Len(), testConfig().Packages)
+	}
+	libc := c.Repo.Get("libc6")
+	if libc == nil || len(libc.Files) != 5 {
+		t.Fatalf("libc6 has %d files, want libc/libpthread/librt/ld.so/ldconfig", len(libc.Files))
+	}
+	if c.Survey.Fraction("libc6") < 0.999 {
+		t.Errorf("libc6 fraction = %v", c.Survey.Fraction("libc6"))
+	}
+	if c.InterpreterPkg["python"] != "python2.7" || c.InterpreterPkg["sh"] != "dash" {
+		t.Errorf("interpreter map = %v", c.InterpreterPkg)
+	}
+	// Every package has a planted footprint including the base set.
+	for _, name := range c.Repo.Names() {
+		fp := c.Planted[name]
+		if fp == nil {
+			t.Fatalf("no planted footprint for %s", name)
+		}
+		if !fp.Contains(linuxapi.Sys("read")) || !fp.Contains(linuxapi.Sys("mmap")) {
+			t.Errorf("%s planted footprint lacks base syscalls", name)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	c1, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Repo.Len() != c2.Repo.Len() {
+		t.Fatalf("package counts differ")
+	}
+	for _, name := range c1.Repo.Names() {
+		p1, p2 := c1.Repo.Get(name), c2.Repo.Get(name)
+		if p2 == nil || len(p1.Files) != len(p2.Files) {
+			t.Fatalf("%s: file lists differ", name)
+		}
+		for i := range p1.Files {
+			if p1.Files[i].Path != p2.Files[i].Path {
+				t.Fatalf("%s: path %q vs %q", name, p1.Files[i].Path, p2.Files[i].Path)
+			}
+			if string(p1.Files[i].Data) != string(p2.Files[i].Data) {
+				t.Fatalf("%s %s: contents differ between identical seeds", name, p1.Files[i].Path)
+			}
+		}
+	}
+}
+
+func TestPlantedExclusivity(t *testing.T) {
+	c, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sys, owners := range exclusiveSyscalls {
+		api := linuxapi.Sys(sys)
+		ownerSet := map[string]bool{}
+		for _, o := range owners {
+			ownerSet[o] = true
+		}
+		for name, fp := range c.Planted {
+			if fp.Contains(api) && !ownerSet[name] {
+				t.Errorf("exclusive syscall %s planted in %s", sys, name)
+			}
+		}
+		for _, o := range owners {
+			if fp := c.Planted[o]; fp == nil || !fp.Contains(api) {
+				t.Errorf("exclusive syscall %s missing from owner %s", sys, o)
+			}
+		}
+	}
+}
+
+func TestPlantedUnusedSyscallsStayUnused(t *testing.T) {
+	c, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range linuxapi.UnusedSyscallNames() {
+		api := linuxapi.Sys(name)
+		for pkg, fp := range c.Planted {
+			if fp.Contains(api) {
+				t.Errorf("Table 3 syscall %s planted in %s", name, pkg)
+			}
+		}
+	}
+}
+
+func TestPlantedQemuDepth(t *testing.T) {
+	c, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qemu := c.Planted["qemu-user"]
+	var syscalls int
+	for api := range qemu {
+		if api.Kind == linuxapi.KindSyscall {
+			syscalls++
+		}
+	}
+	if syscalls < 250 {
+		t.Errorf("qemu planted %d syscalls, want ≥250 (§3.2: 270)", syscalls)
+	}
+	if !qemu.Contains(linuxapi.Ioctl("KVM_RUN")) {
+		t.Error("qemu missing KVM ioctls")
+	}
+}
+
+// TestGenerateAtScale is the paper-scale smoke test (30,976 packages);
+// run explicitly with: go test -run AtScale -tags='' -timeout 10m -v
+// It is skipped in short mode and kept small enough for CI otherwise.
+func TestGenerateAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	c, err := Generate(Config{Packages: 8000, Installations: 2935744, Seed: 1504})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Repo.Len() != 8000 {
+		t.Fatalf("packages = %d", c.Repo.Len())
+	}
+	// The curve calibration must hold at scale: spot-check the planted
+	// demand mass around the 50% checkpoint.
+	var w, below float64
+	for _, name := range c.Repo.Names() {
+		f := c.Survey.Fraction(name)
+		w += f
+		maxRank := 0
+		for api := range c.Planted[name] {
+			if api.Kind != linuxapi.KindSyscall {
+				continue
+			}
+			if tg := c.Model.SyscallTargetFor(api.Name); tg != nil && tg.Rank > maxRank {
+				maxRank = tg.Rank
+			}
+		}
+		if maxRank <= 145 {
+			below += f
+		}
+	}
+	got := below / w
+	if got < 0.38 || got > 0.62 {
+		t.Errorf("mass below rank 145 = %.3f, want ~0.50", got)
+	}
+}

@@ -1,0 +1,42 @@
+package corpus
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/linuxapi"
+)
+
+func TestDebugPreadv(t *testing.T) {
+	c, err := Generate(Config{Packages: 400, Installations: 2935744, Seed: 1504})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := c.Model.SyscallTargetFor("preadv")
+	fmt.Printf("preadv rank=%d band=%d imp=%v unw=%v\n", tg.Rank, tg.Band, tg.Importance, tg.Unweighted)
+	var users []string
+	var sum float64
+	for name, fp := range c.Planted {
+		if fp.Contains(linuxapi.Sys("preadv")) {
+			users = append(users, name)
+			sum += c.Survey.Fraction(name)
+		}
+	}
+	fmt.Printf("users=%d sumf=%.4f %v\n", len(users), sum, users)
+	// how many packages have demand >= 228? approximate via planted max rank
+	n := 0
+	for _, fp := range c.Planted {
+		maxRank := 0
+		for api := range fp {
+			if api.Kind == linuxapi.KindSyscall {
+				if tt := c.Model.SyscallTargetFor(api.Name); tt != nil && tt.Rank > maxRank {
+					maxRank = tt.Rank
+				}
+			}
+		}
+		if maxRank >= 228 {
+			n++
+		}
+	}
+	fmt.Println("packages with deepest >= 228:", n)
+}

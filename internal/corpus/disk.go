@@ -1,0 +1,112 @@
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/apt"
+	"repro/internal/popcon"
+)
+
+// Save writes the corpus to a directory in the layout cmd/corpusgen
+// documents: per-package file trees under pool/<package>/, a Debian-style
+// Packages index, and a popularity-contest by_inst file.
+func (c *Corpus) Save(dir string) error {
+	for _, name := range c.Repo.Names() {
+		pkg := c.Repo.Get(name)
+		for _, f := range pkg.Files {
+			dst := filepath.Join(dir, "pool", name, filepath.FromSlash(f.Path))
+			if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+				return err
+			}
+			if err := os.WriteFile(dst, f.Data, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+	idx, err := os.Create(filepath.Join(dir, "Packages"))
+	if err != nil {
+		return err
+	}
+	if err := c.Repo.WriteIndex(idx); err != nil {
+		idx.Close()
+		return err
+	}
+	if err := idx.Close(); err != nil {
+		return err
+	}
+	pop, err := os.Create(filepath.Join(dir, "by_inst"))
+	if err != nil {
+		return err
+	}
+	if err := c.Survey.Write(pop); err != nil {
+		pop.Close()
+		return err
+	}
+	return pop.Close()
+}
+
+// Load reads a corpus previously written with Save (or cmd/corpusgen).
+// Planted ground truth is not persisted — a loaded corpus carries only
+// what a real archive would: packages, files, dependencies and the survey
+// — so analyses of loaded corpora exercise exactly the
+// measure-from-binaries path.
+func Load(dir string) (*Corpus, error) {
+	idx, err := os.Open(filepath.Join(dir, "Packages"))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	repo, err := apt.ParseIndex(idx)
+	idx.Close()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: parsing index: %w", err)
+	}
+	pop, err := os.Open(filepath.Join(dir, "by_inst"))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	survey, err := popcon.Parse(pop)
+	pop.Close()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: parsing survey: %w", err)
+	}
+
+	c := &Corpus{
+		Repo:           repo,
+		Survey:         survey,
+		InterpreterPkg: defaultInterpreterMap(repo),
+	}
+	for _, name := range repo.Names() {
+		pkg := repo.Get(name)
+		for i := range pkg.Files {
+			src := filepath.Join(dir, "pool", name, filepath.FromSlash(pkg.Files[i].Path))
+			data, err := os.ReadFile(src)
+			if err != nil {
+				return nil, fmt.Errorf("corpus: %s: %w", src, err)
+			}
+			pkg.Files[i].Data = data
+		}
+	}
+	return c, nil
+}
+
+// defaultInterpreterMap recovers the script-interpreter resolution for a
+// loaded corpus from the package names present.
+func defaultInterpreterMap(repo *apt.Repository) map[string]string {
+	m := make(map[string]string)
+	set := func(interp, pkg string) {
+		if repo.Get(pkg) != nil {
+			m[interp] = pkg
+		}
+	}
+	set("sh", "dash")
+	set("dash", "dash")
+	set("bash", "bash")
+	set("python", "python2.7")
+	set("python2", "python2.7")
+	set("python2.7", "python2.7")
+	set("perl", "perl")
+	set("ruby", "ruby")
+	return m
+}

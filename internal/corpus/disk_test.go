@@ -1,0 +1,63 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c, err := Generate(Config{Packages: 120, Installations: 500000, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The expected artifacts exist.
+	for _, p := range []string{"Packages", "by_inst",
+		"pool/libc6/lib/x86_64-linux-gnu/libc.so.6"} {
+		if _, err := os.Stat(filepath.Join(dir, p)); err != nil {
+			t.Fatalf("missing artifact %s: %v", p, err)
+		}
+	}
+
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Repo.Len() != c.Repo.Len() {
+		t.Fatalf("loaded %d packages, want %d", loaded.Repo.Len(), c.Repo.Len())
+	}
+	if loaded.Survey.Total != c.Survey.Total {
+		t.Errorf("survey total %d, want %d", loaded.Survey.Total, c.Survey.Total)
+	}
+	for _, name := range c.Repo.Names() {
+		orig, got := c.Repo.Get(name), loaded.Repo.Get(name)
+		if got == nil {
+			t.Fatalf("package %s lost", name)
+		}
+		if len(orig.Files) != len(got.Files) {
+			t.Fatalf("%s: %d files, want %d", name, len(got.Files), len(orig.Files))
+		}
+		for i := range orig.Files {
+			if string(orig.Files[i].Data) != string(got.Files[i].Data) {
+				t.Fatalf("%s %s: contents differ after round trip",
+					name, orig.Files[i].Path)
+			}
+		}
+		if loaded.Survey.Installs(name) != c.Survey.Installs(name) {
+			t.Errorf("%s: installs differ", name)
+		}
+	}
+	if loaded.InterpreterPkg["python"] != "python2.7" {
+		t.Errorf("interpreter map = %v", loaded.InterpreterPkg)
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("loading a missing directory must error")
+	}
+}

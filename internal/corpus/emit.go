@@ -1,0 +1,526 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apt"
+	"repro/internal/elfx"
+	"repro/internal/linuxapi"
+	"repro/internal/x86"
+)
+
+// emitter turns planted footprints into package files: real ELF machine
+// code plus interpreted scripts.
+type emitter struct {
+	model *Model
+	rng   *rand.Rand
+	// symSize maps libc export name to its target body size.
+	symSize map[string]int
+	// elfFiles counts emitted ELF files to drive the script quotas.
+	elfFiles int
+}
+
+func newEmitter(m *Model, rng *rand.Rand) *emitter {
+	e := &emitter{
+		model:   m,
+		rng:     rng,
+		symSize: make(map[string]int, len(m.LibcSyms)),
+	}
+	for _, t := range m.LibcSyms {
+		e.symSize[t.Name] = t.Size
+	}
+	return e
+}
+
+// libMediated describes the syscalls Table 1 attributes to particular
+// non-libc libraries: the raw instruction lives in the library, and
+// executables reach it through an exported wrapper.
+var libMediated = map[string]struct {
+	soname string // library that contains the raw call
+	export string // exported wrapper symbol
+}{
+	"mbind":       {"libnuma.so.1", "numa_run_on_node"},
+	"keyctl":      {"libkeyutils.so.1", "keyutils_keyctl"},
+	"add_key":     {"libkeyutils.so.1", "keyutils_add_key"},
+	"request_key": {"libkeyutils.so.1", "keyutils_request_key"},
+	// Table 1's libc-only calls: the raw instruction lives in libc.so.6
+	// (guaranteed wrappers below), so the attribution query finds exactly
+	// the library the paper names.
+	"clock_settime": {"libc.so.6", "clock_settime"},
+	"iopl":          {"libc.so.6", "iopl"},
+	"ioperm":        {"libc.so.6", "ioperm"},
+	"signalfd4":     {"libc.so.6", "__signalfd4"},
+}
+
+// LdLinuxSyscalls is the dynamic linker's direct footprint: all within
+// the base band, so that the universal libc6 dependency never deepens a
+// package's demand.
+var LdLinuxSyscalls = []string{"open", "read", "fstat", "close", "mmap",
+	"mprotect", "munmap", "arch_prctl", "exit_group"}
+
+// rawSyscall emits mov eax, num; syscall.
+func rawSyscall(a *x86.Asm, num int) {
+	a.MovRegImm32(x86.RAX, uint32(num))
+	a.Syscall()
+}
+
+// baseSyscallNums returns the numbers of the base-set system calls.
+func (e *emitter) baseSyscallNums() []int {
+	var nums []int
+	for _, t := range e.model.Syscalls {
+		if t.Band == BandBase {
+			if d := linuxapi.SyscallByName(t.Name); d != nil {
+				nums = append(nums, d.Num)
+			}
+		}
+	}
+	return nums
+}
+
+// buildLibcFamily emits the libc6 package's shared libraries and ld.so.
+func (e *emitter) buildLibcFamily() ([]apt.File, error) {
+	var files []apt.File
+
+	// libc.so.6: every GNU libc export. System-call wrappers load the
+	// number as an immediate; everything else touches only base calls so
+	// the closure of an arbitrary symbol stays within the base set.
+	libc := elfx.NewLib("libc.so.6")
+	baseNums := e.baseSyscallNums()
+	for i, name := range linuxapi.GNULibcExports {
+		symName, num, kind := name, 0, "base"
+		if d := linuxapi.SyscallByName(name); d != nil && !d.NoEntry {
+			num, kind = d.Num, "wrapper"
+		}
+		switch name {
+		case "__libc_start_main":
+			kind = "startmain"
+		case "syscall":
+			kind = "generic"
+		}
+		size := e.symSize[name]
+		idx := i
+		libc.Func(symName, true, func(a *x86.Asm) {
+			start := a.Len()
+			switch kind {
+			case "wrapper":
+				rawSyscall(a, num)
+			case "startmain":
+				// Program initialization and finalization: the Table 5
+				// footprint every dynamically-linked executable inherits.
+				for _, n := range baseNums {
+					rawSyscall(a, n)
+				}
+			case "generic":
+				// syscall(2): the number arrives in rdi; unresolvable
+				// inside the wrapper, extracted at call sites.
+				a.MovRegReg(x86.RAX, x86.RDI)
+				a.Syscall()
+			default:
+				rawSyscall(a, baseNums[idx%len(baseNums)])
+			}
+			for a.Len()-start < size {
+				a.Nop()
+			}
+			a.Ret()
+		})
+	}
+	// Guaranteed wrappers for the Table 1 libc-only calls, whether or not
+	// the curated export list carries them (the __signalfd4 entry point
+	// mirrors glibc's internal signalfd4 stub).
+	guaranteed := [][2]string{
+		{"clock_settime", "clock_settime"}, {"iopl", "iopl"},
+		{"ioperm", "ioperm"}, {"signalfd4", "__signalfd4"},
+	}
+	for _, g := range guaranteed {
+		sys, export := g[0], g[1]
+		if linuxapi.IsLibcExport(export) {
+			continue // already emitted by the exports loop
+		}
+		num := linuxapi.SyscallByName(sys).Num
+		libc.Func(export, true, func(a *x86.Asm) {
+			rawSyscall(a, num)
+			a.Ret()
+		})
+	}
+	data, err := libc.Build()
+	if err != nil {
+		return nil, fmt.Errorf("libc.so.6: %w", err)
+	}
+	files = append(files, apt.File{Path: "/lib/x86_64-linux-gnu/libc.so.6", Data: data})
+
+	// libpthread.so.0 (Table 5's thread-runtime calls).
+	pthread := elfx.NewLib("libpthread.so.0")
+	pthread.Needed("libc.so.6")
+	for _, fn := range []struct {
+		name string
+		nums []string
+	}{
+		{"pthread_create", []string{"clone", "set_robust_list", "set_tid_address", "futex", "mmap", "mprotect"}},
+		{"pthread_join", []string{"futex"}},
+		{"pthread_mutex_lock", []string{"futex"}},
+		{"pthread_mutex_unlock", []string{"futex"}},
+		{"pthread_sigqueue", []string{"rt_sigreturn"}},
+	} {
+		nums := fn.nums
+		pthread.Func(fn.name, true, func(a *x86.Asm) {
+			for _, n := range nums {
+				rawSyscall(a, linuxapi.SyscallByName(n).Num)
+			}
+			a.Ret()
+		})
+	}
+	if data, err = pthread.Build(); err != nil {
+		return nil, fmt.Errorf("libpthread: %w", err)
+	}
+	files = append(files, apt.File{Path: "/lib/x86_64-linux-gnu/libpthread.so.0", Data: data})
+
+	// librt.so.1 (Table 5 attributes rt_sigprocmask here).
+	librt := elfx.NewLib("librt.so.1")
+	librt.Needed("libc.so.6")
+	for _, fn := range []struct {
+		name string
+		nums []string
+	}{
+		{"timer_create", []string{"timer_create", "rt_sigprocmask"}},
+		{"timer_settime", []string{"timer_settime"}},
+		{"mq_open", []string{"mq_open", "rt_sigprocmask"}},
+	} {
+		nums := fn.nums
+		librt.Func(fn.name, true, func(a *x86.Asm) {
+			for _, n := range nums {
+				rawSyscall(a, linuxapi.SyscallByName(n).Num)
+			}
+			a.Ret()
+		})
+	}
+	if data, err = librt.Build(); err != nil {
+		return nil, fmt.Errorf("librt: %w", err)
+	}
+	files = append(files, apt.File{Path: "/lib/x86_64-linux-gnu/librt.so.1", Data: data})
+
+	// ld-linux: the dynamic linker, a standalone executable of libc6. Its
+	// own footprint stays within the base set (plus arch_prctl, already
+	// base) so that depending on libc6 never deepens a package's demand.
+	ld := elfx.NewExec()
+	ld.Func("_dl_start", true, func(a *x86.Asm) {
+		for _, n := range LdLinuxSyscalls {
+			rawSyscall(a, linuxapi.SyscallByName(n).Num)
+		}
+		a.Ret()
+	})
+	ld.Entry("_dl_start")
+	if data, err = ld.Build(); err != nil {
+		return nil, fmt.Errorf("ld-linux: %w", err)
+	}
+	files = append(files, apt.File{Path: "/lib/x86_64-linux-gnu/ld-linux-x86-64.so.2", Data: data})
+
+	// ldconfig: libc6's standalone utility; its footprint is the base set,
+	// which keeps libc6 (a dependency of everything) from deepening any
+	// package's demand while still counting libc6 among the users of
+	// every base call (Figure 8's 40-call floor).
+	ldc := elfx.NewExec()
+	ldc.Func("main", true, func(a *x86.Asm) {
+		for _, n := range baseNums {
+			rawSyscall(a, n)
+		}
+		a.Ret()
+	})
+	ldc.Entry("main")
+	if data, err = ldc.Build(); err != nil {
+		return nil, fmt.Errorf("ldconfig: %w", err)
+	}
+	files = append(files, apt.File{Path: "/sbin/ldconfig", Data: data})
+	e.elfFiles += len(files)
+	return files, nil
+}
+
+// mediatedLibs builds the Table 1 helper libraries for the packages that
+// ship them (libnuma, libopenblas, libkeyutils).
+func (e *emitter) mediatedLib(soname string) ([]byte, error) {
+	b := elfx.NewLib(soname)
+	b.Needed("libc.so.6")
+	emitted := false
+	var mediatedSyscalls []string
+	for sys := range libMediated {
+		mediatedSyscalls = append(mediatedSyscalls, sys)
+	}
+	sortStrings(mediatedSyscalls)
+	for _, sys := range mediatedSyscalls {
+		m := libMediated[sys]
+		if m.soname != soname {
+			continue
+		}
+		num := linuxapi.SyscallByName(sys).Num
+		b.Func(m.export, true, func(a *x86.Asm) {
+			rawSyscall(a, num)
+			a.Ret()
+		})
+		emitted = true
+	}
+	if soname == "libopenblas.so.0" {
+		// libopenblas reaches mbind with its own internal wrapper.
+		num := linuxapi.SyscallByName("mbind").Num
+		b.Func("openblas_numa_bind", true, func(a *x86.Asm) {
+			rawSyscall(a, num)
+			a.Ret()
+		})
+		emitted = true
+	}
+	if !emitted {
+		b.Func("lib_init", true, func(a *x86.Asm) { a.Ret() })
+	}
+	data, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", soname, err)
+	}
+	return data, nil
+}
+
+// vectoredParent returns the wrapper symbol and argument register for a
+// vectored opcode kind.
+func vectoredParent(kind linuxapi.Kind) (sym string, reg x86.Reg) {
+	switch kind {
+	case linuxapi.KindIoctl:
+		return "ioctl", x86.RSI
+	case linuxapi.KindFcntl:
+		return "fcntl", x86.RSI
+	default:
+		return "prctl", x86.RDI
+	}
+}
+
+// buildExec emits one executable realizing the given APIs. When static is
+// set the binary has no imports and expresses everything directly. The
+// returned symbol list names the GNU libc exports the binary imports;
+// these become part of the package's libc-symbol footprint.
+func (e *emitter) buildExec(pkg string, apis []linuxapi.API, static bool,
+	privateLib string) ([]byte, []string, error) {
+
+	b := elfx.NewExec()
+	if !static {
+		b.Needed("libc.so.6")
+	}
+	if privateLib != "" {
+		b.Needed(privateLib)
+	}
+
+	type opcodePlant struct {
+		parentPLT string
+		reg       x86.Reg
+		code      uint64
+		raw       bool
+		parentNum int
+	}
+	var (
+		rawNums    []int
+		wrapperPLT []string
+		opcodes    []opcodePlant
+		strLabels  []string
+		mediated   []string // PLT labels of Table 1 library wrappers
+		libcSyms   []string // imported GNU libc exports
+	)
+	needLib := map[string]bool{}
+	importLibc := func(sym string) string {
+		if linuxapi.IsLibcExport(sym) {
+			libcSyms = append(libcSyms, sym)
+		}
+		return b.Import(sym)
+	}
+
+	for _, api := range apis {
+		switch api.Kind {
+		case linuxapi.KindSyscall:
+			t := e.model.SyscallTargetFor(api.Name)
+			if t != nil && t.Band == BandBase && !static {
+				continue // inherited from __libc_start_main
+			}
+			if m, ok := libMediated[api.Name]; ok && !static {
+				mediated = append(mediated, importLibc(m.export))
+				needLib[m.soname] = true
+				continue
+			}
+			d := linuxapi.SyscallByName(api.Name)
+			if d == nil {
+				continue
+			}
+			useWrapper := !static && linuxapi.IsLibcExport(api.Name) &&
+				e.rng.Intn(100) < 85
+			if useWrapper {
+				wrapperPLT = append(wrapperPLT, importLibc(api.Name))
+			} else {
+				rawNums = append(rawNums, d.Num)
+			}
+		case linuxapi.KindIoctl, linuxapi.KindFcntl, linuxapi.KindPrctl:
+			def := linuxapi.OpcodeByName(api.Kind, api.Name)
+			if def == nil {
+				continue
+			}
+			sym, reg := vectoredParent(api.Kind)
+			parent := linuxapi.SyscallByName(sym)
+			if static {
+				opcodes = append(opcodes, opcodePlant{reg: reg, code: def.Code,
+					raw: true, parentNum: parent.Num})
+			} else {
+				opcodes = append(opcodes, opcodePlant{parentPLT: importLibc(sym),
+					reg: reg, code: def.Code})
+			}
+		case linuxapi.KindPseudoFile:
+			strLabels = append(strLabels, b.String(api.Name))
+		case linuxapi.KindLibcSym:
+			if static {
+				continue
+			}
+			wrapperPLT = append(wrapperPLT, importLibc(api.Name))
+		}
+	}
+
+	{
+		var sonames []string
+		for s := range needLib {
+			sonames = append(sonames, s)
+		}
+		sortStrings(sonames)
+		for _, s := range sonames {
+			b.Needed(s)
+		}
+	}
+	// Some packages park one planted call inside an address-taken callback
+	// that never runs: the paper's function-pointer over-approximation
+	// (§7) then matters — static analysis keeps the call, dynamic
+	// execution never sees it.
+	var cbNums []int
+	if !static && len(rawNums) >= 2 && e.rng.Intn(3) == 0 {
+		cbNums = rawNums[len(rawNums)-1:]
+		rawNums = rawNums[:len(rawNums)-1]
+	}
+
+	var startMain string
+	if !static {
+		startMain = importLibc("__libc_start_main")
+		// Compile-time fortification (§4.2): GNU libc headers replace
+		// common calls with checked variants, so virtually every
+		// dynamically-linked binary imports fortified entry points. This
+		// is what collapses the raw symbol-matching column of Table 7.
+		wrapperPLT = append(wrapperPLT,
+			importLibc("__printf_chk"), importLibc("__memcpy_chk"))
+	}
+	var implPLT string
+	if privateLib != "" {
+		implPLT = b.Import(pkg + "_impl")
+	}
+
+	b.Func("_start", true, func(a *x86.Asm) {
+		if startMain != "" {
+			a.CallLabel(startMain)
+		}
+		if len(cbNums) > 0 {
+			a.LeaRIPLabel(x86.RBX, "fn."+pkg+"_callback")
+		}
+		if implPLT != "" {
+			a.CallLabel(implPLT)
+		}
+		for _, lbl := range strLabels {
+			a.LeaRIPLabel(x86.RDI, lbl)
+		}
+		for _, plt := range mediated {
+			a.CallLabel(plt)
+		}
+		for _, plt := range wrapperPLT {
+			a.CallLabel(plt)
+		}
+		for _, num := range rawNums {
+			rawSyscall(a, num)
+		}
+		if !static && e.rng.Intn(100) < 48 {
+			// An input-dependent dispatch site: the number arrives in an
+			// untracked register, so the analysis cannot resolve it —
+			// the paper reports 2,454 such sites (4%%, §7).
+			a.MovRegReg(x86.RAX, x86.RBX)
+			a.Syscall()
+		}
+		for _, op := range opcodes {
+			a.MovRegImm32(op.reg, uint32(op.code))
+			if op.raw {
+				a.MovRegImm32(x86.RAX, uint32(op.parentNum))
+				a.Syscall()
+			} else {
+				a.CallLabel(op.parentPLT)
+			}
+		}
+		if static {
+			rawSyscall(a, 231) // exit_group
+		}
+		a.Ret()
+	})
+	if len(cbNums) > 0 {
+		b.Func(pkg+"_callback", false, func(a *x86.Asm) {
+			for _, num := range cbNums {
+				rawSyscall(a, num)
+			}
+			a.Ret()
+		})
+	}
+	b.Entry("_start")
+	data, err := b.Build()
+	return data, libcSyms, err
+}
+
+// buildPrivateLib emits a package-private shared library exposing one
+// implementation function that performs the package's raw system calls —
+// the corpus's stand-in for the 52% of ELF binaries that are shared
+// libraries (Figure 1) and a second hop for the cross-binary closure.
+func (e *emitter) buildPrivateLib(pkg string, soname string, nums []int) ([]byte, error) {
+	b := elfx.NewLib(soname)
+	b.Needed("libc.so.6")
+	b.Func(pkg+"_impl", true, func(a *x86.Asm) {
+		for _, n := range nums {
+			rawSyscall(a, n)
+		}
+		a.Ret()
+	})
+	return b.Build()
+}
+
+// scriptRatios are Figure 1's executable-type shares, expressed relative
+// to one ELF file (60% ELF, 15% dash, 9% python, 8% perl, 6% bash, ~1.2%
+// ruby, ~1.5% other).
+var scriptRatios = []struct {
+	interp string
+	share  float64 // fraction of all executables
+}{
+	{"sh", 0.15},
+	{"python", 0.09},
+	{"perl", 0.08},
+	{"bash", 0.06},
+	{"ruby", 0.012},
+	{"awk", 0.015},
+}
+
+// scriptFile is one interpreted file awaiting placement.
+type scriptFile struct {
+	interp string
+	seq    int
+	data   []byte
+}
+
+// flushScripts emits the corpus's interpreted files per Figure 1's quotas,
+// proportional to the number of ELF files generated.
+func (e *emitter) flushScripts() []scriptFile {
+	const elfShare = 0.60
+	elf := float64(e.elfFiles)
+	var out []scriptFile
+	for _, r := range scriptRatios {
+		n := int(r.share/elfShare*elf + 0.5)
+		for i := 0; i < n; i++ {
+			shebang := "#!/bin/" + r.interp
+			switch r.interp {
+			case "python", "perl", "ruby", "awk":
+				shebang = "#!/usr/bin/" + r.interp
+			}
+			body := fmt.Sprintf("%s\n# synthetic corpus script %d\n", shebang, i)
+			out = append(out, scriptFile{interp: r.interp, seq: i, data: []byte(body)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,431 @@
+// Package corpus generates the calibrated synthetic Ubuntu/Debian
+// repository the study runs on. The real inputs — the 2015 Ubuntu 15.04
+// archive and its popularity-contest survey — are not redistributable, so
+// this package builds the closest synthetic equivalent: real ELF binaries
+// whose machine code plants a ground-truth API usage model derived from the
+// numbers the paper publishes, organized into packages with APT dependency
+// metadata and Zipf-like installation counts. The analysis pipeline then
+// re-measures everything from the binaries; tests verify the measured
+// statistics recover the planted model, and EXPERIMENTS.md compares them to
+// the paper.
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linuxapi"
+)
+
+// Band identifies which importance regime a system call belongs to in the
+// model, mirroring §3.1's decomposition of Figure 2.
+type Band uint8
+
+const (
+	// BandBase is the ~40-call set every program needs ("one cannot run
+	// even the most simple programs without at least 40 system calls").
+	BandBase Band = iota
+	// BandUniversal covers ranks 41..224: importance 100%, usage varies.
+	BandUniversal
+	// BandCommon covers ranks 225..257: importance between 10% and 100%.
+	BandCommon
+	// BandRare covers ranks 258..~305: importance below 10%, including the
+	// five retired-but-attempted calls.
+	BandRare
+	// BandUnused is Table 3: no usage at all.
+	BandUnused
+)
+
+// SyscallTarget is the model's calibration target for one system call.
+type SyscallTarget struct {
+	Name string
+	Rank int // 1-based greedy rank; 0 for unused
+	Band Band
+	// Importance is the target API importance; NaN-free: rare band uses
+	// interpolated defaults unless pinned by a named table.
+	Importance float64
+	// Unweighted is the target unweighted importance (fraction of
+	// packages); <0 means "unpinned", the generator derives a default
+	// from the band and rank.
+	Unweighted float64
+}
+
+// WCCheckpoint is one (N, weighted completeness) anchor of Figure 3.
+type WCCheckpoint struct {
+	N  int
+	WC float64
+}
+
+// WCCurve is the target weighted-completeness curve (Figure 3 / Table 4):
+// 40 calls → 1.12%, 81 → 10.68%, the knee at 125 → 25%, 145 → 50.09%,
+// 202 → 90.61%, then a slow tail out to qemu at 270 and full coverage.
+// Beyond the universal band the static tail is only a reference shape;
+// the generator derives the real tail from the importance targets (see
+// assignDemands), which keeps Figure 2 and Figure 3 mutually consistent.
+var WCCurve = []WCCheckpoint{
+	{0, 0}, {39, 0}, {40, 0.0112}, {81, 0.1068}, {124, 0.20}, {125, 0.25},
+	{145, 0.5009}, {202, 0.9061}, {224, 0.914}, {305, 1.0},
+}
+
+// WCTarget interpolates the target curve at N.
+func WCTarget(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	for i := 1; i < len(WCCurve); i++ {
+		if n <= WCCurve[i].N {
+			a, b := WCCurve[i-1], WCCurve[i]
+			if b.N == a.N {
+				return b.WC
+			}
+			t := float64(n-a.N) / float64(b.N-a.N)
+			return a.WC + t*(b.WC-a.WC)
+		}
+	}
+	return 1.0
+}
+
+// baseSyscalls is the curated 40-call base set: Table 5's libc-family
+// initialization footprint plus the stage-I samples of Table 4.
+var baseSyscalls = []string{
+	// Table 5: libc and ld.so initialization.
+	"read", "write", "open", "close", "fstat", "lstat", "mmap", "munmap",
+	"mprotect", "mremap", "madvise", "brk", "rt_sigaction",
+	"rt_sigprocmask", "rt_sigreturn", "execve", "exit", "exit_group",
+	"getpid", "gettid", "getuid", "clone", "kill", "getrlimit",
+	"setresuid", "getcwd", "getdents", "lseek", "newfstatat", "futex",
+	"set_robust_list", "set_tid_address", "arch_prctl",
+	// Stage I of Table 4 rounds out the base.
+	"vfork", "sched_yield", "dup2", "fcntl", "stat", "gettimeofday", "uname",
+}
+
+// stageIISyscalls seeds ranks 41..81 (Table 4 stage II samples first).
+var stageIISyscalls = []string{
+	"ioctl", "tgkill", "writev", "getgid", "setresgid", "access", "socket",
+	"sched_setscheduler", "poll",
+	"recvmsg", "dup", "unlink", "wait4", "sched_setparam", "select", "chdir",
+	"pipe", "connect", "bind", "sendto",
+	"recvfrom", "sendmsg", "geteuid", "getegid", "getppid",
+	"getdents", "time", "nanosleep", "readlink", "umask", "mkdir",
+	"rename", "chmod", "fchmod", "chown", "fchown", "setsockopt",
+	"getsockopt", "getsockname", "writev", "readv", "pipe2", "fsync",
+	"ftruncate", "getpgrp", "setpgid",
+}
+
+// stageIIISyscalls seeds ranks 82..145 (stage III samples first).
+var stageIIISyscalls = []string{
+	"sigaltstack", "shutdown", "symlink", "alarm", "listen", "pread64",
+	"getxattr", "shmget", "epoll_wait", "chroot", "sync", "getrusage",
+	"rmdir", "link", "utime", "utimes", "getpeername", "socketpair",
+	"getpriority", "setpriority", "setsid", "setuid", "setgid", "getsid",
+	"getpgid", "setreuid", "setregid", "getgroups", "setgroups",
+	"getresuid", "getresgid", "sysinfo", "times", "epoll_create",
+	"epoll_ctl", "epoll_create1", "eventfd2", "openat", "tgkill",
+	"clock_gettime", "clock_getres", "sendfile", "fdatasync", "truncate",
+	"lgetxattr", "setxattr", "lsetxattr", "listxattr", "llistxattr",
+	"removexattr", "statfs", "fstatfs", "fchdir", "mknod", "fadvise64",
+	"waitid", "setrlimit", "msync", "mincore", "sched_getaffinity",
+	"sched_setaffinity", "personality", "setitimer", "getitimer",
+}
+
+// stageIVSyscalls seeds ranks 146..202 (stage IV samples first).
+var stageIVSyscalls = []string{
+	"flock", "semget", "ppoll", "mount", "pause", "clock_gettime",
+	"getpgid", "settimeofday", "capset", "reboot", "unshare", "tkill",
+	"pwrite64", "semop", "semctl", "shmat", "shmdt", "shmctl", "msgget",
+	"msgsnd", "msgrcv", "msgctl", "epoll_pwait", "inotify_init",
+	"inotify_add_watch", "inotify_rm_watch", "splice", "tee", "vmsplice",
+	"timerfd_create", "timerfd_settime", "timerfd_gettime", "eventfd",
+	"signalfd", "prctl", "capget", "sethostname", "setdomainname",
+	"adjtimex", "sched_setscheduler", "sched_getscheduler",
+	"sched_setparam", "sched_getparam", "sched_get_priority_max",
+	"sched_get_priority_min", "sched_rr_get_interval", "mlock", "munlock",
+	"mlockall", "munlockall", "prlimit64", "umount2", "swapon", "swapoff",
+	"ptrace", "syslog", "acct", "utimensat", "accept", "accept4",
+	"rt_sigpending", "rt_sigtimedwait", "rt_sigsuspend", "rt_sigqueueinfo",
+	"sigaltstack",
+}
+
+// namedUnweighted pins the unweighted importance of the system calls
+// Section 5's tables report (fractions of packages).
+var namedUnweighted = map[string]float64{}
+
+func init() {
+	for _, p := range linuxapi.AllVariantPairs() {
+		namedUnweighted[p.Left] = p.LeftU
+		namedUnweighted[p.Right] = p.RightU
+	}
+	// Base syscalls are used by every package regardless of table values
+	// (read 99.88% in Table 11 rounds to the base in our model).
+	for _, s := range baseSyscalls {
+		delete(namedUnweighted, s)
+	}
+}
+
+// commonBandNamed pins importance for ranks in BandCommon (Table 1).
+var commonBandNamed = map[string]float64{
+	"mbind":       0.36,
+	"add_key":     0.272,
+	"keyctl":      0.272,
+	"request_key": 0.144,
+	"preadv":      0.117,
+	"pwritev":     0.117,
+}
+
+// commonBandForced are Section 5's low-adoption variants: their unweighted
+// importance is pinned by Tables 8-11 and is far too low for the
+// 100%-importance band, so they live in BandCommon with interpolated
+// importance.
+var commonBandForced = []string{
+	"faccessat", "mkdirat", "renameat", "readlinkat", "fchownat",
+	"fchmodat", "getdents64", "waitid", "tkill", "accept4", "recvmmsg",
+	"setreuid", "setregid", "fork", "pselect6", "sendmmsg",
+}
+
+// rareBandNamed pins importance for ranks in BandRare (Table 2 and the
+// retired-but-attempted calls of §3.1).
+var rareBandNamed = map[string]float64{
+	"seccomp":       0.01,
+	"sched_setattr": 0.01,
+	"sched_getattr": 0.01,
+	"kexec_load":    0.01,
+	"clock_adjtime": 0.04,
+	"renameat2":     0.04,
+	"mq_timedsend":  0.01,
+	"mq_getsetattr": 0.01,
+	"io_getevents":  0.01,
+	"getcpu":        0.04,
+	"epoll_pwait":   0.03,
+	// Table 6's named gaps in UML and L4Linux are low-importance calls.
+	"quotactl":          0.02,
+	"migrate_pages":     0.005,
+	"name_to_handle_at": 0.01,
+	"perf_event_open":   0.03,
+	"uselib":            0.02,
+	"nfsservctl":        0.07,
+	"afs_syscall":       0.01,
+	"vserver":           0.005,
+	"security":          0.005,
+}
+
+// Model is the full calibration: ranked syscall targets plus the opcode,
+// pseudo-file and libc-symbol targets built in their respective files.
+type Model struct {
+	Syscalls []SyscallTarget
+	byName   map[string]*SyscallTarget
+
+	Ioctls      []OpcodeTarget
+	Fcntls      []OpcodeTarget
+	Prctls      []OpcodeTarget
+	PseudoFiles []PseudoTarget
+	LibcSyms    []LibcSymTarget
+}
+
+// SyscallTargetFor returns the target for a syscall name, or nil.
+func (m *Model) SyscallTargetFor(name string) *SyscallTarget { return m.byName[name] }
+
+// UsedSyscallCount returns how many system calls have any planted usage.
+func (m *Model) UsedSyscallCount() int {
+	n := 0
+	for _, t := range m.Syscalls {
+		if t.Band != BandUnused {
+			n++
+		}
+	}
+	return n
+}
+
+// NewModel builds the calibration from the knowledge base.
+func NewModel() *Model {
+	m := &Model{byName: make(map[string]*SyscallTarget)}
+	m.buildSyscalls()
+	m.buildOpcodes()
+	m.buildPseudoFiles()
+	m.buildLibcSyms()
+	return m
+}
+
+func (m *Model) buildSyscalls() {
+	unused := linuxapi.UnusedSyscallNames()
+	assigned := make(map[string]bool)
+	add := func(name string, band Band, imp, unw float64) {
+		if assigned[name] {
+			return
+		}
+		assigned[name] = true
+		m.Syscalls = append(m.Syscalls, SyscallTarget{
+			Name: name, Rank: len(m.Syscalls) + 1, Band: band,
+			Importance: imp, Unweighted: unw,
+		})
+	}
+
+	// Ranks 1..40: the base.
+	for _, s := range baseSyscalls {
+		add(s, BandBase, 1.0, 1.0)
+	}
+	if len(m.Syscalls) != 40 {
+		panic(fmt.Sprintf("corpus: base set has %d syscalls, want 40", len(m.Syscalls)))
+	}
+
+	// Ranks 41..224: universal importance. Stage lists seed the order;
+	// remaining un-named syscalls fill the tail of the band. Unweighted
+	// targets come from the named table or a declining band default.
+	var universal []string
+	universal = append(universal, stageIISyscalls...)
+	universal = append(universal, stageIIISyscalls...)
+	universal = append(universal, stageIVSyscalls...)
+	// Table 1's libc-only calls have 100% importance (libc is everywhere)
+	// and must sit inside the universal band.
+	universal = append(universal, "clock_settime", "iopl", "ioperm", "signalfd4")
+	// Fill with every other syscall that is not named to a later band and
+	// not unused.
+	later := make(map[string]bool)
+	for s := range commonBandNamed {
+		later[s] = true
+	}
+	for _, s := range commonBandForced {
+		later[s] = true
+	}
+	for s := range rareBandNamed {
+		later[s] = true
+	}
+	for _, d := range linuxapi.Syscalls {
+		if !assigned[d.Name] && !unused[d.Name] && !later[d.Name] {
+			universal = append(universal, d.Name)
+		}
+	}
+	for _, s := range universal {
+		if len(m.Syscalls) >= 224 {
+			break
+		}
+		if assigned[s] || unused[s] || later[s] {
+			continue
+		}
+		unw, pinned := namedUnweighted[s]
+		if !pinned {
+			// Unpinned universal calls are prefix-driven: their usage is
+			// the fraction of packages whose demand reaches the rank.
+			unw = -1
+		}
+		add(s, BandUniversal, 1.0, unw)
+	}
+
+	// Ranks 225..257: the common band (importance 10%..100%).
+	var common []string
+	for s := range commonBandNamed {
+		common = append(common, s)
+	}
+	sort.Strings(common)
+	forced := make(map[string]bool, len(commonBandForced))
+	for _, f := range commonBandForced {
+		forced[f] = true
+	}
+	for _, d := range linuxapi.Syscalls {
+		if !assigned[d.Name] && !unused[d.Name] && !rareNamed(d.Name) &&
+			!forced[d.Name] && !containsStr(common, d.Name) {
+			common = append(common, d.Name)
+		}
+	}
+	for _, s := range common {
+		if len(m.Syscalls) >= 257 {
+			break
+		}
+		if assigned[s] {
+			continue
+		}
+		rank := len(m.Syscalls) + 1
+		unw, uPinned := namedUnweighted[s]
+		if !uPinned {
+			unw = -1
+		}
+		imp, pinned := commonBandNamed[s]
+		switch {
+		case pinned:
+		case uPinned:
+			// Low-adoption variants (Tables 8-11): the pinned package
+			// count alone determines importance.
+			imp = 0
+		default:
+			// Interpolate 1.0 → 0.10 across the band.
+			t := float64(rank-224) / float64(257-224)
+			imp = 1.0 - t*0.9
+		}
+		add(s, BandCommon, imp, unw)
+	}
+
+	// Ranks 258..: the rare band (importance below 10%). The low-adoption
+	// variants of Tables 8-11 lead it: their pinned package counts keep
+	// them below 10% importance, and placing them first keeps their
+	// eligibility pools (packages with demand past the rank) largest.
+	var rare []string
+	rare = append(rare, commonBandForced...)
+	{
+		var named []string
+		for s := range rareBandNamed {
+			named = append(named, s)
+		}
+		sort.Strings(named)
+		rare = append(rare, named...)
+	}
+	for _, d := range linuxapi.Syscalls {
+		if !assigned[d.Name] && !unused[d.Name] && !containsStr(rare, d.Name) {
+			rare = append(rare, d.Name)
+		}
+	}
+	rareCount := 0
+	rareTotal := 0
+	for _, s := range rare {
+		if !assigned[s] {
+			rareTotal++
+		}
+	}
+	for _, s := range rare {
+		if assigned[s] {
+			continue
+		}
+		unw, uPinned := namedUnweighted[s]
+		if !uPinned {
+			unw = -1
+		}
+		imp, pinned := rareBandNamed[s]
+		switch {
+		case pinned:
+		case uPinned:
+			// Low-adoption variants (Tables 8-11): the pinned package
+			// count alone determines importance.
+			imp = 0
+		default:
+			// Decline geometrically from 10% toward 0.2%.
+			t := float64(rareCount) / float64(max(rareTotal-1, 1))
+			imp = 0.10 * math.Pow(0.02/0.10, t)
+		}
+		add(s, BandRare, imp, unw)
+		rareCount++
+	}
+
+	// The rest: unused (Table 3).
+	for _, d := range linuxapi.Syscalls {
+		if !assigned[d.Name] {
+			assigned[d.Name] = true
+			m.Syscalls = append(m.Syscalls, SyscallTarget{
+				Name: d.Name, Rank: 0, Band: BandUnused,
+			})
+		}
+	}
+
+	for i := range m.Syscalls {
+		m.byName[m.Syscalls[i].Name] = &m.Syscalls[i]
+	}
+}
+
+func rareNamed(s string) bool { _, ok := rareBandNamed[s]; return ok }
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

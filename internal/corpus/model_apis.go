@@ -1,0 +1,247 @@
+package corpus
+
+import (
+	"math"
+
+	"repro/internal/linuxapi"
+)
+
+// OpcodeTarget is the calibration target for one vectored operation code.
+type OpcodeTarget struct {
+	Kind linuxapi.Kind
+	Name string
+	// Importance target; 0 means unused.
+	Importance float64
+	// Unweighted target; <0 derives a default from Importance.
+	Unweighted float64
+	// QemuOnly marks codes planted only in the qemu package (/dev/kvm's
+	// KVM_* codes in §3.4's discussion).
+	QemuOnly bool
+}
+
+// buildOpcodes calibrates the three vectored tables to §3.3:
+//   - ioctl: 635 codes; 52 with importance 100% (47 of them TTY/generic IO),
+//     188 above 1%, 280 with any usage at all.
+//   - fcntl: 18 codes, 11 at ~100%.
+//   - prctl: 44 codes, 9 at ~100%, 18 above 20%.
+func (m *Model) buildOpcodes() {
+	ioctls := linuxapi.OpcodeTable(linuxapi.KindIoctl)
+	// Partition: the first 52 core codes are the 100% set; the KVM codes
+	// are qemu-only; remaining core + early driver codes decline to 1% by
+	// position 188; usage stops entirely at 280.
+	var core, kvm, rest []linuxapi.OpcodeDef
+	for _, d := range ioctls {
+		switch {
+		case len(d.Name) >= 4 && d.Name[:4] == "KVM_":
+			kvm = append(kvm, d)
+		case !d.Driver && len(core) < 52:
+			core = append(core, d)
+		default:
+			rest = append(rest, d)
+		}
+	}
+	for _, d := range core {
+		m.Ioctls = append(m.Ioctls, OpcodeTarget{
+			Kind: d.Kind, Name: d.Name, Importance: 1.0, Unweighted: -1,
+		})
+	}
+	for _, d := range kvm {
+		m.Ioctls = append(m.Ioctls, OpcodeTarget{
+			Kind: d.Kind, Name: d.Name, Importance: 0.01, Unweighted: -1,
+			QemuOnly: true,
+		})
+	}
+	used := len(core) + len(kvm)
+	for i, d := range rest {
+		t := OpcodeTarget{Kind: d.Kind, Name: d.Name}
+		pos := used + i + 1
+		switch {
+		case pos <= 188:
+			// Interpolate 0.9 → 0.01 between the core set and rank 188.
+			f := float64(pos-52) / float64(188-52)
+			t.Importance = 0.9 * math.Pow(0.01/0.9, f)
+			t.Unweighted = -1
+		case pos <= 280:
+			// Below 1% but still used somewhere.
+			f := float64(pos-188) / float64(280-188)
+			t.Importance = 0.01 * math.Pow(0.1, f)
+			t.Unweighted = -1
+		default:
+			t.Importance = 0
+			t.Unweighted = 0
+		}
+		m.Ioctls = append(m.Ioctls, t)
+	}
+
+	// fcntl: 11 of 18 at ~100%, the rest spread 5%..60%.
+	fcntls := linuxapi.OpcodeTable(linuxapi.KindFcntl)
+	for i, d := range fcntls {
+		t := OpcodeTarget{Kind: d.Kind, Name: d.Name, Unweighted: -1}
+		if i < 11 {
+			t.Importance = 1.0
+		} else {
+			f := float64(i-11) / float64(len(fcntls)-11)
+			t.Importance = 0.6 * math.Pow(0.05/0.6, f)
+		}
+		m.Fcntls = append(m.Fcntls, t)
+	}
+
+	// prctl: 9 of 44 at ~100%, 18 above 20%, long tail below.
+	prctls := linuxapi.OpcodeTable(linuxapi.KindPrctl)
+	for i, d := range prctls {
+		t := OpcodeTarget{Kind: d.Kind, Name: d.Name, Unweighted: -1}
+		switch {
+		case i < 9:
+			t.Importance = 1.0
+		case i < 18:
+			// 0.95 → 0.20 for positions 10..18.
+			f := float64(i-9) / float64(18-9)
+			t.Importance = 0.95 - f*0.75
+		case i < 36:
+			f := float64(i-18) / float64(36-18)
+			t.Importance = 0.18 * math.Pow(0.01/0.18, f)
+		default:
+			t.Importance = 0
+			t.Unweighted = 0
+		}
+		m.Prctls = append(m.Prctls, t)
+	}
+}
+
+// PseudoTarget is the calibration target for one pseudo-file path.
+type PseudoTarget struct {
+	Path       string
+	Importance float64
+	Unweighted float64 // <0 for default
+	QemuOnly   bool
+}
+
+// buildPseudoFiles calibrates Figure 6: a handful of essential files
+// (/dev/null at the top), a mid-range, and a long single-purpose tail.
+func (m *Model) buildPseudoFiles() {
+	// Head targets follow §3.4's narrative: of 12,039 binaries with
+	// hard-coded paths, 3,324 use /dev/null and 439 /proc/cpuinfo.
+	head := map[string]float64{
+		"/dev/null":         1.0,
+		"/proc/cpuinfo":     1.0,
+		"/dev/tty":          1.0,
+		"/dev/urandom":      1.0,
+		"/proc/self/exe":    1.0,
+		"/proc/meminfo":     0.98,
+		"/dev/zero":         0.97,
+		"/proc/mounts":      0.95,
+		"/proc/stat":        0.92,
+		"/dev/console":      0.90,
+		"/proc/filesystems": 0.88,
+		"/dev/ptmx":         0.85,
+		"/proc/self/fd":     0.84,
+		"/proc/%d/cmdline":  0.82,
+		"/proc/self/maps":   0.80,
+		"/dev/random":       0.75,
+		"/proc/%d/stat":     0.72,
+		"/proc/uptime":      0.65,
+		"/proc/loadavg":     0.62,
+		"/proc/version":     0.60,
+		"/dev/stdin":        0.55,
+		"/dev/stdout":       0.55,
+		"/dev/stderr":       0.52,
+		"/proc/net/dev":     0.45,
+		"/proc/self/status": 0.42,
+		"/dev/full":         0.10,
+		"/dev/hda":          0.08,
+		"/dev/sda":          0.12,
+	}
+	pos := 0
+	for _, d := range linuxapi.PseudoFiles {
+		t := PseudoTarget{Path: d.Path, Unweighted: -1}
+		if imp, ok := head[d.Path]; ok {
+			t.Importance = imp
+		} else if d.Path == "/dev/kvm" {
+			t.Importance = 0.01
+			t.QemuOnly = true
+		} else if d.SingleUse {
+			t.Importance = 0.02
+		} else {
+			// Mid-range decline for the remaining shared files.
+			t.Importance = 0.35 * math.Pow(0.03/0.35, float64(pos)/40)
+			pos++
+		}
+		m.PseudoFiles = append(m.PseudoFiles, t)
+	}
+}
+
+// LibcSymTarget is the calibration target for one GNU libc export.
+type LibcSymTarget struct {
+	Name       string
+	Importance float64
+	Unweighted float64 // <0 for default
+	// Size is the synthetic code size in bytes attributed to the symbol,
+	// used by the stripped-libc space analysis (§3.5).
+	Size int
+}
+
+// buildLibcSyms calibrates Figure 7: of 1,274 exports, 42.8% (545) have
+// importance 100%, 50.6% are below 50%, and 39.7% (506) below 1% — of
+// which 222 are entirely unused (§6). Sizes are assigned so the ≥90%
+// subset retains roughly 63% of total bytes, matching the paper's
+// stripped-libc estimate.
+func (m *Model) buildLibcSyms() {
+	exports := linuxapi.GNULibcExports
+	n := len(exports)
+	hot := make(map[string]bool, len(linuxapi.LibcHotSymbols))
+	for _, s := range linuxapi.LibcHotSymbols {
+		hot[s] = true
+	}
+	// Deterministic ordering: curated hot symbols first, then the rest in
+	// list order. The first 545 become the 100% set.
+	ordered := make([]string, 0, n)
+	seen := make(map[string]bool)
+	for _, s := range linuxapi.LibcHotSymbols {
+		if !seen[s] {
+			seen[s] = true
+			ordered = append(ordered, s)
+		}
+	}
+	for _, s := range exports {
+		if !seen[s] {
+			seen[s] = true
+			ordered = append(ordered, s)
+		}
+	}
+
+	const (
+		hotCount    = 545  // importance 100%
+		coldStart   = 768  // below 1% from here on (1274-506)
+		unusedStart = 1052 // no users at all (1274-222)
+	)
+	for i, s := range ordered {
+		t := LibcSymTarget{Name: s, Unweighted: -1}
+		switch {
+		case i < hotCount:
+			t.Importance = 1.0
+		case i < hotCount+84:
+			// Figure 7 pins 50.6% of symbols below 50%: exactly 84 of the
+			// mid-band symbols sit between 50% and 100%.
+			f := float64(i-hotCount) / 84
+			t.Importance = 0.98 * math.Pow(0.50/0.98, f)
+		case i < coldStart:
+			// The rest of the mid band declines from 50% to just above 1%.
+			f := float64(i-hotCount-84) / float64(coldStart-hotCount-84)
+			t.Importance = 0.49 * math.Pow(0.011/0.49, f)
+		case i < unusedStart:
+			f := float64(i-coldStart) / float64(unusedStart-coldStart)
+			t.Importance = 0.009 * math.Pow(0.2, f)
+		default:
+			t.Importance = 0
+			t.Unweighted = 0
+		}
+		// Sizes: kept (≥90%) symbols average smaller than removed ones so
+		// that dropping the cold 385-ish saves ~37% of bytes.
+		if t.Importance >= 0.90 {
+			t.Size = 180 + (i*37)%120 // ~240 average
+		} else {
+			t.Size = 280 + (i*53)%180 // ~370 average
+		}
+		m.LibcSyms = append(m.LibcSyms, t)
+	}
+}

@@ -1,0 +1,578 @@
+package corpus
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/footprint"
+	"repro/internal/linuxapi"
+)
+
+// planter selects which packages use which APIs so that the measured
+// importance and unweighted importance match the model targets, then
+// accumulates the planted footprints (the ground truth the generator
+// encodes into machine code).
+type planter struct {
+	model *Model
+	pkgs  []*pkgInfo
+	// byFracDesc is the package list sorted by descending installation
+	// fraction (greedy importance fitting picks from the front, count
+	// padding from the back).
+	byFracDesc []*pkgInfo
+	// planted is the ground-truth footprint per package name.
+	planted map[string]footprint.Set
+	// syscallUsers records the user set per syscall name, reused as the
+	// eligibility pool for vectored opcodes.
+	syscallUsers map[string][]*pkgInfo
+	libc         *pkgInfo
+	qemu         *pkgInfo
+	// anchor is the always-installed leaf package (libc-bin) that pins
+	// 100%-importance opcodes, pseudo-files and libc symbols.
+	anchor *pkgInfo
+	// essentials sorted by ascending demand: the per-rank anchors of the
+	// universal band.
+	essentials []*pkgInfo
+	// byDemandDesc orders packages by descending demand (ties broken by
+	// descending installation fraction) for pinned-user selection.
+	byDemandDesc []*pkgInfo
+	byName       map[string]*pkgInfo
+}
+
+// exclusiveSyscalls pins the exact user sets of Tables 1 and 2 and the
+// retired-but-attempted calls: these system calls appear in no other
+// package's code, which is what makes the paper's attribution queries
+// ("used only by libkeyutils", "dominated by kexec-tools") come out.
+var exclusiveSyscalls = map[string][]string{
+	"clock_settime": {"libc-bin"},
+	"iopl":          {"libc-bin"},
+	"ioperm":        {"libc-bin"},
+	"signalfd4":     {"libc-bin"},
+	"mbind":         {"libnuma", "libopenblas"},
+	"add_key":       {"libkeyutils"},
+	"keyctl":        {"libkeyutils", "pam-keyutil"},
+	"request_key":   {"request-key-tools"},
+	"seccomp":       {"coop-computing-tools"},
+	"sched_setattr": {"coop-computing-tools"},
+	"sched_getattr": {"coop-computing-tools"},
+	"kexec_load":    {"kexec-tools"},
+	"clock_adjtime": {"systemd"},
+	"renameat2":     {"systemd", "coop-computing-tools"},
+	"mq_timedsend":  {"qemu-user"},
+	"mq_getsetattr": {"qemu-user"},
+	"io_getevents":  {"ioping", "zfs-fuse"},
+	"getcpu":        {"valgrind", "rt-tests"},
+	"nfsservctl":    {"nfs-utils"},
+	"uselib":        {"libc5-compat"},
+	"afs_syscall":   {"openafs-client"},
+	"vserver":       {"util-vserver"},
+	"security":      {"lsm-tools"},
+}
+
+func newPlanter(m *Model, pkgs []*pkgInfo) *planter {
+	p := &planter{
+		model:        m,
+		pkgs:         pkgs,
+		planted:      make(map[string]footprint.Set, len(pkgs)),
+		syscallUsers: make(map[string][]*pkgInfo),
+	}
+	p.byName = make(map[string]*pkgInfo, len(pkgs))
+	for _, pkg := range pkgs {
+		p.planted[pkg.name] = make(footprint.Set)
+		p.byName[pkg.name] = pkg
+		switch pkg.name {
+		case "libc6":
+			p.libc = pkg
+		case "qemu-user":
+			p.qemu = pkg
+		case "libc-bin":
+			p.anchor = pkg
+		}
+		if pkg.essential && pkg.name != "libc6" {
+			p.essentials = append(p.essentials, pkg)
+		}
+	}
+	sort.Slice(p.essentials, func(i, j int) bool {
+		return p.essentials[i].demand < p.essentials[j].demand
+	})
+	p.byFracDesc = append([]*pkgInfo(nil), pkgs...)
+	sort.SliceStable(p.byFracDesc, func(i, j int) bool {
+		return p.byFracDesc[i].frac > p.byFracDesc[j].frac
+	})
+
+	// Packages whose demand collides with a pinned rank (exclusive or
+	// named-table system calls, which are excluded from the prefix
+	// footprints) slip to the nearest shallower unpinned rank; the
+	// completeness curve barely moves and the pinned attributions stay
+	// exact.
+	pinnedRank := make(map[int]map[string]bool)
+	for i := range m.Syscalls {
+		t := &m.Syscalls[i]
+		if t.Rank > 0 && p.pinnedSyscall(t) {
+			set := make(map[string]bool)
+			for _, o := range exclusiveSyscalls[t.Name] {
+				set[o] = true
+			}
+			pinnedRank[t.Rank] = set
+		}
+	}
+	for _, pkg := range pkgs {
+		for pkg.demand > 40 {
+			owners, pinned := pinnedRank[pkg.demand]
+			if !pinned || owners[pkg.name] {
+				break
+			}
+			pkg.demand--
+		}
+	}
+	p.byDemandDesc = append([]*pkgInfo(nil), pkgs...)
+	sort.SliceStable(p.byDemandDesc, func(i, j int) bool {
+		a, b := p.byDemandDesc[i], p.byDemandDesc[j]
+		if a.demand != b.demand {
+			return a.demand > b.demand
+		}
+		return a.frac > b.frac
+	})
+	return p
+}
+
+func (p *planter) add(pkg *pkgInfo, api linuxapi.API) {
+	p.planted[pkg.name].Add(api)
+}
+
+// selectUsers picks a user set from eligible packages hitting an
+// importance target and an approximate count target. forced members are
+// always included.
+func (p *planter) selectUsers(eligible func(*pkgInfo) bool, forced []*pkgInfo,
+	impTarget float64, countTarget int) []*pkgInfo {
+
+	users := make(map[*pkgInfo]bool, countTarget+len(forced))
+	nls := 0.0 // accumulated -log(1-f) over the user set
+	include := func(pkg *pkgInfo) {
+		users[pkg] = true
+		f := pkg.frac
+		if f >= 1 {
+			f = 1 - 1e-15
+		}
+		nls += -math.Log1p(-f)
+	}
+	for _, f := range forced {
+		if !users[f] {
+			include(f)
+		}
+	}
+	// Fitting phase: walk eligible packages by descending installation
+	// count, including each only when it does not overshoot the target;
+	// then cross the target from below with the smallest packages. The
+	// resulting importance lands in [target, target+ε].
+	satisfied := func() bool {
+		cur := -math.Expm1(-nls)
+		return cur >= impTarget || cur >= 0.999999
+	}
+	if impTarget > 0 && !satisfied() {
+		for _, pkg := range p.byFracDesc {
+			if satisfied() {
+				break
+			}
+			if users[pkg] || pkg.scriptOnly || pkg.noPlant || !eligible(pkg) {
+				continue
+			}
+			f := pkg.frac
+			if f >= 1 {
+				f = 1 - 1e-15
+			}
+			if after := -math.Expm1(-(nls - math.Log1p(-f))); after > impTarget*1.02+0.002 {
+				continue // would overshoot; try smaller packages
+			}
+			include(pkg)
+		}
+		// Cross the remaining gap with the least-installed eligible
+		// packages.
+		for i := len(p.byFracDesc) - 1; i >= 0 && !satisfied(); i-- {
+			pkg := p.byFracDesc[i]
+			if users[pkg] || pkg.scriptOnly || pkg.noPlant || !eligible(pkg) {
+				continue
+			}
+			include(pkg)
+		}
+	}
+	// Padding phase: least-installed eligible packages to approach the
+	// count target without disturbing importance much.
+	if countTarget > len(users) {
+		for i := len(p.byFracDesc) - 1; i >= 0 && len(users) < countTarget; i-- {
+			pkg := p.byFracDesc[i]
+			if users[pkg] || pkg.scriptOnly || pkg.noPlant || !eligible(pkg) {
+				continue
+			}
+			users[pkg] = true
+		}
+	}
+	out := make([]*pkgInfo, 0, len(users))
+	for u := range users {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// pinnedSyscall reports whether a system call's user set is pinned
+// (exclusive owners, a named unweighted-importance target, or a named
+// importance target) rather than derived from the prefix footprints.
+func (p *planter) pinnedSyscall(t *SyscallTarget) bool {
+	if t.Band == BandBase || t.Band == BandUnused {
+		return false
+	}
+	if _, excl := exclusiveSyscalls[t.Name]; excl {
+		return true
+	}
+	if t.Unweighted >= 0 {
+		return true
+	}
+	_, impPinned := commonBandNamed[t.Name]
+	return impPinned
+}
+
+// pinnedUsers selects the user set of a pinned (named-table) system call.
+// To keep the measured greedy path intact, users must be packages whose
+// own demand position is at least as deep as the position the pinned call
+// will sort to; a demand-suffix set has exactly that property: a call with
+// unweighted importance U sorts where the prefix usage curve crosses U,
+// and the packages above that crossing are exactly a U-sized fraction.
+// libc-bin anchors universal-band calls at 100% importance, and qemu uses
+// everything up to its demand (§3.2).
+func (p *planter) pinnedUsers(t *SyscallTarget) []*pkgInfo {
+	var users []*pkgInfo
+	seen := make(map[*pkgInfo]bool)
+	include := func(pkg *pkgInfo) {
+		if pkg != nil && !seen[pkg] {
+			seen[pkg] = true
+			users = append(users, pkg)
+		}
+	}
+	if t.Band == BandUniversal && p.anchor != nil {
+		include(p.anchor)
+	}
+	if p.qemu != nil && p.qemu.demand >= t.Rank {
+		include(p.qemu)
+	}
+	if t.Unweighted >= 0 {
+		// When the call also carries an importance target (Table 1's
+		// library-wrapped calls), satisfy it first from the most-installed
+		// eligible packages; the paper's small user populations carry
+		// outsized installation weight.
+		if t.Importance > 0 && t.Importance < 0.999 {
+			nls := 0.0
+			for _, pkg := range p.byFracDesc {
+				if -math.Expm1(-nls) >= t.Importance {
+					break
+				}
+				if pkg.scriptOnly || pkg.noPlant || pkg.demand < t.Rank {
+					continue
+				}
+				f := pkg.frac
+				if f >= 1 {
+					f = 1 - 1e-15
+				}
+				if after := -math.Expm1(-(nls - math.Log1p(-f))); after > t.Importance*1.1+0.01 {
+					continue // would overshoot; smaller packages follow
+				}
+				include(pkg)
+				nls += -math.Log1p(-f)
+			}
+		}
+		// Demand-suffix selection: deepest packages first until the
+		// target package count is reached.
+		count := int(math.Round(t.Unweighted * float64(len(p.pkgs))))
+		if count < 1 {
+			count = 1
+		}
+		for _, pkg := range p.byDemandDesc {
+			if len(users) >= count {
+				break
+			}
+			if pkg.scriptOnly || pkg.noPlant || pkg.demand < t.Rank {
+				continue
+			}
+			include(pkg)
+		}
+	} else {
+		// Importance-pinned without a count (Table 1's preadv/pwritev):
+		// deepest packages until the importance target is met, skipping
+		// any single package that would overshoot it.
+		nls := 0.0
+		for _, pkg := range p.byDemandDesc {
+			if -math.Expm1(-nls) >= t.Importance {
+				break
+			}
+			if pkg.scriptOnly || pkg.noPlant || pkg.demand < t.Rank {
+				continue
+			}
+			f := pkg.frac
+			if f >= 1 {
+				f = 1 - 1e-15
+			}
+			if after := -math.Expm1(-(nls - math.Log1p(-f))); after > t.Importance*1.1+0.01 {
+				continue
+			}
+			include(pkg)
+			nls += -math.Log1p(-f)
+		}
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i].name < users[j].name })
+	return users
+}
+
+// plantSyscalls realizes the system-call model with prefix footprints:
+// every package uses all unpinned ranks up to its demand level K, so both
+// the unweighted-importance curve (the fraction of packages with K ≥ r)
+// and the API-importance curve (1 - Π over {K ≥ r} of (1-f)) decrease
+// monotonically along the rank order — exactly the structure the paper's
+// greedy path relies on. Pinned calls (Tables 1, 2, 8-11) are excluded
+// from the prefixes and get explicitly selected user sets.
+func (p *planter) plantSyscalls() {
+	for i := range p.model.Syscalls {
+		t := &p.model.Syscalls[i]
+		api := linuxapi.Sys(t.Name)
+		switch t.Band {
+		case BandUnused:
+			continue
+		case BandBase:
+			// Everyone: delivered through __libc_start_main's closure.
+			users := make([]*pkgInfo, 0, len(p.pkgs))
+			for _, pkg := range p.pkgs {
+				if pkg.noPlant {
+					continue
+				}
+				users = append(users, pkg)
+				p.add(pkg, api)
+			}
+			p.syscallUsers[t.Name] = users
+			continue
+		}
+
+		// Exclusive system calls (Tables 1, 2; retired-but-attempted):
+		// exactly the named owners use them.
+		if owners, excl := exclusiveSyscalls[t.Name]; excl {
+			var users []*pkgInfo
+			for _, name := range owners {
+				if pkg := p.byName[name]; pkg != nil {
+					users = append(users, pkg)
+					p.add(pkg, api)
+				}
+			}
+			p.syscallUsers[t.Name] = users
+			continue
+		}
+
+		if p.pinnedSyscall(t) {
+			users := p.pinnedUsers(t)
+			p.syscallUsers[t.Name] = users
+			for _, pkg := range users {
+				p.add(pkg, api)
+			}
+			continue
+		}
+
+		// Prefix rank: every package whose demand reaches it uses it.
+		var users []*pkgInfo
+		for _, pkg := range p.pkgs {
+			if pkg.noPlant || pkg.scriptOnly || pkg.demand < t.Rank {
+				continue
+			}
+			users = append(users, pkg)
+			p.add(pkg, api)
+		}
+		p.syscallUsers[t.Name] = users
+	}
+}
+
+// defaultCount derives a package-count target when the model does not pin
+// unweighted importance: enough users to sustain the importance target
+// with realistic volume, small for the rare band.
+func defaultCount(t *SyscallTarget, n int) int {
+	switch t.Band {
+	case BandCommon:
+		return max(2, int(0.004*float64(n)))
+	case BandRare:
+		return max(1, int(0.001*float64(n)))
+	default:
+		return max(2, int(0.01*float64(n)))
+	}
+}
+
+// plantOpcodes realizes the vectored-opcode model; users must already use
+// the parent system call.
+func (p *planter) plantOpcodes() {
+	plant := func(targets []OpcodeTarget, parent string, argKind linuxapi.Kind) {
+		parentUsers := p.syscallUsers[parent]
+		inParent := make(map[*pkgInfo]bool, len(parentUsers))
+		for _, u := range parentUsers {
+			inParent[u] = true
+		}
+		eligible := func(pkg *pkgInfo) bool { return inParent[pkg] }
+		n := len(p.pkgs)
+		for _, t := range targets {
+			if t.Importance <= 0 && t.Unweighted == 0 {
+				continue
+			}
+			api := linuxapi.API{Kind: t.Kind, Name: t.Name}
+			var forced []*pkgInfo
+			if t.QemuOnly {
+				if p.qemu != nil {
+					p.add(p.qemu, api)
+					p.add(p.qemu, linuxapi.Sys(parent))
+				}
+				continue
+			}
+			if t.Importance >= 0.999 && p.anchor != nil {
+				forced = append(forced, p.anchor)
+			}
+			count := 0
+			if t.Unweighted >= 0 {
+				count = int(math.Round(t.Unweighted * float64(n)))
+			} else {
+				count = max(1, int(t.Importance*0.02*float64(n)))
+			}
+			for _, pkg := range p.selectUsers(eligible, forced, t.Importance, count) {
+				p.add(pkg, api)
+				// Using an opcode implies calling the vectored syscall.
+				p.add(pkg, linuxapi.Sys(parent))
+			}
+		}
+		_ = argKind
+	}
+	plant(p.model.Ioctls, "ioctl", linuxapi.KindIoctl)
+	plant(p.model.Fcntls, "fcntl", linuxapi.KindFcntl)
+	plant(p.model.Prctls, "prctl", linuxapi.KindPrctl)
+}
+
+// plantPseudoFiles realizes the pseudo-file model; any package may embed a
+// path string.
+func (p *planter) plantPseudoFiles() {
+	n := len(p.pkgs)
+	all := func(*pkgInfo) bool { return true }
+	for _, t := range p.model.PseudoFiles {
+		if t.Importance <= 0 {
+			continue
+		}
+		api := linuxapi.Pseudo(t.Path)
+		if t.QemuOnly {
+			if p.qemu != nil {
+				p.add(p.qemu, api)
+			}
+			continue
+		}
+		var forced []*pkgInfo
+		if t.Importance >= 0.999 && p.anchor != nil {
+			forced = append(forced, p.anchor)
+		}
+		count := 0
+		if t.Unweighted >= 0 {
+			count = int(math.Round(t.Unweighted * float64(n)))
+		} else {
+			count = max(1, int(t.Importance*0.15*float64(n)))
+		}
+		for _, pkg := range p.selectUsers(all, forced, t.Importance, count) {
+			p.add(pkg, api)
+		}
+	}
+}
+
+// hotSymbolSpread gives the fraction of packages importing one of the
+// universally-important libc symbols. The glibc stdio internals that Table
+// 7's variant comparison hinges on (__uflow, __overflow: uClibc and musl
+// lack them) are pinned so the raw-vs-normalized completeness gap comes
+// out; other hot symbols vary by a stable hash of the name.
+func hotSymbolSpread(name string) float64 {
+	switch name {
+	case "__uflow", "__overflow":
+		return 0.35
+	case "__libc_start_main", "__printf_chk", "__memcpy_chk":
+		return 0 // every dynamic executable imports these at emission time
+	}
+	if hotCurated[name] {
+		return 0.10 + float64(strhash(name)%45)/100.0 // 0.10 .. 0.54
+	}
+	return 0 // filler hot symbols use importance fitting instead
+}
+
+var hotCurated = func() map[string]bool {
+	m := make(map[string]bool, len(linuxapi.LibcHotSymbols))
+	for _, s := range linuxapi.LibcHotSymbols {
+		m[s] = true
+	}
+	return m
+}()
+
+func strhash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// plantLibcSyms realizes the libc-symbol model. Symbols that wrap a
+// non-base system call are "derived": their usage is exactly the wrapper
+// usage the syscall phase produced, so the planter skips them here.
+// Universally-important symbols are spread over a hash-selected fraction
+// of all packages (essential ones included, which is what makes a libc
+// variant's missing internals catastrophic in Table 7); mid- and low-
+// importance symbols use importance fitting.
+func (p *planter) plantLibcSyms() {
+	n := len(p.pkgs)
+	all := func(*pkgInfo) bool { return true }
+	for _, t := range p.model.LibcSyms {
+		if t.Importance <= 0 {
+			continue
+		}
+		if sc := linuxapi.SyscallByName(t.Name); sc != nil {
+			if st := p.model.SyscallTargetFor(t.Name); st != nil && st.Band != BandBase {
+				continue // derived from the syscall phase
+			}
+		}
+		api := linuxapi.LibcSym(t.Name)
+		if t.Importance >= 0.999 {
+			if p.anchor != nil {
+				p.add(p.anchor, api)
+			}
+			if spread := hotSymbolSpread(t.Name); spread > 0 {
+				threshold := uint32(spread * 4294967295.0)
+				for _, pkg := range p.pkgs {
+					if pkg.noPlant || pkg.scriptOnly {
+						continue
+					}
+					if strhash(t.Name+"\x00"+pkg.name) <= threshold {
+						p.add(pkg, api)
+					}
+				}
+				continue
+			}
+			// Filler hot symbols: anchored importance, volume padding.
+			all := func(*pkgInfo) bool { return true }
+			count := max(1, int(0.20*float64(n)))
+			for _, pkg := range p.selectUsers(all, nil, 0, count) {
+				p.add(pkg, api)
+			}
+			continue
+		}
+		var forced []*pkgInfo
+		count := 0
+		if t.Unweighted >= 0 {
+			count = int(math.Round(t.Unweighted * float64(n)))
+		} else {
+			count = max(1, int(t.Importance*0.25*float64(n)))
+		}
+		for _, pkg := range p.selectUsers(all, forced, t.Importance, count) {
+			p.add(pkg, api)
+		}
+	}
+}
+
+func containsPkg(ps []*pkgInfo, p *pkgInfo) bool {
+	for _, x := range ps {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,561 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// pkgInfo is the generator's working record for one package.
+type pkgInfo struct {
+	name string
+	// frac is the installation fraction (installs / total).
+	frac float64
+	// demand is the package's syscall demand level: the greedy rank of the
+	// deepest system call it uses (K in the design notes). Packages become
+	// supported on a prototype exactly when the prototype's top-K ranked
+	// calls are implemented.
+	demand int
+	// essential marks the always-installed core (dpkg, coreutils, ...).
+	essential bool
+	// special marks packages with pinned fractions/demands from the
+	// paper's named tables (Table 1, Table 2, qemu, interpreters).
+	special bool
+	// interpreter is non-empty for packages shipping an interpreter
+	// (value is the interpreter program name scripts reference).
+	interpreter string
+	// shipsLib lists sonames of shared libraries the package ships.
+	shipsLib []string
+	// static marks packages whose executable is statically linked.
+	static bool
+	// scriptOnly marks packages shipping no ELF binaries at all: their
+	// footprint is their interpreter's (§2.3).
+	scriptOnly bool
+	// noPlant excludes a package from user selection; its footprint is
+	// fixed by its special emission (libc6's ld.so).
+	noPlant bool
+	// presetN, when non-zero, expresses the package's demand in the
+	// paper's N space ("supported once N calls are implemented"); the
+	// demand remap translates it to a rank each iteration.
+	presetN int
+	// scriptInterp is the interpreter of a script-only package.
+	scriptInterp string
+}
+
+// specialDef pins a package the paper names.
+type specialDef struct {
+	name        string
+	frac        float64
+	demandNames []string // syscalls whose highest rank becomes the demand
+	demandRank  int      // explicit demand when demandNames is empty
+	interpreter string
+	essential   bool
+	lib         string
+}
+
+// maxRankOf returns the highest rank among the named syscalls.
+func (m *Model) maxRankOf(names ...string) int {
+	r := 0
+	for _, n := range names {
+		if t := m.SyscallTargetFor(n); t != nil && t.Rank > r {
+			r = t.Rank
+		}
+	}
+	return r
+}
+
+// buildPopulation creates the package population: named specials,
+// essentials, and a Zipf-distributed ordinary tail, then assigns demand
+// levels so the weighted demand CDF matches the target completeness curve.
+func buildPopulation(m *Model, nPackages int, rng *rand.Rand) []*pkgInfo {
+	maxRank := 0
+	for _, t := range m.Syscalls {
+		if t.Rank > maxRank {
+			maxRank = t.Rank
+		}
+	}
+
+	var pkgs []*pkgInfo
+	add := func(p *pkgInfo) *pkgInfo {
+		pkgs = append(pkgs, p)
+		return p
+	}
+
+	// libc6 ships the libc family of shared libraries and ld.so. Every
+	// package depends on it, so with dependency propagation (§2.2 step 3)
+	// its own executables must demand only the base set — otherwise
+	// nothing at all would work before its deepest call. The 224
+	// universal-importance calls instead come from the union of the
+	// always-installed essential packages below, which nothing depends on.
+	add(&pkgInfo{name: "libc6", frac: 1.0, demand: 40, essential: true,
+		special: true, noPlant: true,
+		shipsLib: []string{"libc.so.6", "ld-linux-x86-64.so.2",
+			"libpthread.so.0", "librt.so.1"}})
+
+	essentials := []struct {
+		name   string
+		demand int
+	}{
+		// The curve's plateau (N=202..224 gains only ~1% completeness)
+		// leaves room for exactly one always-installed package beyond 202:
+		// libc-bin, whose prefix anchors every universal rank at 100%
+		// importance. All other essentials sit at or below stage IV.
+		{"dpkg", 160}, {"coreutils", 200}, {"tar", 150}, {"gzip", 110},
+		{"grep", 120}, {"sed", 115}, {"findutils", 140}, {"util-linux", 192},
+		{"procps", 190}, {"mount", 185}, {"passwd", 180}, {"login", 175},
+		{"hostname", 95}, {"debianutils", 100}, {"diffutils", 105},
+		{"apt", 196}, {"base-passwd", 90}, {"ncurses-bin", 130},
+		{"init-system-helpers", 135}, {"sysvinit-utils", 170},
+		{"libc-bin", 224}, {"e2fsprogs", 188}, {"bsdutils", 125},
+	}
+	for _, e := range essentials {
+		add(&pkgInfo{name: e.name, frac: 1.0, demand: e.demand,
+			presetN: e.demand, essential: true})
+	}
+
+	specials := []specialDef{
+		// Interpreters (Figure 1): dash and bash are essential.
+		{name: "dash", frac: 1.0, demandRank: 145, interpreter: "sh", essential: true},
+		{name: "bash", frac: 0.999, demandRank: 165, interpreter: "bash", essential: true},
+		{name: "python2.7", frac: 0.95, demandRank: 200, interpreter: "python"},
+		{name: "perl", frac: 0.97, demandRank: 195, interpreter: "perl"},
+		{name: "ruby", frac: 0.25, demandRank: 185, interpreter: "ruby"},
+		// Script-only applications: no ELF binaries of their own, so the
+		// study assigns them their interpreter's footprint (§2.3). Their
+		// demand presets therefore mirror the interpreter's.
+		{name: "shell-scripts-demo", frac: 0.05, demandRank: 145},
+		{name: "python-app-demo", frac: 0.08, demandRank: 200},
+		// Table 2: usage dominated by particular packages.
+		{name: "coop-computing-tools", frac: 0.01,
+			demandNames: []string{"seccomp", "sched_setattr", "sched_getattr", "renameat2"}},
+		{name: "kexec-tools", frac: 0.01, demandNames: []string{"kexec_load"}},
+		{name: "systemd", frac: 0.04,
+			demandNames: []string{"clock_adjtime", "renameat2"}},
+		{name: "qemu-user", frac: 0.01, demandRank: 270},
+		{name: "ioping", frac: 0.006, demandNames: []string{"io_getevents"}},
+		{name: "zfs-fuse", frac: 0.005, demandNames: []string{"io_getevents"}},
+		{name: "valgrind", frac: 0.035, demandNames: []string{"getcpu"}},
+		{name: "rt-tests", frac: 0.006, demandNames: []string{"getcpu"}},
+		// Table 1: syscalls reached only through particular libraries.
+		{name: "libnuma", frac: 0.25, demandNames: []string{"mbind"},
+			lib: "libnuma.so.1"},
+		{name: "libopenblas", frac: 0.15, demandNames: []string{"mbind"},
+			lib: "libopenblas.so.0"},
+		{name: "libkeyutils", frac: 0.272,
+			demandNames: []string{"add_key", "keyctl", "request_key"},
+			lib:         "libkeyutils.so.1"},
+		{name: "pam-keyutil", frac: 0.005, demandNames: []string{"keyctl"}},
+		{name: "request-key-tools", frac: 0.144,
+			demandNames: []string{"request_key"}},
+		// §3.1: retired calls still attempted.
+		{name: "nfs-utils", frac: 0.07, demandNames: []string{"nfsservctl"}},
+		{name: "libc5-compat", frac: 0.02, demandNames: []string{"uselib"}},
+		{name: "openafs-client", frac: 0.01, demandNames: []string{"afs_syscall"}},
+		{name: "util-vserver", frac: 0.005, demandNames: []string{"vserver"}},
+		{name: "lsm-tools", frac: 0.005, demandNames: []string{"security"}},
+	}
+	for _, s := range specials {
+		d := s.demandRank
+		if len(s.demandNames) > 0 {
+			d = m.maxRankOf(s.demandNames...)
+		}
+		if d == 0 {
+			panic("corpus: special package " + s.name + " has no demand")
+		}
+		p := add(&pkgInfo{name: s.name, frac: s.frac, demand: d,
+			essential: s.essential, special: true, interpreter: s.interpreter})
+		if len(s.demandNames) == 0 {
+			// Explicit-rank specials are N-space values (Table 4 stages,
+			// qemu's 270); name-pinned ones stay in rank space.
+			p.presetN = d
+		}
+		if s.lib != "" {
+			p.shipsLib = []string{s.lib}
+		}
+		switch s.name {
+		case "shell-scripts-demo":
+			p.scriptOnly, p.scriptInterp = true, "sh"
+		case "python-app-demo":
+			p.scriptOnly, p.scriptInterp = true, "python"
+		}
+	}
+
+	// Ordinary packages: Zipf-like installation fractions. The head is a
+	// few very popular applications; the tail is numerous and rare,
+	// matching the popularity-contest shape.
+	nOrdinary := nPackages - len(pkgs)
+	if nOrdinary < 0 {
+		nOrdinary = 0
+	}
+	ordinary := make([]*pkgInfo, 0, nOrdinary)
+	for i := 0; i < nOrdinary; i++ {
+		f := 0.9 / math.Pow(float64(i+1), 0.72)
+		if f < 5e-5 {
+			f = 5e-5
+		}
+		// Mild deterministic jitter keeps ties away without breaking
+		// reproducibility.
+		f *= 0.85 + 0.3*rng.Float64()
+		if f > 0.98 {
+			f = 0.98
+		}
+		p := &pkgInfo{name: fmt.Sprintf("pkg-%04d", i), frac: f}
+		// Figure 1: 0.38% of ELF binaries are statically linked.
+		if i%250 == 100 {
+			p.static = true
+		}
+		ordinary = append(ordinary, p)
+		add(p)
+	}
+
+	assignDemands(m, pkgs, ordinary, maxRank)
+	return pkgs
+}
+
+// assignDemands distributes demand levels over the ordinary packages so
+// the weighted demand CDF matches the target completeness curve
+// (Figure 3), after subtracting the mass the preset packages already
+// occupy. Ordinary packages are walked in descending installation order,
+// filling levels from shallow to deep: popular-but-simple packages get the
+// shallow demands, which lets ubiquitous system calls reach near-total
+// package counts (Figure 8) while the rare tail stays unpopular (keeping
+// tail importance low).
+//
+// Two passes run. The measured greedy path orders system calls by
+// (importance, unweighted importance), which interleaves the pinned
+// named-table calls with the prefix ranks; the second pass therefore
+// remaps each rank's target through its predicted position in that
+// ordering, so the measured curve hits the paper's checkpoints at the
+// paper's N values.
+func assignDemands(m *Model, all, ordinary []*pkgInfo, maxRank int) {
+	var wTotal float64
+	for _, p := range all {
+		wTotal += p.frac
+	}
+	// Hybrid target curve over "number of supported syscalls" N: the
+	// static Figure 3 checkpoints up to the universal band, then a tail
+	// derived from the importance targets through the prefix-footprint
+	// coupling Importance = 1 - exp(-(1-WC)·W), which keeps Figure 2 and
+	// Figure 3 mutually consistent at any corpus scale.
+	impAt := make([]float64, maxRank+1)
+	pinnedAt := make([]bool, maxRank+1)
+	unwAt := make([]float64, maxRank+1)
+	for i := range m.Syscalls {
+		t := &m.Syscalls[i]
+		if t.Rank <= 0 {
+			continue
+		}
+		impAt[t.Rank] = t.Importance
+		unwAt[t.Rank] = t.Unweighted
+		if t.Band != BandBase {
+			_, excl := exclusiveSyscalls[t.Name]
+			_, impPinned := commonBandNamed[t.Name]
+			pinnedAt[t.Rank] = excl || impPinned || t.Unweighted >= 0
+		}
+	}
+	hybrid := make([]float64, maxRank+1)
+	last := 0.0
+	for n := 1; n <= maxRank; n++ {
+		v := last
+		if n <= 224 {
+			v = WCTarget(n)
+		} else if imp := impAt[n]; imp > 0 && !pinnedAt[n] {
+			if imp > 0.999 {
+				imp = 0.999
+			}
+			if w := 1 + math.Log1p(-imp)/wTotal; w > v {
+				v = w
+			}
+		}
+		if v < last {
+			v = last
+		}
+		hybrid[n] = v
+		last = v
+	}
+
+	// Numerous unpopular packages are simple (shallow demands): the
+	// unweighted-importance curve (Figure 8) drops fast by package count
+	// even while installation mass accumulates slowly. Popular packages
+	// therefore fill the deeper levels.
+	sort.SliceStable(ordinary, func(i, j int) bool {
+		return ordinary[i].frac < ordinary[j].frac
+	})
+
+	// Reserve the least-installed packages to guarantee every deep rank
+	// (the rare band) has at least one potential user; their combined mass
+	// is negligible.
+	deepStart := 258
+	reserve := maxRank - deepStart + 1
+	if reserve > len(ordinary)/4 {
+		reserve = len(ordinary) / 4
+	}
+	body := ordinary
+	if reserve > 0 && len(ordinary) > reserve {
+		// The list is ascending by installation fraction: the front holds
+		// the least-installed packages, which are the only ones whose
+		// presence deep in the rare band keeps tail importance tiny.
+		tail := ordinary[:reserve]
+		body = ordinary[reserve:]
+		for i, p := range tail {
+			p.demand = deepStart + i*(maxRank-deepStart)/max(len(tail)-1, 1)
+		}
+	}
+
+	fill := func(target []float64) {
+		// Exact per-level body budgets: the cumulative mass the curve
+		// wants at each level, minus the preset packages' cumulative
+		// mass, monotonized. This absorbs presets that overfill their own
+		// level without losing or double-counting any mass.
+		presetCum := make([]float64, maxRank+1)
+		inBody := make(map[*pkgInfo]bool, len(body))
+		for _, p := range body {
+			inBody[p] = true
+		}
+		for _, p := range all {
+			if p.demand > 0 && !inBody[p] {
+				d := p.demand
+				if d > maxRank {
+					d = maxRank
+				}
+				presetCum[d] += p.frac
+			}
+		}
+		for n := 1; n <= maxRank; n++ {
+			presetCum[n] += presetCum[n-1]
+		}
+		budget := make([]float64, maxRank+1)
+		prev := 0.0
+		for n := 40; n <= maxRank; n++ {
+			want := target[n]*wTotal - presetCum[n]
+			if want < prev {
+				want = prev
+			}
+			budget[n] = want - prev
+			prev = want
+		}
+
+		// Three regions, three cursors over the ascending-f body list:
+		// the rare tail takes the least-installed packages (tiniest
+		// deepest, keeping tail importance small); the middle takes the
+		// popular packages that carry the installation mass; the shallow
+		// region takes the numerous remaining small packages, matching
+		// Figure 8's fast by-count drop.
+		const shallowEnd, tailStart = 130, 225
+		taken := make([]bool, len(body))
+		lo, hi := 0, len(body)-1
+		takeSmall := func() *pkgInfo {
+			for lo <= hi && taken[lo] {
+				lo++
+			}
+			if lo > hi {
+				return nil
+			}
+			p := body[lo]
+			taken[lo] = true
+			lo++
+			return p
+		}
+		takeBig := func() *pkgInfo {
+			for hi >= lo && taken[hi] {
+				hi--
+			}
+			if hi < lo {
+				return nil
+			}
+			p := body[hi]
+			taken[hi] = true
+			hi--
+			return p
+		}
+		// takeBigCapped returns the most-installed untaken package whose
+		// weight stays under capf, or nil.
+		takeBigCapped := func(capf float64) *pkgInfo {
+			for j := hi; j >= lo; j-- {
+				if taken[j] || body[j].frac > capf {
+					continue
+				}
+				taken[j] = true
+				return body[j]
+			}
+			return nil
+		}
+		// Rare/common tail (levels past the universal band): filled
+		// shallowest-first with the most-installed package whose weight
+		// stays under the level's importance target — the paper's tail is
+		// carried by a few mid-popularity packages, not by volume, which
+		// keeps the by-count usage curve (Figure 8) falling fast. The
+		// level's importance target caps individual weights so no single
+		// package spikes a rare call's importance.
+		remaining := 0.0
+	tail:
+		for level := tailStart; level <= maxRank; level++ {
+			remaining += budget[level]
+			capf := impAt[level] * 0.9
+			for remaining > 0 {
+				p := takeBigCapped(capf)
+				if p == nil {
+					p = takeSmall()
+				}
+				if p == nil {
+					break tail
+				}
+				p.demand = level
+				remaining -= p.frac
+			}
+		}
+		remaining = 0
+	middle:
+		for level := tailStart - 1; level > shallowEnd; level-- {
+			remaining += budget[level]
+			for remaining > 0 {
+				p := takeBig()
+				if p == nil {
+					break middle
+				}
+				p.demand = level
+				remaining -= p.frac
+			}
+		}
+		remaining = 0
+		level := 40
+		for {
+			p := takeSmall()
+			if p == nil {
+				break
+			}
+			remaining += p.frac
+			for remaining > budget[level] && level < shallowEnd {
+				remaining -= budget[level]
+				level++
+			}
+			p.demand = level
+		}
+	}
+
+	// Pass 1: targets in rank space; then iterate position prediction and
+	// refill until the assignment is consistent with the measured greedy
+	// ordering it induces.
+	fill(hybrid)
+	for iter := 0; iter < 4; iter++ {
+		remapOnce(m, all, maxRank, hybrid, pinnedAt, impAt, unwAt, fill)
+	}
+}
+
+// remapOnce predicts each rank's position in the measured importance
+// ordering under the current demand assignment and refills demands against
+// the position-remapped target curve.
+func remapOnce(m *Model, all []*pkgInfo, maxRank int, hybrid []float64,
+	pinnedAt []bool, impAt, unwAt []float64, fill func([]float64)) {
+	n := len(all)
+	countGE := make([]int, maxRank+2)
+	for _, p := range all {
+		d := p.demand
+		if d > maxRank {
+			d = maxRank
+		}
+		if d > 0 {
+			countGE[d]++
+		}
+	}
+	for r := maxRank - 1; r >= 0; r-- {
+		countGE[r] += countGE[r+1]
+	}
+	type rankKey struct {
+		rank int
+		imp  float64
+		unw  float64
+	}
+	keys := make([]rankKey, 0, maxRank)
+	for r := 1; r <= maxRank; r++ {
+		k := rankKey{rank: r}
+		switch {
+		case r <= 40:
+			k.imp, k.unw = 1.0, 1.0
+		case r <= 224:
+			k.imp = 1.0
+			if pinnedAt[r] {
+				k.unw = unwAt[r]
+				if k.unw < 0 {
+					k.unw = 0.01
+				}
+			} else {
+				k.unw = float64(countGE[r]) / float64(n)
+			}
+		default:
+			if pinnedAt[r] {
+				k.imp = impAt[r]
+				if k.imp <= 0 {
+					k.imp = 0.005
+				}
+				k.unw = unwAt[r]
+			} else {
+				k.imp = impAt[r]
+				k.unw = float64(countGE[r]) / float64(n)
+			}
+		}
+		keys = append(keys, k)
+	}
+	sort.SliceStable(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.imp != b.imp {
+			return a.imp > b.imp
+		}
+		if a.unw != b.unw {
+			return a.unw > b.unw
+		}
+		return a.rank < b.rank
+	})
+	pos := make([]int, maxRank+1)
+	for i, k := range keys {
+		pos[k.rank] = i + 1
+	}
+	// Translate N-space preset demands to the rank predicted to sit at
+	// that position (nearest unpinned rank at or after it).
+	invPos := make([]int, maxRank+2)
+	for r := 1; r <= maxRank; r++ {
+		if !pinnedAt[r] && pos[r] <= maxRank {
+			if invPos[pos[r]] == 0 {
+				invPos[pos[r]] = r
+			}
+		}
+	}
+	lastRank := 40
+	for nn := 1; nn <= maxRank; nn++ {
+		if invPos[nn] == 0 {
+			invPos[nn] = lastRank // nearest unpinned rank from below
+		} else {
+			lastRank = invPos[nn]
+		}
+	}
+	for _, p := range all {
+		if p.presetN > 0 {
+			nn := p.presetN
+			if nn > maxRank {
+				nn = maxRank
+			}
+			p.demand = invPos[nn]
+		}
+	}
+	remapped := make([]float64, maxRank+1)
+	last := 0.0
+	for r := 1; r <= maxRank; r++ {
+		// Pinned ranks host no demand cohort (packages slip past them),
+		// so they carry the previous target instead of injecting their
+		// own — possibly much later — position into the monotone chain.
+		if pinnedAt[r] {
+			remapped[r] = last
+			continue
+		}
+		v := hybrid[pos[r]]
+		if v < last {
+			v = last
+		}
+		remapped[r] = v
+		last = v
+	}
+
+	// Pass 2: targets in position space.
+	fill(remapped)
+}

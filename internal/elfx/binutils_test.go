@@ -1,0 +1,129 @@
+package elfx
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/x86"
+)
+
+// These tests cross-validate the from-scratch ELF writer against GNU
+// binutils when available: readelf must parse our binaries and agree about
+// the dynamic structure. They skip silently on systems without binutils.
+
+func requireTool(t *testing.T, name string) string {
+	t.Helper()
+	path, err := exec.LookPath(name)
+	if err != nil {
+		t.Skipf("%s not installed", name)
+	}
+	return path
+}
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bin")
+	if err := os.WriteFile(path, data, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadelfParsesGeneratedExec(t *testing.T) {
+	readelf := requireTool(t, "readelf")
+	b := NewExec()
+	b.Needed("libc.so.6")
+	printf := b.Import("printf")
+	write := b.Import("write")
+	b.Func("main", true, func(a *x86.Asm) {
+		a.CallLabel(printf)
+		a.CallLabel(write)
+		a.Ret()
+	})
+	b.Entry("main")
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeTemp(t, data)
+
+	out, err := exec.Command(readelf, "-d", "-r", "--dyn-syms", "-h", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("readelf failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"Shared library: [libc.so.6]", // DT_NEEDED
+		"R_X86_64_JUMP_SLO",           // .rela.plt entries
+		"printf", "write", "main",     // dynamic symbols
+		"EXEC (Executable file)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("readelf output missing %q", want)
+		}
+	}
+}
+
+func TestReadelfParsesGeneratedLib(t *testing.T) {
+	readelf := requireTool(t, "readelf")
+	b := NewLib("libdemo.so.3")
+	b.Func("demo_fn", true, func(a *x86.Asm) {
+		a.MovRegImm32(x86.RAX, 39)
+		a.Syscall()
+		a.Ret()
+	})
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeTemp(t, data)
+
+	out, err := exec.Command(readelf, "-d", "--dyn-syms", "-h", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("readelf failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"Library soname: [libdemo.so.3]", // DT_SONAME
+		"demo_fn",
+		"DYN (Shared object file)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("readelf output missing %q", want)
+		}
+	}
+}
+
+func TestObjdumpDisassemblesGeneratedText(t *testing.T) {
+	objdump := requireTool(t, "objdump")
+	b := NewExec()
+	b.Func("main", true, func(a *x86.Asm) {
+		a.MovRegImm32(x86.RAX, 257) // openat
+		a.Syscall()
+		a.MovRegImm32(x86.RSI, 0x5401)
+		a.XorReg(x86.RDI)
+		a.Ret()
+	})
+	b.Entry("main")
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeTemp(t, data)
+
+	out, err := exec.Command(objdump, "-d", "-j", ".text", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("objdump failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"syscall", "mov", "xor", "ret",
+		"0x101", // openat's number in the disassembly
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("objdump output missing %q:\n%s", want, text)
+		}
+	}
+}

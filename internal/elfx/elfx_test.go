@@ -1,0 +1,336 @@
+package elfx
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/x86"
+)
+
+// buildTestExec assembles a small dynamically-linked executable that calls
+// an import, issues a direct syscall, and references a pseudo-file string.
+func buildTestExec(t *testing.T) []byte {
+	t.Helper()
+	b := NewExec()
+	b.Needed("libc.so.6")
+	ioctlPLT := b.Import("ioctl")
+	printfPLT := b.Import("printf")
+	devNull := b.String("/dev/null")
+	b.Func("main", true, func(a *x86.Asm) {
+		a.LeaRIPLabel(x86.RDI, devNull)
+		a.CallLabel(printfPLT)
+		a.XorReg(x86.RDI)
+		a.MovRegImm32(x86.RSI, 0x5401) // TCGETS
+		a.CallLabel(ioctlPLT)
+		a.MovRegImm32(x86.RAX, 1) // write
+		a.Syscall()
+		a.Ret()
+	})
+	b.Func("helper", false, func(a *x86.Asm) {
+		a.MovRegImm32(x86.RAX, 60) // exit
+		a.Syscall()
+		a.Ret()
+	})
+	b.Entry("main")
+	data, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return data
+}
+
+func TestBuildAndClassifyExec(t *testing.T) {
+	data := buildTestExec(t)
+	class, interp := Classify(data)
+	if class != ClassELFExec {
+		t.Fatalf("Classify = %v (%q), want elf-exec", class, interp)
+	}
+}
+
+func TestBuildAndOpenExec(t *testing.T) {
+	data := buildTestExec(t)
+	bin, err := Open("test-exec", data)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if bin.Class != ClassELFExec {
+		t.Errorf("Class = %v", bin.Class)
+	}
+	if len(bin.Needed) != 1 || bin.Needed[0] != "libc.so.6" {
+		t.Errorf("Needed = %v, want [libc.so.6]", bin.Needed)
+	}
+	if len(bin.Imports) != 2 {
+		t.Errorf("Imports = %v, want ioctl+printf", bin.Imports)
+	}
+	if bin.Entry == 0 || !bin.Text.Contains(bin.Entry) {
+		t.Errorf("Entry %#x not inside .text [%#x,+%d)", bin.Entry, bin.Text.Addr, len(bin.Text.Data))
+	}
+	main := bin.FuncNamed("main")
+	if main == nil || main.Addr != bin.Entry || !main.Exported {
+		t.Errorf("main symbol = %+v, entry %#x", main, bin.Entry)
+	}
+	helper := bin.FuncNamed("helper")
+	if helper == nil || helper.Exported {
+		t.Errorf("helper symbol = %+v, want unexported", helper)
+	}
+	if len(bin.PLTSlots) != 2 {
+		t.Errorf("PLTSlots = %v, want 2 entries", bin.PLTSlots)
+	}
+	names := map[string]bool{}
+	for _, n := range bin.PLTSlots {
+		names[n] = true
+	}
+	if !names["ioctl"] || !names["printf"] {
+		t.Errorf("PLT slot symbols = %v", names)
+	}
+}
+
+func TestPLTStubsResolveToSlots(t *testing.T) {
+	data := buildTestExec(t)
+	bin, err := Open("test-exec", data)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Decode the .plt section: every stub must be jmp [rip+d] targeting a
+	// known GOT slot.
+	insts := x86.DecodeAll(bin.Plt.Data, bin.Plt.Addr)
+	var stubs int
+	for _, inst := range insts {
+		if inst.Op == x86.OpJmpIndirect && inst.HasTarget {
+			if _, ok := bin.PLTSlots[inst.Target]; !ok {
+				t.Errorf("PLT stub at %#x targets unknown slot %#x", inst.Addr, inst.Target)
+			}
+			stubs++
+		}
+	}
+	if stubs != 2 {
+		t.Errorf("found %d PLT stubs, want 2", stubs)
+	}
+}
+
+func TestTextDecodesToPlantedInstructions(t *testing.T) {
+	data := buildTestExec(t)
+	bin, err := Open("test-exec", data)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	insts := x86.DecodeAll(bin.Text.Data, bin.Text.Addr)
+	var syscalls, calls, leas int
+	for _, inst := range insts {
+		switch inst.Op {
+		case x86.OpSyscall:
+			syscalls++
+		case x86.OpCallRel:
+			calls++
+		case x86.OpLeaRIP:
+			leas++
+			if str, ok := StringAt(bin.Rodata, inst.Target); !ok || str != "/dev/null" {
+				t.Errorf("lea target %#x -> %q, %v; want /dev/null", inst.Target, str, ok)
+			}
+		case x86.OpBad:
+			t.Errorf("bad instruction at %#x", inst.Addr)
+		}
+	}
+	if syscalls != 2 || calls != 2 || leas != 1 {
+		t.Errorf("syscalls=%d calls=%d leas=%d, want 2/2/1", syscalls, calls, leas)
+	}
+}
+
+func TestBuildLib(t *testing.T) {
+	b := NewLib("libfoo.so.1")
+	b.Needed("libc.so.6")
+	writePLT := b.Import("write")
+	b.Func("foo_write", true, func(a *x86.Asm) {
+		a.CallLabel(writePLT)
+		a.Ret()
+	})
+	b.Func("foo_direct", true, func(a *x86.Asm) {
+		a.MovRegImm32(x86.RAX, 39) // getpid
+		a.Syscall()
+		a.Ret()
+	})
+	data, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	class, soname := Classify(data)
+	if class != ClassELFLib || soname != "libfoo.so.1" {
+		t.Fatalf("Classify = %v %q, want lib libfoo.so.1", class, soname)
+	}
+	bin, err := Open("libfoo.so.1", data)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if bin.Soname != "libfoo.so.1" {
+		t.Errorf("Soname = %q", bin.Soname)
+	}
+	for _, name := range []string{"foo_write", "foo_direct"} {
+		sym := bin.FuncNamed(name)
+		if sym == nil || !sym.Exported || sym.Size == 0 {
+			t.Errorf("export %s = %+v", name, sym)
+		}
+	}
+	if len(bin.Imports) != 1 || bin.Imports[0] != "write" {
+		t.Errorf("Imports = %v", bin.Imports)
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	data := buildTestExec(t)
+	bin, err := Open("t", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := bin.FuncNamed("main")
+	helper := bin.FuncNamed("helper")
+	if got := bin.FuncAt(main.Addr); got == nil || got.Name != "main" {
+		t.Errorf("FuncAt(main start) = %v", got)
+	}
+	if got := bin.FuncAt(main.Addr + main.Size - 1); got == nil || got.Name != "main" {
+		t.Errorf("FuncAt(main end-1) = %v", got)
+	}
+	if got := bin.FuncAt(helper.Addr); got == nil || got.Name != "helper" {
+		t.Errorf("FuncAt(helper) = %v", got)
+	}
+	if got := bin.FuncAt(helper.Addr + helper.Size + 100); got != nil {
+		t.Errorf("FuncAt(past end) = %v, want nil", got)
+	}
+	if got := bin.FuncAt(0x10); got != nil {
+		t.Errorf("FuncAt(before text) = %v, want nil", got)
+	}
+}
+
+func TestClassifyScripts(t *testing.T) {
+	cases := []struct {
+		data   string
+		class  FileClass
+		interp string
+	}{
+		{"#!/bin/sh\necho hi\n", ClassScript, "sh"},
+		{"#!/bin/bash\n", ClassScript, "bash"},
+		{"#!/usr/bin/python3\nprint()\n", ClassScript, "python3"},
+		{"#!/usr/bin/env perl\n", ClassScript, "perl"},
+		{"#!/usr/bin/env ruby -w\n", ClassScript, "ruby"},
+		{"plain text file", ClassUnknown, ""},
+		{"", ClassUnknown, ""},
+		{"#!", ClassScript, ""},
+	}
+	for _, c := range cases {
+		class, interp := Classify([]byte(c.data))
+		if class != c.class || interp != c.interp {
+			t.Errorf("Classify(%q) = %v %q, want %v %q",
+				c.data, class, interp, c.class, c.interp)
+		}
+	}
+}
+
+func TestClassifyRejectsTruncatedELF(t *testing.T) {
+	class, _ := Classify([]byte{0x7F, 'E', 'L', 'F', 2, 1})
+	if class != ClassUnknown {
+		t.Errorf("truncated ELF classified as %v", class)
+	}
+}
+
+func TestOpenRejectsNonELF(t *testing.T) {
+	if _, err := Open("x", []byte("#!/bin/sh\n")); err == nil {
+		t.Error("Open on a script must fail")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	sec := Section{
+		Addr: 0x1000,
+		Data: []byte("/dev/null\x00ab\x00/proc/%d/cmdline\x00\x01\x02xyzw\x00tail"),
+	}
+	refs := Strings(sec, 4)
+	want := map[string]uint64{
+		"/dev/null":        0x1000,
+		"/proc/%d/cmdline": 0x100d,
+		"xyzw":             0x1020,
+	}
+	if len(refs) != len(want) {
+		t.Fatalf("Strings = %v, want %d strings", refs, len(want))
+	}
+	for _, r := range refs {
+		if addr, ok := want[r.Value]; !ok || addr != r.Addr {
+			t.Errorf("string %q at %#x, want %#x (known=%v)", r.Value, r.Addr, addr, ok)
+		}
+	}
+	// "tail" is not NUL-terminated within the section and must be skipped.
+	for _, r := range refs {
+		if r.Value == "tail" {
+			t.Error("non-terminated trailing string must not be extracted")
+		}
+	}
+}
+
+func TestStringAt(t *testing.T) {
+	sec := Section{Addr: 0x2000, Data: []byte("abc\x00/dev/zero\x00\xff\xfe")}
+	if s, ok := StringAt(sec, 0x2004); !ok || s != "/dev/zero" {
+		t.Errorf("StringAt = %q, %v", s, ok)
+	}
+	if _, ok := StringAt(sec, 0x2004+20); ok {
+		t.Error("StringAt outside section must fail")
+	}
+	if _, ok := StringAt(sec, 0x200e); ok {
+		t.Error("StringAt on non-printable bytes must fail")
+	}
+}
+
+func TestStringDedup(t *testing.T) {
+	b := NewExec()
+	l1 := b.String("/dev/null")
+	l2 := b.String("/dev/null")
+	l3 := b.String("/dev/zero")
+	if l1 != l2 {
+		t.Error("identical strings must share a label")
+	}
+	if l1 == l3 {
+		t.Error("distinct strings must not share a label")
+	}
+}
+
+func TestBuildEntryValidation(t *testing.T) {
+	b := NewExec()
+	b.Func("main", true, func(a *x86.Asm) { a.Ret() })
+	b.Entry("nonexistent")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "entry") {
+		t.Errorf("Build with bad entry = %v, want entry error", err)
+	}
+}
+
+func TestStaticExec(t *testing.T) {
+	// A builder with no imports and no needed libraries still produces a
+	// valid ELF; with an empty dynamic section it classifies as exec (the
+	// corpus generator marks true static binaries by omitting .dynamic,
+	// which our builder always emits, so static binaries carry only the
+	// DT_NULL terminator).
+	b := NewExec()
+	b.Func("_start", true, func(a *x86.Asm) {
+		a.MovRegImm32(x86.RAX, 60)
+		a.XorReg(x86.RDI)
+		a.Syscall()
+	})
+	b.Entry("_start")
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := Open("static-ish", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin.Imports) != 0 || len(bin.Needed) != 0 {
+		t.Errorf("Imports=%v Needed=%v, want none", bin.Imports, bin.Needed)
+	}
+	insts := x86.DecodeAll(bin.Text.Data, bin.Text.Addr)
+	var sys bool
+	for _, inst := range insts {
+		if inst.Op == x86.OpSyscall {
+			sys = true
+		}
+	}
+	if !sys {
+		t.Error("planted syscall not found in decoded text")
+	}
+}

@@ -1,0 +1,33 @@
+package elfx
+
+import (
+	"testing"
+
+	"repro/internal/x86"
+)
+
+type asmT = x86.Asm
+
+// FuzzOpen feeds arbitrary bytes to the ELF classifier and reader.
+func FuzzOpen(f *testing.F) {
+	b := NewExec()
+	b.Needed("libc.so.6")
+	plt := b.Import("write")
+	b.Func("main", true, func(a *asmT) {
+		a.CallLabel(plt)
+		a.Ret()
+	})
+	b.Entry("main")
+	if data, err := b.Build(); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte("#!/bin/sh\necho hi\n"))
+	f.Add([]byte{0x7F, 'E', 'L', 'F', 2, 1, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		Classify(data)
+		if bin, err := Open("fuzz", data); err == nil {
+			Strings(bin.Rodata, 4)
+			_ = bin.FuncAt(bin.Entry)
+		}
+	})
+}

@@ -1,0 +1,260 @@
+package elfx
+
+import (
+	"bytes"
+	"debug/elf"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FileClass classifies one file in a package, mirroring Figure 1 of the
+// paper: ELF binaries (split into executables, shared libraries and static
+// binaries) versus interpreted scripts identified by shebang.
+type FileClass uint8
+
+const (
+	// ClassUnknown is anything we cannot classify.
+	ClassUnknown FileClass = iota
+	// ClassELFExec is a dynamically-linked ELF executable.
+	ClassELFExec
+	// ClassELFStatic is a statically-linked ELF executable.
+	ClassELFStatic
+	// ClassELFLib is an ELF shared library.
+	ClassELFLib
+	// ClassScript is an interpreted file with a shebang line.
+	ClassScript
+)
+
+var classNames = [...]string{"unknown", "elf-exec", "elf-static", "elf-lib", "script"}
+
+// String names the class.
+func (c FileClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Classify inspects the head of a file's contents: ELF magic splits by type
+// and DT_NEEDED presence; "#!" lines identify the interpreter.
+func Classify(data []byte) (FileClass, string) {
+	if len(data) >= 4 && bytes.Equal(data[:4], []byte{0x7F, 'E', 'L', 'F'}) {
+		f, err := elf.NewFile(bytes.NewReader(data))
+		if err != nil {
+			return ClassUnknown, ""
+		}
+		defer f.Close()
+		switch f.Type {
+		case elf.ET_DYN:
+			// A DSO with an entry point and no SONAME could be a PIE; the
+			// 15.04-era corpus predates default PIE, so treat ET_DYN with a
+			// DT_SONAME or without entry as a library.
+			if soname, _ := f.DynString(elf.DT_SONAME); len(soname) > 0 {
+				return ClassELFLib, soname[0]
+			}
+			if f.Entry == 0 {
+				return ClassELFLib, ""
+			}
+			return ClassELFExec, ""
+		case elf.ET_EXEC:
+			// An executable that needs no shared libraries is static (the
+			// dynamic linker itself falls in this class).
+			if libs, err := f.ImportedLibraries(); err == nil && len(libs) > 0 {
+				return ClassELFExec, ""
+			}
+			return ClassELFStatic, ""
+		}
+		return ClassUnknown, ""
+	}
+	if len(data) >= 2 && data[0] == '#' && data[1] == '!' {
+		line := data[2:]
+		if i := bytes.IndexByte(line, '\n'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(string(line))
+		if len(fields) == 0 {
+			return ClassScript, ""
+		}
+		interp := fields[0]
+		if strings.HasSuffix(interp, "/env") && len(fields) > 1 {
+			interp = fields[1]
+		}
+		if i := strings.LastIndexByte(interp, '/'); i >= 0 {
+			interp = interp[i+1:]
+		}
+		return ClassScript, interp
+	}
+	return ClassUnknown, ""
+}
+
+// Symbol is a function symbol with its address range.
+type Symbol struct {
+	Name     string
+	Addr     uint64
+	Size     uint64
+	Exported bool
+}
+
+// Section is a loaded section's content at its virtual address.
+type Section struct {
+	Addr uint64
+	Data []byte
+}
+
+// Contains reports whether va falls inside the section.
+func (s Section) Contains(va uint64) bool {
+	return va >= s.Addr && va < s.Addr+uint64(len(s.Data))
+}
+
+// Binary is everything the static analysis needs from one ELF file.
+type Binary struct {
+	Path   string
+	Class  FileClass
+	Soname string
+	Entry  uint64
+	Text   Section
+	Plt    Section
+	Rodata Section
+	// Funcs are function symbols sorted by address (dynsym ∪ symtab).
+	Funcs []Symbol
+	// Imports are undefined dynamic symbols this binary links against.
+	Imports []string
+	// Needed are DT_NEEDED sonames.
+	Needed []string
+	// PLTSlots maps a GOT slot virtual address to the imported symbol
+	// bound there (from .rela.plt JMP_SLOT relocations). A jmp [rip+d]
+	// whose target is a slot address identifies a PLT stub.
+	PLTSlots map[uint64]string
+}
+
+// Open parses an ELF binary from memory.
+func Open(path string, data []byte) (*Binary, error) {
+	class, soname := Classify(data)
+	switch class {
+	case ClassELFExec, ClassELFStatic, ClassELFLib:
+	default:
+		return nil, fmt.Errorf("elfx: %s: not an ELF binary", path)
+	}
+	f, err := elf.NewFile(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("elfx: %s: %w", path, err)
+	}
+	defer f.Close()
+
+	bin := &Binary{
+		Path:     path,
+		Class:    class,
+		Soname:   soname,
+		Entry:    f.Entry,
+		PLTSlots: make(map[uint64]string),
+	}
+
+	loadSection := func(name string) Section {
+		s := f.Section(name)
+		if s == nil {
+			return Section{}
+		}
+		d, err := s.Data()
+		if err != nil {
+			return Section{}
+		}
+		return Section{Addr: s.Addr, Data: d}
+	}
+	bin.Text = loadSection(".text")
+	bin.Plt = loadSection(".plt")
+	bin.Rodata = loadSection(".rodata")
+
+	if libs, err := f.ImportedLibraries(); err == nil {
+		bin.Needed = libs
+	}
+
+	seen := make(map[string]bool)
+	addFunc := func(sym elf.Symbol, exported bool) {
+		if elf.ST_TYPE(sym.Info) != elf.STT_FUNC || sym.Value == 0 {
+			return
+		}
+		key := fmt.Sprintf("%s@%x", sym.Name, sym.Value)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		bin.Funcs = append(bin.Funcs, Symbol{
+			Name: sym.Name, Addr: sym.Value, Size: sym.Size, Exported: exported,
+		})
+	}
+	if dynsyms, err := f.DynamicSymbols(); err == nil {
+		for _, s := range dynsyms {
+			if s.Section == elf.SHN_UNDEF {
+				if s.Name != "" {
+					bin.Imports = append(bin.Imports, s.Name)
+				}
+				continue
+			}
+			addFunc(s, true)
+		}
+	}
+	if syms, err := f.Symbols(); err == nil {
+		for _, s := range syms {
+			if s.Section == elf.SHN_UNDEF {
+				continue
+			}
+			addFunc(s, elf.ST_BIND(s.Info) == elf.STB_GLOBAL)
+		}
+	}
+	sort.Slice(bin.Funcs, func(i, j int) bool { return bin.Funcs[i].Addr < bin.Funcs[j].Addr })
+
+	// Map GOT slots to import names via .rela.plt.
+	if rela := f.Section(".rela.plt"); rela != nil {
+		data, err := rela.Data()
+		if err == nil {
+			dynsyms, _ := f.DynamicSymbols()
+			// Undefined symbols were filtered out of DynamicSymbols? No:
+			// DynamicSymbols returns all, index i corresponds to symbol
+			// table index i+1.
+			for off := 0; off+24 <= len(data); off += 24 {
+				r := data[off:]
+				slot := le64(r[0:])
+				info := le64(r[8:])
+				if elf.R_X86_64(info&0xffffffff) != elf.R_X86_64_JMP_SLOT {
+					continue
+				}
+				symIdx := int(info >> 32)
+				if symIdx >= 1 && symIdx <= len(dynsyms) {
+					bin.PLTSlots[slot] = dynsyms[symIdx-1].Name
+				}
+			}
+		}
+	}
+	sort.Strings(bin.Imports)
+	return bin, nil
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// FuncAt returns the function symbol whose range covers va, preferring the
+// nearest symbol at or below va when sizes are absent.
+func (b *Binary) FuncAt(va uint64) *Symbol {
+	i := sort.Search(len(b.Funcs), func(i int) bool { return b.Funcs[i].Addr > va })
+	if i == 0 {
+		return nil
+	}
+	f := &b.Funcs[i-1]
+	if f.Size > 0 && va >= f.Addr+f.Size {
+		return nil
+	}
+	return f
+}
+
+// FuncNamed returns the function symbol with the given name, or nil.
+func (b *Binary) FuncNamed(name string) *Symbol {
+	for i := range b.Funcs {
+		if b.Funcs[i].Name == name {
+			return &b.Funcs[i]
+		}
+	}
+	return nil
+}

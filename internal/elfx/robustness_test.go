@@ -1,0 +1,91 @@
+package elfx
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/x86"
+)
+
+// The analyzer consumes untrusted binaries (the paper ran it over an
+// entire distribution archive); parsing must never panic on corrupted
+// input, only fail or degrade.
+
+func buildVictim(t *testing.T) []byte {
+	t.Helper()
+	b := NewExec()
+	b.Needed("libc.so.6")
+	plt := b.Import("printf")
+	s := b.String("/dev/null")
+	b.Func("main", true, func(a *x86.Asm) {
+		a.LeaRIPLabel(x86.RDI, s)
+		a.CallLabel(plt)
+		a.MovRegImm32(x86.RAX, 1)
+		a.Syscall()
+		a.Ret()
+	})
+	b.Entry("main")
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestOpenNeverPanicsOnCorruption(t *testing.T) {
+	base := buildVictim(t)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		data := append([]byte(nil), base...)
+		// Flip a handful of random bytes.
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			bin, err := Open("victim", data)
+			if err != nil {
+				return // rejecting corrupted input is fine
+			}
+			// Whatever parsed must be scannable without panicking.
+			x86.DecodeAll(bin.Text.Data, bin.Text.Addr)
+			Strings(bin.Rodata, 4)
+			for _, f := range bin.Funcs {
+				bin.FuncAt(f.Addr)
+			}
+		}()
+	}
+}
+
+func TestOpenNeverPanicsOnTruncation(t *testing.T) {
+	base := buildVictim(t)
+	for cut := 0; cut < len(base); cut += 37 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("truncated at %d: panic: %v", cut, r)
+				}
+			}()
+			if bin, err := Open("victim", base[:cut]); err == nil {
+				x86.DecodeAll(bin.Text.Data, bin.Text.Addr)
+			}
+		}()
+	}
+}
+
+func TestClassifyNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(256)
+		data := make([]byte, n)
+		rng.Read(data)
+		if rng.Intn(3) == 0 && n >= 4 {
+			copy(data, []byte{0x7F, 'E', 'L', 'F'}) // force the ELF path
+		}
+		Classify(data)
+	}
+}

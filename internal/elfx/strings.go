@@ -1,0 +1,60 @@
+package elfx
+
+// StringRef is a NUL-terminated string found in a loaded section, with the
+// virtual address of its first byte. The footprint extractor matches these
+// against the pseudo-file inventory, including printf-style patterns like
+// "/proc/%d/cmdline" (§3.4).
+type StringRef struct {
+	Addr  uint64
+	Value string
+}
+
+// Strings extracts printable NUL-terminated strings of at least minLen
+// bytes from the section. Printable means ASCII 0x20..0x7E plus tab; the
+// paper's path analysis only needs the hard-coded C string constants
+// compilers place in .rodata.
+func Strings(s Section, minLen int) []StringRef {
+	var out []StringRef
+	data := s.Data
+	start := -1
+	for i := 0; i <= len(data); i++ {
+		printable := i < len(data) && (data[i] == '\t' || (data[i] >= 0x20 && data[i] <= 0x7E))
+		if printable {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		// A run ends here; it only counts as a C string when it is
+		// NUL-terminated in the binary.
+		if start >= 0 && i-start >= minLen && i < len(data) && data[i] == 0 {
+			out = append(out, StringRef{
+				Addr:  s.Addr + uint64(start),
+				Value: string(data[start:i]),
+			})
+		}
+		start = -1
+	}
+	return out
+}
+
+// StringAt returns the NUL-terminated string starting exactly at va, if va
+// lies inside the section and the bytes form a printable C string.
+func StringAt(s Section, va uint64) (string, bool) {
+	if !s.Contains(va) {
+		return "", false
+	}
+	off := int(va - s.Addr)
+	end := off
+	for end < len(s.Data) && s.Data[end] != 0 {
+		c := s.Data[end]
+		if c != '\t' && (c < 0x20 || c > 0x7E) {
+			return "", false
+		}
+		end++
+	}
+	if end >= len(s.Data) {
+		return "", false // not NUL-terminated within the section
+	}
+	return string(s.Data[off:end]), true
+}

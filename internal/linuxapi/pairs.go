@@ -1,0 +1,193 @@
+package linuxapi
+
+// This file holds the named-API reference sets the paper's tables are
+// built from: which system calls are wrapped by particular libraries
+// (Table 1), dominated by particular packages (Table 2), unused entirely
+// (Table 3), made ubiquitous by the libc family's initialization (Table 5),
+// and the variant pairs of Section 5 (Tables 8-11).
+
+// LibraryOnlySyscall records a system call whose direct call sites appear
+// only in one or two libraries; applications depend on it only transitively
+// (Table 1).
+type LibraryOnlySyscall struct {
+	Syscalls  []string
+	Libraries []string
+	// PaperImportance is the API importance the paper reports (fraction).
+	PaperImportance float64
+}
+
+// LibraryOnlySyscalls reproduces Table 1.
+var LibraryOnlySyscalls = []LibraryOnlySyscall{
+	{[]string{"clock_settime", "iopl", "ioperm", "signalfd4"},
+		[]string{"libc"}, 1.00},
+	{[]string{"mbind"}, []string{"libnuma", "libopenblas"}, 0.36},
+	{[]string{"add_key"}, []string{"libkeyutils"}, 0.272},
+	{[]string{"keyctl"}, []string{"pam_keyutil", "libkeyutils"}, 0.272},
+	{[]string{"request_key"}, []string{"libkeyutils"}, 0.144},
+	{[]string{"preadv", "pwritev"}, []string{"libc"}, 0.117},
+}
+
+// PackageDominatedSyscall records a system call whose usage is dominated by
+// one or two special-purpose packages (Table 2).
+type PackageDominatedSyscall struct {
+	Syscalls        []string
+	Packages        []string
+	PaperImportance float64
+}
+
+// PackageDominatedSyscalls reproduces Table 2.
+var PackageDominatedSyscalls = []PackageDominatedSyscall{
+	{[]string{"seccomp", "sched_setattr", "sched_getattr"},
+		[]string{"coop-computing-tools"}, 0.01},
+	{[]string{"kexec_load"}, []string{"kexec-tools"}, 0.01},
+	{[]string{"clock_adjtime"}, []string{"systemd"}, 0.04},
+	{[]string{"renameat2"}, []string{"systemd", "coop-computing-tools"}, 0.04},
+	{[]string{"mq_timedsend", "mq_getsetattr"}, []string{"qemu-user"}, 0.01},
+	{[]string{"io_getevents"}, []string{"ioping", "zfs-fuse"}, 0.01},
+	{[]string{"getcpu"}, []string{"valgrind", "rt-tests"}, 0.04},
+}
+
+// UnusedSyscall records one of the 18 system calls no application in the
+// repository uses, with the paper's explanation (Table 3).
+type UnusedSyscall struct {
+	Names  []string
+	Reason string
+}
+
+// UnusedSyscalls reproduces Table 3: 18 system calls with no usage at all.
+// The first row is the ten calls with no x86-64 entry point ("Officially
+// retired" in the paper's phrasing); the five retired calls that
+// applications still attempt (uselib, nfsservctl, afs_syscall, vserver,
+// security — §3.1) are deliberately NOT here, since their importance is
+// low but non-zero.
+var UnusedSyscalls = []UnusedSyscall{
+	{[]string{"set_thread_area", "tuxcall", "create_module",
+		"get_thread_area", "get_kernel_syms", "query_module",
+		"epoll_ctl_old", "epoll_wait_old", "getpmsg", "putpmsg"},
+		"Officially retired."},
+	{[]string{"sysfs"}, "Replaced by /proc/filesystems."},
+	{[]string{"rt_tgsigqueueinfo", "get_robust_list"},
+		"Unused by applications."},
+	{[]string{"remap_file_pages"},
+		"No non-sequential ordered mapping; repeated calls to mmap preferred."},
+	{[]string{"mq_notify"}, "Unused: Asynchronous message delivery."},
+	{[]string{"lookup_dcookie"}, "Unused: for profiling."},
+	{[]string{"restart_syscall"}, "Transparent to applications."},
+	{[]string{"move_pages"}, "Unused: for NUMA usage."},
+}
+
+// RetiredAttempted lists the five officially retired system calls that
+// applications still attempt for backward compatibility with older kernels
+// (§3.1), with the paper's importance where stated (nfsservctl: 7% via NFS
+// utilities such as exportfs).
+var RetiredAttempted = map[string]float64{
+	"uselib":      0.02,
+	"nfsservctl":  0.07,
+	"afs_syscall": 0.01,
+	"vserver":     0.005,
+	"security":    0.005,
+}
+
+// UnusedSyscallNames flattens UnusedSyscalls into a set.
+func UnusedSyscallNames() map[string]bool {
+	m := make(map[string]bool)
+	for _, u := range UnusedSyscalls {
+		for _, n := range u.Names {
+			m[n] = true
+		}
+	}
+	return m
+}
+
+// LibcInitSyscall records a system call that is in the footprint of every
+// dynamically-linked executable because the libc family issues it during
+// program initialization or finalization (Table 5).
+type LibcInitSyscall struct {
+	Syscalls  []string
+	Libraries []string
+}
+
+// LibcInitSyscalls reproduces Table 5.
+var LibcInitSyscalls = []LibcInitSyscall{
+	{[]string{"access", "arch_prctl"}, []string{"ld.so"}},
+	{[]string{"clone", "execve", "getuid", "gettid", "kill", "getrlimit",
+		"setresuid"}, []string{"libc"}},
+	{[]string{"close", "exit", "exit_group", "getcwd", "getdents", "getpid",
+		"lseek", "lstat", "mmap", "munmap", "madvise", "mprotect", "mremap",
+		"newfstatat", "read"}, []string{"libc", "ld.so"}},
+	{[]string{"rt_sigreturn", "set_robust_list", "set_tid_address"},
+		[]string{"libpthread"}},
+	{[]string{"rt_sigprocmask"}, []string{"librt"}},
+	{[]string{"futex"}, []string{"libc", "ld.so", "libpthread"}},
+}
+
+// VariantPair relates two API variants and the paper's measured unweighted
+// API importance for each (Tables 8-11).
+type VariantPair struct {
+	// Left is the insecure / old / Linux-specific / powerful variant,
+	// Right the secure / new / portable / simple one, per table semantics.
+	Left, Right   string
+	LeftU, RightU float64 // paper's unweighted importance (fraction)
+}
+
+// SecureVariantPairs reproduces Table 8 (insecure → secure).
+var SecureVariantPairs = []VariantPair{
+	{"setuid", "setresuid", 0.1567, 0.9968},
+	{"setreuid", "setresuid", 0.0188, 0.9968},
+	{"setgid", "setresgid", 0.1207, 0.9968},
+	{"setregid", "setresgid", 0.0124, 0.9968},
+	{"getuid", "getresuid", 0.9981, 0.3619},
+	{"geteuid", "getresuid", 0.5515, 0.3619},
+	{"getgid", "getresgid", 0.9981, 0.3614},
+	{"getegid", "getresgid", 0.4887, 0.3614},
+	{"access", "faccessat", 0.7424, 0.0063},
+	{"mkdir", "mkdirat", 0.5207, 0.0034},
+	{"rename", "renameat", 0.4318, 0.0030},
+	{"readlink", "readlinkat", 0.4638, 0.0050},
+	{"chown", "fchownat", 0.2459, 0.0023},
+	{"chmod", "fchmodat", 0.3980, 0.0013},
+}
+
+// OldNewVariantPairs reproduces Table 9 (old → new/preferred).
+var OldNewVariantPairs = []VariantPair{
+	{"getdents", "getdents64", 0.9980, 0.0008},
+	{"utime", "utimes", 0.0857, 0.1790},
+	{"fork", "clone", 0.0007, 0.9986},
+	{"fork", "vfork", 0.0007, 0.9968},
+	{"tkill", "tgkill", 0.0051, 0.9980},
+	{"wait4", "waitid", 0.6056, 0.0024},
+}
+
+// PortableVariantPairs reproduces Table 10 (Linux-specific → portable).
+var PortableVariantPairs = []VariantPair{
+	{"preadv", "readv", 0.0015, 0.6223},
+	{"pwritev", "writev", 0.0016, 0.9980},
+	{"accept4", "accept", 0.0093, 0.2935},
+	{"ppoll", "poll", 0.0390, 0.7107},
+	{"recvmmsg", "recvmsg", 0.0011, 0.6882},
+	{"sendmmsg", "sendmsg", 0.0517, 0.4249},
+	{"pipe2", "pipe", 0.4033, 0.5033},
+}
+
+// SimplicityVariantPairs reproduces Table 11 (powerful → simple).
+var SimplicityVariantPairs = []VariantPair{
+	{"pread64", "read", 0.2723, 0.9988},
+	{"dup3", "dup2", 0.0872, 0.9975},
+	{"dup3", "dup", 0.0872, 0.6664},
+	{"recvmsg", "recvfrom", 0.6882, 0.5380},
+	{"sendmsg", "sendto", 0.4249, 0.7171},
+	{"pselect6", "select", 0.0413, 0.6153},
+	{"fchdir", "chdir", 0.0220, 0.4461},
+}
+
+// AllVariantPairs returns every named pair across Tables 8-11; the corpus
+// model pins the unweighted importance of each named system call so the
+// reproduction reports the same adoption gaps.
+func AllVariantPairs() []VariantPair {
+	var out []VariantPair
+	out = append(out, SecureVariantPairs...)
+	out = append(out, OldNewVariantPairs...)
+	out = append(out, PortableVariantPairs...)
+	out = append(out, SimplicityVariantPairs...)
+	return out
+}

@@ -1,0 +1,138 @@
+package linuxapi
+
+import "strings"
+
+// PseudoFileDef describes one pseudo-file or pseudo-device API: a path under
+// /proc, /sys or /dev that applications hard-code to request kernel
+// functionality (§3.4). Pattern paths contain printf-style verbs (%d, %s,
+// %u) that the static analysis matches against format strings such as
+// sprintf("/proc/%d/cmdline", pid).
+type PseudoFileDef struct {
+	Path string
+	// Pattern is true when Path contains printf conversion verbs.
+	Pattern bool
+	// SingleUse marks files designed for one specific application (e.g.
+	// /dev/kvm for qemu, /proc/kallsyms for kernel developers).
+	SingleUse bool
+}
+
+// PseudoFiles is the inventory of pseudo-files the study tracks: the widely
+// used files at the head of Figure 6's distribution plus the long
+// administrator-facing tail.
+var PseudoFiles = []PseudoFileDef{
+	{Path: "/dev/null"},
+	{Path: "/dev/zero"},
+	{Path: "/dev/tty"},
+	{Path: "/dev/urandom"},
+	{Path: "/dev/random"},
+	{Path: "/dev/console"},
+	{Path: "/dev/ptmx"},
+	{Path: "/dev/pts", Pattern: false},
+	{Path: "/dev/pts/%d", Pattern: true},
+	{Path: "/dev/stdin"},
+	{Path: "/dev/stdout"},
+	{Path: "/dev/stderr"},
+	{Path: "/dev/full"},
+	{Path: "/dev/mem", SingleUse: true},
+	{Path: "/dev/kmsg", SingleUse: true},
+	{Path: "/dev/kvm", SingleUse: true},
+	{Path: "/dev/fuse", SingleUse: true},
+	{Path: "/dev/loop%d", Pattern: true, SingleUse: true},
+	{Path: "/dev/hda"},
+	{Path: "/dev/sda"},
+	{Path: "/dev/cdrom", SingleUse: true},
+	{Path: "/dev/fb0", SingleUse: true},
+	{Path: "/dev/input/event%d", Pattern: true, SingleUse: true},
+	{Path: "/dev/snd/controlC%d", Pattern: true, SingleUse: true},
+	{Path: "/dev/shm"},
+	{Path: "/dev/dri/card%d", Pattern: true, SingleUse: true},
+	{Path: "/dev/vhost-net", SingleUse: true},
+	{Path: "/dev/net/tun", SingleUse: true},
+	{Path: "/dev/rtc", SingleUse: true},
+	{Path: "/dev/watchdog", SingleUse: true},
+	{Path: "/proc/cpuinfo"},
+	{Path: "/proc/meminfo"},
+	{Path: "/proc/stat"},
+	{Path: "/proc/mounts"},
+	{Path: "/proc/filesystems"},
+	{Path: "/proc/self/exe"},
+	{Path: "/proc/self/fd"},
+	{Path: "/proc/self/maps"},
+	{Path: "/proc/self/status"},
+	{Path: "/proc/self/cmdline"},
+	{Path: "/proc/self/stat"},
+	{Path: "/proc/self/mountinfo"},
+	{Path: "/proc/self/auxv"},
+	{Path: "/proc/%d/cmdline", Pattern: true},
+	{Path: "/proc/%d/stat", Pattern: true},
+	{Path: "/proc/%d/status", Pattern: true},
+	{Path: "/proc/%d/exe", Pattern: true},
+	{Path: "/proc/%d/fd", Pattern: true},
+	{Path: "/proc/%d/maps", Pattern: true},
+	{Path: "/proc/%d/environ", Pattern: true},
+	{Path: "/proc/%d/task", Pattern: true},
+	{Path: "/proc/uptime"},
+	{Path: "/proc/loadavg"},
+	{Path: "/proc/version"},
+	{Path: "/proc/sys/kernel/osrelease"},
+	{Path: "/proc/sys/kernel/hostname"},
+	{Path: "/proc/sys/kernel/pid_max"},
+	{Path: "/proc/sys/vm/overcommit_memory"},
+	{Path: "/proc/sys/fs/file-max"},
+	{Path: "/proc/sys/net/ipv4/ip_forward", SingleUse: true},
+	{Path: "/proc/net/dev"},
+	{Path: "/proc/net/tcp"},
+	{Path: "/proc/net/unix"},
+	{Path: "/proc/net/route"},
+	{Path: "/proc/partitions"},
+	{Path: "/proc/devices"},
+	{Path: "/proc/diskstats"},
+	{Path: "/proc/interrupts", SingleUse: true},
+	{Path: "/proc/modules", SingleUse: true},
+	{Path: "/proc/kallsyms", SingleUse: true},
+	{Path: "/proc/kcore", SingleUse: true},
+	{Path: "/proc/swaps"},
+	{Path: "/proc/tty/drivers", SingleUse: true},
+	{Path: "/proc/bus/pci/devices", SingleUse: true},
+	{Path: "/proc/acpi/battery", SingleUse: true},
+	{Path: "/proc/mdstat", SingleUse: true},
+	{Path: "/proc/cgroups", SingleUse: true},
+	{Path: "/sys/devices/system/cpu"},
+	{Path: "/sys/devices/system/cpu/online"},
+	{Path: "/sys/class/net"},
+	{Path: "/sys/class/net/%s/address", Pattern: true},
+	{Path: "/sys/block"},
+	{Path: "/sys/block/%s/queue/rotational", Pattern: true},
+	{Path: "/sys/bus/usb/devices", SingleUse: true},
+	{Path: "/sys/bus/pci/devices", SingleUse: true},
+	{Path: "/sys/class/power_supply", SingleUse: true},
+	{Path: "/sys/class/backlight", SingleUse: true},
+	{Path: "/sys/class/thermal", SingleUse: true},
+	{Path: "/sys/module", SingleUse: true},
+	{Path: "/sys/kernel/mm/transparent_hugepage/enabled", SingleUse: true},
+	{Path: "/sys/fs/cgroup"},
+	{Path: "/sys/fs/selinux", SingleUse: true},
+	{Path: "/sys/firmware/efi", SingleUse: true},
+	{Path: "/sys/power/state", SingleUse: true},
+}
+
+var pseudoByPath map[string]*PseudoFileDef
+
+func init() {
+	pseudoByPath = make(map[string]*PseudoFileDef, len(PseudoFiles))
+	for i := range PseudoFiles {
+		pseudoByPath[PseudoFiles[i].Path] = &PseudoFiles[i]
+	}
+}
+
+// PseudoFileByPath resolves an exact inventory path; nil if unknown.
+func PseudoFileByPath(path string) *PseudoFileDef { return pseudoByPath[path] }
+
+// IsPseudoPath reports whether a string looks like a pseudo-file path: it
+// starts with one of the pseudo-filesystem mount points. This is the coarse
+// filter the string scanner applies before inventory lookup.
+func IsPseudoPath(s string) bool {
+	return strings.HasPrefix(s, "/proc/") || strings.HasPrefix(s, "/dev/") ||
+		strings.HasPrefix(s, "/sys/") ||
+		s == "/proc" || s == "/dev" || s == "/sys"
+}

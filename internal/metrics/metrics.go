@@ -1,0 +1,468 @@
+// Package metrics implements the paper's two contributed metrics and their
+// derivatives. API importance (§2.1, Appendix A.1) is the probability that
+// a random installation includes at least one package requiring a given
+// API. Weighted completeness (§2.2, Appendix A.2) is the expected fraction
+// of a typical installation's packages that a target system supports, with
+// unsupported status propagated through package dependencies. Unweighted
+// API importance (§5) drops the installation weighting to expose developer
+// behaviour. The greedy most-important-first ordering yields the paper's
+// "optimal path" for adding system calls to a prototype (§3.2, Figure 3,
+// Table 4).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/apt"
+	"repro/internal/footprint"
+	"repro/internal/linuxapi"
+	"repro/internal/popcon"
+	"repro/internal/store"
+)
+
+// Input bundles the measured corpus: package metadata, installation
+// statistics, and per-package API footprints.
+type Input struct {
+	Repo   *apt.Repository
+	Survey *popcon.Survey
+	// Footprints maps package name to its aggregated API footprint (the
+	// union over the package's executables, §2).
+	Footprints map[string]footprint.Set
+	// Direct maps package name to the APIs its own binaries' code requests
+	// without going through a library — used for the library/package
+	// attribution tables (Tables 1, 2, 5).
+	Direct map[string]footprint.Set
+}
+
+// Universe returns every API appearing in any footprint.
+func (in *Input) Universe() []linuxapi.API {
+	set := make(footprint.Set)
+	for _, fp := range in.Footprints {
+		set.AddAll(fp)
+	}
+	return set.Sorted()
+}
+
+// UsersOf returns the packages whose footprint contains api, sorted by
+// descending installation count.
+func (in *Input) UsersOf(api linuxapi.API) []string {
+	var out []string
+	for pkg, fp := range in.Footprints {
+		if fp.Contains(api) {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := in.Survey.Installs(out[i]), in.Survey.Installs(out[j])
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// DirectUsersOf returns the packages whose own code (not a library they
+// link) requests api.
+func (in *Input) DirectUsersOf(api linuxapi.API) []string {
+	var out []string
+	for pkg, fp := range in.Direct {
+		if fp.Contains(api) {
+			out = append(out, pkg)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Importance computes API importance for every API in the universe:
+//
+//	Importance(api) = 1 - Π_{pkg ∈ Dependents(api)} (1 - Pr{pkg installed})
+//
+// assuming independent package installation, exactly as Appendix A.1.
+func Importance(in *Input) map[linuxapi.API]float64 {
+	out := make(map[linuxapi.API]float64)
+	for pkg, fp := range in.Footprints {
+		frac := in.Survey.Fraction(pkg)
+		if frac == 0 {
+			continue
+		}
+		// Accumulate log-survival to avoid underflow with many packages.
+		for api := range fp {
+			out[api] += -math.Log1p(-clampProb(frac))
+		}
+	}
+	for api, nls := range out {
+		out[api] = -math.Expm1(-nls)
+	}
+	// APIs used only by never-installed packages still exist with zero
+	// importance.
+	for pkg, fp := range in.Footprints {
+		if in.Survey.Fraction(pkg) == 0 {
+			for api := range fp {
+				if _, ok := out[api]; !ok {
+					out[api] = 0
+				}
+			}
+		}
+	}
+	return out
+}
+
+// quantize rounds a probability to nine decimal places for ordering, so
+// that float-level noise between "installed everywhere through one
+// essential package" (1 - 1e-15) and "saturated by volume" (rounds to
+// exactly 1.0) does not decide greedy-path positions.
+func quantize(p float64) float64 { return math.Round(p*1e9) / 1e9 }
+
+func clampProb(p float64) float64 {
+	// A package on every installation would zero the survival product;
+	// keep the log finite while preserving importance ≈ 1.
+	const eps = 1e-15
+	if p >= 1 {
+		return 1 - eps
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// Unweighted computes unweighted API importance: the fraction of packages
+// (with footprints) whose footprint contains the API, irrespective of
+// installation counts (§5).
+func Unweighted(in *Input) map[linuxapi.API]float64 {
+	out := make(map[linuxapi.API]float64)
+	total := len(in.Footprints)
+	if total == 0 {
+		return out
+	}
+	for _, fp := range in.Footprints {
+		for api := range fp {
+			out[api]++
+		}
+	}
+	for api, n := range out {
+		out[api] = n / float64(total)
+	}
+	return out
+}
+
+// FilterKind restricts a footprint to one API kind.
+func FilterKind(fp footprint.Set, kind linuxapi.Kind) footprint.Set {
+	out := make(footprint.Set)
+	for api := range fp {
+		if api.Kind == kind {
+			out.Add(api)
+		}
+	}
+	return out
+}
+
+// CompletenessOptions tune the weighted-completeness computation.
+type CompletenessOptions struct {
+	// Kind restricts the evaluation to one API namespace; packages are
+	// judged only on the APIs of that kind in their footprints. Use
+	// KindAll to judge on the full footprint.
+	Kind linuxapi.Kind
+	// AllKinds judges on the entire footprint regardless of Kind.
+	AllKinds bool
+	// NoDependencyPropagation disables §2.2 step 3 (ablation knob): a
+	// supported package depending on an unsupported one normally becomes
+	// unsupported itself.
+	NoDependencyPropagation bool
+}
+
+// WeightedCompleteness computes the paper's system-wide metric for a target
+// system described by its supported-API set:
+//
+//	WC = Σ_{pkg supported} Pr{pkg} / Σ_{pkg} Pr{pkg}
+//
+// A package is supported when its (kind-filtered) footprint is a subset of
+// the supported set and, unless disabled, every package in its dependency
+// closure is supported too.
+func WeightedCompleteness(in *Input, supported footprint.Set, opts CompletenessOptions) float64 {
+	okOwn := make(map[string]bool, len(in.Footprints))
+	for pkg, fp := range in.Footprints {
+		okOwn[pkg] = subsetOK(fp, supported, opts)
+	}
+	var num, den float64
+	for pkg := range in.Footprints {
+		w := in.Survey.Fraction(pkg)
+		den += w
+		if w == 0 {
+			continue
+		}
+		good := okOwn[pkg]
+		if good && !opts.NoDependencyPropagation && in.Repo != nil {
+			for _, dep := range in.Repo.DependencyClosure(pkg) {
+				if ok, known := okOwn[dep]; known && !ok {
+					good = false
+					break
+				}
+			}
+		}
+		if good {
+			num += w
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func subsetOK(fp, supported footprint.Set, opts CompletenessOptions) bool {
+	for api := range fp {
+		if !opts.AllKinds && api.Kind != opts.Kind {
+			continue
+		}
+		if !supported.Contains(api) {
+			return false
+		}
+	}
+	return true
+}
+
+// PathPoint is one step of the greedy API-addition path.
+type PathPoint struct {
+	// N is the number of APIs supported after this step (1-based).
+	N int
+	// API is the API added at this step.
+	API linuxapi.API
+	// Importance is the API's importance (the ordering key).
+	Importance float64
+	// Completeness is the weighted completeness achieved with the first N
+	// APIs supported.
+	Completeness float64
+}
+
+// GreedyPath ranks the APIs of one kind by descending importance and
+// computes the cumulative weighted completeness after each addition —
+// Figure 3's curve. Ties break by unweighted importance then name, which
+// keeps the ordering stable and sensible for the 100%-importance plateau.
+func GreedyPath(in *Input, kind linuxapi.Kind) []PathPoint {
+	return greedyPath(in, func(api linuxapi.API) bool { return api.Kind == kind })
+}
+
+// GreedyPathAll ranks every measured API — system calls, vectored opcodes,
+// pseudo-files and libc symbols together — realizing §3.2's remark that
+// "one can construct a similar path including other APIs, such as vectored
+// system calls, pseudo-files and library APIs".
+func GreedyPathAll(in *Input) []PathPoint {
+	return greedyPath(in, func(linuxapi.API) bool { return true })
+}
+
+func greedyPath(in *Input, include func(linuxapi.API) bool) []PathPoint {
+	imp := Importance(in)
+	unw := Unweighted(in)
+	var apis []linuxapi.API
+	for api := range imp {
+		if include(api) {
+			apis = append(apis, api)
+		}
+	}
+	sort.Slice(apis, func(i, j int) bool {
+		a, b := apis[i], apis[j]
+		if qa, qb := quantize(imp[a]), quantize(imp[b]); qa != qb {
+			return qa > qb
+		}
+		if unw[a] != unw[b] {
+			return unw[a] > unw[b]
+		}
+		return a.Name < b.Name
+	})
+
+	rank := make(map[linuxapi.API]int, len(apis))
+	for i, api := range apis {
+		rank[api] = i + 1
+	}
+
+	// A package's demand is the highest rank in its filtered footprint;
+	// with dependency propagation, the max over its closure.
+	demand := make(map[string]int, len(in.Footprints))
+	for pkg, fp := range in.Footprints {
+		d := 0
+		for api := range fp {
+			if !include(api) {
+				continue
+			}
+			if r := rank[api]; r > d {
+				d = r
+			}
+		}
+		demand[pkg] = d
+	}
+	effective := make(map[string]int, len(demand))
+	for pkg := range demand {
+		d := demand[pkg]
+		if in.Repo != nil {
+			for _, dep := range in.Repo.DependencyClosure(pkg) {
+				if dd, ok := demand[dep]; ok && dd > d {
+					d = dd
+				}
+			}
+		}
+		effective[pkg] = d
+	}
+
+	// Weight mass per demand level.
+	massAt := make([]float64, len(apis)+1)
+	var total float64
+	for pkg, d := range effective {
+		w := in.Survey.Fraction(pkg)
+		total += w
+		massAt[d] += w
+	}
+
+	out := make([]PathPoint, len(apis))
+	cum := massAt[0]
+	for i, api := range apis {
+		cum += massAt[i+1]
+		wc := 0.0
+		if total > 0 {
+			wc = cum / total
+		}
+		out[i] = PathPoint{N: i + 1, API: api, Importance: imp[api], Completeness: wc}
+	}
+	return out
+}
+
+// Stage summarizes one implementation phase of Table 4.
+type Stage struct {
+	// Label is the roman-numeral stage name.
+	Label string
+	// FirstN and LastN are the 1-based rank range of APIs in this stage.
+	FirstN, LastN int
+	// Added is the number of APIs added in this stage.
+	Added int
+	// Completeness is the weighted completeness after the stage.
+	Completeness float64
+	// Samples are representative APIs added in the stage.
+	Samples []linuxapi.API
+}
+
+// Stages cuts a greedy path at the given boundaries (e.g. 40, 81, 145,
+// 202 and the path end), reproducing Table 4's five phases.
+func Stages(path []PathPoint, boundaries []int, sampleCount int) []Stage {
+	labels := []string{"I", "II", "III", "IV", "V", "VI", "VII", "VIII"}
+	var out []Stage
+	prev := 0
+	cut := append(append([]int(nil), boundaries...), len(path))
+	for i, b := range cut {
+		if b > len(path) {
+			b = len(path)
+		}
+		if b <= prev {
+			continue
+		}
+		st := Stage{
+			Label:  labels[min(i, len(labels)-1)],
+			FirstN: prev + 1,
+			LastN:  b,
+			Added:  b - prev,
+		}
+		st.Completeness = path[b-1].Completeness
+		for j := prev; j < b && len(st.Samples) < sampleCount; j++ {
+			st.Samples = append(st.Samples, path[j].API)
+		}
+		out = append(out, st)
+		prev = b
+	}
+	return out
+}
+
+// Curve sorts importance values for one kind in descending order — the
+// inverted-CDF shape of Figures 2, 4, 5, 6, 7 and 8. The returned names
+// parallel the values.
+func Curve(values map[linuxapi.API]float64, kind linuxapi.Kind) (apis []linuxapi.API, imp []float64) {
+	for api := range values {
+		if api.Kind == kind {
+			apis = append(apis, api)
+		}
+	}
+	sort.Slice(apis, func(i, j int) bool {
+		a, b := apis[i], apis[j]
+		if qa, qb := quantize(values[a]), quantize(values[b]); qa != qb {
+			return qa > qb
+		}
+		return a.Name < b.Name
+	})
+	imp = make([]float64, len(apis))
+	for i, api := range apis {
+		imp[i] = values[api]
+	}
+	return apis, imp
+}
+
+// CountAbove returns how many curve values are ≥ threshold.
+func CountAbove(imp []float64, threshold float64) int {
+	n := 0
+	for _, v := range imp {
+		if v >= threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// Record mirrors the measured relations into an embedded store DB so that
+// report generation can run index-backed queries, the way the paper's
+// pipeline queried PostgreSQL. It returns the populated tables.
+type Tables struct {
+	PkgAPI     *store.Table[PkgAPIRow]
+	PkgInstall *store.Table[PkgInstallRow]
+	PkgDep     *store.Table[PkgDepRow]
+	ByAPI      *store.Index[PkgAPIRow]
+	ByPkg      *store.Index[PkgAPIRow]
+}
+
+// PkgAPIRow relates a package to one API in its footprint.
+type PkgAPIRow struct {
+	Pkg    string
+	API    linuxapi.API
+	Direct bool
+}
+
+// PkgInstallRow carries a package's installation count.
+type PkgInstallRow struct {
+	Pkg      string
+	Installs int64
+}
+
+// PkgDepRow is one dependency edge.
+type PkgDepRow struct {
+	Pkg, Dep string
+}
+
+// Record populates a DB from the input.
+func Record(db *store.DB, in *Input) *Tables {
+	t := &Tables{
+		PkgAPI:     store.NewTable[PkgAPIRow](db, "pkg_api"),
+		PkgInstall: store.NewTable[PkgInstallRow](db, "pkg_install"),
+		PkgDep:     store.NewTable[PkgDepRow](db, "pkg_dep"),
+	}
+	t.ByAPI = store.NewIndex(t.PkgAPI, func(r PkgAPIRow) string { return r.API.String() })
+	t.ByPkg = store.NewIndex(t.PkgAPI, func(r PkgAPIRow) string { return r.Pkg })
+	pkgs := make([]string, 0, len(in.Footprints))
+	for pkg := range in.Footprints {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		direct := in.Direct[pkg]
+		for _, api := range in.Footprints[pkg].Sorted() {
+			t.PkgAPI.Insert(PkgAPIRow{Pkg: pkg, API: api, Direct: direct.Contains(api)})
+		}
+		t.PkgInstall.Insert(PkgInstallRow{Pkg: pkg, Installs: in.Survey.Installs(pkg)})
+		if in.Repo != nil {
+			if p := in.Repo.Get(pkg); p != nil {
+				for _, dep := range p.Depends {
+					t.PkgDep.Insert(PkgDepRow{Pkg: pkg, Dep: dep})
+				}
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,193 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/footprint"
+)
+
+var (
+	once     sync.Once
+	rep      *Report
+	setupErr error
+)
+
+func testReport(t *testing.T) *Report {
+	t.Helper()
+	once.Do(func() {
+		c, err := corpus.Generate(corpus.Config{Packages: 300, Installations: 500000, Seed: 21})
+		if err != nil {
+			setupErr = err
+			return
+		}
+		s, err := core.Run(c, footprint.Options{})
+		if err != nil {
+			setupErr = err
+			return
+		}
+		rep = New(s)
+	})
+	if setupErr != nil {
+		t.Fatal(setupErr)
+	}
+	return rep
+}
+
+func TestEveryRendererMentionsPaperValues(t *testing.T) {
+	r := testReport(t)
+	stripped := compat.StrippedLibc{Threshold: 0.9, Kept: 600, SizeFraction: 0.5, Completeness: 0.8, RelocationBytes: 30576}
+	sections := map[string]string{
+		"Figure1":  r.Figure1(),
+		"Figure2":  r.Figure2(),
+		"Figure3":  r.Figure3(),
+		"Figure4":  r.Figure4(),
+		"Figure5":  r.Figure5(),
+		"Figure6":  r.Figure6(),
+		"Figure7":  r.Figure7(stripped),
+		"Figure8":  r.Figure8(),
+		"Table1":   r.Table1(),
+		"Table2":   r.Table2(),
+		"Table3":   r.Table3(),
+		"Table4":   r.Table4(),
+		"Table5":   r.Table5(),
+		"Table6":   r.Table6(),
+		"Table7":   r.Table7(),
+		"Table8":   r.Table8(),
+		"Table9":   r.Table9(),
+		"Table10":  r.Table10(),
+		"Table11":  r.Table11(),
+		"Table12":  r.Table12(),
+		"Section6": r.Section6(),
+	}
+	for name, text := range sections {
+		if len(text) < 40 {
+			t.Errorf("%s rendered only %d bytes", name, len(text))
+		}
+		if !strings.Contains(text, "paper") && name != "Table5" && name != "Figure6" && name != "Figure1" {
+			t.Errorf("%s does not cite the paper values:\n%s", name, text)
+		}
+		if strings.Contains(text, "%!") {
+			t.Errorf("%s has a formatting bug:\n%s", name, text)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil, 10); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	flat := sparkline([]float64{1, 1, 1, 1}, 4)
+	if flat != "@@@@" {
+		t.Errorf("flat-high sparkline = %q", flat)
+	}
+	lo := sparkline([]float64{0, 0}, 2)
+	if lo != "  " {
+		t.Errorf("flat-low sparkline = %q", lo)
+	}
+	// Out-of-range values clamp rather than panic.
+	weird := sparkline([]float64{-0.5, 1.5}, 2)
+	if len(weird) != 2 {
+		t.Errorf("clamped sparkline = %q", weird)
+	}
+}
+
+func TestTable4StageNumbersAddUp(t *testing.T) {
+	r := testReport(t)
+	text := r.Table4()
+	if !strings.Contains(text, "stage I") || !strings.Contains(text, "stage V") {
+		t.Errorf("Table 4 missing stages:\n%s", text)
+	}
+	// Final stage reaches 100%.
+	if !strings.Contains(text, "100.00%") {
+		t.Errorf("Table 4 does not reach 100%%:\n%s", text)
+	}
+}
+
+func TestFigure2CountsConsistent(t *testing.T) {
+	r := testReport(t)
+	cs, vals := r.curve(0 /* KindSyscall */, 323)
+	if cs.At100 > cs.Above10 || cs.Above10 > cs.Above1 || cs.Above1 > cs.Total {
+		t.Errorf("curve counts not nested: %+v", cs)
+	}
+	for i := 1; i < len(vals); i++ {
+		// The ordering quantizes importance (1e-9) so float noise between
+		// saturated values does not decide positions; allow it here too.
+		if vals[i] > vals[i-1]+1e-9 {
+			t.Fatalf("curve not sorted at %d", i)
+		}
+	}
+}
+
+func TestSeriesExport(t *testing.T) {
+	r := testReport(t)
+	for _, fig := range []string{"fig2", "fig3", "fig4", "fig5f", "fig5p", "fig6", "fig7", "fig8"} {
+		series, err := r.Series(fig)
+		if err != nil {
+			t.Fatalf("%s: %v", fig, err)
+		}
+		if len(series) == 0 {
+			t.Errorf("%s: empty series", fig)
+		}
+		for i, p := range series {
+			if p.Rank != i+1 {
+				t.Fatalf("%s: rank %d at index %d", fig, p.Rank, i)
+			}
+		}
+		var csvBuf, jsonBuf strings.Builder
+		if err := r.WriteSeriesCSV(&csvBuf, fig); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(csvBuf.String(), "rank,api,importance") {
+			t.Errorf("%s: csv header wrong", fig)
+		}
+		if err := r.WriteSeriesJSON(&jsonBuf, fig); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(jsonBuf.String(), `"api"`) {
+			t.Errorf("%s: json content wrong", fig)
+		}
+	}
+	if _, err := r.Series("fig99"); err == nil {
+		t.Error("unknown figure must error")
+	}
+}
+
+func TestFigure3SeriesMonotone(t *testing.T) {
+	r := testReport(t)
+	series, _ := r.Series("fig3")
+	prev := 0.0
+	for _, p := range series {
+		if p.Completeness < prev {
+			t.Fatalf("completeness decreases at rank %d", p.Rank)
+		}
+		prev = p.Completeness
+	}
+	if prev < 0.999 {
+		t.Errorf("final completeness = %v", prev)
+	}
+}
+
+func TestAblationSummary(t *testing.T) {
+	c, err := corpus.Generate(corpus.Config{Packages: 150, Installations: 300000, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := AblationSummary(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"baseline", "whole-binary", "function-pointer",
+		"dependency propagation"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("ablation summary missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "WARNING") {
+		t.Errorf("ablation sanity relations violated:\n%s", text)
+	}
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/linuxapi"
+	"repro/internal/metrics"
+)
+
+// SeriesPoint is one point of a figure's data series, suitable for
+// re-plotting the paper's figures with external tools.
+type SeriesPoint struct {
+	Rank       int     `json:"rank"`
+	API        string  `json:"api"`
+	Importance float64 `json:"importance"`
+	Unweighted float64 `json:"unweighted"`
+	// Completeness is only set for the Figure 3 series.
+	Completeness float64 `json:"completeness,omitempty"`
+}
+
+// Series returns the data series behind one figure:
+//
+//	fig2  syscall importance (inverted CDF)
+//	fig3  weighted completeness along the greedy path
+//	fig4  ioctl opcode importance
+//	fig5f fcntl opcode importance
+//	fig5p prctl opcode importance
+//	fig6  pseudo-file importance
+//	fig7  libc symbol importance
+//	fig8  syscall unweighted importance
+func (r *Report) Series(figure string) ([]SeriesPoint, error) {
+	curveOf := func(values map[linuxapi.API]float64, kind linuxapi.Kind) []SeriesPoint {
+		apis, vals := metrics.Curve(values, kind)
+		out := make([]SeriesPoint, len(apis))
+		for i, api := range apis {
+			out[i] = SeriesPoint{
+				Rank:       i + 1,
+				API:        api.Name,
+				Importance: r.Importance[api],
+				Unweighted: r.Unweighted[api],
+			}
+			_ = vals
+		}
+		return out
+	}
+	switch figure {
+	case "fig2":
+		return curveOf(r.Importance, linuxapi.KindSyscall), nil
+	case "fig3":
+		out := make([]SeriesPoint, len(r.Path))
+		for i, p := range r.Path {
+			out[i] = SeriesPoint{
+				Rank:         p.N,
+				API:          p.API.Name,
+				Importance:   p.Importance,
+				Unweighted:   r.Unweighted[p.API],
+				Completeness: p.Completeness,
+			}
+		}
+		return out, nil
+	case "fig4":
+		return curveOf(r.Importance, linuxapi.KindIoctl), nil
+	case "fig5f":
+		return curveOf(r.Importance, linuxapi.KindFcntl), nil
+	case "fig5p":
+		return curveOf(r.Importance, linuxapi.KindPrctl), nil
+	case "fig6":
+		return curveOf(r.Importance, linuxapi.KindPseudoFile), nil
+	case "fig7":
+		return curveOf(r.Importance, linuxapi.KindLibcSym), nil
+	case "fig8":
+		return curveOf(r.Unweighted, linuxapi.KindSyscall), nil
+	}
+	return nil, fmt.Errorf("report: no series for %q (fig2, fig3, fig4, fig5f, fig5p, fig6, fig7, fig8)", figure)
+}
+
+// WriteSeriesCSV emits a figure's series as CSV with a header row.
+func (r *Report) WriteSeriesCSV(w io.Writer, figure string) error {
+	series, err := r.Series(figure)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rank", "api", "importance", "unweighted", "completeness"}); err != nil {
+		return err
+	}
+	for _, p := range series {
+		rec := []string{
+			strconv.Itoa(p.Rank),
+			p.API,
+			strconv.FormatFloat(p.Importance, 'f', 6, 64),
+			strconv.FormatFloat(p.Unweighted, 'f', 6, 64),
+			strconv.FormatFloat(p.Completeness, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSeriesJSON emits a figure's series as a JSON array.
+func (r *Report) WriteSeriesJSON(w io.Writer, figure string) error {
+	series, err := r.Series(figure)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(series)
+}

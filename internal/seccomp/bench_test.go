@@ -1,0 +1,56 @@
+package seccomp
+
+import (
+	"testing"
+
+	"repro/internal/footprint"
+	"repro/internal/linuxapi"
+)
+
+func benchFootprint() footprint.Set {
+	fp := make(footprint.Set)
+	for i, d := range linuxapi.Syscalls {
+		if i%2 == 0 {
+			fp.Add(linuxapi.Sys(d.Name))
+		}
+	}
+	fp.Add(linuxapi.Ioctl("TCGETS"))
+	fp.Add(linuxapi.Fcntl("F_GETFL"))
+	return fp
+}
+
+func BenchmarkPolicyCompile(b *testing.B) {
+	pol := NewPolicy(benchFootprint(), RetKill)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pol.Compile(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVectoredPolicyCompile(b *testing.B) {
+	vp := NewVectoredPolicy(benchFootprint(), RetKill)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := vp.Compile(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpreter(b *testing.B) {
+	pol := NewPolicy(benchFootprint(), RetKill)
+	prog, err := pol.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := Data{Nr: 322, Arch: AuditArchX8664} // worst case: last entry
+	data := d.Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(prog, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

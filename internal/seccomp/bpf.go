@@ -1,0 +1,187 @@
+// Package seccomp implements the practical application Section 6 of the
+// paper highlights: automatically generating an application-specific
+// system-call sandbox policy from a measured API footprint. Linux's
+// seccomp facility consumes classic-BPF programs over the seccomp_data
+// record; this package provides the cBPF instruction set (the subset
+// seccomp accepts), a policy generator, a validating interpreter, and a
+// textual disassembler — all from scratch.
+package seccomp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Classic BPF opcode classes and modifiers (the seccomp-relevant subset).
+const (
+	// Instruction classes.
+	ClassLD   = 0x00
+	ClassLDX  = 0x01
+	ClassST   = 0x02
+	ClassALU  = 0x04
+	ClassJMP  = 0x05
+	ClassRET  = 0x06
+	ClassMISC = 0x07
+
+	// Size and mode for loads.
+	SizeW   = 0x00 // 32-bit word
+	ModeIMM = 0x00
+	ModeABS = 0x20
+	ModeMEM = 0x60
+
+	// Jump operations.
+	JumpJA   = 0x00
+	JumpJEQ  = 0x10
+	JumpJGT  = 0x20
+	JumpJGE  = 0x30
+	JumpJSET = 0x40
+
+	// Source flag: compare against K (immediate) or X register.
+	SrcK = 0x00
+	SrcX = 0x08
+
+	// ALU operations.
+	ALUAdd = 0x00
+	ALUAnd = 0x50
+
+	// Return source.
+	RetK = 0x00
+	RetA = 0x10
+)
+
+// Seccomp return actions (linux/seccomp.h).
+const (
+	RetKill  uint32 = 0x00000000
+	RetTrap  uint32 = 0x00030000
+	RetErrno uint32 = 0x00050000 // OR the errno into the low 16 bits
+	RetTrace uint32 = 0x7ff00000
+	RetAllow uint32 = 0x7fff0000
+)
+
+// AuditArchX8664 is the AUDIT_ARCH_X86_64 constant seccomp filters check
+// before trusting the system-call number.
+const AuditArchX8664 uint32 = 0xC000003E
+
+// seccomp_data field offsets.
+const (
+	OffNr           = 0
+	OffArch         = 4
+	OffIP           = 8
+	OffArgs         = 16
+	SeccompDataSize = 64
+)
+
+// Instruction is one classic-BPF instruction.
+type Instruction struct {
+	Code uint16
+	Jt   uint8
+	Jf   uint8
+	K    uint32
+}
+
+// Program is a BPF filter program.
+type Program []Instruction
+
+// Helpers building common instructions.
+
+// LoadAbs loads the 32-bit word at offset off of seccomp_data into A.
+func LoadAbs(off uint32) Instruction {
+	return Instruction{Code: ClassLD | SizeW | ModeABS, K: off}
+}
+
+// JumpEqual compares A to k: true falls jt instructions ahead, false jf.
+func JumpEqual(k uint32, jt, jf uint8) Instruction {
+	return Instruction{Code: ClassJMP | JumpJEQ | SrcK, Jt: jt, Jf: jf, K: k}
+}
+
+// JumpAlways skips k instructions.
+func JumpAlways(k uint32) Instruction {
+	return Instruction{Code: ClassJMP | JumpJA, K: k}
+}
+
+// Ret returns the action k.
+func Ret(k uint32) Instruction {
+	return Instruction{Code: ClassRET | RetK, K: k}
+}
+
+// Validate checks structural soundness the kernel would enforce: non-empty,
+// ≤ 4096 instructions, every jump lands inside the program, and every path
+// ends in a return.
+func (p Program) Validate() error {
+	if len(p) == 0 {
+		return fmt.Errorf("seccomp: empty program")
+	}
+	if len(p) > 4096 {
+		return fmt.Errorf("seccomp: program too long: %d instructions", len(p))
+	}
+	for i, ins := range p {
+		switch ins.Code & 0x07 {
+		case ClassJMP:
+			if ins.Code&0xF0 == JumpJA {
+				if int(ins.K) >= len(p)-i-1 {
+					return fmt.Errorf("seccomp: insn %d: ja target out of range", i)
+				}
+			} else {
+				if i+1+int(ins.Jt) >= len(p) || i+1+int(ins.Jf) >= len(p) {
+					return fmt.Errorf("seccomp: insn %d: jump target out of range", i)
+				}
+			}
+		case ClassLD:
+			if ins.Code&0xE0 == ModeABS {
+				if ins.K+4 > SeccompDataSize {
+					return fmt.Errorf("seccomp: insn %d: load beyond seccomp_data", i)
+				}
+			}
+		}
+	}
+	last := p[len(p)-1]
+	if last.Code&0x07 != ClassRET {
+		return fmt.Errorf("seccomp: program does not end in a return")
+	}
+	return nil
+}
+
+// Data is the seccomp_data record a filter executes against.
+type Data struct {
+	Nr   int32
+	Arch uint32
+	IP   uint64
+	Args [6]uint64
+}
+
+// Marshal lays the record out in the kernel's little-endian format.
+func (d *Data) Marshal() [SeccompDataSize]byte {
+	var out [SeccompDataSize]byte
+	binary.LittleEndian.PutUint32(out[OffNr:], uint32(d.Nr))
+	binary.LittleEndian.PutUint32(out[OffArch:], d.Arch)
+	binary.LittleEndian.PutUint64(out[OffIP:], d.IP)
+	for i, a := range d.Args {
+		binary.LittleEndian.PutUint64(out[OffArgs+8*i:], a)
+	}
+	return out
+}
+
+// String disassembles one instruction.
+func (ins Instruction) String() string {
+	switch ins.Code & 0x07 {
+	case ClassLD:
+		return fmt.Sprintf("ld [%d]", ins.K)
+	case ClassJMP:
+		if ins.Code&0xF0 == JumpJA {
+			return fmt.Sprintf("ja +%d", ins.K)
+		}
+		return fmt.Sprintf("jeq #0x%x jt %d jf %d", ins.K, ins.Jt, ins.Jf)
+	case ClassRET:
+		return fmt.Sprintf("ret #0x%x", ins.K)
+	}
+	return fmt.Sprintf("insn{code=%#x k=%#x}", ins.Code, ins.K)
+}
+
+// Disassemble renders the whole program, one instruction per line.
+func (p Program) Disassemble() string {
+	out := ""
+	for i, ins := range p {
+		out += fmt.Sprintf("%4d: %s\n", i, ins.String())
+	}
+	return out
+}

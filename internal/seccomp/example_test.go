@@ -1,0 +1,42 @@
+package seccomp_test
+
+import (
+	"fmt"
+
+	"repro/internal/footprint"
+	"repro/internal/linuxapi"
+	"repro/internal/seccomp"
+)
+
+// ExampleNewPolicy builds and interprets a minimal sandbox.
+func ExampleNewPolicy() {
+	fp := make(footprint.Set)
+	fp.Add(linuxapi.Sys("read"))
+	fp.Add(linuxapi.Sys("exit_group"))
+
+	pol := seccomp.NewPolicy(fp, seccomp.RetKill)
+	prog, err := pol.Compile()
+	if err != nil {
+		panic(err)
+	}
+
+	try := func(name string) {
+		d := seccomp.Data{
+			Nr:   int32(linuxapi.SyscallByName(name).Num),
+			Arch: seccomp.AuditArchX8664,
+		}
+		action, _ := seccomp.Run(prog, d.Marshal())
+		if action == seccomp.RetAllow {
+			fmt.Printf("%s: allowed\n", name)
+		} else {
+			fmt.Printf("%s: killed\n", name)
+		}
+	}
+	try("read")
+	try("exit_group")
+	try("execve")
+	// Output:
+	// read: allowed
+	// exit_group: allowed
+	// execve: killed
+}

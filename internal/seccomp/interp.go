@@ -1,0 +1,118 @@
+package seccomp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Run interprets a classic-BPF program over a marshaled seccomp_data
+// record, returning the program's return value (the seccomp action). The
+// interpreter implements the cBPF semantics seccomp relies on: 32-bit
+// accumulator and index registers, 16 scratch slots, absolute loads from
+// the data record, conditional and unconditional jumps, and the small ALU
+// subset. A step budget guards against malformed programs.
+func Run(p Program, data [SeccompDataSize]byte) (uint32, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	var (
+		a, x uint32
+		mem  [16]uint32
+	)
+	pc := 0
+	for steps := 0; steps < 10000; steps++ {
+		if pc < 0 || pc >= len(p) {
+			return 0, fmt.Errorf("seccomp: pc %d out of range", pc)
+		}
+		ins := p[pc]
+		switch ins.Code & 0x07 {
+		case ClassLD:
+			switch ins.Code & 0xE0 {
+			case ModeABS:
+				if ins.K+4 > SeccompDataSize {
+					return 0, fmt.Errorf("seccomp: load at %d out of range", ins.K)
+				}
+				a = binary.LittleEndian.Uint32(data[ins.K:])
+			case ModeIMM:
+				a = ins.K
+			case ModeMEM:
+				if ins.K >= 16 {
+					return 0, fmt.Errorf("seccomp: mem slot %d out of range", ins.K)
+				}
+				a = mem[ins.K]
+			default:
+				return 0, fmt.Errorf("seccomp: unsupported load mode %#x", ins.Code)
+			}
+			pc++
+		case ClassLDX:
+			switch ins.Code & 0xE0 {
+			case ModeIMM:
+				x = ins.K
+			case ModeMEM:
+				if ins.K >= 16 {
+					return 0, fmt.Errorf("seccomp: mem slot %d out of range", ins.K)
+				}
+				x = mem[ins.K]
+			default:
+				return 0, fmt.Errorf("seccomp: unsupported ldx mode %#x", ins.Code)
+			}
+			pc++
+		case ClassST:
+			if ins.K >= 16 {
+				return 0, fmt.Errorf("seccomp: mem slot %d out of range", ins.K)
+			}
+			mem[ins.K] = a
+			pc++
+		case ClassALU:
+			operand := ins.K
+			if ins.Code&SrcX != 0 {
+				operand = x
+			}
+			switch ins.Code & 0xF0 {
+			case ALUAdd:
+				a += operand
+			case ALUAnd:
+				a &= operand
+			default:
+				return 0, fmt.Errorf("seccomp: unsupported alu op %#x", ins.Code)
+			}
+			pc++
+		case ClassJMP:
+			op := ins.Code & 0xF0
+			if op == JumpJA {
+				pc += 1 + int(ins.K)
+				continue
+			}
+			operand := ins.K
+			if ins.Code&SrcX != 0 {
+				operand = x
+			}
+			var taken bool
+			switch op {
+			case JumpJEQ:
+				taken = a == operand
+			case JumpJGT:
+				taken = a > operand
+			case JumpJGE:
+				taken = a >= operand
+			case JumpJSET:
+				taken = a&operand != 0
+			default:
+				return 0, fmt.Errorf("seccomp: unsupported jump op %#x", ins.Code)
+			}
+			if taken {
+				pc += 1 + int(ins.Jt)
+			} else {
+				pc += 1 + int(ins.Jf)
+			}
+		case ClassRET:
+			if ins.Code&RetA != 0 {
+				return a, nil
+			}
+			return ins.K, nil
+		default:
+			return 0, fmt.Errorf("seccomp: unsupported class %#x", ins.Code)
+		}
+	}
+	return 0, fmt.Errorf("seccomp: step budget exceeded")
+}

@@ -1,0 +1,128 @@
+package seccomp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/footprint"
+	"repro/internal/linuxapi"
+)
+
+// Policy describes a sandbox derived from an application footprint.
+type Policy struct {
+	// Allowed are the permitted system-call numbers, sorted.
+	Allowed []int
+	// DenyAction is the action for everything else (RetKill or
+	// RetErrno|errno).
+	DenyAction uint32
+}
+
+// NewPolicy builds a policy from a measured footprint: exactly the system
+// calls the binary could issue are allowed (§6: "generation of seccomp
+// policies can be easily automated using our framework").
+func NewPolicy(fp footprint.Set, denyAction uint32) *Policy {
+	seen := map[int]bool{}
+	var nums []int
+	for api := range fp {
+		if api.Kind != linuxapi.KindSyscall {
+			continue
+		}
+		if d := linuxapi.SyscallByName(api.Name); d != nil && !seen[d.Num] {
+			seen[d.Num] = true
+			nums = append(nums, d.Num)
+		}
+	}
+	sort.Ints(nums)
+	return &Policy{Allowed: nums, DenyAction: denyAction}
+}
+
+// Compile lowers the policy to a classic-BPF program:
+//
+//	ld  [arch]                ; wrong architecture → kill
+//	jeq #AUDIT_ARCH_X86_64, +1, 0
+//	ret #KILL
+//	ld  [nr]
+//	jeq #nr0, ALLOW, +1       ; one test per allowed call
+//	...
+//	ret #deny
+//	ret #ALLOW
+//
+// Each allowed call tests as "jeq nr, hit, miss" where a hit jumps to the
+// shared allow return; since Jt is an 8-bit offset, long allow-lists are
+// emitted as chunks with local allow returns.
+func (p *Policy) Compile() (Program, error) {
+	var prog Program
+	prog = append(prog,
+		LoadAbs(OffArch),
+		JumpEqual(AuditArchX8664, 1, 0),
+		Ret(RetKill),
+		LoadAbs(OffNr),
+	)
+	// Chunk the allow list so every jump offset fits in 8 bits: within a
+	// chunk of size c, entry i jumps (c-i) ahead to the chunk's allow
+	// return; a miss at the end of the chunk skips that return.
+	const chunk = 128
+	for start := 0; start < len(p.Allowed); start += chunk {
+		end := start + chunk
+		if end > len(p.Allowed) {
+			end = len(p.Allowed)
+		}
+		c := end - start
+		// Entry i sits (c-i) instructions before the chunk's shared
+		// "ret ALLOW" (the remaining jeqs plus the ja guard), so a hit
+		// jumps c-i ahead; a miss falls through, and a miss on the last
+		// entry lands on "ja 1", skipping the allow return.
+		for i, nr := range p.Allowed[start:end] {
+			prog = append(prog, JumpEqual(uint32(nr), uint8(c-i), 0))
+		}
+		prog = append(prog, JumpAlways(1), Ret(RetAllow))
+	}
+	prog = append(prog, Ret(p.DenyAction))
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// Interpret runs the program against a system-call number and returns the
+// resulting action.
+func (p *Policy) actionFor(prog Program, nr int) (uint32, error) {
+	d := Data{Nr: int32(nr), Arch: AuditArchX8664}
+	return Run(prog, d.Marshal())
+}
+
+// Verify interprets the compiled program over the full system-call table
+// and confirms it allows exactly the allowed set.
+func (p *Policy) Verify() error {
+	prog, err := p.Compile()
+	if err != nil {
+		return err
+	}
+	allowed := make(map[int]bool, len(p.Allowed))
+	for _, nr := range p.Allowed {
+		allowed[nr] = true
+	}
+	for nr := 0; nr <= 1024; nr++ {
+		got, err := p.actionFor(prog, nr)
+		if err != nil {
+			return fmt.Errorf("seccomp: interpreting nr %d: %w", nr, err)
+		}
+		want := p.DenyAction
+		if allowed[nr] {
+			want = RetAllow
+		}
+		if got != want {
+			return fmt.Errorf("seccomp: nr %d: action %#x, want %#x", nr, got, want)
+		}
+	}
+	// The architecture gate must reject foreign records outright.
+	foreign := Data{Nr: 0, Arch: 0x40000003 /* i386 */}
+	got, err := Run(prog, foreign.Marshal())
+	if err != nil {
+		return err
+	}
+	if got != RetKill {
+		return fmt.Errorf("seccomp: foreign arch action %#x, want kill", got)
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package seccomp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/footprint"
+	"repro/internal/linuxapi"
+)
+
+func fpOf(names ...string) footprint.Set {
+	fp := make(footprint.Set)
+	for _, n := range names {
+		fp.Add(linuxapi.Sys(n))
+	}
+	return fp
+}
+
+func TestPolicyAllowsExactlyFootprint(t *testing.T) {
+	pol := NewPolicy(fpOf("read", "write", "openat", "exit_group"), RetKill)
+	if err := pol.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := pol.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, want uint32) {
+		d := Data{Nr: int32(linuxapi.SyscallByName(name).Num), Arch: AuditArchX8664}
+		got, err := Run(prog, d.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s -> %#x, want %#x", name, got, want)
+		}
+	}
+	check("read", RetAllow)
+	check("write", RetAllow)
+	check("openat", RetAllow)
+	check("exit_group", RetAllow)
+	check("execve", RetKill)
+	check("ptrace", RetKill)
+}
+
+func TestPolicyErrnoAction(t *testing.T) {
+	deny := RetErrno | 38 // ENOSYS
+	pol := NewPolicy(fpOf("read"), deny)
+	prog, err := pol.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Data{Nr: int32(linuxapi.SyscallByName("reboot").Num), Arch: AuditArchX8664}
+	got, err := Run(prog, d.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != deny {
+		t.Errorf("deny action = %#x, want %#x", got, deny)
+	}
+}
+
+func TestPolicyRejectsForeignArch(t *testing.T) {
+	pol := NewPolicy(fpOf("read"), RetErrno|1)
+	prog, err := pol.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Data{Nr: 0 /* read on x86-64 */, Arch: 0x40000003 /* i386 */}
+	got, err := Run(prog, d.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != RetKill {
+		t.Errorf("foreign arch -> %#x, want kill", got)
+	}
+}
+
+func TestLargePolicyChunking(t *testing.T) {
+	// Allow every defined system call: forces multiple 128-entry chunks
+	// and exercises the 8-bit jump-offset handling.
+	fp := make(footprint.Set)
+	for _, d := range linuxapi.Syscalls {
+		fp.Add(linuxapi.Sys(d.Name))
+	}
+	pol := NewPolicy(fp, RetKill)
+	if len(pol.Allowed) != linuxapi.SyscallCount() {
+		t.Fatalf("allowed = %d", len(pol.Allowed))
+	}
+	if err := pol.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyPolicy(t *testing.T) {
+	pol := NewPolicy(make(footprint.Set), RetKill)
+	if err := pol.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := pol.Compile()
+	d := Data{Nr: 0, Arch: AuditArchX8664}
+	got, _ := Run(prog, d.Marshal())
+	if got != RetKill {
+		t.Errorf("empty policy allowed nr 0")
+	}
+}
+
+func TestPolicyVerifyProperty(t *testing.T) {
+	f := func(picks []uint16) bool {
+		fp := make(footprint.Set)
+		for _, pk := range picks {
+			d := &linuxapi.Syscalls[int(pk)%linuxapi.SyscallCount()]
+			fp.Add(linuxapi.Sys(d.Name))
+		}
+		return NewPolicy(fp, RetKill).Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		prog Program
+	}{
+		{"empty", Program{}},
+		{"no trailing ret", Program{LoadAbs(0)}},
+		{"jump out of range", Program{JumpEqual(1, 200, 0), Ret(RetAllow)}},
+		{"ja out of range", Program{JumpAlways(10), Ret(RetAllow)}},
+		{"load out of range", Program{LoadAbs(100), Ret(RetAllow)}},
+	}
+	for _, c := range cases {
+		if err := c.prog.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad program", c.name)
+		}
+	}
+}
+
+func TestInterpreterALUAndScratch(t *testing.T) {
+	// ld #5; st M[2]; ld #3; add M[2]... via ALU with K; ret A.
+	prog := Program{
+		{Code: ClassLD | ModeIMM, K: 5},
+		{Code: ClassST, K: 2},
+		{Code: ClassLD | ModeMEM, K: 2},
+		{Code: ClassALU | ALUAdd | SrcK, K: 7},
+		{Code: ClassALU | ALUAnd | SrcK, K: 0xF},
+		{Code: ClassRET | RetA},
+	}
+	var data [SeccompDataSize]byte
+	got, err := Run(prog, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (5+7)&0xF {
+		t.Errorf("ALU result = %d, want %d", got, (5+7)&0xF)
+	}
+}
+
+func TestInterpreterConditionalJumps(t *testing.T) {
+	mk := func(op uint16, k uint32) Program {
+		return Program{
+			LoadAbs(OffNr),
+			{Code: ClassJMP | op | SrcK, Jt: 0, Jf: 1, K: k},
+			Ret(1), // taken
+			Ret(2), // not taken
+		}
+	}
+	run := func(p Program, nr int32) uint32 {
+		d := Data{Nr: nr}
+		v, err := Run(p, d.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if run(mk(JumpJGT, 10), 11) != 1 || run(mk(JumpJGT, 10), 10) != 2 {
+		t.Error("jgt broken")
+	}
+	if run(mk(JumpJGE, 10), 10) != 1 || run(mk(JumpJGE, 10), 9) != 2 {
+		t.Error("jge broken")
+	}
+	if run(mk(JumpJSET, 0x4), 6) != 1 || run(mk(JumpJSET, 0x4), 3) != 2 {
+		t.Error("jset broken")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	pol := NewPolicy(fpOf("read", "write"), RetKill)
+	prog, err := pol.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := prog.Disassemble()
+	for _, want := range []string{"ld [4]", "ld [0]", "jeq #0xc000003e", "ret #0x7fff0000", "ret #0x0"} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, asm)
+		}
+	}
+}
+
+func TestDataMarshalLayout(t *testing.T) {
+	d := Data{Nr: 257, Arch: AuditArchX8664, IP: 0x401000,
+		Args: [6]uint64{1, 2, 3, 4, 5, 6}}
+	b := d.Marshal()
+	if b[0] != 0x01 || b[1] != 0x01 {
+		t.Error("nr not little-endian at offset 0")
+	}
+	if b[OffArch] != 0x3E {
+		t.Error("arch at wrong offset")
+	}
+	if b[OffArgs] != 1 || b[OffArgs+8] != 2 || b[OffArgs+40] != 6 {
+		t.Error("args at wrong offsets")
+	}
+}

@@ -1,0 +1,237 @@
+package seccomp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/footprint"
+	"repro/internal/linuxapi"
+)
+
+// ArgFilter restricts one system call to a set of values in one argument —
+// the §3.3 hardening the paper motivates: "a very long tail of unused
+// [ioctl] operations ... may create system security risks", so a sandbox
+// should admit only the operation codes the application's footprint
+// actually contains.
+type ArgFilter struct {
+	// Nr is the system-call number the filter applies to.
+	Nr int
+	// Arg is the argument index (0..5) carrying the operation code.
+	Arg int
+	// Allowed are the permitted values, sorted.
+	Allowed []uint64
+}
+
+// VectoredPolicy is a Policy plus per-call argument filters.
+type VectoredPolicy struct {
+	Policy
+	Filters []ArgFilter
+}
+
+// vectoredArgIndex maps the vectored system calls to the argument that
+// carries their operation code.
+func vectoredArgIndex(name string) (int, bool) {
+	switch name {
+	case "ioctl", "fcntl":
+		return 1, true
+	case "prctl":
+		return 0, true
+	}
+	return 0, false
+}
+
+// NewVectoredPolicy builds a policy where the vectored system calls in the
+// footprint are additionally restricted to the operation codes the
+// footprint contains. Vectored calls present without any recovered opcode
+// stay unrestricted (the conservative choice §3.3 implies for call sites
+// the analysis could not resolve).
+func NewVectoredPolicy(fp footprint.Set, denyAction uint32) *VectoredPolicy {
+	vp := &VectoredPolicy{Policy: *NewPolicy(fp, denyAction)}
+	codes := map[string][]uint64{}
+	for api := range fp {
+		var parent string
+		switch api.Kind {
+		case linuxapi.KindIoctl:
+			parent = "ioctl"
+		case linuxapi.KindFcntl:
+			parent = "fcntl"
+		case linuxapi.KindPrctl:
+			parent = "prctl"
+		default:
+			continue
+		}
+		if def := linuxapi.OpcodeByName(api.Kind, api.Name); def != nil {
+			codes[parent] = append(codes[parent], def.Code)
+		}
+	}
+	var parents []string
+	for p := range codes {
+		parents = append(parents, p)
+	}
+	sort.Strings(parents)
+	for _, parent := range parents {
+		d := linuxapi.SyscallByName(parent)
+		arg, _ := vectoredArgIndex(parent)
+		vals := codes[parent]
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		vp.Filters = append(vp.Filters, ArgFilter{Nr: d.Num, Arg: arg, Allowed: vals})
+	}
+	return vp
+}
+
+// Compile lowers the vectored policy. Layout:
+//
+//	arch gate
+//	ld [nr]
+//	jeq #filtered_nr_0, +1, 0 ; ja past-block-0     (per filter)
+//	  block 0: ld [arg hi]; check; ld [arg lo]; allow-list; ret deny
+//	...
+//	plain allow-list for the remaining calls
+//	ret deny
+//
+// Conditional jumps carry 8-bit offsets, so long skips use ja (32-bit);
+// every block ends in a return, so a matched number never falls through to
+// the next check.
+func (vp *VectoredPolicy) Compile() (Program, error) {
+	filtered := make(map[int]bool, len(vp.Filters))
+	for _, f := range vp.Filters {
+		filtered[f.Nr] = true
+	}
+	var plain []int
+	for _, nr := range vp.Allowed {
+		if !filtered[nr] {
+			plain = append(plain, nr)
+		}
+	}
+
+	const chunk = 128
+	var prog Program
+	prog = append(prog,
+		LoadAbs(OffArch),
+		JumpEqual(AuditArchX8664, 1, 0),
+		Ret(RetKill),
+		LoadAbs(OffNr),
+	)
+
+	appendAllowList := func(vals []uint32) {
+		for start := 0; start < len(vals); start += chunk {
+			end := start + chunk
+			if end > len(vals) {
+				end = len(vals)
+			}
+			c := end - start
+			for i, v := range vals[start:end] {
+				prog = append(prog, JumpEqual(v, uint8(c-i), 0))
+			}
+			prog = append(prog, JumpAlways(1), Ret(RetAllow))
+		}
+	}
+
+	for _, f := range vp.Filters {
+		// Matched number skips the ja and enters the block; otherwise the
+		// ja hops over the whole block.
+		prog = append(prog, JumpEqual(uint32(f.Nr), 1, 0))
+		jaAt := len(prog)
+		prog = append(prog, JumpAlways(0)) // K patched below
+		argOff := uint32(OffArgs + 8*f.Arg)
+		prog = append(prog,
+			LoadAbs(argOff+4), // high dword must be zero
+			JumpEqual(0, 1, 0),
+			Ret(vp.DenyAction),
+			LoadAbs(argOff),
+		)
+		vals := make([]uint32, len(f.Allowed))
+		for i, code := range f.Allowed {
+			vals[i] = uint32(code)
+		}
+		appendAllowList(vals)
+		prog = append(prog, Ret(vp.DenyAction))
+		prog[jaAt].K = uint32(len(prog) - jaAt - 1)
+	}
+
+	vals := make([]uint32, len(plain))
+	for i, nr := range plain {
+		vals[i] = uint32(nr)
+	}
+	appendAllowList(vals)
+	prog = append(prog, Ret(vp.DenyAction))
+
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// Verify interprets the compiled program across the system-call table and
+// representative argument values, confirming that (a) unfiltered allowed
+// calls pass, (b) filtered calls pass exactly with their allowed codes,
+// and (c) everything else is denied.
+func (vp *VectoredPolicy) Verify() error {
+	prog, err := vp.Compile()
+	if err != nil {
+		return err
+	}
+	run := func(nr int, args [6]uint64) (uint32, error) {
+		d := Data{Nr: int32(nr), Arch: AuditArchX8664, Args: args}
+		return Run(prog, d.Marshal())
+	}
+	filters := make(map[int]*ArgFilter, len(vp.Filters))
+	for i := range vp.Filters {
+		filters[vp.Filters[i].Nr] = &vp.Filters[i]
+	}
+	allowed := make(map[int]bool, len(vp.Allowed))
+	for _, nr := range vp.Allowed {
+		allowed[nr] = true
+	}
+	for nr := 0; nr <= 1024; nr++ {
+		f := filters[nr]
+		got, err := run(nr, [6]uint64{})
+		if err != nil {
+			return err
+		}
+		switch {
+		case f != nil:
+			// Zero arguments are allowed only if 0 is an allowed code.
+			want := vp.DenyAction
+			for _, c := range f.Allowed {
+				if c == 0 {
+					want = RetAllow
+				}
+			}
+			if got != want {
+				return fmt.Errorf("seccomp: nr %d zero-args action %#x, want %#x", nr, got, want)
+			}
+			for _, code := range f.Allowed {
+				var args [6]uint64
+				args[f.Arg] = code
+				got, err := run(nr, args)
+				if err != nil {
+					return err
+				}
+				if got != RetAllow {
+					return fmt.Errorf("seccomp: nr %d code %#x denied", nr, code)
+				}
+				// The same value shifted out of range must be denied.
+				args[f.Arg] = code | 1<<40
+				if got, _ := run(nr, args); got != vp.DenyAction {
+					return fmt.Errorf("seccomp: nr %d high-bits code passed", nr)
+				}
+			}
+			// An arbitrary unlisted code must be denied.
+			var args [6]uint64
+			args[f.Arg] = 0xDEAD0001
+			if got, _ := run(nr, args); got != vp.DenyAction {
+				return fmt.Errorf("seccomp: nr %d unlisted code passed", nr)
+			}
+		case allowed[nr]:
+			if got != RetAllow {
+				return fmt.Errorf("seccomp: allowed nr %d denied", nr)
+			}
+		default:
+			if got != vp.DenyAction {
+				return fmt.Errorf("seccomp: nr %d action %#x, want deny", nr, got)
+			}
+		}
+	}
+	return nil
+}

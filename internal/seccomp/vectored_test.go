@@ -1,0 +1,146 @@
+package seccomp
+
+import (
+	"testing"
+
+	"repro/internal/footprint"
+	"repro/internal/linuxapi"
+)
+
+func vectoredFP() footprint.Set {
+	fp := make(footprint.Set)
+	for _, n := range []string{"read", "write", "ioctl", "fcntl", "prctl", "exit_group"} {
+		fp.Add(linuxapi.Sys(n))
+	}
+	fp.Add(linuxapi.Ioctl("TCGETS"))
+	fp.Add(linuxapi.Ioctl("TIOCGWINSZ"))
+	fp.Add(linuxapi.Fcntl("F_GETFL"))
+	fp.Add(linuxapi.Fcntl("F_SETFD"))
+	fp.Add(linuxapi.Prctl("PR_SET_NAME"))
+	return fp
+}
+
+func TestVectoredPolicyStructure(t *testing.T) {
+	vp := NewVectoredPolicy(vectoredFP(), RetKill)
+	if len(vp.Filters) != 3 {
+		t.Fatalf("filters = %+v, want ioctl+fcntl+prctl", vp.Filters)
+	}
+	byNr := map[int]ArgFilter{}
+	for _, f := range vp.Filters {
+		byNr[f.Nr] = f
+	}
+	ioctl := byNr[16]
+	if ioctl.Arg != 1 || len(ioctl.Allowed) != 2 {
+		t.Errorf("ioctl filter = %+v", ioctl)
+	}
+	prctl := byNr[157]
+	if prctl.Arg != 0 || len(prctl.Allowed) != 1 || prctl.Allowed[0] != 15 {
+		t.Errorf("prctl filter = %+v", prctl)
+	}
+}
+
+func TestVectoredPolicyVerify(t *testing.T) {
+	vp := NewVectoredPolicy(vectoredFP(), RetKill)
+	if err := vp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectoredPolicySemantics(t *testing.T) {
+	vp := NewVectoredPolicy(vectoredFP(), RetErrno|1)
+	prog, err := vp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(nr int, arg1 uint64) uint32 {
+		d := Data{Nr: int32(nr), Arch: AuditArchX8664}
+		d.Args[1] = arg1
+		got, err := Run(prog, d.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	// ioctl with the footprint's codes passes; others fail.
+	if run(16, 0x5401) != RetAllow { // TCGETS
+		t.Error("TCGETS denied")
+	}
+	if run(16, 0x5413) != RetAllow { // TIOCGWINSZ
+		t.Error("TIOCGWINSZ denied")
+	}
+	if run(16, 0xAE80) != RetErrno|1 { // KVM_RUN not in footprint
+		t.Error("KVM_RUN allowed")
+	}
+	// Plain calls without filters pass unconditionally.
+	if run(0, 0xDEAD) != RetAllow { // read
+		t.Error("read denied")
+	}
+	// Unlisted system call denied regardless of args.
+	if run(101, 0x5401) != RetErrno|1 { // ptrace
+		t.Error("ptrace allowed")
+	}
+}
+
+func TestVectoredPolicyWithoutOpcodesIsUnrestricted(t *testing.T) {
+	fp := make(footprint.Set)
+	fp.Add(linuxapi.Sys("ioctl")) // call present, no recovered codes
+	vp := NewVectoredPolicy(fp, RetKill)
+	if len(vp.Filters) != 0 {
+		t.Fatalf("filters = %+v, want none", vp.Filters)
+	}
+	prog, err := vp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Data{Nr: 16, Arch: AuditArchX8664}
+	d.Args[1] = 0xAE80
+	got, err := Run(prog, d.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != RetAllow {
+		t.Error("unrestricted ioctl denied")
+	}
+}
+
+func TestVectoredPolicyLargeFilter(t *testing.T) {
+	// Every defined ioctl code: exercises chunking inside a check block.
+	fp := make(footprint.Set)
+	fp.Add(linuxapi.Sys("ioctl"))
+	for _, d := range linuxapi.Ioctls {
+		fp.Add(linuxapi.Ioctl(d.Name))
+	}
+	vp := NewVectoredPolicy(fp, RetKill)
+	if err := vp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := vp.Compile()
+	if len(prog) < 600 {
+		t.Errorf("program suspiciously small: %d instructions", len(prog))
+	}
+}
+
+func TestVectoredAttackSurfaceReduction(t *testing.T) {
+	// The quantified claim of §3.3: a footprint-derived filter admits only
+	// a handful of the 635 defined codes.
+	vp := NewVectoredPolicy(vectoredFP(), RetKill)
+	prog, err := vp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := 0
+	for _, d := range linuxapi.Ioctls {
+		data := Data{Nr: 16, Arch: AuditArchX8664}
+		data.Args[1] = d.Code
+		got, err := Run(prog, data.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == RetAllow {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Errorf("admitted %d of %d ioctl codes, want 2", admitted, len(linuxapi.Ioctls))
+	}
+}

@@ -1,0 +1,36 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkIndexLookup(b *testing.B) {
+	tbl := NewTable[edge](nil, "bench")
+	idx := NewIndex(tbl, func(e edge) string { return e.From })
+	for i := 0; i < 10000; i++ {
+		tbl.Insert(edge{From: fmt.Sprintf("n%d", i%512), To: fmt.Sprint(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := idx.Lookup(fmt.Sprintf("n%d", i%512)); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkClosure(b *testing.B) {
+	adj := make(map[string][]string, 2048)
+	for i := 0; i < 2048; i++ {
+		adj[fmt.Sprint(i)] = []string{fmt.Sprint((i * 7) % 2048), fmt.Sprint((i + 1) % 2048)}
+	}
+	get := func(n string) []string { return adj[n] }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := Closure([]string{"0"}, get); len(c) == 0 {
+			b.Fatal("empty closure")
+		}
+	}
+}

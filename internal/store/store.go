@@ -1,0 +1,217 @@
+// Package store is an embedded, in-memory relational store. The paper's
+// framework inserts all raw analysis data into a PostgreSQL database and
+// computes footprints with recursive SQL queries (§7, Table 12: 48 tables,
+// 428M rows); this package supplies the same building blocks — typed
+// tables, hash indexes, scans, joins expressed as index lookups, and a
+// recursive-closure operator — without an external database.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Table is an append-only typed relation.
+type Table[R any] struct {
+	name string
+	mu   sync.RWMutex
+	rows []R
+
+	indexes []func(R, int)
+}
+
+// NewTable creates an empty relation and registers it with db (which may be
+// nil for standalone use).
+func NewTable[R any](db *DB, name string) *Table[R] {
+	t := &Table[R]{name: name}
+	if db != nil {
+		db.register(name, func() int { return t.Len() })
+	}
+	return t
+}
+
+// Name returns the relation name.
+func (t *Table[R]) Name() string { return t.name }
+
+// Insert appends one row, updating all indexes.
+func (t *Table[R]) Insert(r R) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := len(t.rows)
+	t.rows = append(t.rows, r)
+	for _, add := range t.indexes {
+		add(r, id)
+	}
+}
+
+// Len returns the number of rows.
+func (t *Table[R]) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Scan invokes fn for every row; returning false stops the scan.
+func (t *Table[R]) Scan(fn func(R) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rows {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Select returns all rows matching pred.
+func (t *Table[R]) Select(pred func(R) bool) []R {
+	var out []R
+	t.Scan(func(r R) bool {
+		if pred(r) {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// At returns row i.
+func (t *Table[R]) At(i int) R {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[i]
+}
+
+// Index is a hash index over one string-valued column of a table. Create
+// indexes before inserting rows; like SQL CREATE INDEX followed by bulk
+// load, the index then stays synchronized automatically.
+type Index[R any] struct {
+	table *Table[R]
+	key   func(R) string
+	mu    sync.RWMutex
+	ids   map[string][]int
+}
+
+// NewIndex attaches a hash index keyed by key to t.
+func NewIndex[R any](t *Table[R], key func(R) string) *Index[R] {
+	idx := &Index[R]{table: t, key: key, ids: make(map[string][]int)}
+	t.mu.Lock()
+	for id, r := range t.rows {
+		k := key(r)
+		idx.ids[k] = append(idx.ids[k], id)
+	}
+	t.indexes = append(t.indexes, func(r R, id int) {
+		k := idx.key(r)
+		idx.mu.Lock()
+		idx.ids[k] = append(idx.ids[k], id)
+		idx.mu.Unlock()
+	})
+	t.mu.Unlock()
+	return idx
+}
+
+// Lookup returns all rows whose key equals k, in insertion order.
+func (idx *Index[R]) Lookup(k string) []R {
+	idx.mu.RLock()
+	ids := idx.ids[k]
+	idx.mu.RUnlock()
+	out := make([]R, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, idx.table.At(id))
+	}
+	return out
+}
+
+// Keys returns the distinct key values, sorted.
+func (idx *Index[R]) Keys() []string {
+	idx.mu.RLock()
+	keys := make([]string, 0, len(idx.ids))
+	for k := range idx.ids {
+		keys = append(keys, k)
+	}
+	idx.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Count returns the number of rows under key k without materializing them.
+func (idx *Index[R]) Count(k string) int {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return len(idx.ids[k])
+}
+
+// Closure computes the transitive closure of seeds under the edge relation
+// edges, the operator behind the paper's recursive SQL queries (binary →
+// imported symbol → defining library → its imports → ...). The result
+// includes the seeds and is sorted for determinism.
+func Closure(seeds []string, edges func(string) []string) []string {
+	seen := make(map[string]bool, len(seeds))
+	work := make([]string, 0, len(seeds))
+	for _, s := range seeds {
+		if !seen[s] {
+			seen[s] = true
+			work = append(work, s)
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, m := range edges(n) {
+			if !seen[m] {
+				seen[m] = true
+				work = append(work, m)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DB is a named registry of tables, used for the implementation statistics
+// the paper reports in Table 12.
+type DB struct {
+	mu     sync.Mutex
+	tables map[string]func() int
+}
+
+// NewDB returns an empty registry.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]func() int)}
+}
+
+func (db *DB) register(name string, size func() int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		panic(fmt.Sprintf("store: duplicate table %q", name))
+	}
+	db.tables[name] = size
+}
+
+// Stats reports the number of tables and the total row count.
+func (db *DB) Stats() (tables, rows int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, size := range db.tables {
+		tables++
+		rows += size()
+	}
+	return tables, rows
+}
+
+// TableNames lists registered relations, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

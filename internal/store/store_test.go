@@ -1,0 +1,185 @@
+package store
+
+import (
+	"fmt"
+
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type edge struct{ From, To string }
+
+func TestTableInsertScanSelect(t *testing.T) {
+	tbl := NewTable[edge](nil, "edges")
+	tbl.Insert(edge{"a", "b"})
+	tbl.Insert(edge{"a", "c"})
+	tbl.Insert(edge{"b", "c"})
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if tbl.Name() != "edges" {
+		t.Errorf("Name = %q", tbl.Name())
+	}
+	got := tbl.Select(func(e edge) bool { return e.From == "a" })
+	if len(got) != 2 || got[0].To != "b" || got[1].To != "c" {
+		t.Errorf("Select = %v", got)
+	}
+	var count int
+	tbl.Scan(func(e edge) bool {
+		count++
+		return count < 2 // early stop
+	})
+	if count != 2 {
+		t.Errorf("Scan early-stop visited %d rows", count)
+	}
+	if tbl.At(1).To != "c" {
+		t.Errorf("At(1) = %v", tbl.At(1))
+	}
+}
+
+func TestIndexLookupAndKeys(t *testing.T) {
+	tbl := NewTable[edge](nil, "edges")
+	idx := NewIndex(tbl, func(e edge) string { return e.From })
+	tbl.Insert(edge{"a", "b"})
+	tbl.Insert(edge{"b", "c"})
+	tbl.Insert(edge{"a", "d"})
+	if got := idx.Lookup("a"); len(got) != 2 || got[0].To != "b" || got[1].To != "d" {
+		t.Errorf("Lookup(a) = %v", got)
+	}
+	if got := idx.Lookup("zzz"); len(got) != 0 {
+		t.Errorf("Lookup(zzz) = %v", got)
+	}
+	if keys := idx.Keys(); len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("Keys = %v", keys)
+	}
+	if idx.Count("a") != 2 || idx.Count("x") != 0 {
+		t.Errorf("Count wrong: a=%d x=%d", idx.Count("a"), idx.Count("x"))
+	}
+}
+
+func TestIndexOverExistingRows(t *testing.T) {
+	tbl := NewTable[edge](nil, "edges")
+	tbl.Insert(edge{"a", "b"})
+	tbl.Insert(edge{"a", "c"})
+	idx := NewIndex(tbl, func(e edge) string { return e.From })
+	if got := idx.Lookup("a"); len(got) != 2 {
+		t.Errorf("index built over pre-existing rows: Lookup(a) = %v", got)
+	}
+	tbl.Insert(edge{"a", "d"})
+	if got := idx.Lookup("a"); len(got) != 3 {
+		t.Errorf("index must track post-creation inserts: %v", got)
+	}
+}
+
+func TestClosure(t *testing.T) {
+	edges := map[string][]string{
+		"bin":    {"libfoo", "libc"},
+		"libfoo": {"libc"},
+		"libc":   {"ld"},
+		"ld":     {},
+		"cyc1":   {"cyc2"},
+		"cyc2":   {"cyc1"},
+	}
+	get := func(n string) []string { return edges[n] }
+	got := Closure([]string{"bin"}, get)
+	want := []string{"bin", "ld", "libc", "libfoo"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("Closure = %v, want %v", got, want)
+	}
+	// Cycles must terminate.
+	got = Closure([]string{"cyc1"}, get)
+	if len(got) != 2 {
+		t.Errorf("cyclic Closure = %v", got)
+	}
+	// Duplicate seeds collapse.
+	got = Closure([]string{"ld", "ld"}, get)
+	if len(got) != 1 || got[0] != "ld" {
+		t.Errorf("dup-seed Closure = %v", got)
+	}
+	if got := Closure(nil, get); len(got) != 0 {
+		t.Errorf("empty Closure = %v", got)
+	}
+}
+
+func TestClosureContainsSeedsAndIsIdempotent(t *testing.T) {
+	f := func(adj map[string][]string, seeds []string) bool {
+		get := func(n string) []string { return adj[n] }
+		c1 := Closure(seeds, get)
+		set := make(map[string]bool)
+		for _, n := range c1 {
+			set[n] = true
+		}
+		for _, s := range seeds {
+			if !set[s] {
+				return false
+			}
+		}
+		c2 := Closure(c1, get)
+		return fmt.Sprint(c1) == fmt.Sprint(c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBStats(t *testing.T) {
+	db := NewDB()
+	t1 := NewTable[edge](db, "a")
+	t2 := NewTable[int](db, "b")
+	t1.Insert(edge{"x", "y"})
+	t2.Insert(1)
+	t2.Insert(2)
+	tables, rows := db.Stats()
+	if tables != 2 || rows != 3 {
+		t.Errorf("Stats = %d tables %d rows, want 2/3", tables, rows)
+	}
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("TableNames = %v", names)
+	}
+}
+
+func TestDBDuplicateTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate table name must panic")
+		}
+	}()
+	db := NewDB()
+	NewTable[int](db, "dup")
+	NewTable[int](db, "dup")
+}
+
+func TestConcurrentInsertAndLookup(t *testing.T) {
+	tbl := NewTable[edge](nil, "conc")
+	idx := NewIndex(tbl, func(e edge) string { return e.From })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tbl.Insert(edge{From: fmt.Sprintf("g%d", g), To: fmt.Sprint(i)})
+				idx.Lookup(fmt.Sprintf("g%d", (g+1)%8))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tbl.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", tbl.Len())
+	}
+	var total int
+	for _, k := range idx.Keys() {
+		total += idx.Count(k)
+	}
+	if total != 800 {
+		t.Fatalf("index rows = %d, want 800", total)
+	}
+	for g := 0; g < 8; g++ {
+		rows := idx.Lookup(fmt.Sprintf("g%d", g))
+		if len(rows) != 100 {
+			t.Fatalf("g%d has %d rows, want 100", g, len(rows))
+		}
+	}
+}

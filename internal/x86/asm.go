@@ -1,0 +1,239 @@
+package x86
+
+import "encoding/binary"
+
+// Asm is a small x86-64 assembler emitting the instruction repertoire the
+// synthetic-corpus generator uses. Label fixups support forward references
+// for calls and RIP-relative address formation.
+type Asm struct {
+	buf       []byte
+	base      uint64 // virtual address of buf[0], set at Finalize
+	labels    map[string]int
+	absLabels map[string]uint64
+	fixups    []fixup
+}
+
+type fixupKind uint8
+
+const (
+	fixRel32 fixupKind = iota // rel32 patched against next-instruction RIP
+	fixAbs32                  // RIP-relative disp32 to an absolute VA
+)
+
+type fixup struct {
+	off    int // offset of the 4-byte field within buf
+	kind   fixupKind
+	label  string // target label (empty when abs is used)
+	abs    uint64 // absolute VA target for fixAbs32 without label
+	hasAbs bool
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int), absLabels: make(map[string]uint64)}
+}
+
+// SetAbsLabel binds name to an absolute virtual address outside this
+// assembly unit (a GOT slot, a string in .rodata, another unit's function).
+// Bindings may be added any time before Finalize.
+func (a *Asm) SetAbsLabel(name string, va uint64) { a.absLabels[name] = va }
+
+// Len returns the current number of emitted bytes.
+func (a *Asm) Len() int { return len(a.buf) }
+
+// Label binds name to the current position.
+func (a *Asm) Label(name string) { a.labels[name] = len(a.buf) }
+
+func (a *Asm) emit(b ...byte) { a.buf = append(a.buf, b...) }
+
+func (a *Asm) emit32(v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	a.buf = append(a.buf, tmp[:]...)
+}
+
+func (a *Asm) emit64(v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	a.buf = append(a.buf, tmp[:]...)
+}
+
+func rexFor(dst Reg, w bool) (byte, bool) {
+	rex := byte(0x40)
+	need := w
+	if w {
+		rex |= 0x08
+	}
+	if dst >= 8 {
+		rex |= 0x01
+		need = true
+	}
+	return rex, need
+}
+
+// MovRegImm32 emits mov r32, imm32 (B8+r), zero-extending into the 64-bit
+// register — the idiomatic way compilers load system-call numbers.
+func (a *Asm) MovRegImm32(dst Reg, imm uint32) {
+	if rex, need := rexFor(dst, false); need {
+		a.emit(rex)
+	}
+	a.emit(0xB8 + byte(dst&7))
+	a.emit32(imm)
+}
+
+// MovRegImm64 emits the full movabs r64, imm64 form (REX.W B8+r).
+func (a *Asm) MovRegImm64(dst Reg, imm uint64) {
+	rex, _ := rexFor(dst, true)
+	a.emit(rex)
+	a.emit(0xB8 + byte(dst&7))
+	a.emit64(imm)
+}
+
+// XorReg emits xor r32, r32 with identical operands (the canonical zeroing
+// idiom, 31 /r with mod=11).
+func (a *Asm) XorReg(dst Reg) {
+	if dst >= 8 {
+		a.emit(0x45) // REX.R|REX.B
+	}
+	a.emit(0x31, 0xC0|byte(dst&7)<<3|byte(dst&7))
+}
+
+// MovRegReg emits mov r64, r64 (REX.W 89 /r).
+func (a *Asm) MovRegReg(dst, src Reg) {
+	rex := byte(0x48)
+	if src >= 8 {
+		rex |= 0x04
+	}
+	if dst >= 8 {
+		rex |= 0x01
+	}
+	a.emit(rex, 0x89, 0xC0|byte(src&7)<<3|byte(dst&7))
+}
+
+// Syscall emits the 64-bit syscall instruction.
+func (a *Asm) Syscall() { a.emit(0x0F, 0x05) }
+
+// Int80 emits the legacy int $0x80 gate.
+func (a *Asm) Int80() { a.emit(0xCD, 0x80) }
+
+// Sysenter emits the legacy sysenter instruction.
+func (a *Asm) Sysenter() { a.emit(0x0F, 0x34) }
+
+// Ret emits a near return.
+func (a *Asm) Ret() { a.emit(0xC3) }
+
+// Nop emits a one-byte nop.
+func (a *Asm) Nop() { a.emit(0x90) }
+
+// PushReg / PopReg emit 50+r / 58+r.
+func (a *Asm) PushReg(r Reg) {
+	if r >= 8 {
+		a.emit(0x41)
+	}
+	a.emit(0x50 + byte(r&7))
+}
+
+// PopReg emits 58+r.
+func (a *Asm) PopReg(r Reg) {
+	if r >= 8 {
+		a.emit(0x41)
+	}
+	a.emit(0x58 + byte(r&7))
+}
+
+// CallLabel emits call rel32 to a label in this assembly unit.
+func (a *Asm) CallLabel(name string) {
+	a.emit(0xE8)
+	a.fixups = append(a.fixups, fixup{off: len(a.buf), kind: fixRel32, label: name})
+	a.emit32(0)
+}
+
+// CallAbs emits call rel32 to an absolute virtual address (used for calls
+// into PLT stubs whose addresses are known at layout time).
+func (a *Asm) CallAbs(target uint64) {
+	a.emit(0xE8)
+	a.fixups = append(a.fixups, fixup{off: len(a.buf), kind: fixRel32, abs: target, hasAbs: true})
+	a.emit32(0)
+}
+
+// JmpLabel emits jmp rel32 to a label.
+func (a *Asm) JmpLabel(name string) {
+	a.emit(0xE9)
+	a.fixups = append(a.fixups, fixup{off: len(a.buf), kind: fixRel32, label: name})
+	a.emit32(0)
+}
+
+// JmpMemRIP emits jmp qword [rip+disp32] resolving to slot, the shape of a
+// PLT stub's first instruction (FF /4, mod=00 rm=101).
+func (a *Asm) JmpMemRIP(slot uint64) {
+	a.emit(0xFF, 0x25)
+	a.fixups = append(a.fixups, fixup{off: len(a.buf), kind: fixAbs32, abs: slot, hasAbs: true})
+	a.emit32(0)
+}
+
+// JmpMemRIPLabel is JmpMemRIP with the slot address supplied later through
+// a label or SetAbsLabel binding.
+func (a *Asm) JmpMemRIPLabel(name string) {
+	a.emit(0xFF, 0x25)
+	a.fixups = append(a.fixups, fixup{off: len(a.buf), kind: fixAbs32, label: name})
+	a.emit32(0)
+}
+
+// LeaRIP emits lea r64, [rip+disp32] resolving to the absolute address va —
+// how position-independent code materializes the address of a function or
+// string (the paper's over-approximated function-pointer tracking keys on
+// exactly this pattern).
+func (a *Asm) LeaRIP(dst Reg, va uint64) {
+	rex := byte(0x48)
+	if dst >= 8 {
+		rex |= 0x04
+	}
+	a.emit(rex, 0x8D, byte(dst&7)<<3|0x05)
+	a.fixups = append(a.fixups, fixup{off: len(a.buf), kind: fixAbs32, abs: va, hasAbs: true})
+	a.emit32(0)
+}
+
+// LeaRIPLabel emits lea r64, [rip+disp32] resolving to a local label.
+func (a *Asm) LeaRIPLabel(dst Reg, name string) {
+	rex := byte(0x48)
+	if dst >= 8 {
+		rex |= 0x04
+	}
+	a.emit(rex, 0x8D, byte(dst&7)<<3|0x05)
+	a.fixups = append(a.fixups, fixup{off: len(a.buf), kind: fixAbs32, label: name})
+	a.emit32(0)
+}
+
+// Finalize assigns the unit's base virtual address, resolves all fixups,
+// and returns the finished machine code. It panics on undefined labels,
+// which are programming errors in the generator.
+func (a *Asm) Finalize(base uint64) []byte {
+	a.base = base
+	for _, f := range a.fixups {
+		var target uint64
+		if f.hasAbs {
+			target = f.abs
+		} else if pos, ok := a.labels[f.label]; ok {
+			target = base + uint64(pos)
+		} else if va, ok := a.absLabels[f.label]; ok {
+			target = va
+		} else {
+			panic("x86: undefined label " + f.label)
+		}
+		// Both fixup kinds are displacement fields relative to the end of
+		// the 4-byte field (the next instruction's RIP).
+		next := base + uint64(f.off) + 4
+		disp := int64(target) - int64(next)
+		binary.LittleEndian.PutUint32(a.buf[f.off:], uint32(int32(disp)))
+	}
+	return a.buf
+}
+
+// LabelAddr returns the virtual address of a bound label after Finalize.
+func (a *Asm) LabelAddr(name string) (uint64, bool) {
+	pos, ok := a.labels[name]
+	if !ok {
+		return 0, false
+	}
+	return a.base + uint64(pos), true
+}

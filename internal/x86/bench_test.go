@@ -1,0 +1,51 @@
+package x86
+
+import "testing"
+
+func benchCode() []byte {
+	a := NewAsm()
+	a.Label("top")
+	for i := 0; i < 64; i++ {
+		a.MovRegImm32(RAX, uint32(i))
+		a.XorReg(RDI)
+		a.MovRegReg(RSI, RDX)
+		a.LeaRIPLabel(RCX, "top")
+		a.Syscall()
+		a.PushReg(RBX)
+		a.PopReg(RBX)
+		a.Nop()
+	}
+	a.Ret()
+	return a.Finalize(0x400000)
+}
+
+func BenchmarkDecodeAll(b *testing.B) {
+	code := benchCode()
+	b.SetBytes(int64(len(code)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if insts := DecodeAll(code, 0x400000); len(insts) == 0 {
+			b.Fatal("no instructions")
+		}
+	}
+}
+
+func BenchmarkDecodeSingle(b *testing.B) {
+	code := []byte{0x48, 0x8D, 0x3D, 0x40, 0x00, 0x00, 0x00} // lea rip-rel
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if inst := Decode(code, 0x1000); inst.Op != OpLeaRIP {
+			b.Fatal("bad decode")
+		}
+	}
+}
+
+func BenchmarkFindSyscallSites(b *testing.B) {
+	code := benchCode()
+	b.SetBytes(int64(len(code)))
+	for i := 0; i < b.N; i++ {
+		if sites := FindSyscallSites(code, 0x400000, 4); len(sites) != 64 {
+			b.Fatal("bad sites")
+		}
+	}
+}

@@ -1,0 +1,938 @@
+// Package x86 implements the x86-64 machine-code layer of the study: a
+// table-driven instruction-length decoder suitable for linear-sweep
+// disassembly of ELF .text sections, semantic classification of the
+// instructions the footprint analysis cares about (system-call
+// instructions, immediate loads, RIP-relative address formation, calls and
+// jumps), and a small assembler used by the synthetic-corpus generator.
+//
+// The paper's framework (§7) disassembles every binary in the repository
+// with objdump and searches for system-call instructions (int $0x80,
+// syscall, sysenter) and call sites of libc's syscall(2) wrapper; this
+// package is the from-scratch replacement for that disassembler.
+package x86
+
+import "fmt"
+
+// Reg identifies an x86-64 general-purpose register (the 64-bit name; the
+// decoder normalizes 32-bit operands onto the same numbering, matching the
+// hardware encoding RAX=0 .. R15=15).
+type Reg uint8
+
+// General-purpose registers in hardware encoding order.
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	// NoReg marks the absence of a register operand.
+	NoReg Reg = 0xFF
+)
+
+var regNames = [...]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+// String returns the canonical 64-bit register name.
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// Op classifies an instruction by what the footprint analysis needs from
+// it. Instructions with no analytical significance decode as OpOther; bytes
+// that do not decode at all yield OpBad with length 1 so the sweep can
+// resynchronize, mirroring how objdump-based pipelines skip bad bytes.
+type Op uint8
+
+const (
+	// OpBad marks an undecodable byte.
+	OpBad Op = iota
+	// OpOther is a decoded instruction with no extracted semantics.
+	OpOther
+	// OpSyscall is the 64-bit `syscall` instruction (0F 05).
+	OpSyscall
+	// OpSysenter is the legacy fast-path `sysenter` (0F 34).
+	OpSysenter
+	// OpInt80 is the legacy `int $0x80` gate (CD 80).
+	OpInt80
+	// OpMovImm loads an immediate constant into a register (B8+r, C7 /0
+	// with a register destination, or mov r8 immediates we ignore).
+	OpMovImm
+	// OpZeroReg is an idiomatic register clear: xor/sub r,r with identical
+	// operands, which compilers emit instead of mov $0.
+	OpZeroReg
+	// OpMovReg copies one register to another (89/8B with mod=11).
+	OpMovReg
+	// OpLeaRIP forms a RIP-relative address (8D with mod=00, rm=101):
+	// how position-independent code takes the address of a function or a
+	// string constant. Target carries the absolute virtual address.
+	OpLeaRIP
+	// OpCallRel is a direct near call (E8 rel32); Target is absolute.
+	OpCallRel
+	// OpJmpRel is a direct jump (E9 rel32 / EB rel8); Target is absolute.
+	OpJmpRel
+	// OpJcc is a conditional jump; Target is absolute.
+	OpJcc
+	// OpCallIndirect is FF /2 (call through register or memory).
+	OpCallIndirect
+	// OpJmpIndirect is FF /4; for mod=00 rm=101 (RIP-relative, the PLT stub
+	// shape) Target carries the absolute address of the memory slot.
+	OpJmpIndirect
+	// OpRet is a near return (C3 / C2 iw).
+	OpRet
+	// OpHalt is hlt/ud2, which terminates a linear code path.
+	OpHalt
+)
+
+var opNames = [...]string{
+	"bad", "other", "syscall", "sysenter", "int80", "movimm", "zeroreg",
+	"movreg", "learip", "callrel", "jmprel", "jcc", "callind", "jmpind",
+	"ret", "halt",
+}
+
+// String returns a short lower-case mnemonic class name.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Inst is one decoded instruction.
+type Inst struct {
+	// Addr is the virtual address of the first byte.
+	Addr uint64
+	// Len is the encoded length in bytes (always ≥ 1).
+	Len int
+	// Op is the semantic class.
+	Op Op
+	// Dst and Src are register operands where the class defines them
+	// (OpMovImm: Dst; OpZeroReg: Dst; OpMovReg: Dst, Src; OpLeaRIP: Dst).
+	Dst, Src Reg
+	// Imm is the immediate constant for OpMovImm (sign-extended as the
+	// hardware would).
+	Imm int64
+	// Target is the absolute virtual address for branch classes and
+	// OpLeaRIP/RIP-relative OpJmpIndirect.
+	Target uint64
+	// HasTarget reports whether Target is meaningful (indirect calls
+	// through registers have none).
+	HasTarget bool
+}
+
+// attribute flags for the opcode tables.
+type attr uint16
+
+const (
+	aModRM   attr = 1 << iota // has a ModRM byte
+	aImm8                     // trailing 8-bit immediate
+	aImm16                    // trailing 16-bit immediate
+	aImmIz                    // 16/32-bit immediate depending on operand size
+	aImmIv                    // 16/32/64-bit immediate (B8+r with REX.W)
+	aMoffs                    // address-size-dependent offset (A0-A3)
+	aRel8                     // 8-bit branch displacement
+	aRelIz                    // 16/32-bit branch displacement
+	aBad                      // invalid in 64-bit mode
+	aPrefix                   // legacy prefix byte
+	aImmF67                   // F6/F7 group: imm present only for /0 and /1
+	aImm16_8                  // ENTER: imm16 then imm8
+)
+
+// oneByte is the primary opcode attribute table.
+var oneByte = func() [256]attr {
+	var t [256]attr
+	// ALU block pattern: op r/m,r ; op r,r/m ; op al,imm8 ; op eAX,immIz.
+	for _, base := range []int{0x00, 0x08, 0x10, 0x18, 0x20, 0x28, 0x30, 0x38} {
+		t[base] = aModRM
+		t[base+1] = aModRM
+		t[base+2] = aModRM
+		t[base+3] = aModRM
+		t[base+4] = aImm8
+		t[base+5] = aImmIz
+		t[base+6] = aBad // push es/... invalid in 64-bit
+		t[base+7] = aBad
+	}
+	t[0x0E] = aBad
+	t[0x0F] = 0 // two-byte escape, handled specially
+	// Segment-override and operand/address-size prefixes.
+	for _, p := range []int{0x26, 0x2E, 0x36, 0x3E, 0x64, 0x65, 0x66, 0x67} {
+		t[p] = aPrefix
+	}
+	// REX prefixes 40-4F.
+	for b := 0x40; b <= 0x4F; b++ {
+		t[b] = aPrefix
+	}
+	for b := 0x50; b <= 0x5F; b++ {
+		t[b] = 0 // push/pop r
+	}
+	t[0x60], t[0x61], t[0x62] = aBad, aBad, aBad
+	t[0x63] = aModRM // movsxd
+	t[0x68] = aImmIz // push imm
+	t[0x69] = aModRM | aImmIz
+	t[0x6A] = aImm8
+	t[0x6B] = aModRM | aImm8
+	// 6C-6F ins/outs: no operands.
+	for b := 0x70; b <= 0x7F; b++ {
+		t[b] = aRel8 // Jcc rel8
+	}
+	t[0x80] = aModRM | aImm8
+	t[0x81] = aModRM | aImmIz
+	t[0x82] = aBad
+	t[0x83] = aModRM | aImm8
+	t[0x84], t[0x85], t[0x86], t[0x87] = aModRM, aModRM, aModRM, aModRM
+	for b := 0x88; b <= 0x8E; b++ {
+		t[b] = aModRM // mov / lea family
+	}
+	t[0x8F] = aModRM // pop r/m
+	// 90-9F: xchg/cwde/cdq/pushf/...: no operands. 9A invalid.
+	t[0x9A] = aBad
+	t[0xA0] = aMoffs
+	t[0xA1] = aMoffs
+	t[0xA2] = aMoffs
+	t[0xA3] = aMoffs
+	t[0xA8] = aImm8
+	t[0xA9] = aImmIz
+	for b := 0xB0; b <= 0xB7; b++ {
+		t[b] = aImm8 // mov r8, imm8
+	}
+	for b := 0xB8; b <= 0xBF; b++ {
+		t[b] = aImmIv // mov r, imm (64-bit with REX.W)
+	}
+	t[0xC0] = aModRM | aImm8
+	t[0xC1] = aModRM | aImm8
+	t[0xC2] = aImm16 // ret imm16
+	t[0xC3] = 0      // ret
+	// C4/C5 are VEX prefixes in 64-bit mode; handled specially.
+	t[0xC6] = aModRM | aImm8
+	t[0xC7] = aModRM | aImmIz
+	t[0xC8] = aImm16_8 // enter
+	t[0xC9] = 0        // leave
+	t[0xCA] = aImm16   // retf imm16
+	t[0xCD] = aImm8    // int imm8
+	t[0xCE] = aBad
+	for b := 0xD0; b <= 0xD3; b++ {
+		t[b] = aModRM // shift group
+	}
+	t[0xD4], t[0xD5], t[0xD6] = aBad, aBad, aBad
+	for b := 0xD8; b <= 0xDF; b++ {
+		t[b] = aModRM // x87 escape
+	}
+	for b := 0xE0; b <= 0xE3; b++ {
+		t[b] = aRel8 // loop/jrcxz
+	}
+	t[0xE4], t[0xE5] = aImm8, aImm8 // in
+	t[0xE6], t[0xE7] = aImm8, aImm8 // out
+	t[0xE8] = aRelIz                // call rel
+	t[0xE9] = aRelIz                // jmp rel
+	t[0xEA] = aBad
+	t[0xEB] = aRel8 // jmp rel8
+	// EC-EF in/out dx: no operands.
+	t[0xF0] = aPrefix // lock
+	t[0xF2] = aPrefix // repne
+	t[0xF3] = aPrefix // rep
+	t[0xF6] = aModRM | aImmF67
+	t[0xF7] = aModRM | aImmF67
+	t[0xFE] = aModRM
+	t[0xFF] = aModRM
+	return t
+}()
+
+// twoByte is the 0F-escape opcode attribute table.
+var twoByte = func() [256]attr {
+	var t [256]attr
+	t[0x00] = aModRM // group 6
+	t[0x01] = aModRM // group 7 (lgdt etc.; special encodings decode as modrm)
+	t[0x02] = aModRM // lar
+	t[0x03] = aModRM // lsl
+	t[0x04] = aBad
+	t[0x05] = 0 // syscall
+	t[0x06] = 0 // clts
+	t[0x07] = 0 // sysret
+	t[0x08] = 0 // invd
+	t[0x09] = 0 // wbinvd
+	t[0x0A] = aBad
+	t[0x0B] = 0 // ud2
+	t[0x0C] = aBad
+	t[0x0D] = aModRM         // prefetch (AMD)
+	t[0x0E] = 0              // femms
+	t[0x0F] = aModRM | aImm8 // 3DNow!: modrm then suffix byte
+	for b := 0x10; b <= 0x17; b++ {
+		t[b] = aModRM // SSE mov block
+	}
+	for b := 0x18; b <= 0x1F; b++ {
+		t[b] = aModRM // hint nop block
+	}
+	for b := 0x20; b <= 0x23; b++ {
+		t[b] = aModRM // mov to/from control/debug regs
+	}
+	t[0x24], t[0x25], t[0x26], t[0x27] = aBad, aBad, aBad, aBad
+	for b := 0x28; b <= 0x2F; b++ {
+		t[b] = aModRM // SSE convert/compare block
+	}
+	t[0x30] = 0 // wrmsr
+	t[0x31] = 0 // rdtsc
+	t[0x32] = 0 // rdmsr
+	t[0x33] = 0 // rdpmc
+	t[0x34] = 0 // sysenter
+	t[0x35] = 0 // sysexit
+	t[0x36] = aBad
+	t[0x37] = 0 // getsec
+	// 0x38 and 0x3A are three-byte escapes, handled specially.
+	t[0x39], t[0x3B], t[0x3C], t[0x3D], t[0x3E], t[0x3F] = aBad, aBad, aBad, aBad, aBad, aBad
+	for b := 0x40; b <= 0x4F; b++ {
+		t[b] = aModRM // cmovcc
+	}
+	for b := 0x50; b <= 0x6F; b++ {
+		t[b] = aModRM // SSE blocks
+	}
+	t[0x70] = aModRM | aImm8 // pshufw/pshufd
+	t[0x71] = aModRM | aImm8 // shift groups with imm8
+	t[0x72] = aModRM | aImm8
+	t[0x73] = aModRM | aImm8
+	for b := 0x74; b <= 0x7F; b++ {
+		t[b] = aModRM
+	}
+	for b := 0x80; b <= 0x8F; b++ {
+		t[b] = aRelIz // Jcc rel32
+	}
+	for b := 0x90; b <= 0x9F; b++ {
+		t[b] = aModRM // setcc
+	}
+	t[0xA0], t[0xA1] = 0, 0 // push/pop fs
+	t[0xA2] = 0             // cpuid
+	t[0xA3] = aModRM        // bt
+	t[0xA4] = aModRM | aImm8
+	t[0xA5] = aModRM
+	t[0xA6], t[0xA7] = aBad, aBad
+	t[0xA8], t[0xA9] = 0, 0 // push/pop gs
+	t[0xAA] = 0             // rsm
+	t[0xAB] = aModRM        // bts
+	t[0xAC] = aModRM | aImm8
+	t[0xAD] = aModRM
+	t[0xAE] = aModRM // group 15 (fences decode as mod=11 modrm)
+	t[0xAF] = aModRM // imul
+	t[0xB0], t[0xB1] = aModRM, aModRM
+	t[0xB2] = aModRM
+	t[0xB3] = aModRM
+	t[0xB4], t[0xB5] = aModRM, aModRM
+	t[0xB6], t[0xB7] = aModRM, aModRM // movzx
+	t[0xB8] = aModRM                  // popcnt (F3) / jmpe
+	t[0xB9] = aModRM                  // ud1
+	t[0xBA] = aModRM | aImm8          // bt group
+	t[0xBB] = aModRM
+	t[0xBC], t[0xBD] = aModRM, aModRM
+	t[0xBE], t[0xBF] = aModRM, aModRM // movsx
+	t[0xC0], t[0xC1] = aModRM, aModRM // xadd
+	t[0xC2] = aModRM | aImm8          // cmpps
+	t[0xC3] = aModRM                  // movnti
+	t[0xC4] = aModRM | aImm8          // pinsrw
+	t[0xC5] = aModRM | aImm8          // pextrw
+	t[0xC6] = aModRM | aImm8          // shufps
+	t[0xC7] = aModRM                  // group 9 (cmpxchg8b)
+	// C8-CF bswap: no modrm.
+	for b := 0xD0; b <= 0xFF; b++ {
+		t[b] = aModRM // MMX/SSE blocks
+	}
+	t[0xFF] = aModRM // ud0
+	return t
+}()
+
+// Decode decodes a single instruction at code[0:], where addr is the
+// virtual address of code[0]. It always returns an Inst with Len ≥ 1; bytes
+// that do not form a valid instruction yield {Op: OpBad, Len: 1}.
+func Decode(code []byte, addr uint64) Inst {
+	d := decoder{code: code, addr: addr}
+	return d.decode()
+}
+
+type decoder struct {
+	code []byte
+	addr uint64
+	pos  int
+
+	rex      byte
+	hasREX   bool
+	opSize16 bool // 66 prefix seen
+	addr32   bool // 67 prefix seen
+}
+
+func (d *decoder) bad() Inst { return Inst{Addr: d.addr, Len: 1, Op: OpBad} }
+
+func (d *decoder) byte() (byte, bool) {
+	if d.pos >= len(d.code) {
+		return 0, false
+	}
+	b := d.code[d.pos]
+	d.pos++
+	return b, true
+}
+
+func (d *decoder) skip(n int) bool {
+	if d.pos+n > len(d.code) {
+		return false
+	}
+	d.pos += n
+	return true
+}
+
+func (d *decoder) int32at(off int) (int32, bool) {
+	if off+4 > len(d.code) {
+		return 0, false
+	}
+	v := uint32(d.code[off]) | uint32(d.code[off+1])<<8 |
+		uint32(d.code[off+2])<<16 | uint32(d.code[off+3])<<24
+	return int32(v), true
+}
+
+func (d *decoder) decode() Inst {
+	// Consume prefixes. REX must be the last prefix before the opcode; a
+	// REX followed by another prefix loses its effect, which we model by
+	// clearing it.
+	for {
+		b, ok := d.byte()
+		if !ok {
+			return d.bad()
+		}
+		if b >= 0x40 && b <= 0x4F {
+			d.rex, d.hasREX = b, true
+			continue
+		}
+		switch b {
+		case 0x66:
+			d.opSize16 = true
+			d.rex, d.hasREX = 0, false
+			continue
+		case 0x67:
+			d.addr32 = true
+			d.rex, d.hasREX = 0, false
+			continue
+		case 0x26, 0x2E, 0x36, 0x3E, 0x64, 0x65, 0xF0, 0xF2, 0xF3:
+			d.rex, d.hasREX = 0, false
+			continue
+		}
+		if d.pos > 15 {
+			return d.bad() // x86 caps instruction length at 15 bytes
+		}
+		return d.opcode(b)
+	}
+}
+
+// modRM consumes the ModRM byte plus any SIB and displacement, returning
+// the raw ModRM byte and, when the encoding is RIP-relative (mod=00,
+// rm=101), the absolute target address.
+func (d *decoder) modRM() (modrm byte, ripTarget uint64, rip bool, ok bool) {
+	m, ok := d.byte()
+	if !ok {
+		return 0, 0, false, false
+	}
+	mod := m >> 6
+	rm := m & 7
+	if mod == 3 {
+		return m, 0, false, true
+	}
+	dispSize := 0
+	switch mod {
+	case 0:
+		if rm == 5 { // RIP-relative
+			off := d.pos
+			disp, ok := d.int32at(off)
+			if !ok {
+				return 0, 0, false, false
+			}
+			d.pos += 4
+			// Target is computed after the full instruction length is
+			// known; stash the displacement via ripTarget and fix up in
+			// the caller. We return the raw disp here and let opcode()
+			// adjust once Len is final.
+			return m, uint64(int64(disp)), true, true
+		}
+		if rm == 4 { // SIB
+			sib, ok := d.byte()
+			if !ok {
+				return 0, 0, false, false
+			}
+			if sib&7 == 5 { // base=101 with mod=00: disp32
+				dispSize = 4
+			}
+		}
+	case 1:
+		dispSize = 1
+		if rm == 4 {
+			if _, ok := d.byte(); !ok {
+				return 0, 0, false, false
+			}
+		}
+	case 2:
+		dispSize = 4
+		if rm == 4 {
+			if _, ok := d.byte(); !ok {
+				return 0, 0, false, false
+			}
+		}
+	}
+	if !d.skip(dispSize) {
+		return 0, 0, false, false
+	}
+	return m, 0, false, true
+}
+
+func (d *decoder) immSize(a attr, opcode byte) int {
+	switch {
+	case a&aImm8 != 0:
+		return 1
+	case a&aImm16 != 0:
+		return 2
+	case a&aImmIz != 0:
+		if d.opSize16 {
+			return 2
+		}
+		return 4
+	case a&aImmIv != 0:
+		if d.hasREX && d.rex&0x08 != 0 { // REX.W
+			return 8
+		}
+		if d.opSize16 {
+			return 2
+		}
+		return 4
+	case a&aMoffs != 0:
+		if d.addr32 {
+			return 4
+		}
+		return 8
+	case a&aImm16_8 != 0:
+		return 3
+	}
+	return 0
+}
+
+func (d *decoder) finish(op Op) Inst {
+	return Inst{Addr: d.addr, Len: d.pos, Op: op}
+}
+
+func (d *decoder) opcode(b byte) Inst {
+	switch b {
+	case 0x0F:
+		return d.twoByteOpcode()
+	case 0xC4: // 3-byte VEX
+		return d.vex(3)
+	case 0xC5: // 2-byte VEX
+		return d.vex(2)
+	}
+	a := oneByte[b]
+	if a&aBad != 0 {
+		return d.bad()
+	}
+
+	// Semantic special cases first.
+	switch {
+	case b == 0xE8 || b == 0xE9: // call/jmp rel
+		size := 4
+		if d.opSize16 {
+			size = 2
+		}
+		start := d.pos
+		if !d.skip(size) {
+			return d.bad()
+		}
+		inst := d.finish(OpJmpRel)
+		if b == 0xE8 {
+			inst.Op = OpCallRel
+		}
+		if size == 4 {
+			disp, _ := d.int32at(start)
+			inst.Target = d.addr + uint64(d.pos) + uint64(int64(disp))
+			inst.HasTarget = true
+		}
+		return inst
+	case b == 0xEB: // jmp rel8
+		off, ok := d.byte()
+		if !ok {
+			return d.bad()
+		}
+		inst := d.finish(OpJmpRel)
+		inst.Target = d.addr + uint64(d.pos) + uint64(int64(int8(off)))
+		inst.HasTarget = true
+		return inst
+	case b >= 0x70 && b <= 0x7F: // Jcc rel8
+		off, ok := d.byte()
+		if !ok {
+			return d.bad()
+		}
+		inst := d.finish(OpJcc)
+		inst.Target = d.addr + uint64(d.pos) + uint64(int64(int8(off)))
+		inst.HasTarget = true
+		return inst
+	case b == 0xC3:
+		return d.finish(OpRet)
+	case b == 0xC2:
+		if !d.skip(2) {
+			return d.bad()
+		}
+		return d.finish(OpRet)
+	case b == 0xCD: // int imm8
+		imm, ok := d.byte()
+		if !ok {
+			return d.bad()
+		}
+		if imm == 0x80 {
+			return d.finish(OpInt80)
+		}
+		return d.finish(OpOther)
+	case b == 0xF4:
+		return d.finish(OpHalt)
+	case b >= 0xB8 && b <= 0xBF: // mov r, imm
+		size := d.immSize(aImmIv, b)
+		start := d.pos
+		if !d.skip(size) {
+			return d.bad()
+		}
+		inst := d.finish(OpMovImm)
+		inst.Dst = Reg(b - 0xB8)
+		if d.hasREX && d.rex&0x01 != 0 { // REX.B extends the register
+			inst.Dst += 8
+		}
+		switch size {
+		case 2:
+			inst.Imm = int64(int16(uint16(d.code[start]) | uint16(d.code[start+1])<<8))
+		case 4:
+			v, _ := d.int32at(start)
+			if d.hasREX && d.rex&0x08 != 0 {
+				inst.Imm = int64(v) // sign-extended into 64-bit
+			} else {
+				inst.Imm = int64(uint32(v)) // 32-bit mov zero-extends
+			}
+		case 8:
+			var v uint64
+			for i := 0; i < 8; i++ {
+				v |= uint64(d.code[start+i]) << (8 * i)
+			}
+			inst.Imm = int64(v)
+		}
+		return inst
+	case b == 0x31 || b == 0x29: // xor/sub r/m, r
+		m, _, rip, ok := d.modRM()
+		if !ok {
+			return d.bad()
+		}
+		inst := d.finish(OpOther)
+		if !rip && m>>6 == 3 {
+			dst := Reg(m & 7)
+			src := Reg((m >> 3) & 7)
+			if d.hasREX {
+				if d.rex&0x01 != 0 {
+					dst += 8
+				}
+				if d.rex&0x04 != 0 {
+					src += 8
+				}
+			}
+			if dst == src {
+				inst.Op = OpZeroReg
+				inst.Dst = dst
+			}
+		}
+		return inst
+	case b == 0x89 || b == 0x8B: // mov r/m,r ; mov r,r/m
+		m, disp, rip, ok := d.modRM()
+		if !ok {
+			return d.bad()
+		}
+		inst := d.finish(OpOther)
+		if !rip && m>>6 == 3 {
+			rm := Reg(m & 7)
+			r := Reg((m >> 3) & 7)
+			if d.hasREX {
+				if d.rex&0x01 != 0 {
+					rm += 8
+				}
+				if d.rex&0x04 != 0 {
+					r += 8
+				}
+			}
+			inst.Op = OpMovReg
+			if b == 0x89 { // mov r/m, r : dst=rm src=r
+				inst.Dst, inst.Src = rm, r
+			} else {
+				inst.Dst, inst.Src = r, rm
+			}
+		}
+		_ = disp
+		_ = rip
+		return inst
+	case b == 0x8D: // lea
+		m, disp, rip, ok := d.modRM()
+		if !ok {
+			return d.bad()
+		}
+		inst := d.finish(OpOther)
+		if rip {
+			r := Reg((m >> 3) & 7)
+			if d.hasREX && d.rex&0x04 != 0 {
+				r += 8
+			}
+			inst.Op = OpLeaRIP
+			inst.Dst = r
+			inst.Target = d.addr + uint64(d.pos) + disp
+			inst.HasTarget = true
+		}
+		return inst
+	case b == 0xC7: // mov r/m, imm32; register form feeds const tracking
+		m, _, rip, ok := d.modRM()
+		if !ok {
+			return d.bad()
+		}
+		size := 4
+		if d.opSize16 {
+			size = 2
+		}
+		start := d.pos
+		if !d.skip(size) {
+			return d.bad()
+		}
+		inst := d.finish(OpOther)
+		if !rip && m>>6 == 3 && (m>>3)&7 == 0 { // C7 /0 reg form
+			dst := Reg(m & 7)
+			if d.hasREX && d.rex&0x01 != 0 {
+				dst += 8
+			}
+			inst.Op = OpMovImm
+			inst.Dst = dst
+			if size == 4 {
+				v, _ := d.int32at(start)
+				if d.hasREX && d.rex&0x08 != 0 {
+					inst.Imm = int64(v)
+				} else {
+					inst.Imm = int64(uint32(v))
+				}
+			} else {
+				inst.Imm = int64(int16(uint16(d.code[start]) | uint16(d.code[start+1])<<8))
+			}
+		}
+		return inst
+	case b == 0xFF:
+		m, disp, rip, ok := d.modRM()
+		if !ok {
+			return d.bad()
+		}
+		inst := d.finish(OpOther)
+		switch (m >> 3) & 7 {
+		case 2, 3: // call
+			inst.Op = OpCallIndirect
+			if rip {
+				inst.Target = d.addr + uint64(d.pos) + disp
+				inst.HasTarget = true
+			}
+		case 4, 5: // jmp
+			inst.Op = OpJmpIndirect
+			if rip {
+				inst.Target = d.addr + uint64(d.pos) + disp
+				inst.HasTarget = true
+			}
+		}
+		return inst
+	case b == 0xF6 || b == 0xF7:
+		m, _, _, ok := d.modRM()
+		if !ok {
+			return d.bad()
+		}
+		if (m>>3)&7 <= 1 { // TEST r/m, imm
+			size := 1
+			if b == 0xF7 {
+				size = 4
+				if d.opSize16 {
+					size = 2
+				}
+			}
+			if !d.skip(size) {
+				return d.bad()
+			}
+		}
+		return d.finish(OpOther)
+	}
+
+	// Generic path: consume ModRM and immediates per the attribute table.
+	ripDisp := uint64(0)
+	isRIP := false
+	if a&aModRM != 0 {
+		_, disp, rip, ok := d.modRM()
+		if !ok {
+			return d.bad()
+		}
+		ripDisp, isRIP = disp, rip
+	}
+	if n := d.immSize(a, b); n > 0 {
+		if !d.skip(n) {
+			return d.bad()
+		}
+	}
+	if a&aRel8 != 0 {
+		off, ok := d.byte()
+		if !ok {
+			return d.bad()
+		}
+		inst := d.finish(OpJcc)
+		if b >= 0xE0 && b <= 0xE3 {
+			inst.Op = OpJcc // loop/jrcxz behave as conditional branches
+		}
+		inst.Target = d.addr + uint64(d.pos) + uint64(int64(int8(off)))
+		inst.HasTarget = true
+		return inst
+	}
+	if a&aRelIz != 0 {
+		size := 4
+		if d.opSize16 {
+			size = 2
+		}
+		start := d.pos
+		if !d.skip(size) {
+			return d.bad()
+		}
+		inst := d.finish(OpJcc)
+		if size == 4 {
+			dispv, _ := d.int32at(start)
+			inst.Target = d.addr + uint64(d.pos) + uint64(int64(dispv))
+			inst.HasTarget = true
+		}
+		return inst
+	}
+	_ = ripDisp
+	_ = isRIP
+	return d.finish(OpOther)
+}
+
+func (d *decoder) twoByteOpcode() Inst {
+	b, ok := d.byte()
+	if !ok {
+		return d.bad()
+	}
+	switch b {
+	case 0x05:
+		return d.finish(OpSyscall)
+	case 0x34:
+		return d.finish(OpSysenter)
+	case 0x0B:
+		return d.finish(OpHalt) // ud2
+	case 0x38: // three-byte map 0F 38: ModRM, no immediate
+		op, ok := d.byte()
+		if !ok {
+			return d.bad()
+		}
+		_ = op
+		if _, _, _, ok := d.modRM(); !ok {
+			return d.bad()
+		}
+		return d.finish(OpOther)
+	case 0x3A: // three-byte map 0F 3A: ModRM + imm8
+		op, ok := d.byte()
+		if !ok {
+			return d.bad()
+		}
+		_ = op
+		if _, _, _, ok := d.modRM(); !ok {
+			return d.bad()
+		}
+		if !d.skip(1) {
+			return d.bad()
+		}
+		return d.finish(OpOther)
+	}
+	a := twoByte[b]
+	if a&aBad != 0 {
+		return d.bad()
+	}
+	if b >= 0x80 && b <= 0x8F { // Jcc rel32
+		size := 4
+		if d.opSize16 {
+			size = 2
+		}
+		start := d.pos
+		if !d.skip(size) {
+			return d.bad()
+		}
+		inst := d.finish(OpJcc)
+		if size == 4 {
+			disp, _ := d.int32at(start)
+			inst.Target = d.addr + uint64(d.pos) + uint64(int64(disp))
+			inst.HasTarget = true
+		}
+		return inst
+	}
+	if a&aModRM != 0 {
+		if _, _, _, ok := d.modRM(); !ok {
+			return d.bad()
+		}
+	}
+	if n := d.immSize(a, b); n > 0 {
+		if !d.skip(n) {
+			return d.bad()
+		}
+	}
+	return d.finish(OpOther)
+}
+
+// vex handles AVX-encoded instructions: we only need correct lengths.
+func (d *decoder) vex(size int) Inst {
+	mmmmm := byte(1) // 2-byte VEX implies map 0F
+	if size == 3 {
+		b1, ok := d.byte()
+		if !ok {
+			return d.bad()
+		}
+		mmmmm = b1 & 0x1F
+	}
+	if _, ok := d.byte(); !ok { // second VEX byte (vvvv/L/pp)
+		return d.bad()
+	}
+	op, ok := d.byte()
+	if !ok {
+		return d.bad()
+	}
+	// All VEX-map instructions take a ModRM; map 0F3A adds an imm8, and a
+	// few 0F/0F38 entries take imm8 too (blends, ror) — treat pextr/pinsr
+	// style opcodes conservatively by checking the 0F map attributes.
+	if _, _, _, ok := d.modRM(); !ok {
+		return d.bad()
+	}
+	needImm := false
+	switch mmmmm {
+	case 3:
+		needImm = true
+	case 1:
+		needImm = twoByte[op]&aImm8 != 0
+	}
+	if needImm {
+		if !d.skip(1) {
+			return d.bad()
+		}
+	}
+	return d.finish(OpOther)
+}
+
+// DecodeAll linear-sweeps code starting at virtual address base and returns
+// every decoded instruction, resynchronizing one byte at a time on
+// undecodable bytes.
+func DecodeAll(code []byte, base uint64) []Inst {
+	insts := make([]Inst, 0, len(code)/4)
+	for pos := 0; pos < len(code); {
+		inst := Decode(code[pos:], base+uint64(pos))
+		insts = append(insts, inst)
+		pos += inst.Len
+	}
+	return insts
+}

@@ -1,0 +1,97 @@
+package x86
+
+import "fmt"
+
+// Format renders a decoded instruction in AT&T-flavoured text for the
+// evidence listings the command-line tools print around system-call sites.
+// Semantically-classified instructions render with operands; everything
+// else shows its class and length.
+func (i Inst) Format() string {
+	switch i.Op {
+	case OpSyscall:
+		return "syscall"
+	case OpSysenter:
+		return "sysenter"
+	case OpInt80:
+		return "int $0x80"
+	case OpMovImm:
+		return fmt.Sprintf("mov $%#x, %%%s", uint64(i.Imm), i.Dst)
+	case OpZeroReg:
+		return fmt.Sprintf("xor %%%s, %%%s", i.Dst, i.Dst)
+	case OpMovReg:
+		return fmt.Sprintf("mov %%%s, %%%s", i.Src, i.Dst)
+	case OpLeaRIP:
+		return fmt.Sprintf("lea %#x(%%rip), %%%s", i.Target, i.Dst)
+	case OpCallRel:
+		return fmt.Sprintf("call %#x", i.Target)
+	case OpJmpRel:
+		if i.HasTarget {
+			return fmt.Sprintf("jmp %#x", i.Target)
+		}
+		return "jmp (rel16)"
+	case OpJcc:
+		if i.HasTarget {
+			return fmt.Sprintf("jcc %#x", i.Target)
+		}
+		return "jcc (rel16)"
+	case OpCallIndirect:
+		if i.HasTarget {
+			return fmt.Sprintf("call *%#x(%%rip)", i.Target)
+		}
+		return "call *(reg)"
+	case OpJmpIndirect:
+		if i.HasTarget {
+			return fmt.Sprintf("jmp *%#x(%%rip)", i.Target)
+		}
+		return "jmp *(reg)"
+	case OpRet:
+		return "ret"
+	case OpHalt:
+		return "hlt"
+	case OpBad:
+		return "(bad)"
+	}
+	return fmt.Sprintf("(insn %d bytes)", i.Len)
+}
+
+// SyscallSite describes one located system-call site with its recovered
+// context, for evidence listings.
+type SyscallSite struct {
+	Addr uint64
+	// Num is the recovered system-call number (-1 when unresolved).
+	Num int64
+	// Window is the formatted instruction window ending at the site.
+	Window []string
+}
+
+// FindSyscallSites linear-sweeps code and returns every system-call
+// instruction with a short window of preceding instructions and the
+// constant-propagated number, mirroring the evidence the paper's analysis
+// works from.
+func FindSyscallSites(code []byte, base uint64, window int) []SyscallSite {
+	var out []SyscallSite
+	var st RegState
+	var recent []Inst
+	for pos := 0; pos < len(code); {
+		inst := Decode(code[pos:], base+uint64(pos))
+		recent = append(recent, inst)
+		if len(recent) > window {
+			recent = recent[1:]
+		}
+		switch inst.Op {
+		case OpSyscall, OpInt80, OpSysenter:
+			site := SyscallSite{Addr: inst.Addr, Num: -1}
+			if v, ok := st.Get(RAX); ok {
+				site.Num = v
+			}
+			for _, r := range recent {
+				site.Window = append(site.Window,
+					fmt.Sprintf("%#8x: %s", r.Addr, r.Format()))
+			}
+			out = append(out, site)
+		}
+		st.Step(inst)
+		pos += inst.Len
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package x86
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		code []byte
+		want string
+	}{
+		{[]byte{0x0F, 0x05}, "syscall"},
+		{[]byte{0x0F, 0x34}, "sysenter"},
+		{[]byte{0xCD, 0x80}, "int $0x80"},
+		{[]byte{0xB8, 0x01, 0x01, 0x00, 0x00}, "mov $0x101, %rax"},
+		{[]byte{0x31, 0xFF}, "xor %rdi, %rdi"},
+		{[]byte{0x48, 0x89, 0xC7}, "mov %rax, %rdi"},
+		{[]byte{0xC3}, "ret"},
+		{[]byte{0xF4}, "hlt"},
+		{[]byte{0x90}, "(insn 1 bytes)"},
+		{[]byte{0xFF, 0xD0}, "call *(reg)"},
+	}
+	for _, c := range cases {
+		inst := Decode(c.code, 0x1000)
+		if got := inst.Format(); got != c.want {
+			t.Errorf("Format(% x) = %q, want %q", c.code, got, c.want)
+		}
+	}
+	// Target-carrying forms mention the target.
+	inst := Decode([]byte{0xE8, 0x10, 0x00, 0x00, 0x00}, 0x4000)
+	if got := inst.Format(); !strings.Contains(got, "0x4015") {
+		t.Errorf("call format = %q", got)
+	}
+	inst = Decode([]byte{0x48, 0x8D, 0x3D, 0x40, 0x00, 0x00, 0x00}, 0x2000)
+	if got := inst.Format(); !strings.Contains(got, "rip") || !strings.Contains(got, "rdi") {
+		t.Errorf("lea format = %q", got)
+	}
+	inst = Decode([]byte{0xFF, 0x25, 0x00, 0x02, 0x00, 0x00}, 0x1000)
+	if got := inst.Format(); !strings.Contains(got, "jmp *0x1206") {
+		t.Errorf("jmp-indirect format = %q", got)
+	}
+	if (Inst{Op: OpBad, Len: 1}).Format() != "(bad)" {
+		t.Error("bad format")
+	}
+}
+
+func TestFindSyscallSites(t *testing.T) {
+	a := NewAsm()
+	a.MovRegImm32(RAX, 2) // open
+	a.Syscall()
+	a.MovRegReg(RAX, RBX) // unresolved number
+	a.Syscall()
+	a.MovRegImm32(RAX, 60) // exit
+	a.Nop()
+	a.Nop()
+	a.Syscall()
+	a.Ret()
+	code := a.Finalize(0x5000)
+
+	sites := FindSyscallSites(code, 0x5000, 3)
+	if len(sites) != 3 {
+		t.Fatalf("sites = %d, want 3", len(sites))
+	}
+	if sites[0].Num != 2 {
+		t.Errorf("site 0 num = %d, want 2", sites[0].Num)
+	}
+	if sites[1].Num != -1 {
+		t.Errorf("site 1 num = %d, want unresolved", sites[1].Num)
+	}
+	if sites[2].Num != 60 {
+		t.Errorf("site 2 num = %d (exit survives intervening nops)", sites[2].Num)
+	}
+	for _, site := range sites {
+		if len(site.Window) == 0 || len(site.Window) > 3 {
+			t.Errorf("window size = %d", len(site.Window))
+		}
+		last := site.Window[len(site.Window)-1]
+		if !strings.Contains(last, "syscall") {
+			t.Errorf("window does not end at the site: %v", site.Window)
+		}
+	}
+}

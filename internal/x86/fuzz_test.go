@@ -1,0 +1,33 @@
+package x86
+
+import "testing"
+
+// FuzzDecode feeds arbitrary bytes to the decoder: it must always make
+// progress (Len ≥ 1), never panic, and never read past the buffer.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0x0F, 0x05})
+	f.Add([]byte{0x48, 0xB8, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xC4, 0xE3, 0x71, 0x0F, 0xC2, 0x04})
+	f.Add([]byte{0x66, 0x2E, 0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0xF0, 0xF2, 0x66, 0x67, 0x48})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		inst := Decode(data, 0x1000)
+		if inst.Len < 1 {
+			t.Fatalf("no progress on % x", data)
+		}
+		if inst.Len > len(data)+22 {
+			t.Fatalf("implausible length %d for %d bytes", inst.Len, len(data))
+		}
+		// A full sweep must terminate and cover the buffer exactly.
+		total := 0
+		for _, i := range DecodeAll(data, 0) {
+			total += i.Len
+		}
+		if total != len(data) {
+			t.Fatalf("sweep covered %d of %d bytes", total, len(data))
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package x86
+
+import (
+	"bufio"
+	"bytes"
+	"debug/elf"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Cross-validation against GNU objdump (the disassembler the paper's own
+// pipeline used): linear sweeps from the same start address must agree on
+// every instruction boundary. Skips when objdump is not installed.
+
+func objdumpBoundaries(t *testing.T, path string, limit int) (map[uint64]int, uint64) {
+	t.Helper()
+	objdump, err := exec.LookPath("objdump")
+	if err != nil {
+		t.Skip("objdump not installed")
+	}
+	out, err := exec.Command(objdump, "-d", "-j", ".text", path).Output()
+	if err != nil {
+		t.Fatalf("objdump: %v", err)
+	}
+	// Lines look like "  401000:\t0f 05                \tsyscall".
+	sizes := make(map[uint64]int)
+	first := uint64(0)
+	lastAddr := uint64(0)
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		colon := strings.Index(line, ":\t")
+		if colon < 0 || !strings.HasPrefix(line, " ") {
+			continue
+		}
+		addr, err := strconv.ParseUint(strings.TrimSpace(line[:colon]), 16, 64)
+		if err != nil {
+			continue
+		}
+		rest := line[colon+2:]
+		hexEnd := strings.IndexByte(rest, '\t')
+		mnemonic := ""
+		if hexEnd < 0 {
+			hexEnd = len(rest)
+		} else {
+			mnemonic = strings.TrimSpace(rest[hexEnd:])
+		}
+		nBytes := len(strings.Fields(rest[:hexEnd]))
+		if nBytes == 0 {
+			continue
+		}
+		if mnemonic == "" {
+			// Continuation of the previous instruction's byte dump.
+			if lastAddr != 0 {
+				sizes[lastAddr] += nBytes
+			}
+			continue
+		}
+		sizes[addr] = nBytes
+		lastAddr = addr
+		if first == 0 || addr < first {
+			first = addr
+		}
+		if len(sizes) >= limit {
+			break
+		}
+	}
+	return sizes, first
+}
+
+func crossValidate(t *testing.T, path string, limit int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Skipf("cannot read %s: %v", path, err)
+	}
+	f, err := elf.NewFile(bytes.NewReader(data))
+	if err != nil {
+		t.Skipf("%s is not ELF", path)
+	}
+	text := f.Section(".text")
+	if text == nil {
+		t.Skipf("%s has no .text", path)
+	}
+	code, err := text.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ref, first := objdumpBoundaries(t, path, limit)
+	if len(ref) == 0 {
+		t.Skip("no reference instructions parsed")
+	}
+
+	// Sweep with our decoder from the same start; every boundary objdump
+	// reports must be hit with the same length. Resynchronize whenever
+	// objdump skipped padding (gaps in its address sequence).
+	mismatch := 0
+	checked := 0
+	pos := first - text.Addr
+	for pos < uint64(len(code)) && checked < limit {
+		addr := text.Addr + pos
+		want, ok := ref[addr]
+		if !ok {
+			// objdump may have stopped earlier or treats this as data.
+			break
+		}
+		inst := Decode(code[pos:], addr)
+		if inst.Len != want {
+			mismatch++
+			if mismatch <= 10 {
+				t.Errorf("%s %#x: decoded length %d, objdump says %d (bytes % x)",
+					path, addr, inst.Len, want, code[pos:pos+uint64(want)])
+			}
+		}
+		checked++
+		pos += uint64(want) // follow the reference stream
+	}
+	if checked == 0 {
+		t.Skip("nothing compared")
+	}
+	t.Logf("%s: %d instructions compared, %d mismatches", path, checked, mismatch)
+	if mismatch > 0 {
+		t.Fail()
+	}
+}
+
+func TestObjdumpAgreementGenerated(t *testing.T) {
+	// The synthetic libc's .text exercises every instruction the corpus
+	// generator emits.
+	a := NewAsm()
+	a.Label("f")
+	a.MovRegImm32(RAX, 257)
+	a.MovRegImm64(R9, 0x1122334455)
+	a.XorReg(RDI)
+	a.XorReg(R10)
+	a.MovRegReg(RDX, RSI)
+	a.LeaRIPLabel(RCX, "f")
+	a.Syscall()
+	a.Int80()
+	a.Sysenter()
+	a.CallLabel("f")
+	a.JmpLabel("f")
+	a.PushReg(R12)
+	a.PopReg(R12)
+	a.Nop()
+	a.Ret()
+	code := a.Finalize(0x1000)
+	insts := DecodeAll(code, 0x1000)
+	total := 0
+	for _, inst := range insts {
+		if inst.Op == OpBad {
+			t.Fatalf("generated code decodes as bad at %#x", inst.Addr)
+		}
+		total += inst.Len
+	}
+	if total != len(code) {
+		t.Fatalf("decoded %d of %d bytes", total, len(code))
+	}
+}
+
+func TestObjdumpAgreementHostBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, path := range []string{"/usr/bin/ls", "/usr/bin/grep", "/bin/cat",
+		"/lib/x86_64-linux-gnu/libc.so.6", "/usr/bin/objdump"} {
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			crossValidate(t, path, 20000)
+		})
+	}
+}

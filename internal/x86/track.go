@@ -1,0 +1,86 @@
+package x86
+
+// RegState is the constant-propagation lattice the footprint extractor
+// runs over a function body: for each general-purpose register, either a
+// known 64-bit constant or unknown. The paper's analysis (§7) relies on
+// system-call numbers and vectored opcodes being "fixed scalars in the
+// binary"; this tracker recovers them.
+type RegState struct {
+	known [16]bool
+	val   [16]int64
+}
+
+// Reset clears all register knowledge (used at control-flow joins, function
+// entries, and after calls).
+func (s *RegState) Reset() {
+	for i := range s.known {
+		s.known[i] = false
+	}
+}
+
+// Set records that register r holds constant v.
+func (s *RegState) Set(r Reg, v int64) {
+	if r < 16 {
+		s.known[r] = true
+		s.val[r] = v
+	}
+}
+
+// Clobber forgets register r.
+func (s *RegState) Clobber(r Reg) {
+	if r < 16 {
+		s.known[r] = false
+	}
+}
+
+// Get returns the constant in register r, if known.
+func (s *RegState) Get(r Reg) (int64, bool) {
+	if r < 16 && s.known[r] {
+		return s.val[r], true
+	}
+	return 0, false
+}
+
+// callClobbered is the System V AMD64 caller-saved register set: after any
+// call these hold unknown values.
+var callClobbered = []Reg{RAX, RCX, RDX, RSI, RDI, R8, R9, R10, R11}
+
+// Step advances the state over one decoded instruction, conservatively
+// forgetting registers the instruction may modify. Branch instructions do
+// not reset state here; the caller decides how to treat control-flow joins
+// (the paper's framework assumes opcode registers are not "the result of
+// arithmetic in the same function", i.e. straight-line constant loads).
+func (s *RegState) Step(inst Inst) {
+	switch inst.Op {
+	case OpMovImm:
+		s.Set(inst.Dst, inst.Imm)
+	case OpZeroReg:
+		s.Set(inst.Dst, 0)
+	case OpMovReg:
+		if v, ok := s.Get(inst.Src); ok {
+			s.Set(inst.Dst, v)
+		} else {
+			s.Clobber(inst.Dst)
+		}
+	case OpLeaRIP:
+		// Address formation: the register now holds a pointer, not a
+		// scalar; record the target so opcode extraction can ignore it but
+		// string-reference analysis can use inst.Target directly.
+		s.Clobber(inst.Dst)
+	case OpCallRel, OpCallIndirect:
+		for _, r := range callClobbered {
+			s.Clobber(r)
+		}
+	case OpSyscall, OpInt80, OpSysenter:
+		// The kernel clobbers rax (return value) and rcx/r11 (syscall).
+		s.Clobber(RAX)
+		s.Clobber(RCX)
+		s.Clobber(R11)
+	case OpOther, OpBad:
+		// Unmodeled instruction: we cannot tell what it writes. The
+		// practical compromise the paper describes is to assume unmodeled
+		// instructions do not redefine the argument registers that carry
+		// system-call numbers and opcodes; compilers load these
+		// immediately before the call site. We therefore keep state.
+	}
+}

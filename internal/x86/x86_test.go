@@ -1,0 +1,495 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func decodeOne(t *testing.T, code []byte, addr uint64) Inst {
+	t.Helper()
+	inst := Decode(code, addr)
+	if inst.Op == OpBad {
+		t.Fatalf("Decode(% x) = bad", code)
+	}
+	if inst.Len != len(code) {
+		t.Fatalf("Decode(% x).Len = %d, want %d", code, inst.Len, len(code))
+	}
+	return inst
+}
+
+func TestDecodeSyscallForms(t *testing.T) {
+	if inst := decodeOne(t, []byte{0x0F, 0x05}, 0x1000); inst.Op != OpSyscall {
+		t.Errorf("0F 05 -> %v, want syscall", inst.Op)
+	}
+	if inst := decodeOne(t, []byte{0x0F, 0x34}, 0x1000); inst.Op != OpSysenter {
+		t.Errorf("0F 34 -> %v, want sysenter", inst.Op)
+	}
+	if inst := decodeOne(t, []byte{0xCD, 0x80}, 0x1000); inst.Op != OpInt80 {
+		t.Errorf("CD 80 -> %v, want int80", inst.Op)
+	}
+	// int with a different vector is not a system call.
+	if inst := decodeOne(t, []byte{0xCD, 0x03}, 0x1000); inst.Op != OpOther {
+		t.Errorf("CD 03 -> %v, want other", inst.Op)
+	}
+}
+
+func TestDecodeMovImm(t *testing.T) {
+	// mov eax, 0x101 (openat would be 257)
+	inst := decodeOne(t, []byte{0xB8, 0x01, 0x01, 0x00, 0x00}, 0)
+	if inst.Op != OpMovImm || inst.Dst != RAX || inst.Imm != 0x101 {
+		t.Errorf("mov eax,0x101 -> %+v", inst)
+	}
+	// mov r10d, 5 (REX.B)
+	inst = decodeOne(t, []byte{0x41, 0xBA, 0x05, 0x00, 0x00, 0x00}, 0)
+	if inst.Op != OpMovImm || inst.Dst != R10 || inst.Imm != 5 {
+		t.Errorf("mov r10d,5 -> %+v", inst)
+	}
+	// movabs rax, 0x1122334455667788 (REX.W)
+	inst = decodeOne(t, []byte{0x48, 0xB8, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11}, 0)
+	if inst.Op != OpMovImm || inst.Dst != RAX || uint64(inst.Imm) != 0x1122334455667788 {
+		t.Errorf("movabs -> %+v", inst)
+	}
+	// mov esi, imm via C7 /0: mov esi, 0x5401 (TCGETS)
+	inst = decodeOne(t, []byte{0xC7, 0xC6, 0x01, 0x54, 0x00, 0x00}, 0)
+	if inst.Op != OpMovImm || inst.Dst != RSI || inst.Imm != 0x5401 {
+		t.Errorf("mov esi,0x5401 (C7) -> %+v", inst)
+	}
+}
+
+func TestDecodeZeroIdiom(t *testing.T) {
+	// xor edi, edi
+	inst := decodeOne(t, []byte{0x31, 0xFF}, 0)
+	if inst.Op != OpZeroReg || inst.Dst != RDI {
+		t.Errorf("xor edi,edi -> %+v", inst)
+	}
+	// xor r9d, r9d (REX.R and REX.B)
+	inst = decodeOne(t, []byte{0x45, 0x31, 0xC9}, 0)
+	if inst.Op != OpZeroReg || inst.Dst != R9 {
+		t.Errorf("xor r9d,r9d -> %+v", inst)
+	}
+	// xor eax, ecx is NOT a zero idiom
+	inst = decodeOne(t, []byte{0x31, 0xC8}, 0)
+	if inst.Op == OpZeroReg {
+		t.Errorf("xor eax,ecx misclassified as zeroing: %+v", inst)
+	}
+}
+
+func TestDecodeBranches(t *testing.T) {
+	// call rel32 = +0x10 from next instruction
+	inst := decodeOne(t, []byte{0xE8, 0x10, 0x00, 0x00, 0x00}, 0x4000)
+	if inst.Op != OpCallRel || !inst.HasTarget || inst.Target != 0x4015 {
+		t.Errorf("call rel32 -> %+v, want target 0x4015", inst)
+	}
+	// jmp rel8 backwards
+	inst = decodeOne(t, []byte{0xEB, 0xFE}, 0x4000)
+	if inst.Op != OpJmpRel || inst.Target != 0x4000 {
+		t.Errorf("jmp -2 -> %+v, want target 0x4000", inst)
+	}
+	// jne rel8
+	inst = decodeOne(t, []byte{0x75, 0x04}, 0x100)
+	if inst.Op != OpJcc || inst.Target != 0x106 {
+		t.Errorf("jne +4 -> %+v", inst)
+	}
+	// jcc rel32 (0F 84)
+	inst = decodeOne(t, []byte{0x0F, 0x84, 0x00, 0x01, 0x00, 0x00}, 0x100)
+	if inst.Op != OpJcc || inst.Target != 0x206 {
+		t.Errorf("je rel32 -> %+v, want 0x206", inst)
+	}
+	// ret
+	inst = decodeOne(t, []byte{0xC3}, 0)
+	if inst.Op != OpRet {
+		t.Errorf("ret -> %+v", inst)
+	}
+}
+
+func TestDecodeIndirect(t *testing.T) {
+	// jmp qword [rip+0x200] at VA 0x1000: slot = 0x1000+6+0x200
+	inst := decodeOne(t, []byte{0xFF, 0x25, 0x00, 0x02, 0x00, 0x00}, 0x1000)
+	if inst.Op != OpJmpIndirect || !inst.HasTarget || inst.Target != 0x1206 {
+		t.Errorf("jmp [rip+0x200] -> %+v, want target 0x1206", inst)
+	}
+	// call rax
+	inst = decodeOne(t, []byte{0xFF, 0xD0}, 0)
+	if inst.Op != OpCallIndirect || inst.HasTarget {
+		t.Errorf("call rax -> %+v", inst)
+	}
+	// call qword [rbx+8]
+	inst = decodeOne(t, []byte{0xFF, 0x53, 0x08}, 0)
+	if inst.Op != OpCallIndirect {
+		t.Errorf("call [rbx+8] -> %+v", inst)
+	}
+}
+
+func TestDecodeLeaRIP(t *testing.T) {
+	// lea rdi, [rip+0x40] at 0x2000: target = 0x2000+7+0x40
+	inst := decodeOne(t, []byte{0x48, 0x8D, 0x3D, 0x40, 0x00, 0x00, 0x00}, 0x2000)
+	if inst.Op != OpLeaRIP || inst.Dst != RDI || inst.Target != 0x2047 {
+		t.Errorf("lea rdi,[rip+0x40] -> %+v", inst)
+	}
+	// lea with register base is not RIP-relative: lea rax, [rbx]
+	inst = decodeOne(t, []byte{0x48, 0x8D, 0x03}, 0)
+	if inst.Op == OpLeaRIP {
+		t.Errorf("lea rax,[rbx] misclassified RIP-relative")
+	}
+}
+
+func TestDecodeMovRegReg(t *testing.T) {
+	// mov rdi, rax (REX.W 89 C7)
+	inst := decodeOne(t, []byte{0x48, 0x89, 0xC7}, 0)
+	if inst.Op != OpMovReg || inst.Dst != RDI || inst.Src != RAX {
+		t.Errorf("mov rdi,rax -> %+v", inst)
+	}
+	// mov rax, r10 via 8B: REX.W REX.B 8B C2 -> 49 8B C2
+	inst = decodeOne(t, []byte{0x49, 0x8B, 0xC2}, 0)
+	if inst.Op != OpMovReg || inst.Dst != RAX || inst.Src != R10 {
+		t.Errorf("mov rax,r10 -> %+v", inst)
+	}
+}
+
+func TestDecodeCommonCompilerOutput(t *testing.T) {
+	// Representative gcc -O2 byte sequences; lengths must all be exact.
+	cases := []struct {
+		name string
+		code []byte
+	}{
+		{"push rbp", []byte{0x55}},
+		{"mov rbp,rsp", []byte{0x48, 0x89, 0xE5}},
+		{"sub rsp,0x10", []byte{0x48, 0x83, 0xEC, 0x10}},
+		{"mov [rbp-4],edi", []byte{0x89, 0x7D, 0xFC}},
+		{"mov eax,[rip+0x2e75]", []byte{0x8B, 0x05, 0x75, 0x2E, 0x00, 0x00}},
+		{"cmp dword [rbp-4],5", []byte{0x83, 0x7D, 0xFC, 0x05}},
+		{"movzx eax,byte [rax]", []byte{0x0F, 0xB6, 0x00}},
+		{"test al,al", []byte{0x84, 0xC0}},
+		{"test edi,edi", []byte{0x85, 0xFF}},
+		{"imul eax,esi,100", []byte{0x6B, 0xC6, 0x64}},
+		{"nopw cs:[rax+rax]", []byte{0x66, 0x2E, 0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00}},
+		{"endbr-like nopl", []byte{0x0F, 0x1F, 0x40, 0x00}},
+		{"movsd xmm0,[rip+8]", []byte{0xF2, 0x0F, 0x10, 0x05, 0x08, 0x00, 0x00, 0x00}},
+		{"pxor xmm0,xmm0", []byte{0x66, 0x0F, 0xEF, 0xC0}},
+		{"cvtsi2sd xmm0,eax", []byte{0xF2, 0x0F, 0x2A, 0xC0}},
+		{"rep stosq", []byte{0xF3, 0x48, 0xAB}},
+		{"leave", []byte{0xC9}},
+		{"lock cmpxchg", []byte{0xF0, 0x0F, 0xB1, 0x0F}},
+		{"shl rax,4", []byte{0x48, 0xC1, 0xE0, 0x04}},
+		{"sar eax,1", []byte{0xD1, 0xF8}},
+		{"movups [rsp],xmm0", []byte{0x0F, 0x11, 0x04, 0x24}},
+		{"pshufd", []byte{0x66, 0x0F, 0x70, 0xC0, 0x44}},
+		{"cmpxchg16b-style group9", []byte{0x48, 0x0F, 0xC7, 0x0F}},
+		{"vmovdqa ymm0,[rdi] (VEX2)", []byte{0xC5, 0xFD, 0x6F, 0x07}},
+		{"vpshufb (VEX3 0F38)", []byte{0xC4, 0xE2, 0x71, 0x00, 0xC2}},
+		{"vpalignr (VEX3 0F3A)", []byte{0xC4, 0xE3, 0x71, 0x0F, 0xC2, 0x04}},
+		{"movabs load", []byte{0x48, 0xA1, 0x00, 0x10, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}},
+		{"push imm32", []byte{0x68, 0x10, 0x00, 0x00, 0x00}},
+		{"test rax imm (F7/0)", []byte{0x48, 0xF7, 0xC0, 0x01, 0x00, 0x00, 0x00}},
+		{"neg rax (F7/3)", []byte{0x48, 0xF7, 0xD8}},
+		{"enter", []byte{0xC8, 0x20, 0x00, 0x01}},
+		{"ret imm16", []byte{0xC2, 0x08, 0x00}},
+		{"sib disp32 base=rbp-less", []byte{0x8B, 0x04, 0x85, 0x00, 0x00, 0x00, 0x00}},
+		{"fldz x87", []byte{0xD9, 0xEE}},
+		{"fstp qword [rsp]", []byte{0xDD, 0x1C, 0x24}},
+	}
+	for _, c := range cases {
+		inst := Decode(c.code, 0x1000)
+		if inst.Op == OpBad {
+			t.Errorf("%s: decoded as bad", c.name)
+			continue
+		}
+		if inst.Len != len(c.code) {
+			t.Errorf("%s: Len = %d, want %d", c.name, inst.Len, len(c.code))
+		}
+	}
+}
+
+func TestDecodeNeverPanicsAndProgresses(t *testing.T) {
+	f := func(code []byte) bool {
+		if len(code) == 0 {
+			return true
+		}
+		inst := Decode(code, 0)
+		return inst.Len >= 1 && inst.Len <= 15+7 // prefixes + capped body
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeAllCoversEveryByte(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	code := make([]byte, 4096)
+	rng.Read(code)
+	insts := DecodeAll(code, 0x400000)
+	var total int
+	prevEnd := uint64(0x400000)
+	for _, inst := range insts {
+		if inst.Addr != prevEnd {
+			t.Fatalf("gap or overlap at %#x (prev end %#x)", inst.Addr, prevEnd)
+		}
+		if inst.Len < 1 {
+			t.Fatalf("instruction with length %d", inst.Len)
+		}
+		total += inst.Len
+		prevEnd = inst.Addr + uint64(inst.Len)
+	}
+	if total != len(code) {
+		t.Fatalf("DecodeAll covered %d bytes, want %d", total, len(code))
+	}
+}
+
+func TestAsmDecodeRoundTrip(t *testing.T) {
+	a := NewAsm()
+	a.Label("start")
+	a.MovRegImm32(RAX, 257) // openat
+	a.XorReg(RDI)
+	a.MovRegImm32(RSI, 0x5401)
+	a.MovRegReg(RDX, RSI)
+	a.LeaRIPLabel(RCX, "start")
+	a.Syscall()
+	a.CallLabel("fn")
+	a.JmpLabel("end")
+	a.Label("fn")
+	a.Int80()
+	a.Sysenter()
+	a.Ret()
+	a.Label("end")
+	a.PushReg(R12)
+	a.PopReg(R12)
+	a.Nop()
+	a.Ret()
+
+	const base = 0x401000
+	code := a.Finalize(base)
+	insts := DecodeAll(code, base)
+
+	var ops []Op
+	for _, inst := range insts {
+		ops = append(ops, inst.Op)
+	}
+	want := []Op{OpMovImm, OpZeroReg, OpMovImm, OpMovReg, OpLeaRIP,
+		OpSyscall, OpCallRel, OpJmpRel, OpInt80, OpSysenter, OpRet,
+		OpOther, OpOther, OpOther, OpRet}
+	if len(ops) != len(want) {
+		t.Fatalf("decoded %d instructions %v, want %d", len(ops), ops, len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("inst %d = %v, want %v", i, ops[i], want[i])
+		}
+	}
+
+	// Verify branch targets resolve to the labels.
+	fnAddr, _ := a.LabelAddr("fn")
+	endAddr, _ := a.LabelAddr("end")
+	startAddr, _ := a.LabelAddr("start")
+	if insts[6].Target != fnAddr {
+		t.Errorf("call target %#x, want fn %#x", insts[6].Target, fnAddr)
+	}
+	if insts[7].Target != endAddr {
+		t.Errorf("jmp target %#x, want end %#x", insts[7].Target, endAddr)
+	}
+	if insts[4].Target != startAddr {
+		t.Errorf("lea target %#x, want start %#x", insts[4].Target, startAddr)
+	}
+	if insts[0].Imm != 257 || insts[0].Dst != RAX {
+		t.Errorf("mov rax imm decoded as %+v", insts[0])
+	}
+}
+
+func TestAsmRoundTripAllRegisters(t *testing.T) {
+	for r := RAX; r <= R15; r++ {
+		a := NewAsm()
+		a.MovRegImm32(r, uint32(r)+100)
+		a.XorReg(r)
+		a.MovRegImm64(r, 0xDEADBEEF00+uint64(r))
+		a.PushReg(r)
+		a.PopReg(r)
+		code := a.Finalize(0)
+		insts := DecodeAll(code, 0)
+		if len(insts) != 5 {
+			t.Fatalf("reg %v: decoded %d instructions, want 5", r, len(insts))
+		}
+		if insts[0].Op != OpMovImm || insts[0].Dst != r || insts[0].Imm != int64(r)+100 {
+			t.Errorf("reg %v: mov imm32 -> %+v", r, insts[0])
+		}
+		if insts[1].Op != OpZeroReg || insts[1].Dst != r {
+			t.Errorf("reg %v: xor -> %+v", r, insts[1])
+		}
+		if insts[2].Op != OpMovImm || insts[2].Dst != r || uint64(insts[2].Imm) != 0xDEADBEEF00+uint64(r) {
+			t.Errorf("reg %v: movabs -> %+v", r, insts[2])
+		}
+	}
+}
+
+func TestAsmMovRegRegRoundTrip(t *testing.T) {
+	f := func(d, s uint8) bool {
+		dst, src := Reg(d%16), Reg(s%16)
+		a := NewAsm()
+		a.MovRegReg(dst, src)
+		code := a.Finalize(0)
+		inst := Decode(code, 0)
+		return inst.Op == OpMovReg && inst.Dst == dst && inst.Src == src &&
+			inst.Len == len(code)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAsmJmpMemRIP(t *testing.T) {
+	a := NewAsm()
+	a.JmpMemRIP(0x404018) // GOT slot
+	code := a.Finalize(0x401020)
+	inst := Decode(code, 0x401020)
+	if inst.Op != OpJmpIndirect || !inst.HasTarget || inst.Target != 0x404018 {
+		t.Fatalf("PLT stub decoded as %+v, want jmpind -> 0x404018", inst)
+	}
+}
+
+func TestAsmCallAbsBackwardAndForward(t *testing.T) {
+	a := NewAsm()
+	a.CallAbs(0x400000) // backward
+	a.CallAbs(0x500000) // forward
+	code := a.Finalize(0x450000)
+	insts := DecodeAll(code, 0x450000)
+	if insts[0].Target != 0x400000 || insts[1].Target != 0x500000 {
+		t.Fatalf("call targets %#x %#x", insts[0].Target, insts[1].Target)
+	}
+}
+
+func TestAsmUndefinedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Finalize with undefined label should panic")
+		}
+	}()
+	a := NewAsm()
+	a.CallLabel("nowhere")
+	a.Finalize(0)
+}
+
+func TestRegStateTracking(t *testing.T) {
+	var s RegState
+	s.Step(Inst{Op: OpMovImm, Dst: RAX, Imm: 16})
+	s.Step(Inst{Op: OpMovImm, Dst: RSI, Imm: 0x5401})
+	if v, ok := s.Get(RAX); !ok || v != 16 {
+		t.Errorf("rax = %v,%v want 16", v, ok)
+	}
+	s.Step(Inst{Op: OpMovReg, Dst: RDX, Src: RSI})
+	if v, ok := s.Get(RDX); !ok || v != 0x5401 {
+		t.Errorf("rdx = %v,%v want 0x5401", v, ok)
+	}
+	s.Step(Inst{Op: OpZeroReg, Dst: RDI})
+	if v, ok := s.Get(RDI); !ok || v != 0 {
+		t.Errorf("rdi = %v,%v want 0", v, ok)
+	}
+	// A call clobbers the argument registers.
+	s.Step(Inst{Op: OpCallRel})
+	if _, ok := s.Get(RAX); ok {
+		t.Error("rax should be unknown after call")
+	}
+	if _, ok := s.Get(RSI); ok {
+		t.Error("rsi should be unknown after call")
+	}
+	// A syscall clobbers rax/rcx/r11 but preserves rbx.
+	s.Set(RAX, 1)
+	s.Set(RBX, 7)
+	s.Step(Inst{Op: OpSyscall})
+	if _, ok := s.Get(RAX); ok {
+		t.Error("rax should be unknown after syscall")
+	}
+	if v, ok := s.Get(RBX); !ok || v != 7 {
+		t.Error("rbx should survive syscall")
+	}
+	s.Reset()
+	if _, ok := s.Get(RBX); ok {
+		t.Error("Reset should clear all registers")
+	}
+}
+
+func TestRegStateMovUnknownSource(t *testing.T) {
+	var s RegState
+	s.Set(RDX, 5)
+	s.Step(Inst{Op: OpMovReg, Dst: RDX, Src: RBX}) // rbx unknown
+	if _, ok := s.Get(RDX); ok {
+		t.Error("mov from unknown source must clobber destination")
+	}
+}
+
+func TestRegAndOpStrings(t *testing.T) {
+	if RAX.String() != "rax" || R15.String() != "r15" {
+		t.Error("register names wrong")
+	}
+	if NoReg.String() == "" {
+		t.Error("NoReg must render")
+	}
+	if OpSyscall.String() != "syscall" || OpBad.String() != "bad" {
+		t.Error("op names wrong")
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown op must render")
+	}
+}
+
+func TestDecodePrefixEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		code []byte
+		op   Op
+	}{
+		// 67-prefixed moffs load: 4-byte offset instead of 8.
+		{"addr32 moffs", []byte{0x67, 0xA1, 1, 2, 3, 4}, OpOther},
+		// 66-prefixed call: rel16; decodes but carries no target.
+		{"call rel16", []byte{0x66, 0xE8, 0x10, 0x00}, OpCallRel},
+		// 66-prefixed jcc rel16.
+		{"jcc rel16", []byte{0x66, 0x0F, 0x84, 0x10, 0x00}, OpJcc},
+		// 66-prefixed mov r/m, imm16 via C7.
+		{"mov imm16", []byte{0x66, 0xC7, 0xC0, 0x34, 0x12}, OpMovImm},
+		// 66-prefixed B8: mov ax, imm16.
+		{"mov ax imm16", []byte{0x66, 0xB8, 0x34, 0x12}, OpMovImm},
+		// loop rel8 treated as conditional flow.
+		{"loop", []byte{0xE2, 0xFE}, OpJcc},
+		// in/out with imm8 port.
+		{"in al,0x60", []byte{0xE4, 0x60}, OpOther},
+		// F6 /0 test r/m8, imm8.
+		{"test r/m8 imm8", []byte{0xF6, 0xC0, 0x01}, OpOther},
+		// 3DNow! with suffix byte.
+		{"3dnow", []byte{0x0F, 0x0F, 0xC1, 0x9E}, OpOther},
+		// int3 is a plain instruction.
+		{"int3", []byte{0xCC}, OpOther},
+	}
+	for _, c := range cases {
+		inst := Decode(c.code, 0x1000)
+		if inst.Op != c.op {
+			t.Errorf("%s: op = %v, want %v", c.name, inst.Op, c.op)
+		}
+		if inst.Len != len(c.code) {
+			t.Errorf("%s: len = %d, want %d", c.name, inst.Len, len(c.code))
+		}
+	}
+	// 16-bit immediates decode with the right values.
+	inst := Decode([]byte{0x66, 0xC7, 0xC0, 0x34, 0x12}, 0)
+	if inst.Dst != RAX || inst.Imm != 0x1234 {
+		t.Errorf("mov ax imm16 = %+v", inst)
+	}
+}
+
+func TestDecodeTruncatedInstructions(t *testing.T) {
+	// Every truncated form must decode as bad (length 1) without panicking.
+	full := [][]byte{
+		{0x48, 0xB8, 1, 2, 3, 4, 5, 6, 7, 8},
+		{0xE8, 1, 2, 3, 4},
+		{0x0F, 0x84, 1, 2, 3, 4},
+		{0xC7, 0xC0, 1, 2, 3, 4},
+		{0x67, 0xA1, 1, 2, 3, 4},
+		{0xFF, 0x25, 1, 2, 3, 4},
+		{0xC4, 0xE3, 0x71, 0x0F, 0xC2, 0x04},
+	}
+	for _, code := range full {
+		for cut := 1; cut < len(code); cut++ {
+			inst := Decode(code[:cut], 0)
+			if inst.Len < 1 || inst.Len > cut {
+				t.Errorf("truncated % x: len %d", code[:cut], inst.Len)
+			}
+		}
+	}
+}
