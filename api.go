@@ -55,6 +55,9 @@ func DefaultConfig() Config { return corpus.DefaultConfig() }
 type Study struct {
 	core   *core.Study
 	report *report.Report
+	// generation is a serving-layer snapshot counter (see Generation);
+	// zero for studies that never entered a service.
+	generation uint64
 }
 
 // NewStudy generates a calibrated corpus and runs the full pipeline over
@@ -121,14 +124,15 @@ func (s *Study) WeightedCompleteness(syscalls []string) float64 {
 		metrics.CompletenessOptions{Kind: linuxapi.KindSyscall})
 }
 
-// Suggestion is one recommended API addition.
+// Suggestion is one recommended API addition. The JSON tags are the wire
+// format of the query service's /v1/suggest endpoint.
 type Suggestion struct {
-	Syscall string
+	Syscall string `json:"syscall"`
 	// Importance is the API's measured importance.
-	Importance float64
+	Importance float64 `json:"importance"`
 	// CompletenessAfter is the weighted completeness reached once every
 	// suggestion up to and including this one is implemented.
-	CompletenessAfter float64
+	CompletenessAfter float64 `json:"completeness_after"`
 }
 
 // SuggestNext returns the k most valuable system calls missing from the

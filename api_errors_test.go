@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The serving layer feeds untrusted inputs (uploaded binaries, operator
+// corpus paths) straight into the facade, so these paths must fail with
+// errors, never panics.
+
+func TestLoadStudyMissingDir(t *testing.T) {
+	if _, err := LoadStudy(filepath.Join(t.TempDir(), "does-not-exist")); err == nil {
+		t.Fatal("LoadStudy on a missing directory succeeded")
+	}
+}
+
+func TestLoadStudyCorruptCorpus(t *testing.T) {
+	dir := t.TempDir()
+	// A directory that exists but holds no index at all.
+	if _, err := LoadStudy(dir); err == nil {
+		t.Error("LoadStudy on an empty directory succeeded")
+	}
+
+	// A mangled package index: header garbage where stanzas belong.
+	if err := os.WriteFile(filepath.Join(dir, "Packages"),
+		[]byte("\x00\x01not a packages index\xff"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "by_inst"),
+		[]byte("also garbage\n\x7fELF"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadStudy(dir); err == nil {
+		t.Error("LoadStudy on a corrupt corpus succeeded")
+	}
+}
+
+func TestAnalyzeBinaryNonELF(t *testing.T) {
+	s := smallStudy(t)
+	for _, data := range [][]byte{
+		nil,
+		[]byte("#!/bin/sh\necho hi\n"),
+		[]byte("definitely not an ELF"),
+		[]byte{0x7f, 'E', 'L'}, // magic cut short
+	} {
+		if _, err := s.AnalyzeBinary("bad.bin", data); err == nil {
+			t.Errorf("AnalyzeBinary accepted %q", string(data))
+		}
+	}
+}
+
+func TestAnalyzeBinaryTruncatedELF(t *testing.T) {
+	s := smallStudy(t)
+	// Take a real ELF from the corpus and chop it at several points: a
+	// bare magic, a partial header, and a header whose section tables
+	// point past EOF. All must error, none may panic.
+	var elf []byte
+	repo := s.Core().Corpus.Repo
+	for _, name := range repo.Names() {
+		for _, f := range repo.Get(name).Files {
+			if len(f.Data) > 64 && strings.HasPrefix(string(f.Data), "\x7fELF") {
+				elf = f.Data
+				break
+			}
+		}
+		if elf != nil {
+			break
+		}
+	}
+	if elf == nil {
+		t.Fatal("no ELF binary in corpus")
+	}
+	for _, n := range []int{4, 16, 52, 64, len(elf) / 2} {
+		if n >= len(elf) {
+			continue
+		}
+		if _, err := s.AnalyzeBinary("trunc.bin", elf[:n]); err == nil {
+			t.Errorf("AnalyzeBinary accepted ELF truncated to %d bytes", n)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command apiserved serves the study as a long-running HTTP/JSON query
+// service: the pipeline (corpus → disassembly → call graph → closure →
+// metrics) runs once at startup, and every subsequent footprint,
+// completeness or sandbox question is answered from the resident
+// snapshot — the iterated "what API do I need next?" workload that
+// drove the paper's own reusable framework (§7).
+//
+// Usage:
+//
+//	apiserved -addr :8080                          # generated corpus
+//	apiserved -addr :8080 -packages 3000 -seed 1504
+//	apiserved -addr :8080 -corpus /data/corpus -watch 10s
+//
+// Endpoints: /healthz, /metrics, /v1/importance/{syscall},
+// /v1/completeness (POST), /v1/suggest (POST), /v1/path,
+// /v1/footprint/{pkg}, /v1/seccomp/{pkg}, /v1/analyze (POST ELF),
+// /v1/compat/systems. SIGINT/SIGTERM drain in-flight requests before
+// exit; with -corpus and -watch, a changed corpus directory is
+// re-analyzed in the background and swapped in without dropping
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/httpapi"
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("apiserved: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		corpus   = flag.String("corpus", "", "analyze an on-disk corpus directory instead of generating one")
+		packages = flag.Int("packages", 3000, "generated corpus size (ignored with -corpus)")
+		seed     = flag.Int64("seed", 1504, "generated corpus seed (ignored with -corpus)")
+		cache    = flag.Int("cache", 512, "derived-query cache entries")
+		analyses = flag.Int("max-analyses", 4, "max concurrent /v1/analyze requests")
+		bodyMax  = flag.Int64("max-upload", 32<<20, "max /v1/analyze body bytes")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain period")
+		watch    = flag.Duration("watch", 0, "poll interval for -corpus changes (0 disables reload)")
+		quiet    = flag.Bool("quiet", false, "disable request logging")
+	)
+	flag.Parse()
+
+	var (
+		study  *repro.Study
+		source string
+		err    error
+	)
+	start := time.Now()
+	if *corpus != "" {
+		source = *corpus
+		log.Printf("analyzing corpus %s ...", *corpus)
+		study, err = repro.LoadStudy(*corpus)
+	} else {
+		cfg := repro.DefaultConfig()
+		cfg.Packages = *packages
+		cfg.Seed = *seed
+		source = "generated"
+		log.Printf("generating and analyzing corpus (%d packages, seed %d) ...", cfg.Packages, cfg.Seed)
+		study, err = repro.NewStudy(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	meta := study.Meta()
+	log.Printf("study ready in %s: %d packages, %d executables, fingerprint %s",
+		time.Since(start).Round(time.Millisecond), meta.Packages, meta.Executables, meta.Fingerprint)
+
+	svc := service.New(study, source, service.Config{
+		CacheSize:   *cache,
+		MaxAnalyses: *analyses,
+	})
+
+	var reqLog *log.Logger
+	if !*quiet {
+		reqLog = log.New(os.Stderr, "apiserved: ", log.LstdFlags)
+	}
+	api := httpapi.New(svc, httpapi.Options{
+		Logger:         reqLog,
+		RequestTimeout: *timeout,
+		MaxUploadBytes: *bodyMax,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *corpus != "" && *watch > 0 {
+		log.Printf("watching %s every %s for corpus changes", *corpus, *watch)
+		go svc.WatchCorpus(ctx, *corpus, *watch, log.Printf)
+	}
+
+	log.Printf("serving on %s (generation %d)", *addr, svc.Generation())
+	if err := httpapi.ListenAndServe(ctx, *addr, api, *grace, log.Default()); err != nil &&
+		!errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("bye")
+}

@@ -333,7 +333,7 @@ func TestPlantedQemuDepth(t *testing.T) {
 }
 
 // TestGenerateAtScale is the paper-scale smoke test (30,976 packages);
-// run explicitly with: go test -run AtScale -tags='' -timeout 10m -v
+// run explicitly with: go test -run AtScale -tags=” -timeout 10m -v
 // It is skipped in short mode and kept small enough for CI otherwise.
 func TestGenerateAtScale(t *testing.T) {
 	if testing.Short() {

@@ -1,0 +1,405 @@
+// Package httpapi exposes the query service over stdlib-only HTTP/JSON.
+// One resident study answers the paper's practical questions on demand:
+// importance of a call, weighted completeness of a syscall set, what to
+// implement next, a package's footprint and sandbox policy, and ad-hoc
+// footprint extraction of uploaded ELF binaries. Every handler runs
+// behind request logging, a per-request timeout, and metrics capture;
+// /metrics exports Prometheus-style text with request counts, a latency
+// histogram, the cache hit ratio and the snapshot generation.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Options tunes the HTTP layer.
+type Options struct {
+	// Logger receives one line per request; nil disables request logging.
+	Logger *log.Logger
+	// RequestTimeout bounds each handler, including queue time in the
+	// analysis pool (default 30s).
+	RequestTimeout time.Duration
+	// MaxUploadBytes caps /v1/analyze request bodies (default 32 MiB).
+	MaxUploadBytes int64
+}
+
+// API is the http.Handler serving the query service.
+type API struct {
+	svc     *service.Service
+	opts    Options
+	mux     *http.ServeMux
+	start   time.Time
+	metrics *requestMetrics
+}
+
+// New wires every endpoint onto a fresh mux.
+func New(svc *service.Service, opts Options) *API {
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 30 * time.Second
+	}
+	if opts.MaxUploadBytes <= 0 {
+		opts.MaxUploadBytes = 32 << 20
+	}
+	a := &API{
+		svc:     svc,
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		metrics: newRequestMetrics(),
+	}
+	a.handle("GET /healthz", a.handleHealthz)
+	a.handle("GET /metrics", a.handleMetrics)
+	a.handle("GET /v1/importance/{syscall}", a.handleImportance)
+	a.handle("POST /v1/completeness", a.handleCompleteness)
+	a.handle("POST /v1/suggest", a.handleSuggest)
+	a.handle("GET /v1/path", a.handlePath)
+	a.handle("GET /v1/footprint/{pkg}", a.handleFootprint)
+	a.handle("GET /v1/seccomp/{pkg}", a.handleSeccomp)
+	a.handle("POST /v1/analyze", a.handleAnalyze)
+	a.handle("GET /v1/compat/systems", a.handleCompatSystems)
+	return a
+}
+
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+// handle wraps a route with timeout, metrics and logging middleware.
+func (a *API) handle(pattern string, h http.HandlerFunc) {
+	a.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), a.opts.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		a.metrics.observe(pattern, sw.code, elapsed)
+		if a.opts.Logger != nil {
+			a.opts.Logger.Printf("%s %s -> %d in %s", r.Method, r.URL.Path, sw.code,
+				elapsed.Round(time.Microsecond))
+		}
+	})
+}
+
+// statusWriter records the response code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeServiceError maps service-layer errors onto HTTP status codes.
+func writeServiceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, service.ErrUnknownPackage):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, service.ErrBusy):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := a.svc.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"generation":     snap.Generation,
+		"source":         snap.Source,
+		"loaded_at":      snap.LoadedAt.UTC().Format(time.RFC3339),
+		"uptime_seconds": int64(time.Since(a.start).Seconds()),
+		"fingerprint":    snap.Meta.Fingerprint,
+		"packages":       snap.Meta.Packages,
+		"executables":    snap.Meta.Executables,
+	})
+}
+
+func (a *API) handleImportance(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("syscall")
+	res := a.svc.Importance(name)
+	if !res.Known && res.Importance == 0 {
+		// Still a 200 for known-but-unused calls; 404 only for names
+		// outside the syscall table, so typos are distinguishable from
+		// Table 3's genuinely unused calls.
+		writeJSON(w, http.StatusNotFound, res)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+type completenessRequest struct {
+	Syscalls []string `json:"syscalls"`
+}
+
+func (a *API) handleCompleteness(w http.ResponseWriter, r *http.Request) {
+	var req completenessRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := a.svc.Completeness(req.Syscalls)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+type suggestRequest struct {
+	Supported []string `json:"supported"`
+	K         int      `json:"k"`
+}
+
+func (a *API) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	var req suggestRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := a.svc.Suggest(req.Supported, req.K)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (a *API) handlePath(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad n %q", s)
+			return
+		}
+		n = v
+	}
+	res, err := a.svc.GreedyPrefix(n)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (a *API) handleFootprint(w http.ResponseWriter, r *http.Request) {
+	res, err := a.svc.Footprint(r.PathValue("pkg"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (a *API) handleSeccomp(w http.ResponseWriter, r *http.Request) {
+	res, err := a.svc.Seccomp(r.PathValue("pkg"), r.URL.Query().Get("deny"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (a *API) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, a.opts.MaxUploadBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"upload exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(data) == 0 {
+		writeError(w, http.StatusBadRequest, "empty body; POST raw ELF bytes")
+		return
+	}
+	name := r.URL.Query().Get("name")
+	res, err := a.svc.Analyze(r.Context(), name, data)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (a *API) handleCompatSystems(w http.ResponseWriter, r *http.Request) {
+	res, err := a.svc.CompatSystems()
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// decodeJSON reads one JSON object, rejecting trailing garbage.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON object")
+	}
+	return nil
+}
+
+// latencyBuckets are the histogram upper bounds in seconds.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// requestMetrics accumulates per-route counters and a global latency
+// histogram. One mutex is plenty at this layer; the hot path is the
+// study queries, not the counters.
+type requestMetrics struct {
+	mu       sync.Mutex
+	requests map[string]uint64 // "route|code" -> count
+	buckets  []uint64          // cumulative-style on render; raw counts here
+	sum      float64           // total seconds observed
+	count    uint64
+}
+
+func newRequestMetrics() *requestMetrics {
+	return &requestMetrics{
+		requests: make(map[string]uint64),
+		buckets:  make([]uint64, len(latencyBuckets)+1),
+	}
+}
+
+func (m *requestMetrics) observe(route string, code int, d time.Duration) {
+	sec := d.Seconds()
+	idx := len(latencyBuckets)
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			idx = i
+			break
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[route+"|"+strconv.Itoa(code)]++
+	m.buckets[idx]++
+	m.sum += sec
+	m.count++
+}
+
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := a.svc.Stats()
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "# HELP apiserved_requests_total Requests served, by route and status code.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_requests_total counter\n")
+	a.metrics.mu.Lock()
+	keys := make([]string, 0, len(a.metrics.requests))
+	for k := range a.metrics.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		route, code, _ := strings.Cut(k, "|")
+		fmt.Fprintf(&b, "apiserved_requests_total{route=%q,code=%q} %d\n",
+			route, code, a.metrics.requests[k])
+	}
+	fmt.Fprintf(&b, "# HELP apiserved_request_duration_seconds Request latency histogram.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_request_duration_seconds histogram\n")
+	var cum uint64
+	for i, ub := range latencyBuckets {
+		cum += a.metrics.buckets[i]
+		fmt.Fprintf(&b, "apiserved_request_duration_seconds_bucket{le=%q} %d\n",
+			strconv.FormatFloat(ub, 'g', -1, 64), cum)
+	}
+	cum += a.metrics.buckets[len(latencyBuckets)]
+	fmt.Fprintf(&b, "apiserved_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "apiserved_request_duration_seconds_sum %g\n", a.metrics.sum)
+	fmt.Fprintf(&b, "apiserved_request_duration_seconds_count %d\n", a.metrics.count)
+	a.metrics.mu.Unlock()
+
+	fmt.Fprintf(&b, "# HELP apiserved_cache_hits_total Derived-query cache hits.\n")
+	fmt.Fprintf(&b, "apiserved_cache_hits_total %d\n", st.CacheHits)
+	fmt.Fprintf(&b, "# HELP apiserved_cache_misses_total Derived-query cache misses.\n")
+	fmt.Fprintf(&b, "apiserved_cache_misses_total %d\n", st.CacheMisses)
+	fmt.Fprintf(&b, "# HELP apiserved_cache_hit_ratio Hits over lookups since start.\n")
+	fmt.Fprintf(&b, "apiserved_cache_hit_ratio %g\n", st.HitRatio())
+	fmt.Fprintf(&b, "apiserved_cache_entries %d\n", st.CacheLen)
+	fmt.Fprintf(&b, "apiserved_cache_capacity %d\n", st.CacheCap)
+	fmt.Fprintf(&b, "# HELP apiserved_snapshot_generation Generation of the resident study snapshot.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_snapshot_generation gauge\n")
+	fmt.Fprintf(&b, "apiserved_snapshot_generation %d\n", st.Generation)
+	fmt.Fprintf(&b, "apiserved_snapshot_packages %d\n", st.Meta.Packages)
+	fmt.Fprintf(&b, "apiserved_snapshot_executables %d\n", st.Meta.Executables)
+	fmt.Fprintf(&b, "apiserved_analyses_active %d\n", st.AnalysesActive)
+	fmt.Fprintf(&b, "apiserved_analyses_total %d\n", st.AnalysesTotal)
+	fmt.Fprintf(&b, "apiserved_analyses_rejected_total %d\n", st.AnalysesRejected)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(w, b.String())
+}
+
+// ListenAndServe runs handler on addr until ctx is cancelled, then
+// drains in-flight requests for up to grace before returning — the
+// serve-forever loop of cmd/apiserved, kept here so tests and examples
+// reuse the same graceful-shutdown path.
+func ListenAndServe(ctx context.Context, addr string, handler http.Handler, grace time.Duration, logger *log.Logger) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if logger != nil {
+		logger.Printf("shutting down, draining for up to %s", grace)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	return srv.Shutdown(shutdownCtx)
+}

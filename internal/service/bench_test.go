@@ -1,0 +1,62 @@
+package service
+
+import (
+	"testing"
+)
+
+// BenchmarkServiceCompletenessQuery is the serving-path baseline: the
+// same weighted-completeness question answered cold (straight through
+// the metrics machinery) and warm (through the service's LRU cache).
+// Future serving PRs should move the cached number, not the uncached one.
+func BenchmarkServiceCompletenessQuery(b *testing.B) {
+	svc := newTestService(b, Config{})
+	path := svc.Snapshot().Study.GreedyPath()
+	var names []string
+	for _, pt := range path {
+		if len(names) >= 145 {
+			break
+		}
+		names = append(names, pt.API.Name)
+	}
+
+	b.Run("uncached", func(b *testing.B) {
+		study := svc.Snapshot().Study
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			study.WeightedCompleteness(names)
+		}
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		if _, err := svc.Completeness(names); err != nil { // warm the entry
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := svc.Completeness(names)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Cached {
+				b.Fatal("cache miss on warm entry")
+			}
+		}
+	})
+
+	b.Run("uncached-through-service", func(b *testing.B) {
+		// A one-entry cache with two alternating sets: every query
+		// misses and pays the full metrics cost plus cache bookkeeping.
+		tiny := New(svc.Snapshot().Study, "bench", Config{CacheSize: 1})
+		sets := [2][]string{names, names[:len(names)-1]}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := tiny.Completeness(sets[i%2])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Cached {
+				b.Fatal("unexpected cache hit")
+			}
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded key/value map with least-recently-used eviction
+// and hit/miss accounting. The derived-query cache in front of the study
+// is one of these; keys embed the snapshot generation, so entries from a
+// replaced snapshot can never be served and simply age out.
+type lruCache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recently used
+	items        map[string]*list.Element
+	hits, misses uint64
+}
+
+type lruEntry struct {
+	key   string
+	value any
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value for key and marks it most recently used.
+func (c *lruCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Add inserts or refreshes key, evicting the least recently used entry
+// when the cache is over capacity.
+func (c *lruCache) Add(key string, value any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).value = value
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key, value})
+	if c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// Stats returns the cumulative hit/miss counters and current occupancy.
+func (c *lruCache) Stats() (hits, misses uint64, length, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len(), c.cap
+}

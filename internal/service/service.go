@@ -1,0 +1,582 @@
+// Package service turns the batch reproduction into a resident query
+// system: one analyzed repro.Study is held behind an atomically-swappable
+// snapshot (load or generate once, serve forever), expensive derived
+// queries go through a bounded LRU cache, and ad-hoc analyses of uploaded
+// ELF binaries run in a concurrency-limited pool. The paper built its
+// framework as a reusable substrate (PostgreSQL plus recursive queries,
+// §7) precisely so footprint and completeness questions could be asked
+// repeatedly without re-analysis; this package is that substrate as a
+// long-running service.
+//
+// Concurrency model: every query loads the current *Snapshot pointer once
+// and works against it, so a background Swap never tears a request —
+// in-flight requests finish on the old study while new ones see the new
+// generation. Cache keys embed the generation, so a swap implicitly
+// invalidates without locking readers out.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/linuxapi"
+	"repro/internal/metrics"
+)
+
+// ErrUnknownPackage reports a query for a package absent from the corpus.
+var ErrUnknownPackage = errors.New("service: unknown package")
+
+// ErrBusy reports that the ad-hoc analysis pool is saturated and the
+// request gave up waiting for a slot.
+var ErrBusy = errors.New("service: analysis pool saturated")
+
+// Config sizes the service.
+type Config struct {
+	// CacheSize bounds the derived-query LRU cache (entries).
+	CacheSize int
+	// MaxAnalyses bounds concurrently running ad-hoc ELF analyses.
+	MaxAnalyses int
+}
+
+// DefaultConfig returns serving defaults suitable for one resident study.
+func DefaultConfig() Config { return Config{CacheSize: 512, MaxAnalyses: 4} }
+
+// Snapshot is one published study plus its serving metadata. Snapshots
+// are immutable once stored; a reload publishes a new one.
+type Snapshot struct {
+	Study      *repro.Study
+	Generation uint64
+	// Source describes provenance: a corpus directory or a generation
+	// config description.
+	Source   string
+	LoadedAt time.Time
+	// Meta is the study's snapshot metadata, computed once at swap time.
+	Meta repro.Meta
+}
+
+// Service is the resident query layer over one Study snapshot.
+type Service struct {
+	cfg  Config
+	snap atomic.Pointer[Snapshot]
+	gen  atomic.Uint64
+
+	cache *lruCache
+
+	analyzeSem       chan struct{}
+	analysesActive   atomic.Int64
+	analysesTotal    atomic.Uint64
+	analysesRejected atomic.Uint64
+}
+
+// New publishes study as generation 1 and returns the serving layer.
+func New(study *repro.Study, source string, cfg Config) *Service {
+	def := DefaultConfig()
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = def.CacheSize
+	}
+	if cfg.MaxAnalyses <= 0 {
+		cfg.MaxAnalyses = def.MaxAnalyses
+	}
+	s := &Service{
+		cfg:        cfg,
+		cache:      newLRU(cfg.CacheSize),
+		analyzeSem: make(chan struct{}, cfg.MaxAnalyses),
+	}
+	s.Swap(study, source)
+	return s
+}
+
+// Swap atomically publishes a new study without dropping in-flight
+// requests: readers that already loaded the old snapshot finish on it.
+// Returns the new generation.
+func (s *Service) Swap(study *repro.Study, source string) uint64 {
+	gen := s.gen.Add(1)
+	study.SetGeneration(gen)
+	s.snap.Store(&Snapshot{
+		Study:      study,
+		Generation: gen,
+		Source:     source,
+		LoadedAt:   time.Now(),
+		Meta:       study.Meta(),
+	})
+	return gen
+}
+
+// Snapshot returns the currently published snapshot.
+func (s *Service) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Generation returns the current snapshot generation.
+func (s *Service) Generation() uint64 { return s.gen.Load() }
+
+// Stats is a point-in-time view of the serving counters.
+type Stats struct {
+	Generation       uint64
+	Source           string
+	LoadedAt         time.Time
+	Meta             repro.Meta
+	CacheHits        uint64
+	CacheMisses      uint64
+	CacheLen         int
+	CacheCap         int
+	AnalysesActive   int64
+	AnalysesTotal    uint64
+	AnalysesRejected uint64
+}
+
+// HitRatio returns cache hits over lookups (0 when idle).
+func (st Stats) HitRatio() float64 {
+	total := st.CacheHits + st.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(total)
+}
+
+// Stats returns the current serving counters.
+func (s *Service) Stats() Stats {
+	snap := s.Snapshot()
+	hits, misses, length, capacity := s.cache.Stats()
+	return Stats{
+		Generation:       snap.Generation,
+		Source:           snap.Source,
+		LoadedAt:         snap.LoadedAt,
+		Meta:             snap.Meta,
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		CacheLen:         length,
+		CacheCap:         capacity,
+		AnalysesActive:   s.analysesActive.Load(),
+		AnalysesTotal:    s.analysesTotal.Load(),
+		AnalysesRejected: s.analysesRejected.Load(),
+	}
+}
+
+// cached runs compute through the LRU cache. The key must embed every
+// input that affects the result, including the snapshot generation.
+func (s *Service) cached(key string, compute func() (any, error)) (any, bool, error) {
+	if v, ok := s.cache.Get(key); ok {
+		return v, true, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return nil, false, err
+	}
+	s.cache.Add(key, v)
+	return v, false, nil
+}
+
+// normalizeSyscalls dedups and sorts names, splitting off any not in the
+// x86-64 Linux 3.19 table.
+func normalizeSyscalls(names []string) (known, unknown []string) {
+	seen := make(map[string]bool, len(names))
+	for _, raw := range names {
+		name := strings.TrimSpace(raw)
+		if name == "" || seen[name] {
+			continue
+		}
+		seen[name] = true
+		if linuxapi.SyscallByName(name) != nil {
+			known = append(known, name)
+		} else {
+			unknown = append(unknown, name)
+		}
+	}
+	sort.Strings(known)
+	sort.Strings(unknown)
+	return known, unknown
+}
+
+// setKey fingerprints a (large) normalized syscall list for cache keys.
+func setKey(names []string) string {
+	h := sha256.New()
+	for _, n := range names {
+		io.WriteString(h, n)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// ImportanceResult answers /v1/importance/{syscall}.
+type ImportanceResult struct {
+	Syscall string `json:"syscall"`
+	// Known reports whether the name is in the syscall table at all.
+	Known      bool    `json:"known"`
+	Importance float64 `json:"importance"`
+	Unweighted float64 `json:"unweighted"`
+	Generation uint64  `json:"generation"`
+}
+
+// Importance reports the measured importance of one system call.
+func (s *Service) Importance(name string) ImportanceResult {
+	snap := s.Snapshot()
+	return ImportanceResult{
+		Syscall:    name,
+		Known:      linuxapi.SyscallByName(name) != nil,
+		Importance: snap.Study.Importance(name),
+		Unweighted: snap.Study.UnweightedImportance(name),
+		Generation: snap.Generation,
+	}
+}
+
+// CompletenessResult answers /v1/completeness.
+type CompletenessResult struct {
+	// Syscalls is the number of distinct recognized calls evaluated.
+	Syscalls int `json:"syscalls"`
+	// Unknown lists submitted names absent from the syscall table; they
+	// contribute nothing and are reported so callers catch typos.
+	Unknown      []string `json:"unknown,omitempty"`
+	Completeness float64  `json:"completeness"`
+	Generation   uint64   `json:"generation"`
+	Cached       bool     `json:"cached"`
+}
+
+// Completeness evaluates the weighted completeness of a supported
+// syscall set (§2.2), caching by normalized set and generation.
+func (s *Service) Completeness(names []string) (CompletenessResult, error) {
+	snap := s.Snapshot()
+	known, unknown := normalizeSyscalls(names)
+	key := fmt.Sprintf("wc|%d|%s", snap.Generation, setKey(known))
+	v, hit, err := s.cached(key, func() (any, error) {
+		return snap.Study.WeightedCompleteness(known), nil
+	})
+	if err != nil {
+		return CompletenessResult{}, err
+	}
+	return CompletenessResult{
+		Syscalls:     len(known),
+		Unknown:      unknown,
+		Completeness: v.(float64),
+		Generation:   snap.Generation,
+		Cached:       hit,
+	}, nil
+}
+
+// SuggestResult answers /v1/suggest: the paper's §1 question, "which APIs
+// would increase the range of supported applications?", asked iteratively
+// the way compatibility-layer developers do.
+type SuggestResult struct {
+	Supported   int                `json:"supported"`
+	Unknown     []string           `json:"unknown,omitempty"`
+	Suggestions []repro.Suggestion `json:"suggestions"`
+	Generation  uint64             `json:"generation"`
+	Cached      bool               `json:"cached"`
+}
+
+// Suggest returns the k most valuable system calls missing from the
+// supported set, with the completeness reached after each addition.
+func (s *Service) Suggest(supported []string, k int) (SuggestResult, error) {
+	if k <= 0 {
+		k = 5
+	}
+	snap := s.Snapshot()
+	known, unknown := normalizeSyscalls(supported)
+	key := fmt.Sprintf("suggest|%d|%d|%s", snap.Generation, k, setKey(known))
+	v, hit, err := s.cached(key, func() (any, error) {
+		return snap.Study.SuggestNext(known, k), nil
+	})
+	if err != nil {
+		return SuggestResult{}, err
+	}
+	return SuggestResult{
+		Supported:   len(known),
+		Unknown:     unknown,
+		Suggestions: v.([]repro.Suggestion),
+		Generation:  snap.Generation,
+		Cached:      hit,
+	}, nil
+}
+
+// GreedyPrefixResult answers greedy-path prefix queries: the first N
+// steps of the most-important-first ordering (Figure 3).
+type GreedyPrefixResult struct {
+	N          int              `json:"n"`
+	Syscalls   []string         `json:"syscalls"`
+	Curve      []CurvePointJSON `json:"curve"`
+	Generation uint64           `json:"generation"`
+	Cached     bool             `json:"cached"`
+}
+
+// CurvePointJSON is one step of the greedy path in wire form.
+type CurvePointJSON struct {
+	N            int     `json:"n"`
+	Syscall      string  `json:"syscall"`
+	Importance   float64 `json:"importance"`
+	Completeness float64 `json:"completeness"`
+}
+
+// GreedyPrefix returns the first n steps of the greedy syscall path.
+func (s *Service) GreedyPrefix(n int) (GreedyPrefixResult, error) {
+	snap := s.Snapshot()
+	key := "path|" + strconv.FormatUint(snap.Generation, 10)
+	v, hit, err := s.cached(key, func() (any, error) {
+		return snap.Study.GreedyPath(), nil
+	})
+	if err != nil {
+		return GreedyPrefixResult{}, err
+	}
+	path := v.([]metrics.PathPoint)
+	if n <= 0 || n > len(path) {
+		n = len(path)
+	}
+	out := GreedyPrefixResult{N: n, Generation: snap.Generation, Cached: hit}
+	for _, pt := range path[:n] {
+		out.Syscalls = append(out.Syscalls, pt.API.Name)
+		out.Curve = append(out.Curve, CurvePointJSON{
+			N: pt.N, Syscall: pt.API.Name,
+			Importance: pt.Importance, Completeness: pt.Completeness,
+		})
+	}
+	return out, nil
+}
+
+// FootprintResult answers /v1/footprint/{pkg}.
+type FootprintResult struct {
+	Package    string   `json:"package"`
+	Syscalls   []string `json:"syscalls"`
+	Generation uint64   `json:"generation"`
+}
+
+// Footprint returns a package's measured syscall footprint.
+func (s *Service) Footprint(pkg string) (FootprintResult, error) {
+	snap := s.Snapshot()
+	if snap.Study.Core().Input.Footprints[pkg] == nil {
+		return FootprintResult{}, fmt.Errorf("%w: %q", ErrUnknownPackage, pkg)
+	}
+	return FootprintResult{
+		Package:    pkg,
+		Syscalls:   snap.Study.PackageFootprint(pkg),
+		Generation: snap.Generation,
+	}, nil
+}
+
+// SeccompResult answers /v1/seccomp/{pkg}: a compiled, verified
+// seccomp-BPF program for the package's footprint.
+type SeccompResult struct {
+	Package      string `json:"package"`
+	DenyAction   string `json:"deny_action"`
+	Syscalls     int    `json:"syscalls"`
+	Instructions int    `json:"instructions"`
+	// Listing is the program disassembly, one instruction per line.
+	Listing    string `json:"listing"`
+	Generation uint64 `json:"generation"`
+	Cached     bool   `json:"cached"`
+}
+
+// ParseDenyAction maps a wire-format deny action name to its seccomp
+// return value. The empty string defaults to errno.
+func ParseDenyAction(name string) (uint32, string, error) {
+	switch strings.ToLower(name) {
+	case "", "errno":
+		return repro.SeccompErrno, "errno", nil
+	case "kill":
+		return repro.SeccompKill, "kill", nil
+	}
+	return 0, "", fmt.Errorf("service: unknown deny action %q (want errno or kill)", name)
+}
+
+// Seccomp compiles (and caches) a verified sandbox policy for a package.
+func (s *Service) Seccomp(pkg, denyName string) (SeccompResult, error) {
+	deny, denyLabel, err := ParseDenyAction(denyName)
+	if err != nil {
+		return SeccompResult{}, err
+	}
+	snap := s.Snapshot()
+	if snap.Study.Core().Input.Footprints[pkg] == nil {
+		return SeccompResult{}, fmt.Errorf("%w: %q", ErrUnknownPackage, pkg)
+	}
+	key := fmt.Sprintf("seccomp|%d|%s|%s", snap.Generation, denyLabel, pkg)
+	v, hit, err := s.cached(key, func() (any, error) {
+		_, prog, err := snap.Study.SeccompPolicy(pkg, deny)
+		if err != nil {
+			return nil, err
+		}
+		return SeccompResult{
+			Package:      pkg,
+			DenyAction:   denyLabel,
+			Syscalls:     len(snap.Study.PackageFootprint(pkg)),
+			Instructions: len(prog),
+			Listing:      prog.Disassemble(),
+			Generation:   snap.Generation,
+		}, nil
+	})
+	if err != nil {
+		return SeccompResult{}, err
+	}
+	res := v.(SeccompResult)
+	res.Cached = hit
+	return res, nil
+}
+
+// SystemRow is one evaluated compatibility layer (Table 6) in wire form.
+type SystemRow struct {
+	Name              string   `json:"name"`
+	Version           string   `json:"version"`
+	Supported         int      `json:"supported"`
+	Completeness      float64  `json:"completeness"`
+	PaperCompleteness float64  `json:"paper_completeness"`
+	Suggested         []string `json:"suggested,omitempty"`
+}
+
+// CompatSystemsResult answers /v1/compat/systems.
+type CompatSystemsResult struct {
+	Systems    []SystemRow `json:"systems"`
+	Generation uint64      `json:"generation"`
+	Cached     bool        `json:"cached"`
+}
+
+// CompatSystems evaluates every modeled Linux compatibility layer
+// against the resident study (Table 6); the result is cached because the
+// evaluation walks the full greedy path per system.
+func (s *Service) CompatSystems() (CompatSystemsResult, error) {
+	snap := s.Snapshot()
+	key := "compat|" + strconv.FormatUint(snap.Generation, 10)
+	v, hit, err := s.cached(key, func() (any, error) {
+		var rows []SystemRow
+		for _, r := range snap.Study.EvaluateSystems() {
+			rows = append(rows, SystemRow{
+				Name:              r.System.Name,
+				Version:           r.System.Version,
+				Supported:         r.Supported,
+				Completeness:      r.Completeness,
+				PaperCompleteness: r.System.PaperCompleteness,
+				Suggested:         r.Suggested,
+			})
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return CompatSystemsResult{}, err
+	}
+	return CompatSystemsResult{
+		Systems:    v.([]SystemRow),
+		Generation: snap.Generation,
+		Cached:     hit,
+	}, nil
+}
+
+// AnalyzeResult answers /v1/analyze: the footprint of an uploaded ELF.
+type AnalyzeResult struct {
+	Syscalls    []string `json:"syscalls"`
+	PseudoFiles []string `json:"pseudo_files,omitempty"`
+	Sites       int      `json:"sites"`
+	Unresolved  int      `json:"unresolved"`
+	Generation  uint64   `json:"generation"`
+}
+
+// Analyze runs the footprint extraction on uploaded ELF bytes inside the
+// bounded analysis pool. It blocks for a slot until ctx is done; a
+// cancelled wait counts as a rejection and returns ErrBusy.
+func (s *Service) Analyze(ctx context.Context, name string, data []byte) (AnalyzeResult, error) {
+	select {
+	case s.analyzeSem <- struct{}{}:
+	case <-ctx.Done():
+		s.analysesRejected.Add(1)
+		return AnalyzeResult{}, fmt.Errorf("%w: %v", ErrBusy, ctx.Err())
+	}
+	defer func() { <-s.analyzeSem }()
+	s.analysesActive.Add(1)
+	defer s.analysesActive.Add(-1)
+	s.analysesTotal.Add(1)
+
+	snap := s.Snapshot()
+	if name == "" {
+		name = "upload"
+	}
+	res, err := snap.Study.AnalyzeBinary(name, data)
+	if err != nil {
+		return AnalyzeResult{}, err
+	}
+	out := AnalyzeResult{
+		Sites:      res.Sites,
+		Unresolved: res.Unresolved,
+		Generation: snap.Generation,
+	}
+	for api := range res.APIs {
+		switch api.Kind {
+		case linuxapi.KindSyscall:
+			out.Syscalls = append(out.Syscalls, api.Name)
+		case linuxapi.KindPseudoFile:
+			out.PseudoFiles = append(out.PseudoFiles, api.Name)
+		}
+	}
+	sort.Strings(out.Syscalls)
+	sort.Strings(out.PseudoFiles)
+	return out, nil
+}
+
+// CorpusSignature fingerprints an on-disk corpus directory from its two
+// index files (the package index and the survey); any regeneration
+// rewrites at least one of them. Used by WatchCorpus to detect change
+// without re-reading every binary.
+func CorpusSignature(dir string) (string, error) {
+	h := sha256.New()
+	for _, name := range []string{"Packages", "by_inst"} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		_, err = io.Copy(h, f)
+		f.Close()
+		if err != nil {
+			return "", err
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+}
+
+// WatchCorpus polls dir every interval and, when the corpus signature
+// changes, re-analyzes it in the background and swaps the new study in —
+// without dropping requests, which keep being served from the old
+// snapshot until the swap. Blocks until ctx is done; run it in a
+// goroutine. logf (may be nil) receives progress lines.
+func (s *Service) WatchCorpus(ctx context.Context, dir string, interval time.Duration, logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	last, err := CorpusSignature(dir)
+	if err != nil {
+		logf("corpus watch: initial signature: %v", err)
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		sig, err := CorpusSignature(dir)
+		if err != nil {
+			logf("corpus watch: %v", err)
+			continue
+		}
+		if sig == last {
+			continue
+		}
+		logf("corpus watch: change detected (%s -> %s), re-analyzing %s", last, sig, dir)
+		study, err := repro.LoadStudy(dir)
+		if err != nil {
+			logf("corpus watch: reload failed, keeping generation %d: %v", s.Generation(), err)
+			last = sig
+			continue
+		}
+		gen := s.Swap(study, dir)
+		last = sig
+		logf("corpus watch: serving generation %d (fingerprint %s)", gen, study.Fingerprint())
+	}
+}

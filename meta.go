@@ -1,0 +1,96 @@
+package repro
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+
+	"repro/internal/linuxapi"
+)
+
+// Meta summarizes an analyzed study for serving layers: what the snapshot
+// contains, how the analysis went, and a fingerprint that changes whenever
+// the underlying corpus does. It is cheap to compute and safe to expose on
+// health/metrics endpoints.
+type Meta struct {
+	// Packages and Executables count the corpus contents.
+	Packages    int
+	Executables int
+	// Installations is the survey population the weights are drawn from.
+	Installations int64
+	// Syscalls is the number of distinct system calls observed in use.
+	Syscalls int
+	// DistinctFootprints and UniqueFootprints echo §6's dedup statistics.
+	DistinctFootprints int
+	UniqueFootprints   int
+	// TotalSites and UnresolvedSites census the syscall instruction sites.
+	TotalSites      int
+	UnresolvedSites int
+	// SkippedFiles counts malformed ELF files the pipeline skipped.
+	SkippedFiles int
+	// Fingerprint identifies the corpus (see Study.Fingerprint).
+	Fingerprint string
+}
+
+// Meta returns the study's snapshot metadata.
+func (s *Study) Meta() Meta {
+	syscalls := 0
+	for api := range s.report.Importance {
+		if api.Kind == linuxapi.KindSyscall {
+			syscalls++
+		}
+	}
+	return Meta{
+		Packages:           len(s.core.Corpus.Repo.Names()),
+		Executables:        s.core.Stats.Executables,
+		Installations:      s.core.Corpus.Survey.Total,
+		Syscalls:           syscalls,
+		DistinctFootprints: s.core.Stats.DistinctFootprints,
+		UniqueFootprints:   s.core.Stats.UniqueFootprints,
+		TotalSites:         s.core.Stats.TotalSites,
+		UnresolvedSites:    s.core.Stats.UnresolvedSites,
+		SkippedFiles:       s.core.Stats.SkippedFiles,
+		Fingerprint:        s.Fingerprint(),
+	}
+}
+
+// Fingerprint returns a stable hex digest of the corpus identity: package
+// names, versions, file paths and sizes, and the survey total. Two studies
+// over the same corpus agree; any corpus change (package added, binary
+// rebuilt, survey regenerated) moves it. Serving layers use it to decide
+// whether an on-disk corpus has changed under a resident snapshot.
+func (s *Study) Fingerprint() string {
+	h := sha256.New()
+	names := s.core.Corpus.Repo.Names()
+	sort.Strings(names)
+	var buf [8]byte
+	writeInt := func(v int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, name := range names {
+		pkg := s.core.Corpus.Repo.Get(name)
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		h.Write([]byte(pkg.Version))
+		h.Write([]byte{0})
+		for _, f := range pkg.Files {
+			h.Write([]byte(f.Path))
+			h.Write([]byte{0})
+			writeInt(int64(len(f.Data)))
+		}
+	}
+	writeInt(s.core.Corpus.Survey.Total)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Generation returns the serving-layer snapshot generation stamped by
+// SetGeneration, or zero for a study outside any service.
+func (s *Study) Generation() uint64 { return s.generation }
+
+// SetGeneration stamps the study with a snapshot generation. The query
+// service calls it once per snapshot swap, before publishing the study;
+// it is not safe to call concurrently with readers.
+func (s *Study) SetGeneration(gen uint64) { s.generation = gen }

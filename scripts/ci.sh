@@ -1,0 +1,29 @@
+#!/bin/sh
+# CI entry point: build, vet, formatting, full test suite, and a race run
+# over the concurrent layers (the analysis worker pool in internal/core
+# and the snapshot-swap/cache/analysis-pool paths in internal/service).
+# Run from the repository root; used by .github/workflows/ci.yml and fine
+# to run locally.
+set -eu
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (core pipeline + query service)"
+go test -race ./internal/core ./internal/service
+
+echo "CI OK"
