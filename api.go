@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/anacache"
 	"repro/internal/compat"
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -46,6 +47,21 @@ type Config = corpus.Config
 
 // Options tune the static analysis (the ablation knobs of DESIGN.md).
 type Options = footprint.Options
+
+// AnalysisCache is the persistent content-addressed per-binary analysis
+// cache; CacheStats snapshots its hit/miss/invalidation counters.
+type (
+	AnalysisCache = anacache.Cache
+	CacheStats    = anacache.Stats
+)
+
+// OpenAnalysisCache opens (creating if needed) an analysis cache rooted
+// at dir for studies analyzed under the default options. Records written
+// by one process are valid for every later one as long as the binary
+// bytes and footprint.AnalysisVersion are unchanged.
+func OpenAnalysisCache(dir string) (*AnalysisCache, error) {
+	return anacache.Open(dir, Options{})
+}
 
 // DefaultConfig is the laptop-scale standard run: 3,000 packages under the
 // paper's 2,935,744-installation survey population.
@@ -71,15 +87,46 @@ func NewStudy(cfg Config) (*Study, error) {
 // ground truth, only what a real archive would — the analysis runs purely
 // from the binaries.
 func LoadStudy(dir string) (*Study, error) {
+	return LoadStudyCached(dir, nil)
+}
+
+// LoadStudyCached analyzes an on-disk corpus through an analysis cache
+// (nil behaves like LoadStudy): binaries whose bytes already have a valid
+// cache record skip disassembly entirely, so reloading a mostly unchanged
+// corpus costs aggregation only.
+func LoadStudyCached(dir string, cache *AnalysisCache) (*Study, error) {
 	c, err := corpus.Load(dir)
 	if err != nil {
 		return nil, err
 	}
-	s, err := core.Run(c, Options{})
+	s, err := core.RunCached(c, Options{}, cache)
 	if err != nil {
 		return nil, fmt.Errorf("repro: analyzing corpus: %w", err)
 	}
 	return &Study{core: s, report: report.New(s)}, nil
+}
+
+// NewStudyCached generates a calibrated corpus and runs the pipeline
+// through an analysis cache (nil behaves like NewStudy).
+func NewStudyCached(cfg Config, cache *AnalysisCache) (*Study, error) {
+	c, err := corpus.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("repro: generating corpus: %w", err)
+	}
+	s, err := core.RunCached(c, Options{}, cache)
+	if err != nil {
+		return nil, fmt.Errorf("repro: analyzing corpus: %w", err)
+	}
+	return &Study{core: s, report: report.New(s)}, nil
+}
+
+// CacheStats reports the analysis-cache counters for the cache this study
+// was built against (zero-valued for uncached studies).
+func (s *Study) CacheStats() CacheStats {
+	if s.core.Cache == nil {
+		return CacheStats{}
+	}
+	return s.core.Cache.Stats()
 }
 
 // SaveCorpus writes the study's corpus to a directory for later
@@ -348,6 +395,9 @@ func (s *Study) Emulate(pkg string) ([]*emu.Trace, error) {
 		return nil, fmt.Errorf("repro: unknown package %q", pkg)
 	}
 	static := s.core.Input.Footprints[pkg]
+	// Cache-hit libraries carry summaries only; the emulator needs their
+	// instruction streams, restored here on first use.
+	s.core.EnsureEmulatable()
 	m := emu.New(s.core.Resolver)
 	var traces []*emu.Trace
 	for _, f := range p.Files {

@@ -50,9 +50,20 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain period")
 		watch    = flag.Duration("watch", 0, "poll interval for -corpus changes (0 disables reload)")
+		cacheDir = flag.String("cache-dir", "", "persistent analysis cache directory (warm starts and incremental reloads)")
 		quiet    = flag.Bool("quiet", false, "disable request logging")
 	)
 	flag.Parse()
+
+	var anaCache *repro.AnalysisCache
+	if *cacheDir != "" {
+		var err error
+		anaCache, err = repro.OpenAnalysisCache(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("analysis cache at %s", *cacheDir)
+	}
 
 	var (
 		study  *repro.Study
@@ -63,14 +74,14 @@ func main() {
 	if *corpus != "" {
 		source = *corpus
 		log.Printf("analyzing corpus %s ...", *corpus)
-		study, err = repro.LoadStudy(*corpus)
+		study, err = repro.LoadStudyCached(*corpus, anaCache)
 	} else {
 		cfg := repro.DefaultConfig()
 		cfg.Packages = *packages
 		cfg.Seed = *seed
 		source = "generated"
 		log.Printf("generating and analyzing corpus (%d packages, seed %d) ...", cfg.Packages, cfg.Seed)
-		study, err = repro.NewStudy(cfg)
+		study, err = repro.NewStudyCached(cfg, anaCache)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -78,10 +89,16 @@ func main() {
 	meta := study.Meta()
 	log.Printf("study ready in %s: %d packages, %d executables, fingerprint %s",
 		time.Since(start).Round(time.Millisecond), meta.Packages, meta.Executables, meta.Fingerprint)
+	if anaCache != nil {
+		cs := study.CacheStats()
+		log.Printf("analysis cache: %d hits, %d misses, %d invalidations, %d writes (hit ratio %.2f)",
+			cs.Hits, cs.Misses, cs.Invalidations, cs.Writes, cs.HitRatio())
+	}
 
 	svc := service.New(study, source, service.Config{
 		CacheSize:   *cache,
 		MaxAnalyses: *analyses,
+		Cache:       anaCache,
 	})
 
 	var reqLog *log.Logger

@@ -27,6 +27,7 @@ func main() {
 		seed          = flag.Int64("seed", 1504, "corpus generation seed")
 		installations = flag.Int64("installations", 2935744, "survey population")
 		corpusDir     = flag.String("corpus", "", "analyze an on-disk corpus (from cmd/corpusgen) instead of generating one")
+		cacheDir      = flag.String("cache-dir", "", "persistent analysis cache directory (reuses per-binary analyses across runs)")
 		experiment    = flag.String("experiment", "all", "which experiment to print: all, fig1..fig8, tab1..tab12, sec6")
 		series        = flag.String("series", "", "emit a figure's raw data series instead (fig2, fig3, fig4, fig5f, fig5p, fig6, fig7, fig8)")
 		format        = flag.String("format", "csv", "series format: csv or json")
@@ -35,22 +36,35 @@ func main() {
 	flag.Parse()
 
 	start := time.Now()
+	var anaCache *repro.AnalysisCache
+	if *cacheDir != "" {
+		var err error
+		anaCache, err = repro.OpenAnalysisCache(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	var study *repro.Study
 	var err error
 	if *corpusDir != "" {
-		study, err = repro.LoadStudy(*corpusDir)
+		study, err = repro.LoadStudyCached(*corpusDir, anaCache)
 	} else {
-		study, err = repro.NewStudy(repro.Config{
+		study, err = repro.NewStudyCached(repro.Config{
 			Packages:      *packages,
 			Seed:          *seed,
 			Installations: *installations,
-		})
+		}, anaCache)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *verbose {
 		log.Printf("analyzed %d packages in %v", len(study.Packages()), time.Since(start))
+		if anaCache != nil {
+			cs := study.CacheStats()
+			log.Printf("analysis cache: %d hits, %d misses, %d writes (hit ratio %.2f)",
+				cs.Hits, cs.Misses, cs.Writes, cs.HitRatio())
+		}
 	}
 
 	r := study.Metrics()

@@ -1,0 +1,135 @@
+// Command benchgate turns `go test -bench` output into a committed
+// benchmark artifact and a CI pass/fail decision. It reads benchmark
+// lines on stdin, keeps the best (minimum) ns/op per sub-benchmark
+// across repeated counts — the standard way to suppress scheduler noise
+// on shared CI runners — writes a JSON summary, and exits non-zero when
+// the warm-over-cold speedup of the analysis cache falls below the
+// floor. The floor is the regression gate: the cache exists to make
+// reloads cheap, and a change that erodes that property should fail the
+// build, not land silently.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkStudyColdVsWarm -benchtime=1x -count=3 . |
+//	    go run ./cmd/benchgate -out BENCH_pipeline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// sample is every ns/op observation for one sub-benchmark.
+type sample struct {
+	NsPerOp []float64 `json:"ns_per_op"`
+	BestNs  float64   `json:"best_ns"`
+}
+
+// artifact is the committed BENCH_pipeline.json schema.
+type artifact struct {
+	Benchmark          string  `json:"benchmark"`
+	Count              int     `json:"count"`
+	Cold               sample  `json:"cold"`
+	Warm               sample  `json:"warm"`
+	Incremental        sample  `json:"incremental"`
+	WarmSpeedup        float64 `json:"warm_speedup"`
+	IncrementalSpeedup float64 `json:"incremental_speedup"`
+	MinWarmSpeedup     float64 `json:"min_warm_speedup"`
+	Pass               bool    `json:"pass"`
+}
+
+// benchLine matches one `go test -bench` result row, e.g.
+//
+//	BenchmarkStudyColdVsWarm/warm-8   3   163392605 ns/op
+//
+// The -8 GOMAXPROCS suffix is optional (absent on single-CPU runners).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark[^\s/]+)/(\w+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	out := flag.String("out", "BENCH_pipeline.json", "artifact path")
+	bench := flag.String("bench", "BenchmarkStudyColdVsWarm", "benchmark to gate on")
+	minWarm := flag.Float64("min-warm-speedup", 2.0,
+		"fail unless cold/warm >= this ratio")
+	flag.Parse()
+
+	samples := map[string]*sample{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // passthrough so CI logs keep the raw output
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil || m[1] != *bench {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		s := samples[m[2]]
+		if s == nil {
+			s = &sample{}
+			samples[m[2]] = s
+		}
+		s.NsPerOp = append(s.NsPerOp, ns)
+		if s.BestNs == 0 || ns < s.BestNs {
+			s.BestNs = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("reading stdin: %v", err)
+	}
+
+	var count int
+	for _, name := range []string{"cold", "warm", "incremental"} {
+		s := samples[name]
+		if s == nil || len(s.NsPerOp) == 0 {
+			fatalf("no %s/%s samples in input — did the benchmark run?", *bench, name)
+		}
+		if count == 0 || len(s.NsPerOp) < count {
+			count = len(s.NsPerOp)
+		}
+	}
+
+	a := artifact{
+		Benchmark:      *bench,
+		Count:          count,
+		Cold:           *samples["cold"],
+		Warm:           *samples["warm"],
+		Incremental:    *samples["incremental"],
+		MinWarmSpeedup: *minWarm,
+	}
+	a.WarmSpeedup = round2(a.Cold.BestNs / a.Warm.BestNs)
+	a.IncrementalSpeedup = round2(a.Cold.BestNs / a.Incremental.BestNs)
+	a.Pass = a.WarmSpeedup >= *minWarm
+
+	raw, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		fatalf("encoding artifact: %v", err)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+
+	fmt.Printf("benchgate: cold %.0fms warm %.0fms incremental %.0fms — warm speedup %.2fx (floor %.2fx)\n",
+		a.Cold.BestNs/1e6, a.Warm.BestNs/1e6, a.Incremental.BestNs/1e6,
+		a.WarmSpeedup, *minWarm)
+	if !a.Pass {
+		fatalf("warm speedup %.2fx below floor %.2fx — the analysis cache regressed",
+			a.WarmSpeedup, *minWarm)
+	}
+}
+
+func round2(v float64) float64 {
+	return float64(int(v*100+0.5)) / 100
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,273 @@
+package anacache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/footprint"
+	"repro/internal/linuxapi"
+)
+
+// testSummary builds a small but structurally complete summary: two
+// functions with an edge, an export, APIs, imports, and strings.
+func testSummary() *footprint.Summary {
+	return &footprint.Summary{
+		Path:   "/usr/bin/widget",
+		Soname: "",
+		Needed: []string{"libc.so.6"},
+		Funcs: []footprint.FuncSummary{
+			{Name: "entry", Exported: true, APIs: []linuxapi.API{linuxapi.Sys("openat")},
+				Imports: []string{"write"}, Calls: []int{1}},
+			{Name: "helper", APIs: []linuxapi.API{linuxapi.Sys("close"), linuxapi.Ioctl("TIOCGWINSZ")}},
+		},
+		Entry:         []int{0},
+		Strings:       []linuxapi.API{linuxapi.Pseudo("/proc/self/maps")},
+		Sites:         3,
+		Unresolved:    1,
+		DirectSyscall: true,
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts footprint.Options) *Cache {
+	t.Helper()
+	c, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// summaryJSON canonicalizes a summary for comparison (the struct holds
+// an unexported lookup map reflect.DeepEqual would trip over).
+func summaryJSON(t *testing.T, s *footprint.Summary) string {
+	t.Helper()
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), footprint.Options{})
+	data := []byte("\x7fELF fake binary bytes")
+
+	if _, ok := c.Get(data); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := testSummary()
+	if err := c.Put(data, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(data)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if summaryJSON(t, got) != summaryJSON(t, want) {
+		t.Errorf("summary changed across the cache:\n got %s\nwant %s",
+			summaryJSON(t, got), summaryJSON(t, want))
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Invalidations != 0 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 write / 0 invalidations", st)
+	}
+}
+
+// recordPath locates the single record file written by a Put.
+func recordPath(t *testing.T, dir string) string {
+	t.Helper()
+	var found string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(path, ".json") {
+			found = path
+		}
+		return err
+	})
+	if err != nil || found == "" {
+		t.Fatalf("no record file under %s (err=%v)", dir, err)
+	}
+	return found
+}
+
+func TestCorruptRecordFallsBackToMiss(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, footprint.Options{})
+	data := []byte("corrupt me")
+	if err := c.Put(data, testSummary()); err != nil {
+		t.Fatal(err)
+	}
+	rec := recordPath(t, dir)
+	if err := os.WriteFile(rec, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh Cache over the same directory (the next process) must
+	// detect the corruption on its cold read; the writer's own in-memory
+	// memo legitimately still holds the validated summary.
+	c2 := mustOpen(t, dir, footprint.Options{})
+	if _, ok := c2.Get(data); ok {
+		t.Fatal("corrupt record returned a summary")
+	}
+	if st := c2.Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// Re-analysis then re-Put repairs the entry.
+	if err := c2.Put(data, testSummary()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mustOpen(t, dir, footprint.Options{}).Get(data); !ok {
+		t.Fatal("repaired record still missing")
+	}
+}
+
+func TestTruncatedRecordFallsBackToMiss(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, footprint.Options{})
+	data := []byte("truncate me")
+	if err := c.Put(data, testSummary()); err != nil {
+		t.Fatal(err)
+	}
+	rec := recordPath(t, dir)
+	raw, err := os.ReadFile(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(rec, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2 := mustOpen(t, dir, footprint.Options{})
+	if _, ok := c2.Get(data); ok {
+		t.Fatal("truncated record returned a summary")
+	}
+	if st := c2.Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestAnalysisVersionBumpInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, footprint.Options{})
+	data := []byte("versioned")
+	if err := c.Put(data, testSummary()); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the record as if an older analyzer version had produced it.
+	rec := recordPath(t, dir)
+	raw, err := os.ReadFile(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := Tag(footprint.Options{})
+	if !strings.Contains(cur, "v") || !strings.Contains(string(raw), cur) {
+		t.Fatalf("tag %q not embedded in record", cur)
+	}
+	old := strings.Replace(string(raw), cur, "v0"+cur[strings.Index(cur, " "):], 1)
+	if err := os.WriteFile(rec, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2 := mustOpen(t, dir, footprint.Options{})
+	if _, ok := c2.Get(data); ok {
+		t.Fatal("stale-version record returned a summary")
+	}
+	if st := c2.Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestOptionsChangeInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	data := []byte("same bytes, different analysis")
+	c1 := mustOpen(t, dir, footprint.Options{})
+	if err := c1.Put(data, testSummary()); err != nil {
+		t.Fatal(err)
+	}
+	// A cache opened over the same directory with different analysis
+	// options must not serve the other configuration's records.
+	c2 := mustOpen(t, dir, footprint.Options{WholeBinary: true})
+	if _, ok := c2.Get(data); ok {
+		t.Fatal("record leaked across analysis options")
+	}
+	if st := c2.Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// The original configuration still hits.
+	if _, ok := c1.Get(data); !ok {
+		t.Fatal("original options no longer hit")
+	}
+}
+
+func TestKeyMismatchInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, footprint.Options{})
+	a, b := []byte("content a"), []byte("content b")
+	if err := c.Put(a, testSummary()); err != nil {
+		t.Fatal(err)
+	}
+	// Move a's record into b's slot, simulating a mangled cache tree.
+	src := recordPath(t, dir)
+	dst := c.path(Key(b))
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(b); ok {
+		t.Fatal("record served under the wrong content key")
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestMemoServesWithoutDisk(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, footprint.Options{})
+	data := []byte("memoized")
+	if err := c.Put(data, testSummary()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(recordPath(t, dir)); err != nil {
+		t.Fatal(err)
+	}
+	// The writing process keeps serving from its in-memory memo even if
+	// the on-disk record vanishes; only the next process pays a miss.
+	if _, ok := c.Get(data); !ok {
+		t.Fatal("memo did not serve after record file removal")
+	}
+	if _, ok := mustOpen(t, dir, footprint.Options{}).Get(data); ok {
+		t.Fatal("fresh cache served a deleted record")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), footprint.Options{})
+	data := []byte("contended")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := c.Put(data, testSummary()); err != nil {
+					t.Error(err)
+					return
+				}
+				if sum, ok := c.Get(data); ok && sum.Sites != 3 {
+					t.Errorf("torn record: Sites=%d", sum.Sites)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open("", footprint.Options{}); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}

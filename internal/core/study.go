@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/anacache"
 	"repro/internal/apt"
 	"repro/internal/corpus"
 	"repro/internal/elfx"
@@ -74,16 +75,43 @@ type Study struct {
 	BinaryDirect map[string]footprint.Set
 	Stats        Stats
 	Opts         footprint.Options
+	// Cache is the analysis cache the study was built against (nil for
+	// uncached runs). Counters on it cover this run and any other run
+	// sharing the cache.
+	Cache *anacache.Cache
+
+	// pendingEmu lists shared libraries whose records came from the
+	// cache: their summaries aggregate footprints fine, but the emulator
+	// needs instruction streams, re-analyzed lazily by EnsureEmulatable.
+	pendingEmu []pendingLib
+	emuMu      sync.Mutex
+}
+
+type pendingLib struct {
+	path string
+	data []byte
 }
 
 // Run executes the pipeline over a generated corpus.
 func Run(c *corpus.Corpus, opts footprint.Options) (*Study, error) {
+	return RunCached(c, opts, nil)
+}
+
+// RunCached executes the pipeline, consulting cache (may be nil) before
+// disassembling each binary: a valid record substitutes for the whole
+// disassembly → call graph → extraction chain, so an incremental re-run
+// over a mostly unchanged corpus re-analyzes only changed or new
+// binaries. The cross-binary aggregation (library closures, package
+// footprints, metrics) is always recomputed — it is cheap and depends on
+// the corpus as a whole.
+func RunCached(c *corpus.Corpus, opts footprint.Options, cache *anacache.Cache) (*Study, error) {
 	s := &Study{
 		Corpus:       c,
 		Resolver:     footprint.NewResolver(),
 		DB:           store.NewDB(),
 		BinaryDirect: make(map[string]footprint.Set),
 		Opts:         opts,
+		Cache:        cache,
 	}
 	s.Stats.Census.Scripts = make(map[string]int)
 
@@ -110,6 +138,7 @@ func Run(c *corpus.Corpus, opts footprint.Options) (*Study, error) {
 			}
 		}
 	}
+	sums := make([]*footprint.Summary, len(jobs))
 	analyses := make([]*footprint.Analysis, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
@@ -128,13 +157,27 @@ func Run(c *corpus.Corpus, opts footprint.Options) (*Study, error) {
 			defer wg.Done()
 			for i := range next {
 				j := jobs[i]
+				if cache != nil {
+					if sum, ok := cache.Get(j.file.Data); ok {
+						sums[i] = sum
+						continue
+					}
+				}
 				bin, err := elfx.Open(j.file.Path, j.file.Data)
 				if err != nil {
 					// Malformed ELF: skip the file, keep the study going.
+					// Failures are never cached, so a repaired file is
+					// picked up by the next run.
 					errs[i] = err
 					continue
 				}
 				analyses[i] = footprint.Analyze(bin, opts)
+				sums[i] = footprint.Summarize(analyses[i])
+				if cache != nil {
+					// Best effort: a failed write only costs a future
+					// re-analysis, and the cache counts it.
+					_ = cache.Put(j.file.Data, sums[i])
+				}
 			}
 		}()
 	}
@@ -146,15 +189,25 @@ func Run(c *corpus.Corpus, opts footprint.Options) (*Study, error) {
 	}
 
 	// Pass 1: register every shared library with the resolver so imports
-	// resolve regardless of package analysis order.
-	libAnalyses := make(map[string]*footprint.Analysis)
-	execAnalyses := make(map[string]*footprint.Analysis)
+	// resolve regardless of package analysis order. Cached libraries
+	// register their summaries; live ones keep the full analysis too, so
+	// the emulator can execute them without extra work.
+	libSums := make(map[string]*footprint.Summary)
+	execSums := make(map[string]*footprint.Summary)
 	for i, j := range jobs {
+		if sums[i] == nil {
+			continue // skipped as malformed during analysis
+		}
 		if j.lib {
-			s.Resolver.AddLibrary(analyses[i])
-			libAnalyses[j.pkg+"/"+j.file.Path] = analyses[i]
+			s.Resolver.AddSummary(sums[i])
+			if analyses[i] != nil {
+				s.Resolver.AttachAnalysis(analyses[i])
+			} else {
+				s.pendingEmu = append(s.pendingEmu, pendingLib{path: j.file.Path, data: j.file.Data})
+			}
+			libSums[j.pkg+"/"+j.file.Path] = sums[i]
 		} else {
-			execAnalyses[j.pkg+"/"+j.file.Path] = analyses[i]
+			execSums[j.pkg+"/"+j.file.Path] = sums[i]
 		}
 	}
 
@@ -181,15 +234,15 @@ func Run(c *corpus.Corpus, opts footprint.Options) (*Study, error) {
 				// (§2: a package's footprint is the union over its
 				// standalone executables), but their direct usage matters
 				// for the attribution tables.
-				a := libAnalyses[name+"/"+f.Path]
-				if a == nil {
+				sum := libSums[name+"/"+f.Path]
+				if sum == nil {
 					continue // skipped as malformed during analysis
 				}
-				res := s.Resolver.Footprint(a)
+				res := s.Resolver.FootprintSummary(sum)
 				s.BinaryDirect[name+"/"+f.Path] = res.Direct
 				s.Stats.TotalSites += res.Sites
 				s.Stats.UnresolvedSites += res.Unresolved
-				if a.DirectSyscallUser() {
+				if sum.DirectSyscall {
 					s.Stats.DirectSyscallLibs++
 				}
 				continue
@@ -203,17 +256,17 @@ func Run(c *corpus.Corpus, opts footprint.Options) (*Study, error) {
 				s.Stats.Census.Other++
 				continue
 			}
-			a := execAnalyses[name+"/"+f.Path]
-			if a == nil {
+			sum := execSums[name+"/"+f.Path]
+			if sum == nil {
 				continue // skipped as malformed during analysis
 			}
-			res := s.Resolver.Footprint(a)
+			res := s.Resolver.FootprintSummary(sum)
 			fp.AddAll(res.APIs)
 			direct.AddAll(res.Direct)
 			s.BinaryDirect[name+"/"+f.Path] = res.Direct
 			s.Stats.TotalSites += res.Sites
 			s.Stats.UnresolvedSites += res.Unresolved
-			if a.DirectSyscallUser() {
+			if sum.DirectSyscall {
 				s.Stats.DirectSyscallExecs++
 			}
 			s.Stats.Executables++
@@ -274,6 +327,29 @@ func footprintHash(fp footprint.Set) string {
 
 // PackageFor returns the package metadata for a name.
 func (s *Study) PackageFor(name string) *apt.Package { return s.Corpus.Repo.Get(name) }
+
+// EnsureEmulatable re-analyzes the shared libraries whose records came
+// from the analysis cache, attaching their instruction-level analyses to
+// the resolver so the user-mode emulator can execute across PLT
+// boundaries. For studies built without cache hits it is a no-op; with
+// hits it pays the disassembly cost only when (and if) emulation is
+// requested, keeping the footprint pipeline itself incremental.
+func (s *Study) EnsureEmulatable() {
+	s.emuMu.Lock()
+	defer s.emuMu.Unlock()
+	for _, p := range s.pendingEmu {
+		bin, err := elfx.Open(p.path, p.data)
+		if err != nil {
+			// A cached record for an unparseable file cannot exist (failures
+			// are never cached); if the bytes rotted since, emulation simply
+			// fails to resolve into this library, as it would for any
+			// missing dependency.
+			continue
+		}
+		s.Resolver.AttachAnalysis(footprint.Analyze(bin, s.Opts))
+	}
+	s.pendingEmu = nil
+}
 
 // SupportedSyscallSet builds a footprint.Set of syscall APIs from names,
 // convenient for completeness queries.

@@ -22,6 +22,14 @@ type Config struct {
 	Installations int64
 	// Seed drives all pseudo-randomness; corpora are reproducible.
 	Seed int64
+	// CodeBulk adds roughly this many bytes of API-free filler code to
+	// every emitted ELF binary. Real Ubuntu/Debian executables carry tens
+	// of kilobytes of .text around a handful of system-call sites — the
+	// volume that made the paper's analysis a multi-day batch job — while
+	// the lean default (0) emits only the planted call sites to keep
+	// tests fast. Benchmarks raise this to restore a realistic ratio of
+	// disassembly work to per-file aggregation work.
+	CodeBulk int
 }
 
 // DefaultConfig returns the standard laptop-scale configuration.
@@ -93,6 +101,7 @@ func Generate(cfg Config) (*Corpus, error) {
 	}
 
 	em := newEmitter(m, rand.New(rand.NewSource(cfg.Seed+1)))
+	em.bulk = cfg.CodeBulk
 
 	// Stable emission order: libc6 first (libraries must exist before the
 	// study analyzes importers), then everything else by name.

@@ -204,23 +204,6 @@ func appendUnique(ss []string, s string) []string {
 	return append(ss, s)
 }
 
-// reachable returns the functions the options say to analyze.
-func (a *Analysis) reachable() []*callgraph.Node {
-	if a.opts.WholeBinary {
-		return a.Graph.Funcs
-	}
-	return a.Graph.Reachable(a.Graph.EntryNodes(), !a.opts.NoFunctionPointers)
-}
-
-// reachableFrom returns functions reachable from one root (used for
-// library exports).
-func (a *Analysis) reachableFrom(n *callgraph.Node) []*callgraph.Node {
-	if a.opts.WholeBinary {
-		return a.Graph.Funcs
-	}
-	return a.Graph.Reachable([]*callgraph.Node{n}, !a.opts.NoFunctionPointers)
-}
-
 // Set is an API footprint.
 type Set map[linuxapi.API]bool
 
@@ -262,65 +245,149 @@ func (s Set) Clone() Set {
 }
 
 // Resolver resolves imported symbols to the shared libraries that export
-// them, following DT_NEEDED edges the way the dynamic linker does.
+// them, following DT_NEEDED edges the way the dynamic linker does. All
+// closure computation runs over instruction-free Summary records, so a
+// library restored from the persistent analysis cache aggregates exactly
+// like a freshly disassembled one; the full Analysis, when available, is
+// retained alongside for the instruction-level consumers (internal/emu).
 type Resolver struct {
 	// mu serializes closure computation; AddLibrary and Footprint are
 	// safe for concurrent use (binary analysis itself parallelizes; the
 	// shared memoized closures do not need to).
 	mu       sync.Mutex
-	bySoname map[string]*Analysis
-	// memo caches per-export closures: key is analysis pointer + node.
+	bySoname map[string]*libEntry
+	// memo caches per-export closures: key is summary pointer + function
+	// index.
 	memo map[closureKey]Set
 	// active guards against cross-library cycles.
 	active map[closureKey]bool
+	// resolveMemo caches symbol resolution keyed by the importer's needed
+	// list rather than its identity: resolution depends only on the
+	// search order that list induces, which nearly all binaries share
+	// (most need just libc), so one slow search serves the whole corpus.
+	resolveMemo map[resolveKey]resolveVal
+	// sonames caches the sorted registration keys for the deterministic
+	// fallback search; nil after a registration until rebuilt.
+	sonames []string
+}
+
+// libEntry is one registered shared library: its summary (always) and
+// its full analysis (only when the library was analyzed live this run).
+type libEntry struct {
+	sum *Summary
+	a   *Analysis
 }
 
 type closureKey struct {
-	a *Analysis
-	n *callgraph.Node
+	sum *Summary
+	fn  int
+}
+
+type resolveKey struct {
+	needed string
+	sym    string
+}
+
+type resolveVal struct {
+	lib *Summary
+	fn  int
 }
 
 // NewResolver returns an empty resolver.
 func NewResolver() *Resolver {
 	return &Resolver{
-		bySoname: make(map[string]*Analysis),
-		memo:     make(map[closureKey]Set),
-		active:   make(map[closureKey]bool),
+		bySoname:    make(map[string]*libEntry),
+		memo:        make(map[closureKey]Set),
+		active:      make(map[closureKey]bool),
+		resolveMemo: make(map[resolveKey]resolveVal),
 	}
+}
+
+// libName returns the registration key of a summarized library.
+func libName(sum *Summary) string {
+	if sum.Soname != "" {
+		return sum.Soname
+	}
+	return sum.Path
 }
 
 // AddLibrary registers an analyzed shared library under its soname.
 func (r *Resolver) AddLibrary(a *Analysis) {
+	sum := Summarize(a)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.register(libName(sum), &libEntry{sum: sum, a: a})
+}
+
+// register stores an entry and drops the resolution caches a changed
+// library set would invalidate. Callers hold r.mu.
+func (r *Resolver) register(name string, e *libEntry) {
+	r.bySoname[name] = e
+	r.sonames = nil
+	if len(r.resolveMemo) > 0 {
+		r.resolveMemo = make(map[resolveKey]resolveVal)
+	}
+}
+
+// AddSummary registers a shared library from its summary alone — the
+// analysis-cache hit path, where the binary was never disassembled this
+// run.
+func (r *Resolver) AddSummary(sum *Summary) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(libName(sum), &libEntry{sum: sum})
+}
+
+// AttachAnalysis supplies the full analysis for a library previously
+// registered from a cached summary, without disturbing the summary the
+// memoized closures key on. The emulator needs instruction streams; the
+// footprint aggregation never does.
+func (r *Resolver) AttachAnalysis(a *Analysis) {
 	name := a.Bin.Soname
 	if name == "" {
 		name = a.Bin.Path
 	}
-	r.bySoname[name] = a
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.bySoname[name]; ok {
+		if e.a == nil {
+			e.a = a
+		}
+		return
+	}
+	r.register(name, &libEntry{sum: Summarize(a), a: a})
 }
 
-// Library returns the analysis registered under soname, or nil.
+// Library returns the full analysis registered under soname, or nil when
+// the library is unknown or present only as a cached summary.
 func (r *Resolver) Library(soname string) *Analysis {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.bySoname[soname]
+	if e, ok := r.bySoname[soname]; ok {
+		return e.a
+	}
+	return nil
+}
+
+// LibrarySummary returns the summary registered under soname, or nil.
+func (r *Resolver) LibrarySummary(soname string) *Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.bySoname[soname]; ok {
+		return e.sum
+	}
+	return nil
 }
 
 // ResolveImport finds the library exporting sym and the function node
 // bound to it, using the same search the footprint closure uses. It is
 // exported for the dynamic-analysis cross-check (internal/emu), which
-// needs to follow calls across binaries the way the dynamic linker would.
+// needs to follow calls across binaries the way the dynamic linker would
+// — and therefore only considers libraries whose full analysis is
+// present (see AttachAnalysis).
 func (r *Resolver) ResolveImport(from *Analysis, sym string) (*Analysis, *callgraph.Node) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.resolveImport(from, sym)
-}
-
-// resolveImport finds the library exporting sym, searching the needed list
-// breadth-first (ld.so search order), then falling back to every registered
-// library (symbols can be satisfied by transitive dependencies).
-func (r *Resolver) resolveImport(from *Analysis, sym string) (*Analysis, *callgraph.Node) {
 	seen := map[string]bool{}
 	queue := append([]string(nil), from.Bin.Needed...)
 	for len(queue) > 0 {
@@ -330,29 +397,89 @@ func (r *Resolver) resolveImport(from *Analysis, sym string) (*Analysis, *callgr
 			continue
 		}
 		seen[soname] = true
-		lib := r.bySoname[soname]
-		if lib == nil {
+		e := r.bySoname[soname]
+		if e == nil {
 			continue
 		}
-		if n := lib.Graph.NodeNamed(sym); n != nil && n.Exported {
-			return lib, n
+		if e.a != nil {
+			if n := e.a.Graph.NodeNamed(sym); n != nil && n.Exported {
+				return e.a, n
+			}
 		}
-		queue = append(queue, lib.Bin.Needed...)
+		queue = append(queue, e.sum.Needed...)
 	}
-	for _, lib := range r.bySoname {
-		if n := lib.Graph.NodeNamed(sym); n != nil && n.Exported {
-			return lib, n
+	for _, name := range r.sortedSonames() {
+		if e := r.bySoname[name]; e.a != nil {
+			if n := e.a.Graph.NodeNamed(sym); n != nil && n.Exported {
+				return e.a, n
+			}
 		}
 	}
 	return nil, nil
+}
+
+// resolveImport finds the library exporting sym, searching the needed list
+// breadth-first (ld.so search order), then falling back to every registered
+// library in name order (symbols can be satisfied by transitive
+// dependencies; the deterministic fallback keeps repeated runs identical).
+func (r *Resolver) resolveImport(from *Summary, sym string) (*Summary, int) {
+	key := resolveKey{from.neededKey(), sym}
+	if v, ok := r.resolveMemo[key]; ok {
+		return v.lib, v.fn
+	}
+	lib, fn := r.resolveImportSlow(from, sym)
+	r.resolveMemo[key] = resolveVal{lib, fn}
+	return lib, fn
+}
+
+func (r *Resolver) resolveImportSlow(from *Summary, sym string) (*Summary, int) {
+	seen := map[string]bool{}
+	queue := append([]string(nil), from.Needed...)
+	for len(queue) > 0 {
+		soname := queue[0]
+		queue = queue[1:]
+		if seen[soname] {
+			continue
+		}
+		seen[soname] = true
+		e := r.bySoname[soname]
+		if e == nil {
+			continue
+		}
+		if i := e.sum.funcIndex(sym); i >= 0 && e.sum.Funcs[i].Exported {
+			return e.sum, i
+		}
+		queue = append(queue, e.sum.Needed...)
+	}
+	for _, name := range r.sortedSonames() {
+		sum := r.bySoname[name].sum
+		if i := sum.funcIndex(sym); i >= 0 && sum.Funcs[i].Exported {
+			return sum, i
+		}
+	}
+	return nil, -1
+}
+
+// sortedSonames returns the registered library names in sorted order,
+// cached until the next registration.
+func (r *Resolver) sortedSonames() []string {
+	if r.sonames == nil {
+		names := make([]string, 0, len(r.bySoname))
+		for name := range r.bySoname {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		r.sonames = names
+	}
+	return r.sonames
 }
 
 // exportClosure computes the APIs reachable by calling one exported
 // function of a library: the direct APIs of every function reachable
 // within the library, plus the closures of the imports those functions
 // call in deeper libraries.
-func (r *Resolver) exportClosure(a *Analysis, root *callgraph.Node) Set {
-	key := closureKey{a, root}
+func (r *Resolver) exportClosure(sum *Summary, root int) Set {
+	key := closureKey{sum, root}
 	if s, ok := r.memo[key]; ok {
 		return s
 	}
@@ -363,28 +490,49 @@ func (r *Resolver) exportClosure(a *Analysis, root *callgraph.Node) Set {
 	defer delete(r.active, key)
 
 	out := make(Set)
-	for _, n := range a.reachableFrom(root) {
-		for _, api := range a.direct[n] {
+	var imports []string
+	for _, i := range sum.reachable([]int{root}) {
+		f := &sum.Funcs[i]
+		for _, api := range f.APIs {
 			out.Add(api)
 		}
-		for _, sym := range a.calledImports[n] {
-			r.importAPIs(a, sym, out)
-		}
+		imports = append(imports, f.Imports...)
+	}
+	for _, imp := range dedupe(imports) {
+		r.importAPIs(sum, imp, out)
 	}
 	r.memo[key] = out
 	return out
 }
 
+// dedupe removes repeated symbols in place, preserving first-occurrence
+// order: the same import recurs across a binary's functions, and each
+// merge of its (memoized) closure costs the closure's size.
+func dedupe(syms []string) []string {
+	if len(syms) < 2 {
+		return syms
+	}
+	seen := make(map[string]bool, len(syms))
+	out := syms[:0]
+	for _, s := range syms {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // importAPIs adds everything implied by calling imported symbol sym from
-// binary a: the libc-symbol API itself (when sym is a GNU libc export) and
-// the defining library's closure.
-func (r *Resolver) importAPIs(a *Analysis, sym string, out Set) {
+// the summarized binary: the libc-symbol API itself (when sym is a GNU
+// libc export) and the defining library's closure.
+func (r *Resolver) importAPIs(from *Summary, sym string, out Set) {
 	if linuxapi.IsLibcExport(sym) {
 		out.Add(linuxapi.LibcSym(sym))
 	}
-	lib, node := r.resolveImport(a, sym)
+	lib, fn := r.resolveImport(from, sym)
 	if lib != nil {
-		out.AddAll(r.exportClosure(lib, node))
+		out.AddAll(r.exportClosure(lib, fn))
 	}
 }
 
@@ -403,23 +551,32 @@ type Result struct {
 // Footprint aggregates the full footprint of one analyzed binary: its own
 // reachable APIs plus the recursive closure over imported symbols.
 func (r *Resolver) Footprint(a *Analysis) *Result {
+	return r.FootprintSummary(Summarize(a))
+}
+
+// FootprintSummary aggregates the footprint from a binary's summary — the
+// cache-hit path, identical in result to Footprint on the live analysis.
+func (r *Resolver) FootprintSummary(sum *Summary) *Result {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	res := &Result{
 		APIs:       make(Set),
 		Direct:     make(Set),
-		Unresolved: a.Unresolved,
-		Sites:      a.Sites,
+		Unresolved: sum.Unresolved,
+		Sites:      sum.Sites,
 	}
-	for _, n := range a.reachable() {
-		for _, api := range a.direct[n] {
+	var imports []string
+	for _, i := range sum.reachable(sum.roots()) {
+		f := &sum.Funcs[i]
+		for _, api := range f.APIs {
 			res.Direct.Add(api)
 		}
-		for _, sym := range a.calledImports[n] {
-			r.importAPIs(a, sym, res.APIs)
-		}
+		imports = append(imports, f.Imports...)
 	}
-	for _, api := range a.strings {
+	for _, imp := range dedupe(imports) {
+		r.importAPIs(sum, imp, res.APIs)
+	}
+	for _, api := range sum.Strings {
 		res.Direct.Add(api)
 	}
 	res.APIs.AddAll(res.Direct)

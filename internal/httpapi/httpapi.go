@@ -375,8 +375,39 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "apiserved_analyses_total %d\n", st.AnalysesTotal)
 	fmt.Fprintf(&b, "apiserved_analyses_rejected_total %d\n", st.AnalysesRejected)
 
+	fmt.Fprintf(&b, "# HELP apiserved_snapshot_reloads_total Background corpus reloads swapped in.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_snapshot_reloads_total counter\n")
+	fmt.Fprintf(&b, "apiserved_snapshot_reloads_total %d\n", st.Reloads)
+	fmt.Fprintf(&b, "apiserved_snapshot_reloads_failed_total %d\n", st.ReloadsFailed)
+	fmt.Fprintf(&b, "# HELP apiserved_anacache_enabled Whether a persistent analysis cache is configured.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_anacache_enabled gauge\n")
+	fmt.Fprintf(&b, "apiserved_anacache_enabled %d\n", boolToInt(st.AnacacheOn))
+	fmt.Fprintf(&b, "# HELP apiserved_anacache_hits_total Per-binary analysis records served from the persistent cache.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_anacache_hits_total counter\n")
+	fmt.Fprintf(&b, "apiserved_anacache_hits_total %d\n", st.Anacache.Hits)
+	fmt.Fprintf(&b, "# HELP apiserved_anacache_misses_total Lookups that fell back to re-analysis.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_anacache_misses_total counter\n")
+	fmt.Fprintf(&b, "apiserved_anacache_misses_total %d\n", st.Anacache.Misses)
+	fmt.Fprintf(&b, "# HELP apiserved_anacache_invalidations_total Records rejected as stale or corrupt.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_anacache_invalidations_total counter\n")
+	fmt.Fprintf(&b, "apiserved_anacache_invalidations_total %d\n", st.Anacache.Invalidations)
+	fmt.Fprintf(&b, "# HELP apiserved_anacache_writes_total Records persisted to the analysis cache.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_anacache_writes_total counter\n")
+	fmt.Fprintf(&b, "apiserved_anacache_writes_total %d\n", st.Anacache.Writes)
+	fmt.Fprintf(&b, "apiserved_anacache_write_errors_total %d\n", st.Anacache.WriteErrors)
+	fmt.Fprintf(&b, "# HELP apiserved_anacache_hit_ratio Analysis-cache hits over lookups since start.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_anacache_hit_ratio gauge\n")
+	fmt.Fprintf(&b, "apiserved_anacache_hit_ratio %g\n", st.Anacache.HitRatio())
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	io.WriteString(w, b.String())
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // ListenAndServe runs handler on addr until ctx is cancelled, then

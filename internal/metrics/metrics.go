@@ -446,23 +446,33 @@ func Record(db *store.DB, in *Input) *Tables {
 	t.ByAPI = store.NewIndex(t.PkgAPI, func(r PkgAPIRow) string { return r.API.String() })
 	t.ByPkg = store.NewIndex(t.PkgAPI, func(r PkgAPIRow) string { return r.Pkg })
 	pkgs := make([]string, 0, len(in.Footprints))
-	for pkg := range in.Footprints {
+	total := 0
+	for pkg, fp := range in.Footprints {
 		pkgs = append(pkgs, pkg)
+		total += len(fp)
 	}
 	sort.Strings(pkgs)
+	// Bulk-load each relation: every (re)load repopulates the tables from
+	// scratch, so rows are staged per package and inserted batch-wise.
+	apiRows := make([]PkgAPIRow, 0, total)
+	installRows := make([]PkgInstallRow, 0, len(pkgs))
+	var depRows []PkgDepRow
 	for _, pkg := range pkgs {
 		direct := in.Direct[pkg]
 		for _, api := range in.Footprints[pkg].Sorted() {
-			t.PkgAPI.Insert(PkgAPIRow{Pkg: pkg, API: api, Direct: direct.Contains(api)})
+			apiRows = append(apiRows, PkgAPIRow{Pkg: pkg, API: api, Direct: direct.Contains(api)})
 		}
-		t.PkgInstall.Insert(PkgInstallRow{Pkg: pkg, Installs: in.Survey.Installs(pkg)})
+		installRows = append(installRows, PkgInstallRow{Pkg: pkg, Installs: in.Survey.Installs(pkg)})
 		if in.Repo != nil {
 			if p := in.Repo.Get(pkg); p != nil {
 				for _, dep := range p.Depends {
-					t.PkgDep.Insert(PkgDepRow{Pkg: pkg, Dep: dep})
+					depRows = append(depRows, PkgDepRow{Pkg: pkg, Dep: dep})
 				}
 			}
 		}
 	}
+	t.PkgAPI.InsertBatch(apiRows)
+	t.PkgInstall.InsertBatch(installRows)
+	t.PkgDep.InsertBatch(depRows)
 	return t
 }

@@ -48,6 +48,11 @@ type Config struct {
 	CacheSize int
 	// MaxAnalyses bounds concurrently running ad-hoc ELF analyses.
 	MaxAnalyses int
+	// Cache, when non-nil, is the persistent analysis cache reloads go
+	// through: binaries unchanged since the last analysis reuse their
+	// stored per-binary records, so a background reload recomputes only
+	// the aggregation over changed files.
+	Cache *repro.AnalysisCache
 }
 
 // DefaultConfig returns serving defaults suitable for one resident study.
@@ -78,6 +83,9 @@ type Service struct {
 	analysesActive   atomic.Int64
 	analysesTotal    atomic.Uint64
 	analysesRejected atomic.Uint64
+
+	reloads       atomic.Uint64
+	reloadsFailed atomic.Uint64
 }
 
 // New publishes study as generation 1 and returns the serving layer.
@@ -117,6 +125,21 @@ func (s *Service) Swap(study *repro.Study, source string) uint64 {
 // Snapshot returns the currently published snapshot.
 func (s *Service) Snapshot() *Snapshot { return s.snap.Load() }
 
+// Reload re-analyzes the corpus at dir through the configured analysis
+// cache (incrementally, when one is set: per-binary records for
+// unchanged files are reused and only the aggregation is recomputed) and
+// atomically swaps the new study in. In-flight requests finish on the
+// old snapshot. Returns the new generation.
+func (s *Service) Reload(dir string) (uint64, error) {
+	study, err := repro.LoadStudyCached(dir, s.cfg.Cache)
+	if err != nil {
+		s.reloadsFailed.Add(1)
+		return 0, err
+	}
+	s.reloads.Add(1)
+	return s.Swap(study, dir), nil
+}
+
 // Generation returns the current snapshot generation.
 func (s *Service) Generation() uint64 { return s.gen.Load() }
 
@@ -133,6 +156,13 @@ type Stats struct {
 	AnalysesActive   int64
 	AnalysesTotal    uint64
 	AnalysesRejected uint64
+	// Reloads and ReloadsFailed count background corpus reloads since
+	// start; Anacache holds the persistent analysis-cache counters
+	// (zero-valued when the service runs without one).
+	Reloads       uint64
+	ReloadsFailed uint64
+	Anacache      repro.CacheStats
+	AnacacheOn    bool
 }
 
 // HitRatio returns cache hits over lookups (0 when idle).
@@ -148,6 +178,10 @@ func (st Stats) HitRatio() float64 {
 func (s *Service) Stats() Stats {
 	snap := s.Snapshot()
 	hits, misses, length, capacity := s.cache.Stats()
+	var anacacheStats repro.CacheStats
+	if s.cfg.Cache != nil {
+		anacacheStats = s.cfg.Cache.Stats()
+	}
 	return Stats{
 		Generation:       snap.Generation,
 		Source:           snap.Source,
@@ -160,6 +194,10 @@ func (s *Service) Stats() Stats {
 		AnalysesActive:   s.analysesActive.Load(),
 		AnalysesTotal:    s.analysesTotal.Load(),
 		AnalysesRejected: s.analysesRejected.Load(),
+		Reloads:          s.reloads.Load(),
+		ReloadsFailed:    s.reloadsFailed.Load(),
+		Anacache:         anacacheStats,
+		AnacacheOn:       s.cfg.Cache != nil,
 	}
 }
 
@@ -569,14 +607,18 @@ func (s *Service) WatchCorpus(ctx context.Context, dir string, interval time.Dur
 			continue
 		}
 		logf("corpus watch: change detected (%s -> %s), re-analyzing %s", last, sig, dir)
-		study, err := repro.LoadStudy(dir)
+		gen, err := s.Reload(dir)
 		if err != nil {
 			logf("corpus watch: reload failed, keeping generation %d: %v", s.Generation(), err)
 			last = sig
 			continue
 		}
-		gen := s.Swap(study, dir)
 		last = sig
-		logf("corpus watch: serving generation %d (fingerprint %s)", gen, study.Fingerprint())
+		if st := s.Stats(); st.AnacacheOn {
+			logf("corpus watch: serving generation %d (fingerprint %s, cache hits %d misses %d)",
+				gen, s.Snapshot().Meta.Fingerprint, st.Anacache.Hits, st.Anacache.Misses)
+		} else {
+			logf("corpus watch: serving generation %d (fingerprint %s)", gen, s.Snapshot().Meta.Fingerprint)
+		}
 	}
 }

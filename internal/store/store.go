@@ -18,7 +18,15 @@ type Table[R any] struct {
 	mu   sync.RWMutex
 	rows []R
 
-	indexes []func(R, int)
+	indexes []tableIndex[R]
+}
+
+// tableIndex is the write interface a table drives its indexes through;
+// the batch form lets a bulk load amortize the index lock the way a
+// database amortizes page latches during COPY.
+type tableIndex[R any] interface {
+	add(r R, id int)
+	addBatch(rows []R, base int)
 }
 
 // NewTable creates an empty relation and registers it with db (which may be
@@ -40,8 +48,25 @@ func (t *Table[R]) Insert(r R) {
 	defer t.mu.Unlock()
 	id := len(t.rows)
 	t.rows = append(t.rows, r)
-	for _, add := range t.indexes {
-		add(r, id)
+	for _, idx := range t.indexes {
+		idx.add(r, id)
+	}
+}
+
+// InsertBatch appends rows under one lock acquisition, updating each
+// index once per batch rather than once per row — the bulk-load path the
+// aggregation pipeline uses when it repopulates the tables on every
+// (re)load.
+func (t *Table[R]) InsertBatch(rows []R) {
+	if len(rows) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := len(t.rows)
+	t.rows = append(t.rows, rows...)
+	for _, idx := range t.indexes {
+		idx.addBatch(rows, base)
 	}
 }
 
@@ -100,14 +125,25 @@ func NewIndex[R any](t *Table[R], key func(R) string) *Index[R] {
 		k := key(r)
 		idx.ids[k] = append(idx.ids[k], id)
 	}
-	t.indexes = append(t.indexes, func(r R, id int) {
-		k := idx.key(r)
-		idx.mu.Lock()
-		idx.ids[k] = append(idx.ids[k], id)
-		idx.mu.Unlock()
-	})
+	t.indexes = append(t.indexes, idx)
 	t.mu.Unlock()
 	return idx
+}
+
+func (idx *Index[R]) add(r R, id int) {
+	k := idx.key(r)
+	idx.mu.Lock()
+	idx.ids[k] = append(idx.ids[k], id)
+	idx.mu.Unlock()
+}
+
+func (idx *Index[R]) addBatch(rows []R, base int) {
+	idx.mu.Lock()
+	for i, r := range rows {
+		k := idx.key(r)
+		idx.ids[k] = append(idx.ids[k], base+i)
+	}
+	idx.mu.Unlock()
 }
 
 // Lookup returns all rows whose key equals k, in insertion order.

@@ -11,6 +11,7 @@ unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
     echo "gofmt needed on:" >&2
     echo "$unformatted" >&2
+    gofmt -d . >&2
     exit 1
 fi
 
@@ -23,7 +24,10 @@ go vet ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (core pipeline + query service)"
-go test -race ./internal/core ./internal/service
+echo "== go test -shuffle (order-independence)"
+go test -count=1 -shuffle=on ./...
+
+echo "== go test -race (pipeline, service, HTTP API, analysis cache)"
+go test -race ./internal/core ./internal/service ./internal/httpapi ./internal/anacache
 
 echo "CI OK"
