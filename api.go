@@ -106,6 +106,48 @@ func LoadStudyCached(dir string, cache *AnalysisCache) (*Study, error) {
 	return &Study{core: s, report: report.New(s)}, nil
 }
 
+// BinaryJob, JobResult and JobAnalyzer re-export the pipeline's
+// distribution seam: a JobAnalyzer maps classified ELF binaries to their
+// footprint summaries and may run anywhere — in-process, or fanned out
+// over a worker fleet (internal/fleet implements one over HTTP).
+type (
+	BinaryJob   = core.BinaryJob
+	JobResult   = core.JobResult
+	JobAnalyzer = core.JobAnalyzer
+)
+
+// LoadStudyDistributed analyzes an on-disk corpus with the per-binary
+// analysis phase delegated to analyze — typically a fleet coordinator's
+// AnalyzeJobs. A nil analyze behaves like LoadStudyCached; the cache
+// backs whatever part of the analysis runs in-process (local fallback
+// included). The resulting study is identical to a single-process run
+// over the same corpus.
+func LoadStudyDistributed(dir string, cache *AnalysisCache, analyze JobAnalyzer) (*Study, error) {
+	c, err := corpus.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.RunWith(c, Options{}, cache, analyze)
+	if err != nil {
+		return nil, fmt.Errorf("repro: analyzing corpus: %w", err)
+	}
+	return &Study{core: s, report: report.New(s)}, nil
+}
+
+// NewStudyDistributed generates a calibrated corpus and runs the pipeline
+// with the analysis phase delegated to analyze (see LoadStudyDistributed).
+func NewStudyDistributed(cfg Config, cache *AnalysisCache, analyze JobAnalyzer) (*Study, error) {
+	c, err := corpus.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("repro: generating corpus: %w", err)
+	}
+	s, err := core.RunWith(c, Options{}, cache, analyze)
+	if err != nil {
+		return nil, fmt.Errorf("repro: analyzing corpus: %w", err)
+	}
+	return &Study{core: s, report: report.New(s)}, nil
+}
+
 // NewStudyCached generates a calibrated corpus and runs the pipeline
 // through an analysis cache (nil behaves like NewStudy).
 func NewStudyCached(cfg Config, cache *AnalysisCache) (*Study, error) {

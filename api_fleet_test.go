@@ -1,0 +1,72 @@
+package repro
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/fleet"
+)
+
+// TestLoadStudyDistributedMatchesLocal is the facade-level equivalence
+// check the fleet promises: a study built through two HTTP workers —
+// one of them poisoned to return garbage — has a byte-identical
+// fingerprint and byte-identical full report to the single-process run
+// over the same on-disk corpus.
+func TestLoadStudyDistributedMatchesLocal(t *testing.T) {
+	dir := t.TempDir()
+	c, err := corpus.Generate(corpus.Config{
+		Packages: 50, Installations: 100000, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	local, err := LoadStudy(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	good := httptest.NewServer(fleet.NewWorker(fleet.WorkerConfig{}))
+	defer good.Close()
+	// The second worker corrupts every other response; validation must
+	// catch each one and the study must come out identical anyway.
+	real := fleet.NewWorker(fleet.WorkerConfig{})
+	var n atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"shard": -1, "results"`))
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	coord := fleet.New(fleet.Config{
+		Workers:      []string{good.URL, flaky.URL},
+		Shards:       8,
+		RetryBackoff: 5 * time.Millisecond,
+		MaxBackoff:   20 * time.Millisecond,
+	})
+	dist, err := LoadStudyDistributed(dir, nil, coord.AnalyzeJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if lf, df := local.Fingerprint(), dist.Fingerprint(); lf != df {
+		t.Fatalf("fingerprints diverge: local %s, fleet %s", lf, df)
+	}
+	if lr, dr := local.ReportAll(), dist.ReportAll(); lr != dr {
+		t.Fatal("fleet-built report differs from single-process report")
+	}
+	if st := coord.Stats(); st.Dispatched == 0 {
+		t.Errorf("fleet never dispatched: %+v", st)
+	}
+}

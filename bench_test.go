@@ -9,15 +9,18 @@ package repro
 
 import (
 	"io/fs"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/compat"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/elfx"
+	"repro/internal/fleet"
 	"repro/internal/footprint"
 	"repro/internal/linuxapi"
 	"repro/internal/metrics"
@@ -396,6 +399,7 @@ func BenchmarkStudyColdVsWarm(b *testing.B) {
 	}
 
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := LoadStudy(dir); err != nil {
 				b.Fatal(err)
@@ -404,6 +408,7 @@ func BenchmarkStudyColdVsWarm(b *testing.B) {
 	})
 
 	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
 		cache, err := OpenAnalysisCache(filepath.Join(dir, "anacache-warm"))
 		if err != nil {
 			b.Fatal(err)
@@ -424,6 +429,7 @@ func BenchmarkStudyColdVsWarm(b *testing.B) {
 	})
 
 	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
 		cache, err := OpenAnalysisCache(filepath.Join(dir, "anacache-incr"))
 		if err != nil {
 			b.Fatal(err)
@@ -443,6 +449,56 @@ func BenchmarkStudyColdVsWarm(b *testing.B) {
 			if _, err := LoadStudyCached(dir, cache); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkStudyFleetVsLocal prices the fleet's coordination tax on one
+// machine: "local" analyzes an on-disk corpus in-process, "fleet" routes
+// every shard through two loopback HTTP workers (serialize, POST, analyze
+// remotely, deserialize, merge). The delta is pure coordination overhead —
+// the win in production comes from the workers being separate machines.
+// scripts/bench.sh records both as fleet_local/fleet in BENCH_pipeline.json.
+func BenchmarkStudyFleetVsLocal(b *testing.B) {
+	dir := b.TempDir()
+	c, err := corpus.Generate(corpus.Config{
+		Packages: 150, Installations: 1 << 20, Seed: 42, CodeBulk: 24 << 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Save(dir); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("local", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := LoadStudy(dir); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("fleet", func(b *testing.B) {
+		b.ReportAllocs()
+		w1 := httptest.NewServer(fleet.NewWorker(fleet.WorkerConfig{}))
+		defer w1.Close()
+		w2 := httptest.NewServer(fleet.NewWorker(fleet.WorkerConfig{}))
+		defer w2.Close()
+		coord := fleet.New(fleet.Config{
+			Workers:      []string{w1.URL, w2.URL},
+			RetryBackoff: 5 * time.Millisecond,
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := LoadStudyDistributed(dir, nil, coord.AnalyzeJobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if st := coord.Stats(); st.Dispatched == 0 || st.LocalFallbackShards != 0 {
+			b.Fatalf("fleet did not carry the load: %+v", st)
 		}
 	})
 }

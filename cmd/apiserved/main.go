@@ -28,10 +28,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/fleet"
 	"repro/internal/httpapi"
 	"repro/internal/service"
 )
@@ -51,6 +53,8 @@ func main() {
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain period")
 		watch    = flag.Duration("watch", 0, "poll interval for -corpus changes (0 disables reload)")
 		cacheDir = flag.String("cache-dir", "", "persistent analysis cache directory (warm starts and incremental reloads)")
+		workers  = flag.String("workers", "", "comma-separated apiworker URLs; analysis (startup and reloads) is distributed across them")
+		shards   = flag.Int("shards", 0, "shard count for -workers (0: 4 per worker)")
 		quiet    = flag.Bool("quiet", false, "disable request logging")
 	)
 	flag.Parse()
@@ -65,6 +69,23 @@ func main() {
 		log.Printf("analysis cache at %s", *cacheDir)
 	}
 
+	var coord *fleet.Coordinator
+	if *workers != "" {
+		var urls []string
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		coord = fleet.New(fleet.Config{
+			Workers: urls,
+			Shards:  *shards,
+			Cache:   anaCache,
+			Logf:    log.Printf,
+		})
+		log.Printf("fleet: distributing analysis across %d workers", len(urls))
+	}
+
 	var (
 		study  *repro.Study
 		source string
@@ -74,14 +95,14 @@ func main() {
 	if *corpus != "" {
 		source = *corpus
 		log.Printf("analyzing corpus %s ...", *corpus)
-		study, err = repro.LoadStudyCached(*corpus, anaCache)
+		study, err = repro.LoadStudyDistributed(*corpus, anaCache, analyzeFunc(coord))
 	} else {
 		cfg := repro.DefaultConfig()
 		cfg.Packages = *packages
 		cfg.Seed = *seed
 		source = "generated"
 		log.Printf("generating and analyzing corpus (%d packages, seed %d) ...", cfg.Packages, cfg.Seed)
-		study, err = repro.NewStudyCached(cfg, anaCache)
+		study, err = repro.NewStudyDistributed(cfg, anaCache, analyzeFunc(coord))
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -99,6 +120,7 @@ func main() {
 		CacheSize:   *cache,
 		MaxAnalyses: *analyses,
 		Cache:       anaCache,
+		Fleet:       coord,
 	})
 
 	var reqLog *log.Logger
@@ -125,4 +147,13 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("bye")
+}
+
+// analyzeFunc adapts an optional coordinator to the facade's JobAnalyzer
+// parameter (nil coordinator means analyze in-process).
+func analyzeFunc(coord *fleet.Coordinator) repro.JobAnalyzer {
+	if coord == nil {
+		return nil
+	}
+	return coord.AnalyzeJobs
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	apistudy [-packages N] [-seed S] [-installations M] [-experiment all|fig1|...|tab12|sec6]
+//	apistudy -corpus DIR -workers http://127.0.0.1:8841,http://127.0.0.1:8842
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/fleet"
 	"repro/internal/report"
 )
 
@@ -28,6 +30,8 @@ func main() {
 		installations = flag.Int64("installations", 2935744, "survey population")
 		corpusDir     = flag.String("corpus", "", "analyze an on-disk corpus (from cmd/corpusgen) instead of generating one")
 		cacheDir      = flag.String("cache-dir", "", "persistent analysis cache directory (reuses per-binary analyses across runs)")
+		workers       = flag.String("workers", "", "comma-separated apiworker URLs for distributed analysis (empty: analyze in-process)")
+		shards        = flag.Int("shards", 0, "shard count for -workers (0: 4 per worker)")
 		experiment    = flag.String("experiment", "all", "which experiment to print: all, fig1..fig8, tab1..tab12, sec6")
 		series        = flag.String("series", "", "emit a figure's raw data series instead (fig2, fig3, fig4, fig5f, fig5p, fig6, fig7, fig8)")
 		format        = flag.String("format", "csv", "series format: csv or json")
@@ -44,26 +48,57 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	var coord *fleet.Coordinator
+	var analyze repro.JobAnalyzer
+	if *workers != "" {
+		var urls []string
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		var logf func(string, ...any)
+		if *verbose {
+			logf = log.Printf
+		}
+		coord = fleet.New(fleet.Config{
+			Workers: urls,
+			Shards:  *shards,
+			Cache:   anaCache,
+			Logf:    logf,
+		})
+		analyze = coord.AnalyzeJobs
+		if *verbose {
+			log.Printf("distributing analysis across %d workers", len(urls))
+		}
+	}
 	var study *repro.Study
 	var err error
 	if *corpusDir != "" {
-		study, err = repro.LoadStudyCached(*corpusDir, anaCache)
+		study, err = repro.LoadStudyDistributed(*corpusDir, anaCache, analyze)
 	} else {
-		study, err = repro.NewStudyCached(repro.Config{
+		study, err = repro.NewStudyDistributed(repro.Config{
 			Packages:      *packages,
 			Seed:          *seed,
 			Installations: *installations,
-		}, anaCache)
+		}, anaCache, analyze)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *verbose {
 		log.Printf("analyzed %d packages in %v", len(study.Packages()), time.Since(start))
+		log.Printf("fingerprint %s", study.Fingerprint())
 		if anaCache != nil {
 			cs := study.CacheStats()
 			log.Printf("analysis cache: %d hits, %d misses, %d writes (hit ratio %.2f)",
 				cs.Hits, cs.Misses, cs.Writes, cs.HitRatio())
+		}
+		if coord != nil {
+			fs := coord.Stats()
+			log.Printf("fleet: shards=%d dispatched=%d retries=%d hedges=%d failures=%d corrupt=%d local_fallback=%d evictions=%d",
+				fs.ShardsTotal, fs.Dispatched, fs.Retries, fs.Hedges, fs.Failures,
+				fs.CorruptResponses, fs.LocalFallbackShards, fs.Evictions)
 		}
 	}
 

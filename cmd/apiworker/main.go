@@ -1,0 +1,93 @@
+// Command apiworker serves the per-binary analysis phase of the study to
+// a fleet coordinator: it wraps the ordinary pipeline (disassembly, call
+// graph, footprint summary) plus the persistent analysis cache behind
+// POST /v1/shard/analyze, with /healthz for health tracking and /metrics
+// for scraping. Start two of them and point apistudy -workers at both
+// for a one-machine distributed run.
+//
+// Usage:
+//
+//	apiworker -addr :8841
+//	apiworker -addr :8842 -cache-dir /var/cache/apiworker2
+//	apiworker -check http://127.0.0.1:8841   # health probe, exit 0/1
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/fleet"
+	"repro/internal/httpapi"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("apiworker: ")
+	var (
+		addr     = flag.String("addr", ":8841", "listen address")
+		cacheDir = flag.String("cache-dir", "", "persistent analysis cache directory (re-dispatched shards reuse per-binary records)")
+		bodyMax  = flag.Int64("max-body", 1<<30, "max shard request body bytes")
+		grace    = flag.Duration("grace", 5*time.Second, "shutdown drain period")
+		check    = flag.String("check", "", "probe the given worker URL's /healthz and exit 0 (healthy) or 1; for scripts without curl")
+		quiet    = flag.Bool("quiet", false, "disable per-shard logging")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, *check+"/healthz", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			os.Exit(1)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var anaCache *repro.AnalysisCache
+	if *cacheDir != "" {
+		var err error
+		anaCache, err = repro.OpenAnalysisCache(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("analysis cache at %s", *cacheDir)
+	}
+	var shardLog *log.Logger
+	if !*quiet {
+		shardLog = log.New(os.Stderr, "apiworker: ", log.LstdFlags)
+	}
+	worker := fleet.NewWorker(fleet.WorkerConfig{
+		Opts:         repro.Options{},
+		Cache:        anaCache,
+		MaxBodyBytes: *bodyMax,
+		Logger:       shardLog,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("serving shard analysis on %s", *addr)
+	if err := httpapi.ListenAndServe(ctx, *addr, worker, *grace, log.Default()); err != nil &&
+		!errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("bye")
+}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"crypto/sha256"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -45,6 +46,20 @@ func (c *FileCensus) Total() int {
 // ELF returns the number of ELF binaries.
 func (c *FileCensus) ELF() int { return c.ELFExec + c.ELFLib + c.ELFStatic }
 
+// SkippedFile is one recorded witness of a file that classified as ELF
+// but failed to parse: which package shipped it, where, and why the
+// parser rejected it.
+type SkippedFile struct {
+	Pkg  string `json:"pkg"`
+	Path string `json:"path"`
+	Err  string `json:"error"`
+}
+
+// MaxSkippedSamples bounds Stats.SkippedSamples: enough witnesses to
+// debug a rotten archive, without letting a fully corrupt one bloat the
+// study.
+const MaxSkippedSamples = 20
+
 // Stats carries the pipeline-level counters the paper reports in §6/§7.
 type Stats struct {
 	Census FileCensus
@@ -59,8 +74,11 @@ type Stats struct {
 	Executables, DistinctFootprints, UniqueFootprints int
 	// SkippedFiles counts files that classified as ELF but failed to
 	// parse; a real archive contains some junk, and the pipeline skips it
-	// rather than aborting the study.
-	SkippedFiles int
+	// rather than aborting the study. SkippedSamples keeps the first
+	// MaxSkippedSamples (package, path, error) witnesses, in corpus
+	// order.
+	SkippedFiles   int
+	SkippedSamples []SkippedFile
 }
 
 // Study is the analyzed corpus: everything the reports need.
@@ -105,42 +123,44 @@ func Run(c *corpus.Corpus, opts footprint.Options) (*Study, error) {
 // footprints, metrics) is always recomputed — it is cheap and depends on
 // the corpus as a whole.
 func RunCached(c *corpus.Corpus, opts footprint.Options, cache *anacache.Cache) (*Study, error) {
-	s := &Study{
-		Corpus:       c,
-		Resolver:     footprint.NewResolver(),
-		DB:           store.NewDB(),
-		BinaryDirect: make(map[string]footprint.Set),
-		Opts:         opts,
-		Cache:        cache,
-	}
-	s.Stats.Census.Scripts = make(map[string]int)
+	return RunWith(c, opts, cache, nil)
+}
 
-	names := c.Repo.Names()
+// BinaryJob is one ELF binary queued for per-binary analysis — the unit
+// of work the pipeline fans out, whether to the in-process worker pool
+// or to a fleet of remote shard workers.
+type BinaryJob struct {
+	Pkg  string
+	Path string
+	Data []byte
+	Lib  bool
+}
 
-	// Disassembly and extraction dominate the pipeline; binaries are
-	// independent, so analyze them on all cores (the paper's own run took
-	// three days over 30,976 packages — §7).
-	type job struct {
-		pkg  string
-		file apt.File
-		lib  bool
-	}
-	var jobs []job
-	for _, name := range names {
-		pkg := c.Repo.Get(name)
-		for _, f := range pkg.Files {
-			class, _ := elfx.Classify(f.Data)
-			switch class {
-			case elfx.ClassELFLib:
-				jobs = append(jobs, job{name, f, true})
-			case elfx.ClassELFExec, elfx.ClassELFStatic:
-				jobs = append(jobs, job{name, f, false})
-			}
-		}
-	}
-	sums := make([]*footprint.Summary, len(jobs))
-	analyses := make([]*footprint.Analysis, len(jobs))
-	errs := make([]error, len(jobs))
+// JobResult is the outcome of one BinaryJob. Exactly one of Summary or
+// Err is set. Analysis is attached only for shared libraries analyzed in
+// process; remote analyzers return summaries alone, and the emulator
+// re-disassembles lazily through EnsureEmulatable.
+type JobResult struct {
+	Summary  *footprint.Summary
+	Analysis *footprint.Analysis
+	Err      error
+}
+
+// JobAnalyzer maps every job to exactly one result, index for index.
+// RunWith falls back to AnalyzeJobsLocal when none is supplied; the
+// fleet coordinator is the distributed implementation.
+type JobAnalyzer func(jobs []BinaryJob, opts footprint.Options) []JobResult
+
+// AnalyzeJobsLocal analyzes jobs in process on all cores (the paper's
+// own run took three days over 30,976 packages — §7), consulting cache
+// (may be nil) before disassembling each binary. The instruction-level
+// Analysis is retained only for shared libraries — the resolver needs it
+// for emulation — while executables keep just their Summary, so the
+// decoded instruction streams of the (far more numerous) executables are
+// garbage-collected as soon as each one is summarized instead of living
+// until the study completes.
+func AnalyzeJobsLocal(jobs []BinaryJob, opts footprint.Options, cache *anacache.Cache) []JobResult {
+	results := make([]JobResult, len(jobs))
 	var wg sync.WaitGroup
 	next := make(chan int, len(jobs))
 	for i := range jobs {
@@ -158,56 +178,112 @@ func RunCached(c *corpus.Corpus, opts footprint.Options, cache *anacache.Cache) 
 			for i := range next {
 				j := jobs[i]
 				if cache != nil {
-					if sum, ok := cache.Get(j.file.Data); ok {
-						sums[i] = sum
+					if sum, ok := cache.Get(j.Data); ok {
+						results[i].Summary = sum
 						continue
 					}
 				}
-				bin, err := elfx.Open(j.file.Path, j.file.Data)
+				bin, err := elfx.Open(j.Path, j.Data)
 				if err != nil {
 					// Malformed ELF: skip the file, keep the study going.
 					// Failures are never cached, so a repaired file is
 					// picked up by the next run.
-					errs[i] = err
+					results[i].Err = err
 					continue
 				}
-				analyses[i] = footprint.Analyze(bin, opts)
-				sums[i] = footprint.Summarize(analyses[i])
+				a := footprint.Analyze(bin, opts)
+				results[i].Summary = footprint.Summarize(a)
+				if j.Lib {
+					results[i].Analysis = a
+				}
 				if cache != nil {
 					// Best effort: a failed write only costs a future
 					// re-analysis, and the cache counts it.
-					_ = cache.Put(j.file.Data, sums[i])
+					_ = cache.Put(j.Data, results[i].Summary)
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	return results
+}
+
+// RunWith executes the pipeline with a pluggable per-binary analyzer: a
+// nil analyze runs AnalyzeJobsLocal, a fleet coordinator distributes the
+// same jobs over remote workers. The aggregation consumes only the
+// returned summaries, so every analyzer that returns correct summaries
+// yields an identical study.
+func RunWith(c *corpus.Corpus, opts footprint.Options, cache *anacache.Cache, analyze JobAnalyzer) (*Study, error) {
+	s := &Study{
+		Corpus:       c,
+		Resolver:     footprint.NewResolver(),
+		DB:           store.NewDB(),
+		BinaryDirect: make(map[string]footprint.Set),
+		Opts:         opts,
+		Cache:        cache,
+	}
+	s.Stats.Census.Scripts = make(map[string]int)
+
+	names := c.Repo.Names()
+
+	// Disassembly and extraction dominate the pipeline; binaries are
+	// independent, so they fan out as jobs.
+	var jobs []BinaryJob
+	for _, name := range names {
+		pkg := c.Repo.Get(name)
+		for _, f := range pkg.Files {
+			class, _ := elfx.Classify(f.Data)
+			switch class {
+			case elfx.ClassELFLib:
+				jobs = append(jobs, BinaryJob{Pkg: name, Path: f.Path, Data: f.Data, Lib: true})
+			case elfx.ClassELFExec, elfx.ClassELFStatic:
+				jobs = append(jobs, BinaryJob{Pkg: name, Path: f.Path, Data: f.Data})
+			}
+		}
+	}
+	var results []JobResult
+	if analyze == nil {
+		results = AnalyzeJobsLocal(jobs, opts, cache)
+	} else {
+		results = analyze(jobs, opts)
+		if len(results) != len(jobs) {
+			return nil, fmt.Errorf("core: analyzer returned %d results for %d jobs", len(results), len(jobs))
+		}
+	}
+	for i := range results {
+		if err := results[i].Err; err != nil {
 			s.Stats.SkippedFiles++
+			if len(s.Stats.SkippedSamples) < MaxSkippedSamples {
+				s.Stats.SkippedSamples = append(s.Stats.SkippedSamples, SkippedFile{
+					Pkg: jobs[i].Pkg, Path: jobs[i].Path, Err: err.Error(),
+				})
+			}
 		}
 	}
 
 	// Pass 1: register every shared library with the resolver so imports
-	// resolve regardless of package analysis order. Cached libraries
-	// register their summaries; live ones keep the full analysis too, so
-	// the emulator can execute them without extra work.
+	// resolve regardless of package analysis order. Libraries analyzed in
+	// process keep the full analysis too, so the emulator can execute
+	// them without extra work; cached or remotely analyzed ones register
+	// their summaries and re-disassemble lazily.
 	libSums := make(map[string]*footprint.Summary)
 	execSums := make(map[string]*footprint.Summary)
-	for i, j := range jobs {
-		if sums[i] == nil {
+	for i := range jobs {
+		j := &jobs[i]
+		sum := results[i].Summary
+		if sum == nil {
 			continue // skipped as malformed during analysis
 		}
-		if j.lib {
-			s.Resolver.AddSummary(sums[i])
-			if analyses[i] != nil {
-				s.Resolver.AttachAnalysis(analyses[i])
+		if j.Lib {
+			s.Resolver.AddSummary(sum)
+			if results[i].Analysis != nil {
+				s.Resolver.AttachAnalysis(results[i].Analysis)
 			} else {
-				s.pendingEmu = append(s.pendingEmu, pendingLib{path: j.file.Path, data: j.file.Data})
+				s.pendingEmu = append(s.pendingEmu, pendingLib{path: j.Path, data: j.Data})
 			}
-			libSums[j.pkg+"/"+j.file.Path] = sums[i]
+			libSums[j.Pkg+"/"+j.Path] = sum
 		} else {
-			execSums[j.pkg+"/"+j.file.Path] = sums[i]
+			execSums[j.Pkg+"/"+j.Path] = sum
 		}
 	}
 

@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/footprint"
+)
+
+// AnalyzePath is the worker's shard-analysis endpoint.
+const AnalyzePath = "/v1/shard/analyze"
+
+// ShardFile is one ELF binary shipped to a worker: enough for the worker
+// to run the ordinary per-binary pipeline (and key its analysis cache by
+// content), nothing more.
+type ShardFile struct {
+	Pkg  string `json:"pkg"`
+	Path string `json:"path"`
+	Lib  bool   `json:"lib,omitempty"`
+	Data []byte `json:"data"`
+}
+
+// ShardRequest is the body POSTed to AnalyzePath.
+type ShardRequest struct {
+	// Shard is the coordinator's shard index, echoed back so a response
+	// can never be credited to the wrong shard.
+	Shard int               `json:"shard"`
+	Opts  footprint.Options `json:"opts"`
+	Files []ShardFile       `json:"files"`
+}
+
+// FileResult is the outcome for one ShardFile: exactly one of Summary
+// (analysis succeeded) or Err (the file failed to parse as ELF) is set.
+type FileResult struct {
+	Summary *footprint.Summary `json:"summary,omitempty"`
+	Err     string             `json:"error,omitempty"`
+}
+
+// ShardResponse answers a ShardRequest, one result per requested file,
+// index for index.
+type ShardResponse struct {
+	Shard   int          `json:"shard"`
+	Results []FileResult `json:"results"`
+}
+
+// validate checks a response against its request. Workers are part of
+// the unreliable fleet: a truncated, mis-routed, or corrupt payload must
+// read as a dispatch failure (and be retried elsewhere), never as
+// analysis results.
+func (resp *ShardResponse) validate(req *ShardRequest) error {
+	if resp.Shard != req.Shard {
+		return fmt.Errorf("fleet: response for shard %d, want %d", resp.Shard, req.Shard)
+	}
+	if len(resp.Results) != len(req.Files) {
+		return fmt.Errorf("fleet: shard %d: %d results for %d files",
+			req.Shard, len(resp.Results), len(req.Files))
+	}
+	for i := range resp.Results {
+		r := &resp.Results[i]
+		if (r.Summary == nil) == (r.Err == "") {
+			return fmt.Errorf("fleet: shard %d: file %d: want exactly one of summary or error",
+				req.Shard, i)
+		}
+		if r.Summary != nil && r.Summary.Path != req.Files[i].Path {
+			return fmt.Errorf("fleet: shard %d: file %d: summary for %q, want %q",
+				req.Shard, i, r.Summary.Path, req.Files[i].Path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Package fleet distributes the per-binary analysis phase of the study
+// over a set of HTTP shard workers. The paper's measurement was a
+// three-day single-site batch job over 30,976 packages (§7); this
+// package gives the reproduction the fleet shape that workload actually
+// wants: a coordinator partitions the corpus into deterministic,
+// size-balanced shards at package granularity, dispatches each shard to
+// a worker wrapping the ordinary analysis pipeline plus its analysis
+// cache, and merges the returned footprint summaries into a study that
+// is byte-for-byte identical to a single-process run.
+//
+// The coordinator is built for an unreliable fleet: per-job timeouts,
+// bounded retries with exponential backoff and jitter, straggler hedging
+// onto idle workers, health tracking with eviction and re-admission, and
+// graceful degradation to local in-process analysis when no worker is
+// reachable. Whatever path a shard takes — first dispatch, retry, hedge
+// winner, or local fallback — exactly one result per binary is merged,
+// so faults can cost time but never correctness.
+package fleet
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Shard is one deterministic partition of a job list: the indices of the
+// jobs it covers (ascending) and their total ELF byte size.
+type Shard struct {
+	Index int
+	Jobs  []int
+	Bytes int64
+}
+
+// Partition splits jobs into at most n size-balanced shards at package
+// granularity: all binaries of one package land in the same shard, so a
+// shard is analyzable with the same per-package locality a single
+// process has. Balancing is longest-processing-time greedy over total
+// ELF bytes per package (the study's cost is dominated by disassembly,
+// which scales with bytes), with all ties broken lexicographically —
+// the same corpus and n always produce the same shards.
+func Partition(jobs []core.BinaryJob, n int) []Shard {
+	if len(jobs) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	type group struct {
+		pkg   string
+		jobs  []int
+		bytes int64
+	}
+	byPkg := make(map[string]*group)
+	var groups []*group
+	for i := range jobs {
+		g := byPkg[jobs[i].Pkg]
+		if g == nil {
+			g = &group{pkg: jobs[i].Pkg}
+			byPkg[jobs[i].Pkg] = g
+			groups = append(groups, g)
+		}
+		g.jobs = append(g.jobs, i)
+		g.bytes += int64(len(jobs[i].Data))
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].bytes != groups[j].bytes {
+			return groups[i].bytes > groups[j].bytes
+		}
+		return groups[i].pkg < groups[j].pkg
+	})
+	if n > len(groups) {
+		n = len(groups)
+	}
+	shards := make([]Shard, n)
+	for i := range shards {
+		shards[i].Index = i
+	}
+	for _, g := range groups {
+		best := 0
+		for i := 1; i < n; i++ {
+			if shards[i].Bytes < shards[best].Bytes {
+				best = i
+			}
+		}
+		shards[best].Jobs = append(shards[best].Jobs, g.jobs...)
+		shards[best].Bytes += g.bytes
+	}
+	for i := range shards {
+		sort.Ints(shards[i].Jobs)
+	}
+	return shards
+}
+
+// skew summarizes a partition's balance: the largest and smallest shard
+// sizes in bytes, exported through Stats for the fleet metrics.
+func skew(shards []Shard) (maxBytes, minBytes int64) {
+	for i, sh := range shards {
+		if i == 0 || sh.Bytes > maxBytes {
+			maxBytes = sh.Bytes
+		}
+		if i == 0 || sh.Bytes < minBytes {
+			minBytes = sh.Bytes
+		}
+	}
+	return maxBytes, minBytes
+}

@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fakeJobs builds a job list with a deliberately skewed size
+// distribution: a few heavy packages and a tail of light ones, several
+// binaries each.
+func fakeJobs() []core.BinaryJob {
+	var jobs []core.BinaryJob
+	for p := 0; p < 24; p++ {
+		pkg := fmt.Sprintf("pkg%02d", p)
+		size := 100 + 4000*(p%5)
+		for f := 0; f < 1+p%3; f++ {
+			jobs = append(jobs, core.BinaryJob{
+				Pkg:  pkg,
+				Path: fmt.Sprintf("/usr/bin/%s-%d", pkg, f),
+				Data: make([]byte, size),
+			})
+		}
+	}
+	return jobs
+}
+
+func TestPartitionCoversEveryJobOnce(t *testing.T) {
+	jobs := fakeJobs()
+	for _, n := range []int{1, 2, 3, 7, 100} {
+		shards := Partition(jobs, n)
+		seen := make(map[int]int)
+		for _, sh := range shards {
+			var bytes int64
+			for _, ji := range sh.Jobs {
+				seen[ji]++
+				bytes += int64(len(jobs[ji].Data))
+			}
+			if bytes != sh.Bytes {
+				t.Errorf("n=%d shard %d: Bytes=%d, jobs sum to %d", n, sh.Index, sh.Bytes, bytes)
+			}
+		}
+		for i := range jobs {
+			if seen[i] != 1 {
+				t.Fatalf("n=%d: job %d assigned %d times", n, i, seen[i])
+			}
+		}
+	}
+}
+
+func TestPartitionPackageGranular(t *testing.T) {
+	jobs := fakeJobs()
+	shards := Partition(jobs, 5)
+	owner := make(map[string]int)
+	for _, sh := range shards {
+		for _, ji := range sh.Jobs {
+			pkg := jobs[ji].Pkg
+			if prev, ok := owner[pkg]; ok && prev != sh.Index {
+				t.Fatalf("package %s split across shards %d and %d", pkg, prev, sh.Index)
+			}
+			owner[pkg] = sh.Index
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	jobs := fakeJobs()
+	a := Partition(jobs, 6)
+	b := Partition(jobs, 6)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two partitions of the same jobs differ")
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	jobs := fakeJobs()
+	var total, largestGroup int64
+	perPkg := make(map[string]int64)
+	for _, j := range jobs {
+		perPkg[j.Pkg] += int64(len(j.Data))
+		total += int64(len(j.Data))
+	}
+	for _, b := range perPkg {
+		if b > largestGroup {
+			largestGroup = b
+		}
+	}
+	shards := Partition(jobs, 4)
+	maxB, minB := skew(shards)
+	// LPT's bound: no shard exceeds the ideal share by more than one
+	// group, and with groups smaller than the ideal share no shard is
+	// empty-ish either.
+	if ideal := total / 4; maxB > ideal+largestGroup {
+		t.Errorf("max shard %d bytes exceeds ideal %d + largest group %d", maxB, ideal, largestGroup)
+	}
+	if minB == 0 {
+		t.Error("balanced partition produced an empty shard")
+	}
+}
+
+func TestPartitionClampsToGroupCount(t *testing.T) {
+	jobs := []core.BinaryJob{
+		{Pkg: "a", Path: "/a", Data: make([]byte, 10)},
+		{Pkg: "b", Path: "/b", Data: make([]byte, 20)},
+	}
+	shards := Partition(jobs, 8)
+	if len(shards) != 2 {
+		t.Fatalf("got %d shards for 2 packages, want 2", len(shards))
+	}
+	if Partition(nil, 4) != nil {
+		t.Fatal("partition of no jobs should be nil")
+	}
+}

@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/anacache"
+	"repro/internal/core"
+	"repro/internal/footprint"
+)
+
+// WorkerConfig tunes one shard worker.
+type WorkerConfig struct {
+	// Opts are the analysis options the worker's cache (if any) is keyed
+	// under; requests carrying different options are analyzed correctly
+	// but bypass the cache, since its records would not apply.
+	Opts footprint.Options
+	// Cache, when non-nil, is the worker's persistent analysis cache:
+	// re-dispatched and re-run shards reuse per-binary records exactly
+	// like a local incremental run.
+	Cache *anacache.Cache
+	// MaxBodyBytes caps request bodies (default 1 GiB — a shard carries
+	// raw ELF images).
+	MaxBodyBytes int64
+	// Logger receives one line per shard; nil disables logging.
+	Logger *log.Logger
+}
+
+// Worker is the HTTP shard-analysis endpoint: it wraps the ordinary
+// in-process analysis pipeline (core.AnalyzeJobsLocal, all cores) plus
+// the analysis cache behind AnalyzePath, with /healthz for the
+// coordinator's health tracking and /metrics for scraping.
+type Worker struct {
+	cfg   WorkerConfig
+	mux   *http.ServeMux
+	start time.Time
+
+	shards     atomic.Uint64
+	files      atomic.Uint64
+	fileErrors atomic.Uint64
+	badShards  atomic.Uint64
+}
+
+// NewWorker wires the worker endpoints onto a fresh mux.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 30
+	}
+	w := &Worker{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	w.mux.HandleFunc("POST "+AnalyzePath, w.handleAnalyze)
+	w.mux.HandleFunc("GET /healthz", w.handleHealthz)
+	w.mux.HandleFunc("GET /metrics", w.handleMetrics)
+	return w
+}
+
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) { w.mux.ServeHTTP(rw, r) }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logger != nil {
+		w.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (w *Worker) handleAnalyze(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req ShardRequest
+	body := http.MaxBytesReader(rw, r.Body, w.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		w.badShards.Add(1)
+		var tooBig *http.MaxBytesError
+		code := http.StatusBadRequest
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		http.Error(rw, fmt.Sprintf("decoding shard request: %v", err), code)
+		return
+	}
+
+	jobs := make([]core.BinaryJob, len(req.Files))
+	for i, f := range req.Files {
+		jobs[i] = core.BinaryJob{Pkg: f.Pkg, Path: f.Path, Data: f.Data, Lib: f.Lib}
+	}
+	// The cache is keyed by the options it was opened under; a request
+	// analyzed under different options must not read or write it.
+	cache := w.cfg.Cache
+	if req.Opts != w.cfg.Opts {
+		cache = nil
+	}
+	results := core.AnalyzeJobsLocal(jobs, req.Opts, cache)
+
+	resp := ShardResponse{Shard: req.Shard, Results: make([]FileResult, len(results))}
+	var fileErrs uint64
+	for i := range results {
+		if err := results[i].Err; err != nil {
+			resp.Results[i].Err = err.Error()
+			fileErrs++
+			continue
+		}
+		resp.Results[i].Summary = results[i].Summary
+	}
+	w.shards.Add(1)
+	w.files.Add(uint64(len(jobs)))
+	w.fileErrors.Add(fileErrs)
+
+	rw.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(rw).Encode(&resp); err != nil {
+		w.logf("shard %d: writing response: %v", req.Shard, err)
+		return
+	}
+	w.logf("shard %d: %d files (%d skipped) in %s",
+		req.Shard, len(jobs), fileErrs, time.Since(start).Round(time.Millisecond))
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(map[string]any{
+		"status":         "ok",
+		"shards":         w.shards.Load(),
+		"files":          w.files.Load(),
+		"uptime_seconds": int64(time.Since(w.start).Seconds()),
+	})
+}
+
+func (w *Worker) handleMetrics(rw http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP apiworker_shards_total Shard-analysis requests served.\n")
+	fmt.Fprintf(&b, "# TYPE apiworker_shards_total counter\n")
+	fmt.Fprintf(&b, "apiworker_shards_total %d\n", w.shards.Load())
+	fmt.Fprintf(&b, "apiworker_files_total %d\n", w.files.Load())
+	fmt.Fprintf(&b, "apiworker_file_errors_total %d\n", w.fileErrors.Load())
+	fmt.Fprintf(&b, "apiworker_bad_requests_total %d\n", w.badShards.Load())
+	if w.cfg.Cache != nil {
+		cs := w.cfg.Cache.Stats()
+		fmt.Fprintf(&b, "apiworker_anacache_hits_total %d\n", cs.Hits)
+		fmt.Fprintf(&b, "apiworker_anacache_misses_total %d\n", cs.Misses)
+		fmt.Fprintf(&b, "apiworker_anacache_invalidations_total %d\n", cs.Invalidations)
+		fmt.Fprintf(&b, "apiworker_anacache_writes_total %d\n", cs.Writes)
+	}
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(rw, b.String())
+}

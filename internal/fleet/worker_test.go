@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/anacache"
+	"repro/internal/core"
+	"repro/internal/elfx"
+	"repro/internal/footprint"
+)
+
+// workerJobs pulls a handful of real ELF jobs out of a generated corpus.
+func workerJobs(t *testing.T, n int) []core.BinaryJob {
+	t.Helper()
+	c := fleetTestCorpus(t)
+	var jobs []core.BinaryJob
+	for _, name := range c.Repo.Names() {
+		pkg := c.Repo.Get(name)
+		for _, f := range pkg.Files {
+			class, _ := elfx.Classify(f.Data)
+			switch class {
+			case elfx.ClassELFExec, elfx.ClassELFStatic:
+				jobs = append(jobs, core.BinaryJob{Pkg: name, Path: f.Path, Data: f.Data})
+			case elfx.ClassELFLib:
+				jobs = append(jobs, core.BinaryJob{Pkg: name, Path: f.Path, Data: f.Data, Lib: true})
+			default:
+				continue
+			}
+			if len(jobs) == n {
+				return jobs
+			}
+		}
+	}
+	return jobs
+}
+
+func postShard(t *testing.T, url string, req *ShardRequest) (*http.Response, *ShardResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+AnalyzePath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	var sr ShardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return resp, &sr
+}
+
+// TestWorkerRoundtrip proves the wire format carries analysis results
+// losslessly: summaries returned over HTTP equal the ones computed
+// directly in-process.
+func TestWorkerRoundtrip(t *testing.T) {
+	jobs := workerJobs(t, 8)
+	if len(jobs) == 0 {
+		t.Fatal("no ELF jobs in test corpus")
+	}
+	srv := startWorker(t)
+
+	req := &ShardRequest{Shard: 3, Files: make([]ShardFile, len(jobs))}
+	for i, j := range jobs {
+		req.Files[i] = ShardFile{Pkg: j.Pkg, Path: j.Path, Lib: j.Lib, Data: j.Data}
+	}
+	resp, sr := postShard(t, srv.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := sr.validate(req); err != nil {
+		t.Fatal(err)
+	}
+
+	want := core.AnalyzeJobsLocal(jobs, footprint.Options{}, nil)
+	for i := range want {
+		got, err := json.Marshal(sr.Results[i].Summary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := json.Marshal(want[i].Summary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, exp) {
+			t.Errorf("file %d (%s): remote summary differs from local", i, jobs[i].Path)
+		}
+	}
+}
+
+// TestWorkerUsesCache re-sends the same shard and expects the second pass
+// to be answered from the worker's analysis cache — but only when the
+// request options match the cache's.
+func TestWorkerUsesCache(t *testing.T) {
+	jobs := workerJobs(t, 4)
+	cache, err := anacache.Open(t.TempDir(), footprint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewWorker(WorkerConfig{Cache: cache}))
+	t.Cleanup(srv.Close)
+
+	req := &ShardRequest{Files: make([]ShardFile, len(jobs))}
+	for i, j := range jobs {
+		req.Files[i] = ShardFile{Pkg: j.Pkg, Path: j.Path, Lib: j.Lib, Data: j.Data}
+	}
+	postShard(t, srv.URL, req)
+	cold := cache.Stats()
+	if cold.Writes == 0 {
+		t.Fatalf("cold shard wrote no cache records: %+v", cold)
+	}
+	postShard(t, srv.URL, req)
+	warm := cache.Stats()
+	if warm.Hits == 0 || warm.Misses != cold.Misses {
+		t.Errorf("warm shard not served from cache: cold %+v warm %+v", cold, warm)
+	}
+
+	// Different analysis options must bypass the cache entirely.
+	mismatched := *req
+	mismatched.Opts = footprint.Options{NoStrings: true}
+	postShard(t, srv.URL, &mismatched)
+	after := cache.Stats()
+	if after.Hits != warm.Hits || after.Misses != warm.Misses {
+		t.Errorf("mismatched options touched the cache: %+v -> %+v", warm, after)
+	}
+}
+
+func TestWorkerHealthzAndMetrics(t *testing.T) {
+	srv := startWorker(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "apiworker_shards_total") {
+		t.Errorf("metrics missing apiworker_shards_total:\n%s", buf.String())
+	}
+}
+
+func TestWorkerRejectsBadBody(t *testing.T) {
+	srv := startWorker(t)
+	resp, err := http.Post(srv.URL+AnalyzePath, "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}

@@ -399,6 +399,43 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# TYPE apiserved_anacache_hit_ratio gauge\n")
 	fmt.Fprintf(&b, "apiserved_anacache_hit_ratio %g\n", st.Anacache.HitRatio())
 
+	fmt.Fprintf(&b, "# HELP apiserved_snapshot_skipped_files Malformed ELF files skipped while building the snapshot.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_snapshot_skipped_files gauge\n")
+	fmt.Fprintf(&b, "apiserved_snapshot_skipped_files %d\n", st.Meta.SkippedFiles)
+
+	fmt.Fprintf(&b, "# HELP apiserved_fleet_enabled Whether a distributed-analysis fleet is configured.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_fleet_enabled gauge\n")
+	fmt.Fprintf(&b, "apiserved_fleet_enabled %d\n", boolToInt(st.FleetOn))
+	if fs := st.Fleet; fs != nil {
+		fmt.Fprintf(&b, "apiserved_fleet_workers %d\n", len(fs.Workers))
+		fmt.Fprintf(&b, "apiserved_fleet_workers_healthy %d\n", fs.WorkersHealthy)
+		fmt.Fprintf(&b, "# HELP apiserved_fleet_shards_total Shards partitioned across all fleet runs.\n")
+		fmt.Fprintf(&b, "# TYPE apiserved_fleet_shards_total counter\n")
+		fmt.Fprintf(&b, "apiserved_fleet_shards_total %d\n", fs.ShardsTotal)
+		fmt.Fprintf(&b, "# HELP apiserved_fleet_jobs_dispatched_total Shard dispatches sent to workers.\n")
+		fmt.Fprintf(&b, "# TYPE apiserved_fleet_jobs_dispatched_total counter\n")
+		fmt.Fprintf(&b, "apiserved_fleet_jobs_dispatched_total %d\n", fs.Dispatched)
+		fmt.Fprintf(&b, "apiserved_fleet_jobs_retried_total %d\n", fs.Retries)
+		fmt.Fprintf(&b, "apiserved_fleet_jobs_hedged_total %d\n", fs.Hedges)
+		fmt.Fprintf(&b, "apiserved_fleet_jobs_failed_total %d\n", fs.Failures)
+		fmt.Fprintf(&b, "apiserved_fleet_corrupt_responses_total %d\n", fs.CorruptResponses)
+		fmt.Fprintf(&b, "apiserved_fleet_local_fallback_shards_total %d\n", fs.LocalFallbackShards)
+		fmt.Fprintf(&b, "apiserved_fleet_worker_evictions_total %d\n", fs.Evictions)
+		fmt.Fprintf(&b, "apiserved_fleet_worker_readmissions_total %d\n", fs.Readmissions)
+		fmt.Fprintf(&b, "# HELP apiserved_fleet_shard_bytes Shard size skew of the most recent partition.\n")
+		fmt.Fprintf(&b, "# TYPE apiserved_fleet_shard_bytes gauge\n")
+		fmt.Fprintf(&b, "apiserved_fleet_shard_bytes{bound=\"max\"} %d\n", fs.ShardBytesMax)
+		fmt.Fprintf(&b, "apiserved_fleet_shard_bytes{bound=\"min\"} %d\n", fs.ShardBytesMin)
+		fmt.Fprintf(&b, "# HELP apiserved_fleet_worker_dispatched_total Shard dispatches per worker.\n")
+		fmt.Fprintf(&b, "# TYPE apiserved_fleet_worker_dispatched_total counter\n")
+		for _, ws := range fs.Workers {
+			fmt.Fprintf(&b, "apiserved_fleet_worker_dispatched_total{worker=%q} %d\n", ws.URL, ws.Dispatched)
+			fmt.Fprintf(&b, "apiserved_fleet_worker_failures_total{worker=%q} %d\n", ws.URL, ws.Failures)
+			fmt.Fprintf(&b, "apiserved_fleet_worker_avg_latency_ms{worker=%q} %g\n", ws.URL, ws.AvgLatencyMs)
+			fmt.Fprintf(&b, "apiserved_fleet_worker_evicted{worker=%q} %d\n", ws.URL, boolToInt(ws.Evicted))
+		}
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	io.WriteString(w, b.String())
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/fleet"
 	"repro/internal/service"
 )
 
@@ -306,6 +307,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"apiserved_cache_hit_ratio",
 		"apiserved_snapshot_generation",
 		"apiserved_analyses_total",
+		"apiserved_snapshot_skipped_files",
+		"apiserved_fleet_enabled 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
@@ -321,6 +324,44 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if hits < 1 {
 		t.Errorf("cache hits = %v, want >= 1\nmetrics:\n%s", hits, text)
+	}
+}
+
+// TestMetricsWithFleet serves /metrics from a fleet-configured service
+// and checks the coordinator gauges appear, including per-worker series.
+func TestMetricsWithFleet(t *testing.T) {
+	study, err := repro.NewStudy(repro.Config{Packages: 40, Installations: 100000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker := httptest.NewServer(fleet.NewWorker(fleet.WorkerConfig{}))
+	defer worker.Close()
+	coord := fleet.New(fleet.Config{Workers: []string{worker.URL}})
+	svc := service.New(study, "test", service.Config{Fleet: coord})
+	ts := httptest.NewServer(New(svc, Options{MaxUploadBytes: 1 << 20, RequestTimeout: time.Minute}))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"apiserved_fleet_enabled 1",
+		"apiserved_fleet_workers 1",
+		"apiserved_fleet_workers_healthy 1",
+		"apiserved_fleet_jobs_dispatched_total",
+		"apiserved_fleet_local_fallback_shards_total",
+		fmt.Sprintf("apiserved_fleet_worker_dispatched_total{worker=%q}", worker.URL),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fleet metrics missing %q", want)
+		}
 	}
 }
 

@@ -74,7 +74,12 @@ func (r *Report) Figure1() string {
 	for k := range c.Scripts {
 		interps = append(interps, k)
 	}
-	sort.Slice(interps, func(i, j int) bool { return c.Scripts[interps[i]] > c.Scripts[interps[j]] })
+	sort.Slice(interps, func(i, j int) bool {
+		if c.Scripts[interps[i]] != c.Scripts[interps[j]] {
+			return c.Scripts[interps[i]] > c.Scripts[interps[j]]
+		}
+		return interps[i] < interps[j] // ties come out of a map: order them
+	})
 	for _, k := range interps {
 		row("script: "+k, c.Scripts[k])
 	}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/fleet"
 	"repro/internal/linuxapi"
 	"repro/internal/metrics"
 )
@@ -53,6 +54,10 @@ type Config struct {
 	// stored per-binary records, so a background reload recomputes only
 	// the aggregation over changed files.
 	Cache *repro.AnalysisCache
+	// Fleet, when non-nil, distributes the per-binary analysis phase of
+	// every reload across its workers; the service degrades to local
+	// analysis whenever the fleet does.
+	Fleet *fleet.Coordinator
 }
 
 // DefaultConfig returns serving defaults suitable for one resident study.
@@ -131,7 +136,11 @@ func (s *Service) Snapshot() *Snapshot { return s.snap.Load() }
 // atomically swaps the new study in. In-flight requests finish on the
 // old snapshot. Returns the new generation.
 func (s *Service) Reload(dir string) (uint64, error) {
-	study, err := repro.LoadStudyCached(dir, s.cfg.Cache)
+	var analyze repro.JobAnalyzer
+	if s.cfg.Fleet != nil {
+		analyze = s.cfg.Fleet.AnalyzeJobs
+	}
+	study, err := repro.LoadStudyDistributed(dir, s.cfg.Cache, analyze)
 	if err != nil {
 		s.reloadsFailed.Add(1)
 		return 0, err
@@ -163,6 +172,10 @@ type Stats struct {
 	ReloadsFailed uint64
 	Anacache      repro.CacheStats
 	AnacacheOn    bool
+	// Fleet holds the distributed-analysis coordinator counters when the
+	// service runs with a worker fleet (FleetOn); nil otherwise.
+	Fleet   *fleet.Stats
+	FleetOn bool
 }
 
 // HitRatio returns cache hits over lookups (0 when idle).
@@ -182,6 +195,11 @@ func (s *Service) Stats() Stats {
 	if s.cfg.Cache != nil {
 		anacacheStats = s.cfg.Cache.Stats()
 	}
+	var fleetStats *fleet.Stats
+	if s.cfg.Fleet != nil {
+		fs := s.cfg.Fleet.Stats()
+		fleetStats = &fs
+	}
 	return Stats{
 		Generation:       snap.Generation,
 		Source:           snap.Source,
@@ -198,6 +216,8 @@ func (s *Service) Stats() Stats {
 		ReloadsFailed:    s.reloadsFailed.Load(),
 		Anacache:         anacacheStats,
 		AnacacheOn:       s.cfg.Cache != nil,
+		Fleet:            fleetStats,
+		FleetOn:          s.cfg.Fleet != nil,
 	}
 }
 

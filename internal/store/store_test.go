@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"reflect"
 
 	"sync"
 	"testing"
@@ -181,5 +182,96 @@ func TestConcurrentInsertAndLookup(t *testing.T) {
 		if len(rows) != 100 {
 			t.Fatalf("g%d has %d rows, want 100", g, len(rows))
 		}
+	}
+}
+
+// TestClosureCycles exercises the recursive operator on graphs with
+// cycles: termination is not a given for a naive implementation, and the
+// paper's binary→library→binary dependency data is full of them.
+func TestClosureCycles(t *testing.T) {
+	edges := map[string][]string{
+		"a": {"b"},
+		"b": {"c"},
+		"c": {"a"}, // 3-cycle
+		"d": {"d"}, // self-loop
+		"e": {"f", "e"},
+		"f": {"a", "f"},
+	}
+	lookup := func(n string) []string { return edges[n] }
+
+	got := Closure([]string{"a"}, lookup)
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("closure(a) over 3-cycle = %v, want %v", got, want)
+	}
+
+	got = Closure([]string{"d"}, lookup)
+	if want := []string{"d"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("closure(d) over self-loop = %v, want %v", got, want)
+	}
+
+	got = Closure([]string{"e"}, lookup)
+	want = []string{"a", "b", "c", "e", "f"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("closure(e) = %v, want %v", got, want)
+	}
+
+	// Duplicate seeds, including nodes inside a cycle, collapse to one
+	// appearance each.
+	got = Closure([]string{"a", "a", "c"}, lookup)
+	want = []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("closure(a,a,c) = %v, want %v", got, want)
+	}
+}
+
+// TestIndexAfterInsertBatch pins down the determinism contract of bulk
+// loads: Keys is sorted, and Lookup preserves insertion order — batch and
+// row-at-a-time loads of the same rows are indistinguishable.
+func TestIndexAfterInsertBatch(t *testing.T) {
+	rows := []edge{
+		{From: "libc", To: "read"},
+		{From: "zlib", To: "inflate"},
+		{From: "libc", To: "write"},
+		{From: "apt", To: "open"},
+		{From: "libc", To: "mmap"},
+		{From: "zlib", To: "deflate"},
+	}
+
+	batch := NewTable[edge](nil, "batch")
+	bIdx := NewIndex(batch, func(e edge) string { return e.From })
+	batch.InsertBatch(rows[:3])
+	batch.InsertBatch(rows[3:])
+
+	single := NewTable[edge](nil, "single")
+	sIdx := NewIndex(single, func(e edge) string { return e.From })
+	for _, r := range rows {
+		single.Insert(r)
+	}
+
+	wantKeys := []string{"apt", "libc", "zlib"}
+	for range 3 {
+		if got := bIdx.Keys(); !reflect.DeepEqual(got, wantKeys) {
+			t.Fatalf("batch Keys = %v, want %v", got, wantKeys)
+		}
+	}
+	if !reflect.DeepEqual(bIdx.Keys(), sIdx.Keys()) {
+		t.Fatal("batch and single-row loads disagree on Keys")
+	}
+	for _, k := range wantKeys {
+		b, s := bIdx.Lookup(k), sIdx.Lookup(k)
+		if !reflect.DeepEqual(b, s) {
+			t.Errorf("Lookup(%q): batch %v != single %v", k, b, s)
+		}
+	}
+	if got := bIdx.Lookup("libc"); !reflect.DeepEqual(got, []edge{
+		{From: "libc", To: "read"},
+		{From: "libc", To: "write"},
+		{From: "libc", To: "mmap"},
+	}) {
+		t.Errorf("Lookup(libc) lost insertion order: %v", got)
+	}
+	if got := bIdx.Lookup("absent"); len(got) != 0 {
+		t.Errorf("Lookup(absent) = %v, want empty", got)
 	}
 }

@@ -5,8 +5,13 @@ import (
 	"encoding/hex"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/linuxapi"
 )
+
+// SkippedFile is one sampled (path, error) pair from the malformed ELF
+// files the pipeline skipped (at most core.MaxSkippedSamples are kept).
+type SkippedFile = core.SkippedFile
 
 // Meta summarizes an analyzed study for serving layers: what the snapshot
 // contains, how the analysis went, and a fingerprint that changes whenever
@@ -26,8 +31,11 @@ type Meta struct {
 	// TotalSites and UnresolvedSites census the syscall instruction sites.
 	TotalSites      int
 	UnresolvedSites int
-	// SkippedFiles counts malformed ELF files the pipeline skipped.
-	SkippedFiles int
+	// SkippedFiles counts malformed ELF files the pipeline skipped;
+	// SkippedSamples holds up to core.MaxSkippedSamples of them with the
+	// error each one failed with.
+	SkippedFiles   int
+	SkippedSamples []SkippedFile
 	// Fingerprint identifies the corpus (see Study.Fingerprint).
 	Fingerprint string
 }
@@ -50,6 +58,7 @@ func (s *Study) Meta() Meta {
 		TotalSites:         s.core.Stats.TotalSites,
 		UnresolvedSites:    s.core.Stats.UnresolvedSites,
 		SkippedFiles:       s.core.Stats.SkippedFiles,
+		SkippedSamples:     append([]SkippedFile(nil), s.core.Stats.SkippedSamples...),
 		Fingerprint:        s.Fingerprint(),
 	}
 }

@@ -1,11 +1,13 @@
 #!/bin/sh
 # Pipeline benchmark + regression gate: runs the cold/warm/incremental
-# study-load benchmark, writes BENCH_pipeline.json (the committed
-# artifact documenting what the analysis cache buys), and fails when the
-# warm-over-cold speedup drops below the floor benchgate enforces (2x by
-# default). Run from the repository root; used by the `bench` job in
-# .github/workflows/ci.yml and fine to run locally.
+# study-load benchmark plus the fleet-vs-local coordination benchmark,
+# writes BENCH_pipeline.json (the committed artifact documenting what the
+# analysis cache buys and what fleet coordination costs), and fails when
+# the warm-over-cold speedup drops below the floor benchgate enforces (2x
+# by default; the fleet rows are informational). Run from the repository
+# root; used by the `bench` job in .github/workflows/ci.yml and fine to
+# run locally.
 set -eu
 
-go test -run '^$' -bench 'BenchmarkStudyColdVsWarm$' -benchtime=1x -count=3 . |
+go test -run '^$' -bench 'BenchmarkStudyColdVsWarm$|BenchmarkStudyFleetVsLocal$' -benchtime=1x -count=3 . |
     go run ./cmd/benchgate -out BENCH_pipeline.json "$@"

@@ -1,0 +1,72 @@
+#!/bin/sh
+# End-to-end fleet smoke test: builds the real binaries, generates an
+# on-disk corpus, starts two apiworker processes on loopback ports, runs
+# the same study once in-process and once through the fleet, and requires
+# byte-identical output with zero local-fallback shards. This is the
+# distributed path's integration gate — everything above internal/fleet's
+# unit tests: flag plumbing, real HTTP listeners, process lifecycle.
+# Run from the repository root; used by scripts/ci.sh and fine to run
+# locally.
+set -eu
+
+tmp=$(mktemp -d)
+w1_pid="" w2_pid=""
+cleanup() {
+    [ -n "$w1_pid" ] && kill "$w1_pid" 2>/dev/null || true
+    [ -n "$w2_pid" ] && kill "$w2_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "== fleet smoke: build"
+go build -o "$tmp/apiworker" ./cmd/apiworker
+go build -o "$tmp/apistudy" ./cmd/apistudy
+go build -o "$tmp/corpusgen" ./cmd/corpusgen
+
+echo "== fleet smoke: corpus"
+"$tmp/corpusgen" -out "$tmp/corpus" -packages 60 -seed 17 -installations 100000
+
+w1=http://127.0.0.1:18841
+w2=http://127.0.0.1:18842
+echo "== fleet smoke: workers ($w1, $w2)"
+"$tmp/apiworker" -addr 127.0.0.1:18841 -quiet >"$tmp/w1.log" 2>&1 &
+w1_pid=$!
+"$tmp/apiworker" -addr 127.0.0.1:18842 -quiet >"$tmp/w2.log" 2>&1 &
+w2_pid=$!
+
+for url in $w1 $w2; do
+    i=0
+    until "$tmp/apiworker" -check "$url" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "fleet smoke: worker $url never became healthy" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+done
+
+echo "== fleet smoke: local run"
+"$tmp/apistudy" -corpus "$tmp/corpus" >"$tmp/local.txt"
+
+echo "== fleet smoke: fleet run"
+"$tmp/apistudy" -corpus "$tmp/corpus" -workers "$w1,$w2" -v \
+    >"$tmp/fleet.txt" 2>"$tmp/fleet.log"
+
+if ! cmp -s "$tmp/local.txt" "$tmp/fleet.txt"; then
+    echo "fleet smoke: fleet output differs from local output" >&2
+    diff "$tmp/local.txt" "$tmp/fleet.txt" | head -20 >&2 || true
+    exit 1
+fi
+if ! grep -q 'local_fallback=0' "$tmp/fleet.log"; then
+    echo "fleet smoke: shards fell back to local analysis:" >&2
+    cat "$tmp/fleet.log" >&2
+    exit 1
+fi
+if ! grep -q 'dispatched=' "$tmp/fleet.log"; then
+    echo "fleet smoke: no fleet stats logged:" >&2
+    cat "$tmp/fleet.log" >&2
+    exit 1
+fi
+
+echo "fleet smoke OK: outputs byte-identical, all shards served remotely"
