@@ -26,6 +26,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* for -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -42,22 +43,35 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("apiserved: ")
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		corpus   = flag.String("corpus", "", "analyze an on-disk corpus directory instead of generating one")
-		packages = flag.Int("packages", 3000, "generated corpus size (ignored with -corpus)")
-		seed     = flag.Int64("seed", 1504, "generated corpus seed (ignored with -corpus)")
-		cache    = flag.Int("cache", 512, "derived-query cache entries")
-		analyses = flag.Int("max-analyses", 4, "max concurrent /v1/analyze requests")
-		bodyMax  = flag.Int64("max-upload", 32<<20, "max /v1/analyze body bytes")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
-		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain period")
-		watch    = flag.Duration("watch", 0, "poll interval for -corpus changes (0 disables reload)")
-		cacheDir = flag.String("cache-dir", "", "persistent analysis cache directory (warm starts and incremental reloads)")
-		workers  = flag.String("workers", "", "comma-separated apiworker URLs; analysis (startup and reloads) is distributed across them")
-		shards   = flag.Int("shards", 0, "shard count for -workers (0: 4 per worker)")
-		quiet    = flag.Bool("quiet", false, "disable request logging")
+		addr      = flag.String("addr", ":8080", "listen address")
+		corpus    = flag.String("corpus", "", "analyze an on-disk corpus directory instead of generating one")
+		packages  = flag.Int("packages", 3000, "generated corpus size (ignored with -corpus)")
+		seed      = flag.Int64("seed", 1504, "generated corpus seed (ignored with -corpus)")
+		cache     = flag.Int("cache", 512, "derived-query cache entries")
+		analyses  = flag.Int("max-analyses", 4, "max concurrent /v1/analyze requests")
+		bodyMax   = flag.Int64("max-upload", 32<<20, "max /v1/analyze body bytes")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain period")
+		watch     = flag.Duration("watch", 0, "poll interval for -corpus changes (0 disables reload)")
+		cacheDir  = flag.String("cache-dir", "", "persistent analysis cache directory (warm starts and incremental reloads)")
+		workers   = flag.String("workers", "", "comma-separated apiworker URLs; analysis (startup and reloads) is distributed across them")
+		shards    = flag.Int("shards", 0, "shard count for -workers (0: 4 per worker)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
+		quiet     = flag.Bool("quiet", false, "disable request logging")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The profiler gets its own listener so it is never exposed on
+		// the service address; pprof.init registers its handlers on
+		// http.DefaultServeMux.
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	var anaCache *repro.AnalysisCache
 	if *cacheDir != "" {

@@ -40,6 +40,14 @@ type artifact struct {
 	WarmSpeedup        float64 `json:"warm_speedup"`
 	IncrementalSpeedup float64 `json:"incremental_speedup"`
 	MinWarmSpeedup     float64 `json:"min_warm_speedup"`
+	// Aggregate rows (BenchmarkAggregateMetrics) gate the bitset
+	// aggregation/metrics path against its map-based reference: the
+	// dense representation exists to make the post-analysis stage fast,
+	// and a change that erodes the ratio below the floor fails CI.
+	AggregateMap        sample  `json:"aggregate_map"`
+	AggregateBitset     sample  `json:"aggregate_bitset"`
+	AggregateSpeedup    float64 `json:"aggregate_speedup"`
+	MinAggregateSpeedup float64 `json:"min_aggregate_speedup"`
 	// Fleet rows (BenchmarkStudyFleetVsLocal) document the coordinator's
 	// loopback overhead; informational, not gated — on one machine the
 	// fleet can only ever cost, never win.
@@ -49,9 +57,12 @@ type artifact struct {
 	Pass          bool    `json:"pass"`
 }
 
-// fleetBench is the second benchmark bench.sh feeds in; its sub-results
-// are recorded in the artifact but never fail the gate.
-const fleetBench = "BenchmarkStudyFleetVsLocal"
+// fleetBench's sub-results are recorded in the artifact but never fail
+// the gate; aggBench's map-vs-bitset ratio is gated like the cache.
+const (
+	fleetBench = "BenchmarkStudyFleetVsLocal"
+	aggBench   = "BenchmarkAggregateMetrics"
+)
 
 // benchLine matches one `go test -bench` result row, e.g.
 //
@@ -66,6 +77,8 @@ func main() {
 	bench := flag.String("bench", "BenchmarkStudyColdVsWarm", "benchmark to gate on")
 	minWarm := flag.Float64("min-warm-speedup", 2.0,
 		"fail unless cold/warm >= this ratio")
+	minAgg := flag.Float64("min-aggregate-speedup", 2.0,
+		"fail unless map/bitset aggregation >= this ratio")
 	flag.Parse()
 
 	samples := map[string]*sample{}
@@ -74,7 +87,7 @@ func main() {
 		line := sc.Text()
 		fmt.Println(line) // passthrough so CI logs keep the raw output
 		m := benchLine.FindStringSubmatch(line)
-		if m == nil || (m[1] != *bench && m[1] != fleetBench) {
+		if m == nil || (m[1] != *bench && m[1] != fleetBench && m[1] != aggBench) {
 			continue
 		}
 		ns, err := strconv.ParseFloat(m[3], 64)
@@ -85,6 +98,9 @@ func main() {
 		if m[1] == fleetBench && key == "local" {
 			// Disambiguate from the gated benchmark's sub-names.
 			key = "fleet_local"
+		}
+		if m[1] == aggBench {
+			key = "aggregate_" + key
 		}
 		s := samples[key]
 		if s == nil {
@@ -110,18 +126,28 @@ func main() {
 			count = len(s.NsPerOp)
 		}
 	}
+	for _, name := range []string{"aggregate_map", "aggregate_bitset"} {
+		if s := samples[name]; s == nil || len(s.NsPerOp) == 0 {
+			fatalf("no %s/%s samples in input — did the benchmark run?",
+				aggBench, name[len("aggregate_"):])
+		}
+	}
 
 	a := artifact{
-		Benchmark:      *bench,
-		Count:          count,
-		Cold:           *samples["cold"],
-		Warm:           *samples["warm"],
-		Incremental:    *samples["incremental"],
-		MinWarmSpeedup: *minWarm,
+		Benchmark:           *bench,
+		Count:               count,
+		Cold:                *samples["cold"],
+		Warm:                *samples["warm"],
+		Incremental:         *samples["incremental"],
+		MinWarmSpeedup:      *minWarm,
+		AggregateMap:        *samples["aggregate_map"],
+		AggregateBitset:     *samples["aggregate_bitset"],
+		MinAggregateSpeedup: *minAgg,
 	}
 	a.WarmSpeedup = round2(a.Cold.BestNs / a.Warm.BestNs)
 	a.IncrementalSpeedup = round2(a.Cold.BestNs / a.Incremental.BestNs)
-	a.Pass = a.WarmSpeedup >= *minWarm
+	a.AggregateSpeedup = round2(a.AggregateMap.BestNs / a.AggregateBitset.BestNs)
+	a.Pass = a.WarmSpeedup >= *minWarm && a.AggregateSpeedup >= *minAgg
 
 	if fl, f := samples["fleet_local"], samples["fleet"]; fl != nil && f != nil {
 		a.FleetLocal, a.Fleet = fl, f
@@ -139,13 +165,20 @@ func main() {
 	fmt.Printf("benchgate: cold %.0fms warm %.0fms incremental %.0fms — warm speedup %.2fx (floor %.2fx)\n",
 		a.Cold.BestNs/1e6, a.Warm.BestNs/1e6, a.Incremental.BestNs/1e6,
 		a.WarmSpeedup, *minWarm)
+	fmt.Printf("benchgate: aggregation map %.0fms vs bitset %.0fms — %.2fx speedup (floor %.2fx)\n",
+		a.AggregateMap.BestNs/1e6, a.AggregateBitset.BestNs/1e6,
+		a.AggregateSpeedup, *minAgg)
 	if a.Fleet != nil {
 		fmt.Printf("benchgate: fleet %.0fms vs local %.0fms — %.2fx loopback coordination overhead (not gated)\n",
 			a.Fleet.BestNs/1e6, a.FleetLocal.BestNs/1e6, a.FleetOverhead)
 	}
-	if !a.Pass {
+	if a.WarmSpeedup < *minWarm {
 		fatalf("warm speedup %.2fx below floor %.2fx — the analysis cache regressed",
 			a.WarmSpeedup, *minWarm)
+	}
+	if a.AggregateSpeedup < *minAgg {
+		fatalf("aggregation speedup %.2fx below floor %.2fx — the bitset path regressed",
+			a.AggregateSpeedup, *minAgg)
 	}
 }
 

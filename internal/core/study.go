@@ -8,10 +8,8 @@
 package core
 
 import (
-	"crypto/sha256"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/anacache"
@@ -227,19 +225,28 @@ func RunWith(c *corpus.Corpus, opts footprint.Options, cache *anacache.Cache, an
 	names := c.Repo.Names()
 
 	// Disassembly and extraction dominate the pipeline; binaries are
-	// independent, so they fan out as jobs.
+	// independent, so they fan out as jobs. Classification happens
+	// exactly once, here: each file's record carries its class (and
+	// interpreter, for scripts) into the aggregation passes.
 	var jobs []BinaryJob
+	recsByPkg := make(map[string][]fileRecord, len(names))
 	for _, name := range names {
 		pkg := c.Repo.Get(name)
+		recs := make([]fileRecord, 0, len(pkg.Files))
 		for _, f := range pkg.Files {
-			class, _ := elfx.Classify(f.Data)
+			class, interp := elfx.Classify(f.Data)
+			rec := fileRecord{path: f.Path, class: class, interp: interp, job: -1}
 			switch class {
 			case elfx.ClassELFLib:
+				rec.job = len(jobs)
 				jobs = append(jobs, BinaryJob{Pkg: name, Path: f.Path, Data: f.Data, Lib: true})
 			case elfx.ClassELFExec, elfx.ClassELFStatic:
+				rec.job = len(jobs)
 				jobs = append(jobs, BinaryJob{Pkg: name, Path: f.Path, Data: f.Data})
 			}
+			recs = append(recs, rec)
 		}
+		recsByPkg[name] = recs
 	}
 	var results []JobResult
 	if analyze == nil {
@@ -266,8 +273,6 @@ func RunWith(c *corpus.Corpus, opts footprint.Options, cache *anacache.Cache, an
 	// process keep the full analysis too, so the emulator can execute
 	// them without extra work; cached or remotely analyzed ones register
 	// their summaries and re-disassemble lazily.
-	libSums := make(map[string]*footprint.Summary)
-	execSums := make(map[string]*footprint.Summary)
 	for i := range jobs {
 		j := &jobs[i]
 		sum := results[i].Summary
@@ -281,28 +286,31 @@ func RunWith(c *corpus.Corpus, opts footprint.Options, cache *anacache.Cache, an
 			} else {
 				s.pendingEmu = append(s.pendingEmu, pendingLib{path: j.Path, data: j.Data})
 			}
-			libSums[j.Pkg+"/"+j.Path] = sum
-		} else {
-			execSums[j.Pkg+"/"+j.Path] = sum
 		}
 	}
 
-	// Pass 2: analyze executables, build package footprints.
-	pkgFootprints := make(map[string]footprint.Set, len(names))
-	pkgDirect := make(map[string]footprint.Set, len(names))
+	// Pass 2a: resolve every analyzed binary's aggregated footprint,
+	// fanned out across a worker pool. Results are pure per-binary
+	// bitsets; all Stats/map writes stay on this goroutine, below.
+	bitResults := make([]*footprint.BitResult, len(jobs))
+	resolveFootprints(s.Resolver, results, bitResults)
+
+	// Pass 2b: collect per-binary results into package footprints, in
+	// corpus order.
+	pkgFootprints := make(map[string]*footprint.BitSet, len(names))
+	pkgDirect := make(map[string]*footprint.BitSet, len(names))
 	scriptInterps := make(map[string][]string) // package -> interpreter names
-	execFootprintHashes := make(map[string]int)
+	execFootprintKeys := make(map[string]int)
+	sysMask := footprint.KindMask(linuxapi.KindSyscall)
 
 	for _, name := range names {
-		pkg := c.Repo.Get(name)
-		fp := make(footprint.Set)
-		direct := make(footprint.Set)
-		for _, f := range pkg.Files {
-			class, interp := elfx.Classify(f.Data)
-			switch class {
+		fp := footprint.NewBitSet()
+		direct := footprint.NewBitSet()
+		for _, rec := range recsByPkg[name] {
+			switch rec.class {
 			case elfx.ClassScript:
-				s.Stats.Census.Scripts[interp]++
-				scriptInterps[name] = append(scriptInterps[name], interp)
+				s.Stats.Census.Scripts[rec.interp]++
+				scriptInterps[name] = append(scriptInterps[name], rec.interp)
 				continue
 			case elfx.ClassELFLib:
 				s.Stats.Census.ELFLib++
@@ -310,20 +318,19 @@ func RunWith(c *corpus.Corpus, opts footprint.Options, cache *anacache.Cache, an
 				// (§2: a package's footprint is the union over its
 				// standalone executables), but their direct usage matters
 				// for the attribution tables.
-				sum := libSums[name+"/"+f.Path]
-				if sum == nil {
+				br := bitResults[rec.job]
+				if br == nil {
 					continue // skipped as malformed during analysis
 				}
-				res := s.Resolver.FootprintSummary(sum)
-				s.BinaryDirect[name+"/"+f.Path] = res.Direct
-				s.Stats.TotalSites += res.Sites
-				s.Stats.UnresolvedSites += res.Unresolved
-				if sum.DirectSyscall {
+				s.BinaryDirect[name+"/"+rec.path] = directSet(br)
+				s.Stats.TotalSites += br.Sites
+				s.Stats.UnresolvedSites += br.Unresolved
+				if results[rec.job].Summary.DirectSyscall {
 					s.Stats.DirectSyscallLibs++
 				}
 				continue
 			case elfx.ClassELFExec, elfx.ClassELFStatic:
-				if class == elfx.ClassELFStatic {
+				if rec.class == elfx.ClassELFStatic {
 					s.Stats.Census.ELFStatic++
 				} else {
 					s.Stats.Census.ELFExec++
@@ -332,21 +339,27 @@ func RunWith(c *corpus.Corpus, opts footprint.Options, cache *anacache.Cache, an
 				s.Stats.Census.Other++
 				continue
 			}
-			sum := execSums[name+"/"+f.Path]
-			if sum == nil {
+			br := bitResults[rec.job]
+			if br == nil {
 				continue // skipped as malformed during analysis
 			}
-			res := s.Resolver.FootprintSummary(sum)
-			fp.AddAll(res.APIs)
-			direct.AddAll(res.Direct)
-			s.BinaryDirect[name+"/"+f.Path] = res.Direct
-			s.Stats.TotalSites += res.Sites
-			s.Stats.UnresolvedSites += res.Unresolved
-			if sum.DirectSyscall {
+			fp.UnionWith(br.APIs)
+			direct.UnionWith(br.Direct)
+			for _, api := range br.Strings {
+				// The corpus is trusted input: verbatim pseudo-paths may
+				// intern here (unlike the service's ad-hoc upload path).
+				id := linuxapi.InternID(api)
+				fp.AddID(id)
+				direct.AddID(id)
+			}
+			s.BinaryDirect[name+"/"+rec.path] = directSet(br)
+			s.Stats.TotalSites += br.Sites
+			s.Stats.UnresolvedSites += br.Unresolved
+			if results[rec.job].Summary.DirectSyscall {
 				s.Stats.DirectSyscallExecs++
 			}
 			s.Stats.Executables++
-			execFootprintHashes[footprintHash(res.APIs)]++
+			execFootprintKeys[br.APIs.MaskedKey(sysMask)]++
 		}
 		pkgFootprints[name] = fp
 		pkgDirect[name] = direct
@@ -355,50 +368,113 @@ func RunWith(c *corpus.Corpus, opts footprint.Options, cache *anacache.Cache, an
 	// Pass 3: scripts inherit the interpreter package's footprint (§2.3:
 	// "the system call footprint of the interpreter ... over-approximates
 	// the expected footprint of the applications").
-	for name, interps := range scriptInterps {
-		for _, interp := range interps {
+	for _, name := range names {
+		for _, interp := range scriptInterps[name] {
 			ipkg, ok := c.InterpreterPkg[interp]
 			if !ok {
 				continue
 			}
 			if ifp, ok := pkgFootprints[ipkg]; ok {
-				pkgFootprints[name].AddAll(ifp)
+				pkgFootprints[name].UnionWith(ifp)
 			}
 		}
 	}
 
-	s.Stats.DistinctFootprints = len(execFootprintHashes)
-	for _, n := range execFootprintHashes {
+	s.Stats.DistinctFootprints = len(execFootprintKeys)
+	for _, n := range execFootprintKeys {
 		if n == 1 {
 			s.Stats.UniqueFootprints++
 		}
 	}
 
+	// The map form stays the boundary type (JSON, service, compat); the
+	// bitset columns ride along so the metrics layer skips re-interning.
+	fps := make(map[string]footprint.Set, len(names))
+	dirs := make(map[string]footprint.Set, len(names))
+	for _, name := range names {
+		fps[name] = pkgFootprints[name].ToSet()
+		dirs[name] = pkgDirect[name].ToSet()
+	}
 	s.Input = &metrics.Input{
 		Repo:       c.Repo,
 		Survey:     c.Survey,
-		Footprints: pkgFootprints,
-		Direct:     pkgDirect,
+		Footprints: fps,
+		Direct:     dirs,
+		Bits:       pkgFootprints,
+		DirectBits: pkgDirect,
 	}
 	s.Tables = metrics.Record(s.DB, s.Input)
 	return s, nil
 }
 
-// footprintHash fingerprints the system-call portion of a footprint.
-func footprintHash(fp footprint.Set) string {
-	var names []string
-	for api := range fp {
-		if api.Kind == linuxapi.KindSyscall {
-			names = append(names, api.Name)
+// fileRecord carries one classified file through the aggregation
+// passes, so elfx.Classify runs exactly once per file.
+type fileRecord struct {
+	path   string
+	class  elfx.FileClass
+	interp string
+	// job indexes the job/result slices; -1 for files that were not
+	// queued (scripts, unclassifiable data).
+	job int
+}
+
+// directSet materializes a BitResult's direct footprint as the boundary
+// map type, pseudo-file strings included (strings are direct by
+// definition: they come from the binary's own .rodata).
+func directSet(br *footprint.BitResult) footprint.Set {
+	out := br.Direct.ToSet()
+	for _, api := range br.Strings {
+		out.Add(api)
+	}
+	return out
+}
+
+// resolveFootprints computes the aggregated footprint of every job that
+// produced a summary, fanning the work out across a pool. The pure
+// phases of each resolution (reachability walk, closure unions) run in
+// parallel; the phase that touches the resolver's shared closure memos
+// is sequenced in job order through a chain of gates, so the memos fill
+// in exactly the order the serial pipeline would produce — closure
+// memoization is order-sensitive under library cycles, and the study
+// promises byte-identical output regardless of worker count.
+func resolveFootprints(r *footprint.Resolver, results []JobResult, out []*footprint.BitResult) {
+	var tasks []int
+	for i := range results {
+		if results[i].Summary != nil {
+			tasks = append(tasks, i)
 		}
 	}
-	sort.Strings(names)
-	h := sha256.New()
-	for _, n := range names {
-		h.Write([]byte(n))
-		h.Write([]byte{0})
+	if len(tasks) == 0 {
+		return
 	}
-	return string(h.Sum(nil))
+	gates := make([]chan struct{}, len(tasks)+1)
+	for i := range gates {
+		gates[i] = make(chan struct{})
+	}
+	close(gates[0])
+	next := make(chan int, len(tasks))
+	for k := range tasks {
+		next <- k
+	}
+	close(next)
+	workers := runtime.NumCPU()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				i := tasks[k]
+				out[i] = r.FootprintBitsOrdered(results[i].Summary,
+					func() { <-gates[k] },
+					func() { close(gates[k+1]) })
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // PackageFor returns the package metadata for a name.

@@ -257,8 +257,9 @@ type Resolver struct {
 	mu       sync.Mutex
 	bySoname map[string]*libEntry
 	// memo caches per-export closures: key is summary pointer + function
-	// index.
-	memo map[closureKey]Set
+	// index. Memoized bitsets are immutable once stored, so callers may
+	// read them outside r.mu.
+	memo map[closureKey]*BitSet
 	// active guards against cross-library cycles.
 	active map[closureKey]bool
 	// resolveMemo caches symbol resolution keyed by the importer's needed
@@ -297,7 +298,7 @@ type resolveVal struct {
 func NewResolver() *Resolver {
 	return &Resolver{
 		bySoname:    make(map[string]*libEntry),
-		memo:        make(map[closureKey]Set),
+		memo:        make(map[closureKey]*BitSet),
 		active:      make(map[closureKey]bool),
 		resolveMemo: make(map[resolveKey]resolveVal),
 	}
@@ -474,27 +475,31 @@ func (r *Resolver) sortedSonames() []string {
 	return r.sonames
 }
 
+// emptyBits is the shared cycle sentinel: never mutated.
+var emptyBits = NewBitSet()
+
 // exportClosure computes the APIs reachable by calling one exported
 // function of a library: the direct APIs of every function reachable
 // within the library, plus the closures of the imports those functions
-// call in deeper libraries.
-func (r *Resolver) exportClosure(sum *Summary, root int) Set {
+// call in deeper libraries. The returned bitset is memoized and must
+// not be mutated by callers.
+func (r *Resolver) exportClosure(sum *Summary, root int) *BitSet {
 	key := closureKey{sum, root}
 	if s, ok := r.memo[key]; ok {
 		return s
 	}
 	if r.active[key] {
-		return Set{} // cycle: the initiator will complete the union
+		return emptyBits // cycle: the initiator will complete the union
 	}
 	r.active[key] = true
 	defer delete(r.active, key)
 
-	out := make(Set)
+	out := NewBitSet()
 	var imports []string
 	for _, i := range sum.reachable([]int{root}) {
 		f := &sum.Funcs[i]
 		for _, api := range f.APIs {
-			out.Add(api)
+			out.AddAPI(api)
 		}
 		imports = append(imports, f.Imports...)
 	}
@@ -525,14 +530,16 @@ func dedupe(syms []string) []string {
 
 // importAPIs adds everything implied by calling imported symbol sym from
 // the summarized binary: the libc-symbol API itself (when sym is a GNU
-// libc export) and the defining library's closure.
-func (r *Resolver) importAPIs(from *Summary, sym string, out Set) {
+// libc export) and the defining library's closure. Every API added here
+// is in the static intern universe (extraction only emits names from the
+// declared tables), so interning never grows the shared table.
+func (r *Resolver) importAPIs(from *Summary, sym string, out *BitSet) {
 	if linuxapi.IsLibcExport(sym) {
-		out.Add(linuxapi.LibcSym(sym))
+		out.AddAPI(linuxapi.LibcSym(sym))
 	}
 	lib, fn := r.resolveImport(from, sym)
 	if lib != nil {
-		out.AddAll(r.exportClosure(lib, fn))
+		out.UnionWith(r.exportClosure(lib, fn))
 	}
 }
 
@@ -548,6 +555,27 @@ type Result struct {
 	Unresolved, Sites int
 }
 
+// BitResult is the dense form of Result the aggregation pipeline works
+// on. Pseudo-file strings stay out of the bitsets: they can be verbatim
+// .rodata paths outside the declared universe, and interning them here
+// would let untrusted uploads (the service's ad-hoc analysis path) grow
+// the shared intern table without bound. Callers on the trusted corpus
+// path intern them explicitly; Result-producing wrappers add them to
+// both map sets, matching the pre-bitset behavior.
+type BitResult struct {
+	// APIs is the complete footprint including APIs inherited from
+	// shared libraries (strings excluded; see Strings).
+	APIs *BitSet
+	// Direct holds the APIs extracted from this binary's own code
+	// (strings excluded).
+	Direct *BitSet
+	// Strings echoes the binary's pseudo-file string APIs, uninterned.
+	// They belong to both the direct and the full footprint.
+	Strings []linuxapi.API
+	// Unresolved and Sites echo the per-binary extraction counters.
+	Unresolved, Sites int
+}
+
 // Footprint aggregates the full footprint of one analyzed binary: its own
 // reachable APIs plus the recursive closure over imported symbols.
 func (r *Resolver) Footprint(a *Analysis) *Result {
@@ -557,11 +585,41 @@ func (r *Resolver) Footprint(a *Analysis) *Result {
 // FootprintSummary aggregates the footprint from a binary's summary — the
 // cache-hit path, identical in result to Footprint on the live analysis.
 func (r *Resolver) FootprintSummary(sum *Summary) *Result {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	br := r.FootprintBits(sum)
 	res := &Result{
-		APIs:       make(Set),
-		Direct:     make(Set),
+		APIs:       br.APIs.ToSet(),
+		Direct:     br.Direct.ToSet(),
+		Unresolved: br.Unresolved,
+		Sites:      br.Sites,
+	}
+	for _, api := range br.Strings {
+		res.Direct.Add(api)
+		res.APIs.Add(api)
+	}
+	return res
+}
+
+// FootprintBits aggregates a binary's footprint in dense form.
+func (r *Resolver) FootprintBits(sum *Summary) *BitResult {
+	return r.FootprintBitsOrdered(sum, nil, nil)
+}
+
+// FootprintBitsOrdered is FootprintBits with hooks bracketing the phase
+// that touches the resolver's shared memo state. The per-binary work
+// splits into three phases: a pure reachability walk, a locked
+// closure-resolution phase (the only part that reads or fills the
+// memo), and a pure union of the collected closures. enter is called
+// just before the locked phase and exit just after it; a concurrent
+// aggregator can use them to serialize memo fills in a fixed order —
+// closure memos are truncated at cycles, so which member of a library
+// cycle memoizes the complete union depends on computation order, and
+// replaying the serial order keeps repeated runs byte-identical —
+// while the pure phases still run in parallel. Either or both hooks
+// may be nil.
+func (r *Resolver) FootprintBitsOrdered(sum *Summary, enter, exit func()) *BitResult {
+	res := &BitResult{
+		Direct:     NewBitSet(),
+		Strings:    sum.Strings,
 		Unresolved: sum.Unresolved,
 		Sites:      sum.Sites,
 	}
@@ -569,17 +627,39 @@ func (r *Resolver) FootprintSummary(sum *Summary) *Result {
 	for _, i := range sum.reachable(sum.roots()) {
 		f := &sum.Funcs[i]
 		for _, api := range f.APIs {
-			res.Direct.Add(api)
+			res.Direct.AddAPI(api)
 		}
 		imports = append(imports, f.Imports...)
 	}
-	for _, imp := range dedupe(imports) {
-		r.importAPIs(sum, imp, res.APIs)
+	imports = dedupe(imports)
+
+	// Locked phase: resolve imports and compute (memoized, immutable
+	// once stored) closures; defer the unions to the pure phase below.
+	if enter != nil {
+		enter()
 	}
-	for _, api := range sum.Strings {
-		res.Direct.Add(api)
+	r.mu.Lock()
+	closures := make([]*BitSet, 0, len(imports))
+	libcSyms := NewBitSet()
+	for _, imp := range imports {
+		if linuxapi.IsLibcExport(imp) {
+			libcSyms.AddAPI(linuxapi.LibcSym(imp))
+		}
+		if lib, fn := r.resolveImport(sum, imp); lib != nil {
+			closures = append(closures, r.exportClosure(lib, fn))
+		}
 	}
-	res.APIs.AddAll(res.Direct)
+	r.mu.Unlock()
+	if exit != nil {
+		exit()
+	}
+
+	res.APIs = NewBitSet()
+	for _, c := range closures {
+		res.APIs.UnionWith(c)
+	}
+	res.APIs.UnionWith(libcSyms)
+	res.APIs.UnionWith(res.Direct)
 	return res
 }
 

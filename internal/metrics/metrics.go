@@ -13,6 +13,7 @@ package metrics
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/apt"
 	"repro/internal/footprint"
@@ -33,24 +34,80 @@ type Input struct {
 	// without going through a library — used for the library/package
 	// attribution tables (Tables 1, 2, 5).
 	Direct map[string]footprint.Set
+	// Bits and DirectBits optionally carry the dense bitset forms of
+	// Footprints and Direct (same keys, same members). The pipeline
+	// populates them; ad-hoc Inputs built from maps alone work
+	// identically — the columns below are derived from the maps on
+	// first use.
+	Bits       map[string]*footprint.BitSet
+	DirectBits map[string]*footprint.BitSet
+
+	colsOnce sync.Once
+	cols     columns
+}
+
+// columns is the dense form every metric computes over: packages in
+// sorted order, footprints as bitsets. Derived once per Input.
+type columns struct {
+	pkgs   []string
+	bits   []*footprint.BitSet
+	direct []*footprint.BitSet // nil entries: package has no direct data
+	// cap bounds every member ID across bits, so per-API accumulators
+	// can be flat arrays.
+	cap int
+}
+
+func (in *Input) columns() *columns {
+	in.colsOnce.Do(func() {
+		c := &in.cols
+		c.pkgs = make([]string, 0, len(in.Footprints))
+		for pkg := range in.Footprints {
+			c.pkgs = append(c.pkgs, pkg)
+		}
+		sort.Strings(c.pkgs)
+		c.bits = make([]*footprint.BitSet, len(c.pkgs))
+		c.direct = make([]*footprint.BitSet, len(c.pkgs))
+		for i, pkg := range c.pkgs {
+			b := in.Bits[pkg]
+			if b == nil {
+				b = footprint.SetBits(in.Footprints[pkg])
+			}
+			c.bits[i] = b
+			if cap := b.Cap(); cap > c.cap {
+				c.cap = cap
+			}
+			if d := in.DirectBits[pkg]; d != nil {
+				c.direct[i] = d
+			} else if d, ok := in.Direct[pkg]; ok {
+				c.direct[i] = footprint.SetBits(d)
+			}
+		}
+	})
+	return &in.cols
 }
 
 // Universe returns every API appearing in any footprint.
 func (in *Input) Universe() []linuxapi.API {
-	set := make(footprint.Set)
-	for _, fp := range in.Footprints {
-		set.AddAll(fp)
+	c := in.columns()
+	u := footprint.NewBitSet()
+	for _, b := range c.bits {
+		u.UnionWith(b)
 	}
-	return set.Sorted()
+	return u.SortedAPIs()
 }
 
 // UsersOf returns the packages whose footprint contains api, sorted by
 // descending installation count.
 func (in *Input) UsersOf(api linuxapi.API) []string {
+	c := in.columns()
+	id, ok := linuxapi.InternedID(api)
+	if !ok {
+		return nil
+	}
 	var out []string
-	for pkg, fp := range in.Footprints {
-		if fp.Contains(api) {
-			out = append(out, pkg)
+	for i, b := range c.bits {
+		if b.HasID(id) {
+			out = append(out, c.pkgs[i])
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -66,10 +123,15 @@ func (in *Input) UsersOf(api linuxapi.API) []string {
 // DirectUsersOf returns the packages whose own code (not a library they
 // link) requests api.
 func (in *Input) DirectUsersOf(api linuxapi.API) []string {
+	c := in.columns()
+	id, ok := linuxapi.InternedID(api)
+	if !ok {
+		return nil
+	}
 	var out []string
-	for pkg, fp := range in.Direct {
-		if fp.Contains(api) {
-			out = append(out, pkg)
+	for i, d := range c.direct {
+		if d != nil && d.HasID(id) {
+			out = append(out, c.pkgs[i])
 		}
 	}
 	sort.Strings(out)
@@ -82,30 +144,36 @@ func (in *Input) DirectUsersOf(api linuxapi.API) []string {
 //
 // assuming independent package installation, exactly as Appendix A.1.
 func Importance(in *Input) map[linuxapi.API]float64 {
-	out := make(map[linuxapi.API]float64)
-	for pkg, fp := range in.Footprints {
+	c := in.columns()
+	// Accumulate log-survival per dense API ID to avoid underflow with
+	// many packages; seen tracks universe membership so APIs used only
+	// by never-installed packages still exist with zero importance.
+	acc := make([]float64, c.cap)
+	seen := make([]bool, c.cap)
+	for i, pkg := range c.pkgs {
+		b := c.bits[i]
 		frac := in.Survey.Fraction(pkg)
 		if frac == 0 {
+			b.ForEach(func(id uint32) { seen[id] = true })
 			continue
 		}
-		// Accumulate log-survival to avoid underflow with many packages.
-		for api := range fp {
-			out[api] += -math.Log1p(-clampProb(frac))
-		}
+		nls := -math.Log1p(-clampProb(frac))
+		b.ForEach(func(id uint32) {
+			seen[id] = true
+			acc[id] += nls
+		})
 	}
-	for api, nls := range out {
-		out[api] = -math.Expm1(-nls)
-	}
-	// APIs used only by never-installed packages still exist with zero
-	// importance.
-	for pkg, fp := range in.Footprints {
-		if in.Survey.Fraction(pkg) == 0 {
-			for api := range fp {
-				if _, ok := out[api]; !ok {
-					out[api] = 0
-				}
-			}
+	apis := linuxapi.InternedAPIs()
+	out := make(map[linuxapi.API]float64)
+	for id, ok := range seen {
+		if !ok {
+			continue
 		}
+		v := 0.0
+		if acc[id] != 0 {
+			v = -math.Expm1(-acc[id])
+		}
+		out[apis[id]] = v
 	}
 	return out
 }
@@ -134,17 +202,20 @@ func clampProb(p float64) float64 {
 // installation counts (§5).
 func Unweighted(in *Input) map[linuxapi.API]float64 {
 	out := make(map[linuxapi.API]float64)
+	c := in.columns()
 	total := len(in.Footprints)
 	if total == 0 {
 		return out
 	}
-	for _, fp := range in.Footprints {
-		for api := range fp {
-			out[api]++
-		}
+	counts := make([]int, c.cap)
+	for _, b := range c.bits {
+		b.ForEach(func(id uint32) { counts[id]++ })
 	}
-	for api, n := range out {
-		out[api] = n / float64(total)
+	apis := linuxapi.InternedAPIs()
+	for id, n := range counts {
+		if n > 0 {
+			out[apis[id]] = float64(n) / float64(total)
+		}
 	}
 	return out
 }
@@ -183,12 +254,21 @@ type CompletenessOptions struct {
 // the supported set and, unless disabled, every package in its dependency
 // closure is supported too.
 func WeightedCompleteness(in *Input, supported footprint.Set, opts CompletenessOptions) float64 {
-	okOwn := make(map[string]bool, len(in.Footprints))
-	for pkg, fp := range in.Footprints {
-		okOwn[pkg] = subsetOK(fp, supported, opts)
+	c := in.columns()
+	// Lookup-only conversion: a supported API that was never interned
+	// cannot be in any footprint, so dropping it changes no subset test
+	// — and keeps untrusted query inputs from growing the intern table.
+	sup := footprint.LookupBits(supported)
+	var mask *footprint.BitSet
+	if !opts.AllKinds {
+		mask = footprint.KindMask(opts.Kind)
+	}
+	okOwn := make(map[string]bool, len(c.pkgs))
+	for i, pkg := range c.pkgs {
+		okOwn[pkg] = subsetOK(c.bits[i], sup, mask)
 	}
 	var num, den float64
-	for pkg := range in.Footprints {
+	for _, pkg := range c.pkgs {
 		w := in.Survey.Fraction(pkg)
 		den += w
 		if w == 0 {
@@ -213,16 +293,14 @@ func WeightedCompleteness(in *Input, supported footprint.Set, opts CompletenessO
 	return num / den
 }
 
-func subsetOK(fp, supported footprint.Set, opts CompletenessOptions) bool {
-	for api := range fp {
-		if !opts.AllKinds && api.Kind != opts.Kind {
-			continue
-		}
-		if !supported.Contains(api) {
-			return false
-		}
+// subsetOK is the per-package support test: the (mask-filtered)
+// footprint must be contained in the supported set — a handful of
+// AND-compares per package instead of a map traversal.
+func subsetOK(fp, supported, mask *footprint.BitSet) bool {
+	if mask == nil {
+		return fp.SubsetOf(supported)
 	}
-	return true
+	return fp.SubsetOfMasked(supported, mask)
 }
 
 // PathPoint is one step of the greedy API-addition path.
@@ -271,27 +349,35 @@ func greedyPath(in *Input, include func(linuxapi.API) bool) []PathPoint {
 		if unw[a] != unw[b] {
 			return unw[a] > unw[b]
 		}
-		return a.Name < b.Name
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		// Same name across kinds (a syscall and its libc wrapper can tie
+		// exactly); without this the comparator is not a total order and
+		// the all-kinds path depends on map iteration order.
+		return a.Kind < b.Kind
 	})
 
-	rank := make(map[linuxapi.API]int, len(apis))
+	c := in.columns()
+	// rankByID maps dense API IDs to 1-based greedy ranks; IDs outside
+	// the included set stay 0, so the demand scan needs no filter.
+	rankByID := make([]int, c.cap)
 	for i, api := range apis {
-		rank[api] = i + 1
+		if id, ok := linuxapi.InternedID(api); ok && int(id) < len(rankByID) {
+			rankByID[id] = i + 1
+		}
 	}
 
 	// A package's demand is the highest rank in its filtered footprint;
 	// with dependency propagation, the max over its closure.
-	demand := make(map[string]int, len(in.Footprints))
-	for pkg, fp := range in.Footprints {
+	demand := make(map[string]int, len(c.pkgs))
+	for i, pkg := range c.pkgs {
 		d := 0
-		for api := range fp {
-			if !include(api) {
-				continue
-			}
-			if r := rank[api]; r > d {
+		c.bits[i].ForEach(func(id uint32) {
+			if r := rankByID[id]; r > d {
 				d = r
 			}
-		}
+		})
 		demand[pkg] = d
 	}
 	effective := make(map[string]int, len(demand))
@@ -445,22 +531,25 @@ func Record(db *store.DB, in *Input) *Tables {
 	}
 	t.ByAPI = store.NewIndex(t.PkgAPI, func(r PkgAPIRow) string { return r.API.String() })
 	t.ByPkg = store.NewIndex(t.PkgAPI, func(r PkgAPIRow) string { return r.Pkg })
-	pkgs := make([]string, 0, len(in.Footprints))
+	c := in.columns()
+	apis := linuxapi.InternedAPIs()
 	total := 0
-	for pkg, fp := range in.Footprints {
-		pkgs = append(pkgs, pkg)
-		total += len(fp)
+	for _, b := range c.bits {
+		total += b.Count()
 	}
-	sort.Strings(pkgs)
 	// Bulk-load each relation: every (re)load repopulates the tables from
 	// scratch, so rows are staged per package and inserted batch-wise.
 	apiRows := make([]PkgAPIRow, 0, total)
-	installRows := make([]PkgInstallRow, 0, len(pkgs))
+	installRows := make([]PkgInstallRow, 0, len(c.pkgs))
 	var depRows []PkgDepRow
-	for _, pkg := range pkgs {
-		direct := in.Direct[pkg]
-		for _, api := range in.Footprints[pkg].Sorted() {
-			apiRows = append(apiRows, PkgAPIRow{Pkg: pkg, API: api, Direct: direct.Contains(api)})
+	for i, pkg := range c.pkgs {
+		direct := c.direct[i]
+		for _, id := range c.bits[i].SortedIDs() {
+			apiRows = append(apiRows, PkgAPIRow{
+				Pkg:    pkg,
+				API:    apis[id],
+				Direct: direct != nil && direct.HasID(id),
+			})
 		}
 		installRows = append(installRows, PkgInstallRow{Pkg: pkg, Installs: in.Survey.Installs(pkg)})
 		if in.Repo != nil {

@@ -1,8 +1,10 @@
 #!/bin/sh
 # CI entry point: build, vet, formatting, full test suite, a race run
-# over the concurrent layers (the analysis worker pool in internal/core,
-# the snapshot-swap/cache/analysis-pool paths in internal/service, and
-# the coordinator/worker fleet in internal/fleet), and a two-worker
+# over the concurrent layers (the analysis worker pool and parallel
+# footprint resolution in internal/core, the intern table and bitset
+# footprints in internal/linuxapi/footprint/metrics, the
+# snapshot-swap/cache/analysis-pool paths in internal/service, and the
+# coordinator/worker fleet in internal/fleet), and a two-worker
 # end-to-end fleet smoke test. Run from the repository root; used by
 # .github/workflows/ci.yml and fine to run locally.
 set -eu
@@ -28,8 +30,9 @@ go test ./...
 echo "== go test -shuffle (order-independence)"
 go test -count=1 -shuffle=on ./...
 
-echo "== go test -race (pipeline, service, HTTP API, analysis cache, fleet)"
-go test -race ./internal/core ./internal/service ./internal/httpapi ./internal/anacache ./internal/fleet
+echo "== go test -race (pipeline, intern/bitset/metrics, service, HTTP API, analysis cache, fleet)"
+go test -race ./internal/core ./internal/linuxapi ./internal/footprint ./internal/metrics \
+    ./internal/service ./internal/httpapi ./internal/anacache ./internal/fleet
 
 echo "== fleet smoke test (two-worker end-to-end)"
 sh scripts/fleet_smoke.sh
