@@ -14,7 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro"
 )
@@ -31,22 +33,33 @@ func main() {
 	)
 	flag.Parse()
 
-	oldStudy, err := repro.NewStudy(repro.Config{Packages: *packages, Seed: *oldSeed})
-	if err != nil {
+	if err := run(os.Stdout, *packages, *oldSeed, *newSeed, *threshold, *limit); err != nil {
 		log.Fatal(err)
 	}
-	newStudy, err := repro.NewStudy(repro.Config{Packages: *packages, Seed: *newSeed})
-	if err != nil {
-		log.Fatal(err)
-	}
+}
 
-	deltas := newStudy.Diff(oldStudy, *threshold)
-	fmt.Printf("APIs moving by >= %.0f%% importance between seed %d and seed %d:\n",
-		*threshold*100, *oldSeed, *newSeed)
+func run(w io.Writer, packages int, oldSeed, newSeed int64, threshold float64, limit int) error {
+	oldStudy, err := repro.NewStudy(repro.Config{Packages: packages, Seed: oldSeed})
+	if err != nil {
+		return err
+	}
+	newStudy, err := repro.NewStudy(repro.Config{Packages: packages, Seed: newSeed})
+	if err != nil {
+		return err
+	}
+	diffReport(w, oldStudy, newStudy, oldSeed, newSeed, threshold, limit)
+	return nil
+}
+
+// diffReport renders the movement table for two analyzed snapshots.
+func diffReport(w io.Writer, oldStudy, newStudy *repro.Study, oldSeed, newSeed int64, threshold float64, limit int) {
+	deltas := newStudy.Diff(oldStudy, threshold)
+	fmt.Fprintf(w, "APIs moving by >= %.0f%% importance between seed %d and seed %d:\n",
+		threshold*100, oldSeed, newSeed)
 	shown := 0
 	for _, d := range deltas {
-		if shown >= *limit {
-			fmt.Printf("  ... %d more\n", len(deltas)-shown)
+		if shown >= limit {
+			fmt.Fprintf(w, "  ... %d more\n", len(deltas)-shown)
 			break
 		}
 		tag := ""
@@ -56,12 +69,12 @@ func main() {
 		case d.Disappeared:
 			tag = "  [GONE]"
 		}
-		fmt.Printf("  %-10s %-24s importance %6.2f%% -> %6.2f%%   usage %5.2f%% -> %5.2f%%%s\n",
+		fmt.Fprintf(w, "  %-10s %-24s importance %6.2f%% -> %6.2f%%   usage %5.2f%% -> %5.2f%%%s\n",
 			d.Kind, d.API, d.OldImportance*100, d.NewImportance*100,
 			d.OldUnweighted*100, d.NewUnweighted*100, tag)
 		shown++
 	}
 	if shown == 0 {
-		fmt.Println("  (none)")
+		fmt.Fprintln(w, "  (none)")
 	}
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from current output")
+
+var (
+	diffOnce sync.Once
+	oldSt    *repro.Study
+	newSt    *repro.Study
+	diffErr  error
+)
+
+// studies builds the two small snapshots once for the whole test file.
+func studies(t *testing.T) (*repro.Study, *repro.Study) {
+	t.Helper()
+	diffOnce.Do(func() {
+		oldSt, diffErr = repro.NewStudy(repro.Config{Packages: 40, Installations: 100000, Seed: 1504})
+		if diffErr != nil {
+			return
+		}
+		newSt, diffErr = repro.NewStudy(repro.Config{Packages: 40, Installations: 100000, Seed: 1604})
+	})
+	if diffErr != nil {
+		t.Fatal(diffErr)
+	}
+	return oldSt, newSt
+}
+
+// TestDiffReportGolden pins the rendered movement table byte-for-byte:
+// the analysis is deterministic by construction, so any drift in
+// ordering, classification or formatting is a real behavior change.
+func TestDiffReportGolden(t *testing.T) {
+	o, n := studies(t)
+	var buf bytes.Buffer
+	diffReport(&buf, o, n, 1504, 1604, 0.01, 10)
+
+	golden := filepath.Join("testdata", "diff_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("diff output drifted from golden.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// Same inputs, second render: identical bytes.
+	var again bytes.Buffer
+	diffReport(&again, o, n, 1504, 1604, 0.01, 10)
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("diffReport is not deterministic across calls")
+	}
+}
+
+func TestDiffThresholdFilters(t *testing.T) {
+	o, n := studies(t)
+	count := func(threshold float64) int {
+		var buf bytes.Buffer
+		diffReport(&buf, o, n, 1504, 1604, threshold, 1<<30)
+		return strings.Count(buf.String(), "usage")
+	}
+	loose, tight := count(0.001), count(0.2)
+	if loose == 0 {
+		t.Fatal("no movement at 0.1% threshold — snapshots identical?")
+	}
+	if tight >= loose {
+		t.Errorf("threshold not filtering: %d rows at 0.1%% vs %d at 20%%", loose, tight)
+	}
+}
+
+func TestDiffLimitTruncates(t *testing.T) {
+	o, n := studies(t)
+	var buf bytes.Buffer
+	diffReport(&buf, o, n, 1504, 1604, 0.001, 2)
+	out := buf.String()
+	if rows := strings.Count(out, "usage"); rows != 2 {
+		t.Errorf("limit 2 printed %d rows:\n%s", rows, out)
+	}
+	if !strings.Contains(out, "more\n") {
+		t.Errorf("truncated output missing '... N more' marker:\n%s", out)
+	}
+}
+
+func TestDiffAppearedVanishedTags(t *testing.T) {
+	o, n := studies(t)
+	var buf bytes.Buffer
+	diffReport(&buf, o, n, 1504, 1604, 0.0, 1<<30)
+	if out := buf.String(); !strings.Contains(out, "[NEW]") {
+		t.Errorf("no [NEW] tag in full diff:\n%s", out)
+	}
+	// The reverse diff sees the same churn from the other side: what
+	// appeared forward must be reported as vanished backward.
+	buf.Reset()
+	diffReport(&buf, n, o, 1604, 1504, 0.0, 1<<30)
+	if out := buf.String(); !strings.Contains(out, "[GONE]") {
+		t.Errorf("no [GONE] tag in reverse diff:\n%s", out)
+	}
+}
+
+// TestDiffSelfIsEmpty: a snapshot diffed against itself has no movement.
+func TestDiffSelfIsEmpty(t *testing.T) {
+	o, _ := studies(t)
+	var buf bytes.Buffer
+	diffReport(&buf, o, o, 1504, 1504, 0.01, 10)
+	if !strings.Contains(buf.String(), "(none)") {
+		t.Errorf("self-diff not empty:\n%s", buf.String())
+	}
+}

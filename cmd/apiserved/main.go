@@ -14,8 +14,11 @@
 // Endpoints: /healthz, /metrics, /v1/importance/{syscall},
 // /v1/completeness (POST), /v1/suggest (POST), /v1/path,
 // /v1/footprint/{pkg}, /v1/seccomp/{pkg}, /v1/analyze (POST ELF),
-// /v1/compat/systems. SIGINT/SIGTERM drain in-flight requests before
-// exit; with -corpus and -watch, a changed corpus directory is
+// /v1/compat/systems. Query endpoints sit behind admission control
+// (-max-inflight/-max-queue/-queue-wait): excess load is shed with
+// 429 + Retry-After instead of queueing unboundedly, while /healthz
+// and /metrics keep answering. SIGINT/SIGTERM drain in-flight requests
+// before exit; with -corpus and -watch, a changed corpus directory is
 // re-analyzed in the background and swapped in without dropping
 // requests.
 package main
@@ -51,6 +54,9 @@ func main() {
 		analyses  = flag.Int("max-analyses", 4, "max concurrent /v1/analyze requests")
 		bodyMax   = flag.Int64("max-upload", 32<<20, "max /v1/analyze body bytes")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		inflight  = flag.Int("max-inflight", 256, "max concurrently served /v1/* requests (0 disables admission control)")
+		queue     = flag.Int("max-queue", 512, "max requests waiting for an in-flight slot before shedding")
+		queueWait = flag.Duration("queue-wait", time.Second, "max time a request may queue for a slot")
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain period")
 		watch     = flag.Duration("watch", 0, "poll interval for -corpus changes (0 disables reload)")
 		cacheDir  = flag.String("cache-dir", "", "persistent analysis cache directory (warm starts and incremental reloads)")
@@ -145,7 +151,14 @@ func main() {
 		Logger:         reqLog,
 		RequestTimeout: *timeout,
 		MaxUploadBytes: *bodyMax,
+		MaxInFlight:    *inflight,
+		MaxQueue:       *queue,
+		QueueWait:      *queueWait,
 	})
+	if *inflight > 0 {
+		log.Printf("admission control: %d in flight, %d queued, %s max wait",
+			*inflight, *queue, *queueWait)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -8,10 +8,18 @@
 // reloads cheap, and a change that erodes that property should fail the
 // build, not land silently.
 //
+// A second mode gates the serving path: -serving reads a cmd/apiload
+// report (internal/loadgen JSON) and fails the build when the p99 of
+// accepted requests exceeds the SLO, when any 5xx was observed, or
+// when the run was empty — overload is allowed to shed (429), never to
+// be slow or broken for what it accepts. The checked report is written
+// as BENCH_serving.json next to the pipeline artifact.
+//
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkStudyColdVsWarm -benchtime=1x -count=3 . |
 //	    go run ./cmd/benchgate -out BENCH_pipeline.json
+//	go run ./cmd/benchgate -serving load_report.json -out BENCH_serving.json
 package main
 
 import (
@@ -22,6 +30,8 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+
+	"repro/internal/loadgen"
 )
 
 // sample is every ns/op observation for one sub-benchmark.
@@ -79,7 +89,16 @@ func main() {
 		"fail unless cold/warm >= this ratio")
 	minAgg := flag.Float64("min-aggregate-speedup", 2.0,
 		"fail unless map/bitset aggregation >= this ratio")
+	serving := flag.String("serving", "",
+		"gate a cmd/apiload report instead of benchmark output (path to report JSON)")
+	maxP99 := flag.Float64("max-p99-ms", 500,
+		"with -serving: fail unless accepted-request p99 <= this many ms")
 	flag.Parse()
+
+	if *serving != "" {
+		gateServing(*serving, *out, *maxP99)
+		return
+	}
 
 	samples := map[string]*sample{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -179,6 +198,53 @@ func main() {
 	if a.AggregateSpeedup < *minAgg {
 		fatalf("aggregation speedup %.2fx below floor %.2fx — the bitset path regressed",
 			a.AggregateSpeedup, *minAgg)
+	}
+}
+
+// servingArtifact is the committed BENCH_serving.json schema: the
+// apiload report verbatim, plus the gate parameters and verdict.
+type servingArtifact struct {
+	MaxP99Ms float64         `json:"max_p99_ms"`
+	Pass     bool            `json:"pass"`
+	Report   *loadgen.Report `json:"report"`
+}
+
+// gateServing checks a load report against the serving SLO and writes
+// the committed artifact. Shedding under overload is expected and not
+// gated; slow or failing accepted requests fail the build.
+func gateServing(reportPath, out string, maxP99 float64) {
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		fatalf("reading report: %v", err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fatalf("parsing %s: %v", reportPath, err)
+	}
+	if rep.Accepted.Requests == 0 {
+		fatalf("report has no accepted requests — empty or fully-shed run cannot prove the SLO")
+	}
+	a := servingArtifact{MaxP99Ms: maxP99, Report: &rep}
+	a.Pass = rep.Accepted.P99Ms <= maxP99 && rep.HTTP5xx == 0 && rep.Overall.Errors == 0
+
+	enc, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		fatalf("encoding artifact: %v", err)
+	}
+	if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+		fatalf("writing %s: %v", out, err)
+	}
+
+	fmt.Printf("benchgate: serving %s mode, %.0f rps achieved — accepted p50 %.1fms p99 %.1fms (SLO %.0fms), %d shed, %d 5xx, %d transport errors\n",
+		rep.Mode, rep.AchievedRPS, rep.Accepted.P50Ms, rep.Accepted.P99Ms, maxP99,
+		rep.Shed429, rep.HTTP5xx, rep.Overall.Errors)
+	switch {
+	case rep.Accepted.P99Ms > maxP99:
+		fatalf("accepted p99 %.1fms above SLO %.0fms — the serving path regressed", rep.Accepted.P99Ms, maxP99)
+	case rep.HTTP5xx != 0:
+		fatalf("%d 5xx responses under load — accepted traffic must not fail", rep.HTTP5xx)
+	case rep.Overall.Errors != 0:
+		fatalf("%d transport errors under load", rep.Overall.Errors)
 	}
 }
 

@@ -3,9 +3,14 @@
 // importance of a call, weighted completeness of a syscall set, what to
 // implement next, a package's footprint and sandbox policy, and ad-hoc
 // footprint extraction of uploaded ELF binaries. Every handler runs
-// behind request logging, a per-request timeout, and metrics capture;
-// /metrics exports Prometheus-style text with request counts, a latency
-// histogram, the cache hit ratio and the snapshot generation.
+// behind admission control (a concurrency limiter with a bounded
+// deadline-aware wait queue; overload degrades to fast 429 +
+// Retry-After rejections instead of unbounded queueing — /healthz and
+// /metrics bypass it so the server stays observable), request logging,
+// a per-request timeout, and metrics capture; /metrics exports
+// Prometheus-style text with request counts, per-route latency
+// histograms, admission/shed gauges, the cache hit ratio and the
+// snapshot generation.
 package httpapi
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
@@ -34,15 +40,28 @@ type Options struct {
 	RequestTimeout time.Duration
 	// MaxUploadBytes caps /v1/analyze request bodies (default 32 MiB).
 	MaxUploadBytes int64
+	// MaxInFlight bounds concurrently served /v1/* requests; excess
+	// requests wait in a bounded queue and are shed with 429 +
+	// Retry-After when it overflows or the wait exceeds QueueWait.
+	// /healthz and /metrics bypass admission so the server stays
+	// observable under overload. <= 0 disables admission control.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot (only
+	// meaningful with MaxInFlight > 0; 0 sheds as soon as slots fill).
+	MaxQueue int
+	// QueueWait bounds the time one request may wait for a slot
+	// (default 1s; also bounded by the request's own deadline).
+	QueueWait time.Duration
 }
 
 // API is the http.Handler serving the query service.
 type API struct {
-	svc     *service.Service
-	opts    Options
-	mux     *http.ServeMux
-	start   time.Time
-	metrics *requestMetrics
+	svc       *service.Service
+	opts      Options
+	mux       *http.ServeMux
+	start     time.Time
+	metrics   *requestMetrics
+	admission *service.Admission
 }
 
 // New wires every endpoint onto a fresh mux.
@@ -59,9 +78,14 @@ func New(svc *service.Service, opts Options) *API {
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		metrics: newRequestMetrics(),
+		admission: service.NewAdmission(service.AdmissionConfig{
+			MaxInFlight: opts.MaxInFlight,
+			MaxQueue:    opts.MaxQueue,
+			QueueWait:   opts.QueueWait,
+		}),
 	}
-	a.handle("GET /healthz", a.handleHealthz)
-	a.handle("GET /metrics", a.handleMetrics)
+	a.handle("GET /healthz", a.handleHealthz, bypassAdmission)
+	a.handle("GET /metrics", a.handleMetrics, bypassAdmission)
 	a.handle("GET /v1/importance/{syscall}", a.handleImportance)
 	a.handle("POST /v1/completeness", a.handleCompleteness)
 	a.handle("POST /v1/suggest", a.handleSuggest)
@@ -75,14 +99,37 @@ func New(svc *service.Service, opts Options) *API {
 
 func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
 
-// handle wraps a route with timeout, metrics and logging middleware.
-func (a *API) handle(pattern string, h http.HandlerFunc) {
+// bypassAdmission marks routes that must answer even under overload:
+// health probes and metrics scrapes are how operators see the shed.
+const bypassAdmission = "bypass-admission"
+
+// handle wraps a route with admission control, timeout, metrics and
+// logging middleware.
+func (a *API) handle(pattern string, h http.HandlerFunc, flags ...string) {
+	bypass := false
+	for _, f := range flags {
+		if f == bypassAdmission {
+			bypass = true
+		}
+	}
 	a.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		ctx, cancel := context.WithTimeout(r.Context(), a.opts.RequestTimeout)
 		defer cancel()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r.WithContext(ctx))
+		if bypass {
+			h(sw, r.WithContext(ctx))
+		} else if release, err := a.admission.Acquire(ctx); err != nil {
+			retry := a.admission.RetryAfter()
+			sw.Header().Set("Retry-After",
+				strconv.Itoa(int(retry/time.Second)))
+			writeError(sw, http.StatusTooManyRequests, "%v", err)
+		} else {
+			func() {
+				defer release()
+				h(sw, r.WithContext(ctx))
+			}()
+		}
 		elapsed := time.Since(start)
 		a.metrics.observe(pattern, sw.code, elapsed)
 		if a.opts.Logger != nil {
@@ -292,21 +339,28 @@ var latencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// requestMetrics accumulates per-route counters and a global latency
-// histogram. One mutex is plenty at this layer; the hot path is the
-// study queries, not the counters.
+// requestMetrics accumulates per-route counters and per-route latency
+// histograms — per-route because a global histogram lets a slow
+// endpoint's tail (/v1/analyze disassembles uploads) hide a regression
+// in a fast one (/v1/importance is a map probe). One mutex is plenty
+// at this layer; the hot path is the study queries, not the counters.
 type requestMetrics struct {
 	mu       sync.Mutex
-	requests map[string]uint64 // "route|code" -> count
-	buckets  []uint64          // cumulative-style on render; raw counts here
-	sum      float64           // total seconds observed
-	count    uint64
+	requests map[string]uint64     // "route|code" -> count
+	routes   map[string]*routeHist // route -> latency histogram
+}
+
+// routeHist is one route's latency histogram over latencyBuckets.
+type routeHist struct {
+	buckets []uint64 // raw per-bucket counts; rendered cumulatively
+	sum     float64  // total seconds observed
+	count   uint64
 }
 
 func newRequestMetrics() *requestMetrics {
 	return &requestMetrics{
 		requests: make(map[string]uint64),
-		buckets:  make([]uint64, len(latencyBuckets)+1),
+		routes:   make(map[string]*routeHist),
 	}
 }
 
@@ -322,9 +376,14 @@ func (m *requestMetrics) observe(route string, code int, d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.requests[route+"|"+strconv.Itoa(code)]++
-	m.buckets[idx]++
-	m.sum += sec
-	m.count++
+	h := m.routes[route]
+	if h == nil {
+		h = &routeHist{buckets: make([]uint64, len(latencyBuckets)+1)}
+		m.routes[route] = h
+	}
+	h.buckets[idx]++
+	h.sum += sec
+	h.count++
 }
 
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -344,19 +403,69 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "apiserved_requests_total{route=%q,code=%q} %d\n",
 			route, code, a.metrics.requests[k])
 	}
-	fmt.Fprintf(&b, "# HELP apiserved_request_duration_seconds Request latency histogram.\n")
+	// The aggregate (unlabeled) histogram keeps the long-standing series
+	// alive for dashboards; the per-route series are the ones that catch
+	// a single endpoint's tail regressing.
+	fmt.Fprintf(&b, "# HELP apiserved_request_duration_seconds Request latency histogram (aggregate over routes).\n")
 	fmt.Fprintf(&b, "# TYPE apiserved_request_duration_seconds histogram\n")
+	agg := routeHist{buckets: make([]uint64, len(latencyBuckets)+1)}
+	routeNames := make([]string, 0, len(a.metrics.routes))
+	for route, h := range a.metrics.routes {
+		routeNames = append(routeNames, route)
+		for i, c := range h.buckets {
+			agg.buckets[i] += c
+		}
+		agg.sum += h.sum
+		agg.count += h.count
+	}
+	sort.Strings(routeNames)
 	var cum uint64
 	for i, ub := range latencyBuckets {
-		cum += a.metrics.buckets[i]
+		cum += agg.buckets[i]
 		fmt.Fprintf(&b, "apiserved_request_duration_seconds_bucket{le=%q} %d\n",
 			strconv.FormatFloat(ub, 'g', -1, 64), cum)
 	}
-	cum += a.metrics.buckets[len(latencyBuckets)]
+	cum += agg.buckets[len(latencyBuckets)]
 	fmt.Fprintf(&b, "apiserved_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(&b, "apiserved_request_duration_seconds_sum %g\n", a.metrics.sum)
-	fmt.Fprintf(&b, "apiserved_request_duration_seconds_count %d\n", a.metrics.count)
+	fmt.Fprintf(&b, "apiserved_request_duration_seconds_sum %g\n", agg.sum)
+	fmt.Fprintf(&b, "apiserved_request_duration_seconds_count %d\n", agg.count)
+	fmt.Fprintf(&b, "# HELP apiserved_route_duration_seconds Request latency histogram, per route.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_route_duration_seconds histogram\n")
+	for _, route := range routeNames {
+		h := a.metrics.routes[route]
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += h.buckets[i]
+			fmt.Fprintf(&b, "apiserved_route_duration_seconds_bucket{route=%q,le=%q} %d\n",
+				route, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+		}
+		cum += h.buckets[len(latencyBuckets)]
+		fmt.Fprintf(&b, "apiserved_route_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
+		fmt.Fprintf(&b, "apiserved_route_duration_seconds_sum{route=%q} %g\n", route, h.sum)
+		fmt.Fprintf(&b, "apiserved_route_duration_seconds_count{route=%q} %d\n", route, h.count)
+	}
 	a.metrics.mu.Unlock()
+
+	adm := a.admission.Stats()
+	fmt.Fprintf(&b, "# HELP apiserved_admission_enabled Whether admission control is configured.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_admission_enabled gauge\n")
+	fmt.Fprintf(&b, "apiserved_admission_enabled %d\n", boolToInt(adm.Enabled))
+	fmt.Fprintf(&b, "# HELP apiserved_admission_inflight Requests currently admitted.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_admission_inflight gauge\n")
+	fmt.Fprintf(&b, "apiserved_admission_inflight %d\n", adm.InFlight)
+	fmt.Fprintf(&b, "# HELP apiserved_admission_queue_depth Requests waiting for an in-flight slot.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_admission_queue_depth gauge\n")
+	fmt.Fprintf(&b, "apiserved_admission_queue_depth %d\n", adm.Queued)
+	fmt.Fprintf(&b, "apiserved_admission_inflight_limit %d\n", adm.MaxInFlight)
+	fmt.Fprintf(&b, "apiserved_admission_queue_limit %d\n", adm.MaxQueue)
+	fmt.Fprintf(&b, "# HELP apiserved_admission_accepted_total Requests admitted past the limiter.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_admission_accepted_total counter\n")
+	fmt.Fprintf(&b, "apiserved_admission_accepted_total %d\n", adm.Accepted)
+	fmt.Fprintf(&b, "# HELP apiserved_admission_shed_total Requests rejected with 429, by reason.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_admission_shed_total counter\n")
+	fmt.Fprintf(&b, "apiserved_admission_shed_total{reason=\"queue_full\"} %d\n", adm.ShedQueueFull)
+	fmt.Fprintf(&b, "apiserved_admission_shed_total{reason=\"timeout\"} %d\n", adm.ShedTimeout)
+	fmt.Fprintf(&b, "apiserved_admission_shed_total{reason=\"cancelled\"} %d\n", adm.ShedCancelled)
 
 	fmt.Fprintf(&b, "# HELP apiserved_cache_hits_total Derived-query cache hits.\n")
 	fmt.Fprintf(&b, "apiserved_cache_hits_total %d\n", st.CacheHits)
@@ -452,13 +561,26 @@ func boolToInt(b bool) int {
 // serve-forever loop of cmd/apiserved, kept here so tests and examples
 // reuse the same graceful-shutdown path.
 func ListenAndServe(ctx context.Context, addr string, handler http.Handler, grace time.Duration, logger *log.Logger) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, ln, handler, grace, logger)
+}
+
+// Serve is ListenAndServe over an existing listener (which it owns and
+// closes): on ctx cancellation the listener closes first — new
+// connections are refused immediately — then in-flight requests drain
+// for up to grace. Returns http.ErrServerClosed semantics mapped away:
+// nil after a clean drain, context.DeadlineExceeded when grace expired
+// with requests still in flight.
+func Serve(ctx context.Context, ln net.Listener, handler http.Handler, grace time.Duration, logger *log.Logger) error {
 	srv := &http.Server{
-		Addr:              addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err

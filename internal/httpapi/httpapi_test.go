@@ -302,6 +302,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		"apiserved_requests_total{route=\"POST /v1/completeness\",code=\"200\"}",
 		"apiserved_request_duration_seconds_bucket{le=\"+Inf\"}",
 		"apiserved_request_duration_seconds_count",
+		"apiserved_route_duration_seconds_bucket{route=\"POST /v1/completeness\",le=\"+Inf\"}",
+		"apiserved_route_duration_seconds_count{route=\"POST /v1/completeness\"}",
+		"apiserved_route_duration_seconds_sum{route=\"POST /v1/completeness\"}",
+		"apiserved_admission_enabled 0",
+		"apiserved_admission_shed_total{reason=\"queue_full\"} 0",
 		"apiserved_cache_hits_total",
 		"apiserved_cache_misses_total",
 		"apiserved_cache_hit_ratio",

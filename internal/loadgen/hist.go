@@ -1,0 +1,144 @@
+// Package loadgen synthesizes realistic query traffic for the serving
+// path and measures it against an SLO. The workload is drawn from the
+// study itself — package names Zipf-weighted by popcon installation
+// counts, system calls weighted by greedy-path rank, an endpoint mix
+// over the /v1 query surface — and driven either closed-loop (fixed
+// concurrency, each worker waits for its response) or open-loop (fixed
+// arrival rate with latencies measured from the *scheduled* arrival,
+// so a stalling server cannot hide behind coordinated omission).
+// Latencies accumulate in an HDR-style log-linear histogram with
+// bounded relative error, reported as p50/p90/p99/p99.9 per endpoint.
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram bucket layout: values (nanoseconds) below subCount are
+// exact; above, each power-of-two range is split into subCount linear
+// sub-buckets, bounding the relative quantization error at 1/subCount
+// (~1.6%) across the full range — the HDR histogram trick, without the
+// auto-resizing machinery we don't need for latencies.
+const (
+	histSubBits = 6
+	histSubCnt  = 1 << histSubBits
+	// histMaxIdx covers every possible int64 nanosecond value.
+	histMaxIdx = (63-histSubBits)*histSubCnt + histSubCnt
+)
+
+// Hist is an HDR-style latency histogram. The zero value is ready to
+// use. Hist is not safe for concurrent use; drivers keep one per
+// collector shard and Merge at the end.
+type Hist struct {
+	counts [histMaxIdx + 1]uint32
+	count  uint64
+	sum    int64
+	max    int64
+	min    int64
+}
+
+func histIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSubCnt {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 - histSubBits
+	return (exp << histSubBits) + int(v>>uint(exp))
+}
+
+// histValue returns the midpoint of bucket i's value range, the
+// canonical representative reported for quantiles.
+func histValue(i int) int64 {
+	if i < histSubCnt {
+		return int64(i)
+	}
+	exp := (i - histSubCnt) >> histSubBits
+	base := int64(i-(exp<<histSubBits)) << uint(exp)
+	return base + (int64(1)<<uint(exp))/2
+}
+
+// Record adds one latency observation.
+func (h *Hist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Max returns the largest recorded value.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean returns the arithmetic mean of recorded values.
+func (h *Hist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.count))
+}
+
+// Quantile returns the latency at quantile q in [0, 1]: the smallest
+// bucket whose cumulative count reaches q of the total. Within ~1.6%
+// relative error of the true order statistic.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q*float64(h.count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += uint64(c)
+		if cum >= target {
+			v := histValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}

@@ -1,0 +1,320 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+func TestHistExactSmallValues(t *testing.T) {
+	var h Hist
+	for v := time.Duration(0); v < histSubCnt; v++ {
+		h.Record(v)
+	}
+	if h.Count() != histSubCnt {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Small values are stored exactly: the median of 0..63 is 31-32.
+	if q := h.Quantile(0.5); q < 31 || q > 32 {
+		t.Errorf("p50 of 0..63 = %d", q)
+	}
+	if h.Max() != histSubCnt-1 {
+		t.Errorf("max = %d", h.Max())
+	}
+}
+
+// TestHistQuantileAccuracy checks the HDR property: quantiles are
+// within ~1.6% relative error of the true order statistic, across
+// magnitudes from microseconds to seconds.
+func TestHistQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Hist
+	var vals []float64
+	for i := 0; i < 200_000; i++ {
+		// Log-uniform over [1µs, 5s] — five decades.
+		v := time.Duration(float64(time.Microsecond) * pow10(rng.Float64()*6.7))
+		h.Record(v)
+		vals = append(vals, float64(v))
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		idx := int(q*float64(len(vals))+0.5) - 1
+		truth := vals[idx]
+		got := float64(h.Quantile(q))
+		if rel := abs(got-truth) / truth; rel > 0.02 {
+			t.Errorf("q=%v: got %v truth %v (rel err %.3f)", q, got, truth, rel)
+		}
+	}
+}
+
+func pow10(x float64) float64 {
+	r := 1.0
+	for x >= 1 {
+		r *= 10
+		x--
+	}
+	// linear interpolation is plenty for test input spread
+	return r * (1 + 9*x/10*1.0) // in [r, 10r)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b, whole Hist
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10_000; i++ {
+		v := time.Duration(rng.Intn(1_000_000))
+		whole.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Max() != whole.Max() || a.Mean() != whole.Mean() {
+		t.Fatalf("merge: count %d/%d max %v/%v mean %v/%v",
+			a.Count(), whole.Count(), a.Max(), whole.Max(), a.Mean(), whole.Mean())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%v: merged %v whole %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func testProfile(t *testing.T) *Profile {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Config{Packages: 40, Installations: 100000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromCorpus(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGeneratorDeterministicAndMixed(t *testing.T) {
+	p := testProfile(t)
+	if p.ELF == nil {
+		t.Fatal("profile found no ELF sample")
+	}
+	g1, err := NewGenerator(p, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(p, nil, 5)
+	seen := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		r1, r2 := g1.Next(), g2.Next()
+		if r1.Endpoint != r2.Endpoint || r1.Path != r2.Path || string(r1.Body) != string(r2.Body) {
+			t.Fatalf("generators diverged at %d: %q vs %q", i, r1.Path, r2.Path)
+		}
+		seen[r1.Endpoint]++
+	}
+	// Every endpoint of the default mix appears, roughly in proportion.
+	for _, ep := range []string{EpImportance, EpCompleteness, EpSuggest, EpFootprint, EpAnalyze} {
+		if seen[ep] == 0 {
+			t.Errorf("endpoint %s never generated (mix %v)", ep, seen)
+		}
+	}
+	if seen[EpImportance] < seen[EpAnalyze] {
+		t.Errorf("mix weights ignored: %v", seen)
+	}
+}
+
+// TestGeneratorZipfWeighting checks that package weights shape the
+// stream: a package holding 90% of the installation mass must draw
+// ~90% of the footprint requests, not a uniform 25%.
+func TestGeneratorZipfWeighting(t *testing.T) {
+	p := &Profile{
+		Packages: []string{"head", "mid", "tail-a", "tail-b"},
+		Weights:  []int64{90, 8, 1, 1},
+		Syscalls: []string{"read", "write", "open"},
+	}
+	g, err := NewGenerator(p, Mix{EpFootprint: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	hits := map[string]int{}
+	for i := 0; i < n; i++ {
+		hits[g.Next().Path]++
+	}
+	got := float64(hits["/v1/footprint/head"]) / n
+	if got < 0.85 || got > 0.95 {
+		t.Errorf("head package drawn %.3f of the time, want ~0.90", got)
+	}
+	if hits["/v1/footprint/tail-a"] == 0 {
+		t.Error("tail package starved entirely")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("importance=3, footprint=1,analyze=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[EpImportance] != 3 || m[EpFootprint] != 1 || m[EpAnalyze] != 0 {
+		t.Errorf("mix = %v", m)
+	}
+	for _, bad := range []string{"bogus=1", "importance", "importance=-1", "importance=x"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// stubServer responds 200 to every endpoint with an optional delay.
+func stubServer(delay time.Duration) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		w.Write([]byte(`{}`))
+	}))
+}
+
+func TestClosedLoopDriver(t *testing.T) {
+	p := testProfile(t)
+	ts := stubServer(0)
+	defer ts.Close()
+	rep, err := Run(context.Background(), p, Options{
+		BaseURL:  ts.URL,
+		Mode:     ModeClosed,
+		Workers:  4,
+		Duration: 300 * time.Millisecond,
+		Warmup:   100 * time.Millisecond,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overall.Requests == 0 {
+		t.Fatal("no requests measured")
+	}
+	if rep.WarmupRequests == 0 {
+		t.Error("warmup requests not separated")
+	}
+	if rep.HTTP5xx != 0 || rep.Overall.Errors != 0 {
+		t.Errorf("errors against stub: %+v", rep.Overall)
+	}
+	if rep.Overall.Codes["200"] != rep.Overall.Requests {
+		t.Errorf("codes = %v, requests = %d", rep.Overall.Codes, rep.Overall.Requests)
+	}
+	if len(rep.Endpoints) == 0 || rep.Mode != ModeClosed || rep.Workers != 4 {
+		t.Errorf("report shape: %+v", rep)
+	}
+	var sum uint64
+	for _, ep := range rep.Endpoints {
+		sum += ep.Requests
+	}
+	if sum != rep.Overall.Requests {
+		t.Errorf("per-endpoint sum %d != overall %d", sum, rep.Overall.Requests)
+	}
+}
+
+func TestOpenLoopDriverRate(t *testing.T) {
+	p := testProfile(t)
+	ts := stubServer(0)
+	defer ts.Close()
+	rep, err := Run(context.Background(), p, Options{
+		BaseURL:  ts.URL,
+		Mode:     ModeOpen,
+		RPS:      200,
+		Duration: 500 * time.Millisecond,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~100 arrivals in 500ms at 200/s; allow generous scheduler slack.
+	if rep.Overall.Requests < 60 || rep.Overall.Requests > 140 {
+		t.Errorf("open-loop arrivals = %d, want ~100", rep.Overall.Requests)
+	}
+	if rep.TargetRPS != 200 {
+		t.Errorf("target RPS = %v", rep.TargetRPS)
+	}
+}
+
+// TestOpenLoopCoordinatedOmissionSafety is the property the open-loop
+// driver exists for: against a server that takes 100ms per response
+// with 1 outstanding request allowed, a closed-loop client would
+// happily report 100ms latencies at 10 RPS — but at 50 scheduled
+// arrivals/s, 4 of every 5 requests queue behind the stall, and their
+// measured latency must include that wait.
+func TestOpenLoopCoordinatedOmissionSafety(t *testing.T) {
+	p := testProfile(t)
+	const serverDelay = 50 * time.Millisecond
+	ts := stubServer(serverDelay)
+	defer ts.Close()
+	rep, err := Run(context.Background(), p, Options{
+		BaseURL:        ts.URL,
+		Mode:           ModeOpen,
+		RPS:            100,
+		OutstandingMax: 1, // serialize: server capacity 20/s vs 100/s offered
+		Duration:       600 * time.Millisecond,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The backlog grows ~linearly; the p99 arrival waited most of the
+	// run, far beyond one service time. A CO-blind driver would report
+	// ~serverDelay here.
+	if p99 := rep.Overall.P99Ms; p99 < 4*float64(serverDelay/time.Millisecond) {
+		t.Errorf("p99 = %.1fms does not include queue delay (service time %v)", p99, serverDelay)
+	}
+}
+
+func TestRampFindsCliff(t *testing.T) {
+	p := testProfile(t)
+	// Server sheds above a rate: count in-flight via a semaphore of 1
+	// and 20ms service time → capacity ~50 RPS.
+	sem := make(chan struct{}, 2)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			time.Sleep(20 * time.Millisecond)
+			<-sem
+			w.Write([]byte(`{}`))
+		default:
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+	ramp, err := Ramp(context.Background(), p, Options{
+		BaseURL:  ts.URL,
+		Duration: 300 * time.Millisecond,
+		Seed:     1,
+	}, 20, 200, 420, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ramp.Stages) == 0 {
+		t.Fatal("no stages")
+	}
+	last := ramp.Stages[len(ramp.Stages)-1]
+	if last.Pass {
+		t.Skip("machine fast enough that the cliff never failed; nothing to assert")
+	}
+	if ramp.MaxPassingRPS >= last.RPS {
+		t.Errorf("max passing %v >= failing stage %v", ramp.MaxPassingRPS, last.RPS)
+	}
+	if last.Report.HTTP5xx == 0 && last.Report.Overall.P99Ms <= ramp.SLOP99Ms {
+		t.Errorf("failing stage has no failure signal: %+v", last.Report.Overall)
+	}
+}

@@ -1,0 +1,260 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro"
+	"repro/internal/corpus"
+	"repro/internal/elfx"
+	"repro/internal/linuxapi"
+)
+
+// Endpoint labels — the logical names requests are reported under.
+const (
+	EpImportance   = "importance"
+	EpCompleteness = "completeness"
+	EpSuggest      = "suggest"
+	EpFootprint    = "footprint"
+	EpAnalyze      = "analyze"
+)
+
+// Mix is the endpoint mix as relative weights. Zero-weight endpoints
+// are never generated.
+type Mix map[string]int
+
+// DefaultMix approximates a compat-layer developer's session against
+// the service: mostly cheap importance/footprint lookups, a steady
+// stream of completeness evaluations, occasional suggest iterations
+// and ELF uploads.
+func DefaultMix() Mix {
+	return Mix{
+		EpImportance:   30,
+		EpFootprint:    25,
+		EpCompleteness: 20,
+		EpSuggest:      15,
+		EpAnalyze:      10,
+	}
+}
+
+// ParseMix parses "importance=3,footprint=2,..." into a Mix.
+func ParseMix(s string) (Mix, error) {
+	m := Mix{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: bad mix entry %q (want name=weight)", part)
+		}
+		var w int
+		if _, err := fmt.Sscanf(val, "%d", &w); err != nil || w < 0 {
+			return nil, fmt.Errorf("loadgen: bad mix weight %q", part)
+		}
+		switch name {
+		case EpImportance, EpCompleteness, EpSuggest, EpFootprint, EpAnalyze:
+			m[name] = w
+		default:
+			return nil, fmt.Errorf("loadgen: unknown endpoint %q", name)
+		}
+	}
+	return m, nil
+}
+
+// Request is one synthesized HTTP request in wire-agnostic form.
+type Request struct {
+	Endpoint    string // logical label for reporting
+	Method      string
+	Path        string
+	Body        []byte
+	ContentType string
+}
+
+// Profile is the data a workload draws from: the study's package
+// population with installation weights, an importance-ordered syscall
+// list, and a sample ELF for upload analysis.
+type Profile struct {
+	// Packages and Weights are parallel: Weights[i] is the popcon
+	// installation count of Packages[i] (plus one, so unreported
+	// packages still have sampling mass).
+	Packages []string
+	Weights  []int64
+	// Syscalls is importance-ordered (most important first); rank-
+	// weighted sampling makes hot calls dominate like real queries do.
+	Syscalls []string
+	// ELF is a sample binary POSTed to /v1/analyze (nil disables the
+	// analyze endpoint regardless of mix).
+	ELF []byte
+}
+
+// FromStudy builds a profile from an analyzed study: packages weighted
+// by the survey, syscalls in measured greedy-path order, and the first
+// ELF executable found in the corpus as the upload sample.
+func FromStudy(s *repro.Study) (*Profile, error) {
+	order := make([]string, 0, 320)
+	for _, pt := range s.GreedyPath() {
+		order = append(order, pt.API.Name)
+	}
+	return fromParts(s.Core().Corpus, order)
+}
+
+// FromCorpus builds a profile from a bare corpus (no analysis run):
+// packages weighted by the survey, syscalls in the given order — pass
+// the live server's /v1/path ordering, or nil to fall back to the
+// static syscall table.
+func FromCorpus(c *corpus.Corpus, syscallOrder []string) (*Profile, error) {
+	return fromParts(c, syscallOrder)
+}
+
+func fromParts(c *corpus.Corpus, syscallOrder []string) (*Profile, error) {
+	p := &Profile{Syscalls: syscallOrder}
+	if len(p.Syscalls) == 0 {
+		for _, sc := range linuxapi.Syscalls {
+			p.Syscalls = append(p.Syscalls, sc.Name)
+		}
+	}
+	names := c.Repo.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		p.Packages = append(p.Packages, name)
+		p.Weights = append(p.Weights, c.Survey.Installs(name)+1)
+	}
+	if len(p.Packages) == 0 {
+		return nil, fmt.Errorf("loadgen: corpus has no packages")
+	}
+	for _, name := range names {
+		for _, f := range c.Repo.Get(name).Files {
+			if class, _ := elfx.Classify(f.Data); class == elfx.ClassELFExec || class == elfx.ClassELFStatic {
+				p.ELF = f.Data
+				break
+			}
+		}
+		if p.ELF != nil {
+			break
+		}
+	}
+	return p, nil
+}
+
+// Generator deterministically synthesizes requests from a profile.
+// Not safe for concurrent use; drivers hold one per worker, seeded
+// from the run seed plus the worker index.
+type Generator struct {
+	p   *Profile
+	rng *rand.Rand
+
+	endpoints []string
+	cumMix    []int
+	mixTotal  int
+
+	cumPkg   []int64
+	pkgTotal int64
+}
+
+// NewGenerator builds a generator over profile with the given mix.
+// The analyze endpoint is dropped when the profile has no sample ELF.
+func NewGenerator(p *Profile, mix Mix, seed int64) (*Generator, error) {
+	if len(mix) == 0 {
+		mix = DefaultMix()
+	}
+	g := &Generator{p: p, rng: rand.New(rand.NewSource(seed))}
+	// Deterministic endpoint order regardless of map iteration.
+	names := make([]string, 0, len(mix))
+	for name := range mix {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := mix[name]
+		if w <= 0 || (name == EpAnalyze && p.ELF == nil) {
+			continue
+		}
+		g.endpoints = append(g.endpoints, name)
+		g.mixTotal += w
+		g.cumMix = append(g.cumMix, g.mixTotal)
+	}
+	if g.mixTotal == 0 {
+		return nil, fmt.Errorf("loadgen: endpoint mix is empty")
+	}
+	for _, w := range p.Weights {
+		g.pkgTotal += w
+		g.cumPkg = append(g.cumPkg, g.pkgTotal)
+	}
+	if len(p.Syscalls) == 0 {
+		return nil, fmt.Errorf("loadgen: profile has no syscalls")
+	}
+	return g, nil
+}
+
+// pickPackage samples a package proportionally to installation count —
+// the popcon weighting is itself Zipf-like, so popular packages
+// dominate the stream the way they dominate real installations.
+func (g *Generator) pickPackage() string {
+	t := g.rng.Int63n(g.pkgTotal)
+	i := sort.Search(len(g.cumPkg), func(i int) bool { return g.cumPkg[i] > t })
+	return g.p.Packages[i]
+}
+
+// pickSyscall samples a syscall with weight 1/(rank+1) over the
+// importance ordering — a Zipf(1) head, so read/write-class calls are
+// queried far more often than the tail, without starving it.
+func (g *Generator) pickSyscall() string {
+	n := len(g.p.Syscalls)
+	// Inverse-CDF sampling of the harmonic distribution via rejection:
+	// cheap and allocation-free for n in the hundreds.
+	for {
+		r := g.rng.Intn(n)
+		if g.rng.Float64() < 1/float64(r+1) {
+			return g.p.Syscalls[r]
+		}
+	}
+}
+
+// prefix returns the top-k importance-ordered syscalls for a random k,
+// the shape of real completeness/suggest queries ("here is what my
+// prototype supports so far").
+func (g *Generator) prefix() []string {
+	n := len(g.p.Syscalls)
+	k := 1 + g.rng.Intn(n)
+	return g.p.Syscalls[:k]
+}
+
+// Next synthesizes the next request.
+func (g *Generator) Next() Request {
+	t := g.rng.Intn(g.mixTotal)
+	idx := sort.SearchInts(g.cumMix, t+1)
+	switch g.endpoints[idx] {
+	case EpImportance:
+		return Request{
+			Endpoint: EpImportance, Method: "GET",
+			Path: "/v1/importance/" + g.pickSyscall(),
+		}
+	case EpCompleteness:
+		body, _ := json.Marshal(map[string]any{"syscalls": g.prefix()})
+		return Request{
+			Endpoint: EpCompleteness, Method: "POST", Path: "/v1/completeness",
+			Body: body, ContentType: "application/json",
+		}
+	case EpSuggest:
+		body, _ := json.Marshal(map[string]any{"supported": g.prefix(), "k": 1 + g.rng.Intn(8)})
+		return Request{
+			Endpoint: EpSuggest, Method: "POST", Path: "/v1/suggest",
+			Body: body, ContentType: "application/json",
+		}
+	case EpFootprint:
+		return Request{
+			Endpoint: EpFootprint, Method: "GET",
+			Path: "/v1/footprint/" + g.pickPackage(),
+		}
+	default: // EpAnalyze
+		return Request{
+			Endpoint: EpAnalyze, Method: "POST", Path: "/v1/analyze?name=loadgen.bin",
+			Body: g.p.ELF, ContentType: "application/octet-stream",
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmissionDisabled(t *testing.T) {
+	if a := NewAdmission(AdmissionConfig{}); a != nil {
+		t.Fatalf("MaxInFlight 0 should disable admission, got %+v", a)
+	}
+	// Nil limiter admits everything and is safe to call.
+	var a *Admission
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("nil Acquire: %v", err)
+	}
+	release()
+	if st := a.Stats(); st.Enabled {
+		t.Errorf("nil Stats = %+v, want disabled", st)
+	}
+	if ra := a.RetryAfter(); ra != time.Second {
+		t.Errorf("nil RetryAfter = %s", ra)
+	}
+}
+
+func TestAdmissionQueueFullShedsImmediately(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 0, QueueWait: time.Minute})
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot busy, queue size zero: the second request sheds without waiting.
+	start := time.Now()
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("Acquire on full = %v, want ErrShed", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("queue-full shed took %s, want immediate", elapsed)
+	}
+	st := a.Stats()
+	if st.ShedQueueFull != 1 || st.Shed != 1 || st.Accepted != 1 || st.InFlight != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	release()
+	if st := a.Stats(); st.InFlight != 0 {
+		t.Errorf("inflight after release = %d", st.InFlight)
+	}
+	// Double release is a no-op, not a slot leak in reverse.
+	release()
+	if _, err := a.Acquire(context.Background()); err != nil {
+		t.Fatalf("reacquire after release: %v", err)
+	}
+}
+
+func TestAdmissionQueueWaitTimeout(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 4, QueueWait: 30 * time.Millisecond})
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	_, err = a.Acquire(context.Background())
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("queued Acquire = %v, want ErrShed", err)
+	}
+	if elapsed < 25*time.Millisecond {
+		t.Errorf("shed after %s, want >= QueueWait", elapsed)
+	}
+	st := a.Stats()
+	if st.ShedTimeout != 1 || st.Queued != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionDeadlineAwareWait(t *testing.T) {
+	// The request's own deadline expires before QueueWait: the waiter
+	// leaves the queue at its deadline, not at the queue bound.
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 4, QueueWait: time.Minute})
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = a.Acquire(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("deadline Acquire = %v, want ErrShed", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("deadline shed took %s", elapsed)
+	}
+	if st := a.Stats(); st.ShedCancelled != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionWaiterGetsFreedSlot(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 1, QueueWait: 5 * time.Second})
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r2, err := a.Acquire(context.Background())
+		if err == nil {
+			r2()
+		}
+		got <- err
+	}()
+	// Let the waiter enqueue, then free the slot.
+	for i := 0; i < 100 && a.Stats().Queued == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("queued waiter = %v, want admission", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter never admitted")
+	}
+	if st := a.Stats(); st.Accepted != 2 || st.Shed != 0 || st.InFlight != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestAdmissionConcurrentInvariants hammers the limiter from many
+// goroutines (run under -race in CI) and checks the two safety
+// properties: admitted concurrency never exceeds MaxInFlight, and
+// every request is either accepted or shed, never lost.
+func TestAdmissionConcurrentInvariants(t *testing.T) {
+	const (
+		limit    = 4
+		queue    = 8
+		clients  = 64
+		requests = 50
+	)
+	a := NewAdmission(AdmissionConfig{MaxInFlight: limit, MaxQueue: queue, QueueWait: 2 * time.Millisecond})
+	var (
+		wg        sync.WaitGroup
+		inflight  atomic.Int64
+		maxSeen   atomic.Int64
+		accepted  atomic.Uint64
+		shed      atomic.Uint64
+		badQueued atomic.Uint64
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				release, err := a.Acquire(context.Background())
+				if err != nil {
+					shed.Add(1)
+					continue
+				}
+				n := inflight.Add(1)
+				for {
+					m := maxSeen.Load()
+					if n <= m || maxSeen.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				if q := a.Stats().Queued; q > queue {
+					badQueued.Add(1)
+				}
+				accepted.Add(1)
+				time.Sleep(50 * time.Microsecond)
+				inflight.Add(-1)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if m := maxSeen.Load(); m > limit {
+		t.Errorf("observed %d concurrent admissions, limit %d", m, limit)
+	}
+	if badQueued.Load() > 0 {
+		t.Errorf("queue depth exceeded MaxQueue %d times", badQueued.Load())
+	}
+	st := a.Stats()
+	if st.Accepted != accepted.Load() || st.Shed != shed.Load() {
+		t.Errorf("counter drift: stats=%+v locally accepted=%d shed=%d",
+			st, accepted.Load(), shed.Load())
+	}
+	if total := st.Accepted + st.Shed; total != clients*requests {
+		t.Errorf("requests lost: %d accounted, %d issued", total, clients*requests)
+	}
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("gauges nonzero at rest: %+v", st)
+	}
+}

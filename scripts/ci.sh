@@ -4,9 +4,11 @@
 # footprint resolution in internal/core, the intern table and bitset
 # footprints in internal/linuxapi/footprint/metrics, the
 # snapshot-swap/cache/analysis-pool paths in internal/service, and the
-# coordinator/worker fleet in internal/fleet), and a two-worker
-# end-to-end fleet smoke test. Run from the repository root; used by
-# .github/workflows/ci.yml and fine to run locally.
+# coordinator/worker fleet in internal/fleet, and the load drivers in
+# internal/loadgen), a two-worker end-to-end fleet smoke test, and an
+# end-to-end load smoke test that gates the serving SLO. Run from the
+# repository root; used by .github/workflows/ci.yml and fine to run
+# locally.
 set -eu
 
 echo "== gofmt"
@@ -30,11 +32,15 @@ go test ./...
 echo "== go test -shuffle (order-independence)"
 go test -count=1 -shuffle=on ./...
 
-echo "== go test -race (pipeline, intern/bitset/metrics, service, HTTP API, analysis cache, fleet)"
+echo "== go test -race (pipeline, intern/bitset/metrics, service, HTTP API, analysis cache, fleet, loadgen)"
 go test -race ./internal/core ./internal/linuxapi ./internal/footprint ./internal/metrics \
-    ./internal/service ./internal/httpapi ./internal/anacache ./internal/fleet
+    ./internal/service ./internal/httpapi ./internal/anacache ./internal/fleet \
+    ./internal/loadgen
 
 echo "== fleet smoke test (two-worker end-to-end)"
 sh scripts/fleet_smoke.sh
+
+echo "== load smoke test (apiserved + apiload + serving SLO gate)"
+sh scripts/load_smoke.sh
 
 echo "CI OK"

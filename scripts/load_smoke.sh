@@ -1,0 +1,55 @@
+#!/bin/sh
+# End-to-end load smoke test: builds the real binaries, starts apiserved
+# on a loopback port with admission control enabled, drives a short
+# fixed-rate open-loop apiload pass against it, and gates the resulting
+# report with benchgate -serving — accepted-request p99 within the SLO,
+# zero 5xx, zero transport errors. This is the serving path's
+# integration gate above internal/loadgen's and internal/httpapi's unit
+# tests: flag plumbing, a real listener, the live /v1/path workload
+# bootstrap, report emission, and the CI artifact.
+# Run from the repository root; used by scripts/ci.sh and fine to run
+# locally. OUT overrides where the gated artifact lands (default: a
+# temp file, discarded).
+set -eu
+
+tmp=$(mktemp -d)
+srv_pid=""
+cleanup() {
+    [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+out=${OUT:-"$tmp/BENCH_serving.json"}
+
+echo "== load smoke: build"
+go build -o "$tmp/apiserved" ./cmd/apiserved
+go build -o "$tmp/apiload" ./cmd/apiload
+go build -o "$tmp/benchgate" ./cmd/benchgate
+
+addr=127.0.0.1:18851
+echo "== load smoke: apiserved on $addr"
+"$tmp/apiserved" -addr "$addr" -packages 60 -seed 17 \
+    -max-inflight 64 -max-queue 128 -queue-wait 500ms -quiet \
+    >"$tmp/apiserved.log" 2>&1 &
+srv_pid=$!
+
+echo "== load smoke: apiload (open loop, 80 rps)"
+"$tmp/apiload" -target "http://$addr" -wait-healthy 30s \
+    -mode open -rps 80 -duration 3s -warmup 1s \
+    -packages 60 -seed 17 -load-seed 42 \
+    -out "$tmp/report.json" 2>"$tmp/apiload.log" || {
+    echo "load smoke: apiload failed:" >&2
+    cat "$tmp/apiload.log" >&2
+    cat "$tmp/apiserved.log" >&2
+    exit 1
+}
+
+echo "== load smoke: benchgate -serving"
+"$tmp/benchgate" -serving "$tmp/report.json" -max-p99-ms 500 -out "$out" || {
+    echo "load smoke: serving SLO gate failed; apiserved log:" >&2
+    tail -5 "$tmp/apiserved.log" >&2
+    exit 1
+}
+
+echo "load smoke OK: SLO held at 80 rps"
