@@ -21,6 +21,14 @@
 // before exit; with -corpus and -watch, a changed corpus directory is
 // re-analyzed in the background and swapped in without dropping
 // requests.
+//
+// With -spool-dir the async job tier comes up alongside the query
+// path: POST /v1/jobs/{type} (analyze-upload, corpus-diff,
+// compat-matrix, snapshot-rebuild), GET /v1/jobs/{id} (?wait=30s
+// long-polls), GET /v1/jobs/{id}/result, GET /v1/jobs?state=dead.
+// Spooled jobs survive a restart, duplicate submissions collapse onto
+// one job, and /v1/analyze uploads at or above -async-analyze-bytes
+// are answered 202 with a job record instead of blocking.
 package main
 
 import (
@@ -39,6 +47,7 @@ import (
 	"repro"
 	"repro/internal/fleet"
 	"repro/internal/httpapi"
+	"repro/internal/jobs"
 	"repro/internal/service"
 )
 
@@ -64,6 +73,12 @@ func main() {
 		shards    = flag.Int("shards", 0, "shard count for -workers (0: 4 per worker)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 		quiet     = flag.Bool("quiet", false, "disable request logging")
+
+		spoolDir   = flag.String("spool-dir", "", "enable the async job tier with this spool directory; queued jobs survive a restart")
+		jobWorkers = flag.Int("job-workers", 2, "concurrent job executions")
+		jobQueue   = flag.Int("job-queue", 256, "max queued jobs before submissions are shed")
+		jobTTL     = flag.Duration("job-ttl", time.Hour, "retention of finished jobs and their results")
+		asyncBytes = flag.Int64("async-analyze-bytes", 8<<20, "route /v1/analyze uploads at or above this size into the job tier (0: default, negative: never)")
 	)
 	flag.Parse()
 
@@ -143,17 +158,38 @@ func main() {
 		Fleet:       coord,
 	})
 
+	var mgr *jobs.Manager
+	if *spoolDir != "" {
+		mgr = jobs.New(jobs.Config{
+			SpoolDir:  *spoolDir,
+			Workers:   *jobWorkers,
+			MaxQueue:  *jobQueue,
+			ResultTTL: *jobTTL,
+			Logf:      log.Printf,
+		})
+		if err := service.RegisterExecutors(mgr, svc); err != nil {
+			log.Fatal(err)
+		}
+		if err := mgr.Start(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("job tier up: spool %s, %d workers, types %s",
+			*spoolDir, *jobWorkers, strings.Join(mgr.Types(), ","))
+	}
+
 	var reqLog *log.Logger
 	if !*quiet {
 		reqLog = log.New(os.Stderr, "apiserved: ", log.LstdFlags)
 	}
 	api := httpapi.New(svc, httpapi.Options{
-		Logger:         reqLog,
-		RequestTimeout: *timeout,
-		MaxUploadBytes: *bodyMax,
-		MaxInFlight:    *inflight,
-		MaxQueue:       *queue,
-		QueueWait:      *queueWait,
+		Logger:            reqLog,
+		RequestTimeout:    *timeout,
+		MaxUploadBytes:    *bodyMax,
+		MaxInFlight:       *inflight,
+		MaxQueue:          *queue,
+		QueueWait:         *queueWait,
+		Jobs:              mgr,
+		AsyncAnalyzeBytes: *asyncBytes,
 	})
 	if *inflight > 0 {
 		log.Printf("admission control: %d in flight, %d queued, %s max wait",
@@ -172,6 +208,11 @@ func main() {
 	if err := httpapi.ListenAndServe(ctx, *addr, api, *grace, log.Default()); err != nil &&
 		!errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
+	}
+	if mgr != nil {
+		// Running jobs are reverted to queued in the spool so the next
+		// start resumes them under the same IDs.
+		mgr.Close()
 	}
 	log.Printf("bye")
 }

@@ -5,10 +5,16 @@
 // for scraping. Start two of them and point apistudy -workers at both
 // for a one-machine distributed run.
 //
+// The same pipeline is also exposed as a durable job type: POST
+// /v1/jobs/shard-analyze queues a shard instead of holding the
+// connection, and with -spool-dir queued work survives a restart.
+// Coordinator RPCs and queued jobs draw from one -pool analysis budget.
+//
 // Usage:
 //
 //	apiworker -addr :8841
 //	apiworker -addr :8842 -cache-dir /var/cache/apiworker2
+//	apiworker -addr :8843 -spool-dir /var/spool/apiworker -pool 4
 //	apiworker -check http://127.0.0.1:8841   # health probe, exit 0/1
 package main
 
@@ -21,12 +27,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/fleet"
 	"repro/internal/httpapi"
+	"repro/internal/jobs"
 )
 
 func main() {
@@ -36,6 +44,9 @@ func main() {
 		addr     = flag.String("addr", ":8841", "listen address")
 		cacheDir = flag.String("cache-dir", "", "persistent analysis cache directory (re-dispatched shards reuse per-binary records)")
 		bodyMax  = flag.Int64("max-body", 1<<30, "max shard request body bytes")
+		poolSize = flag.Int("pool", 2, "concurrent analysis slots shared by shard RPCs and queued jobs (0 = unlimited)")
+		spoolDir = flag.String("spool-dir", "", "job spool directory; queued shard-analyze jobs survive a restart")
+		maxQueue = flag.Int("max-queue", 256, "max queued jobs before submissions are shed")
 		grace    = flag.Duration("grace", 5*time.Second, "shutdown drain period")
 		check    = flag.String("check", "", "probe the given worker URL's /healthz and exit 0 (healthy) or 1; for scripts without curl")
 		quiet    = flag.Bool("quiet", false, "disable per-shard logging")
@@ -74,20 +85,51 @@ func main() {
 	if !*quiet {
 		shardLog = log.New(os.Stderr, "apiworker: ", log.LstdFlags)
 	}
+	var pool *jobs.Pool // nil = unlimited
+	if *poolSize > 0 {
+		pool = jobs.NewPool(*poolSize)
+	}
 	worker := fleet.NewWorker(fleet.WorkerConfig{
 		Opts:         repro.Options{},
 		Cache:        anaCache,
 		MaxBodyBytes: *bodyMax,
+		Pool:         pool,
 		Logger:       shardLog,
 	})
+
+	// The job tier rides on the same pool, so a queued shard never runs
+	// while the coordinator path has every slot (and vice versa).
+	mgr := jobs.New(jobs.Config{
+		SpoolDir: *spoolDir,
+		Pool:     pool,
+		MaxQueue: *maxQueue,
+		Logf:     log.Printf,
+	})
+	if err := mgr.Register(worker.ShardExecutor()); err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.Start(); err != nil {
+		log.Fatal(err)
+	}
+	if *spoolDir != "" {
+		log.Printf("job spool at %s", *spoolDir)
+	}
+
+	mux := http.NewServeMux()
+	jobsHandler := jobs.NewHandler(mgr)
+	mux.Handle("/v1/jobs", jobsHandler)
+	mux.Handle("/v1/jobs/", jobsHandler)
+	mux.Handle("/", worker)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("serving shard analysis on %s", *addr)
-	if err := httpapi.ListenAndServe(ctx, *addr, worker, *grace, log.Default()); err != nil &&
+	log.Printf("serving shard analysis on %s (jobs: %s)", *addr,
+		strings.Join(mgr.Types(), ","))
+	if err := httpapi.ListenAndServe(ctx, *addr, mux, *grace, log.Default()); err != nil &&
 		!errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	mgr.Close()
 	log.Printf("bye")
 }

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/anacache"
 	"repro/internal/core"
 	"repro/internal/footprint"
+	"repro/internal/jobs"
 )
 
 // WorkerConfig tunes one shard worker.
@@ -29,8 +31,41 @@ type WorkerConfig struct {
 	// MaxBodyBytes caps request bodies (default 1 GiB — a shard carries
 	// raw ELF images).
 	MaxBodyBytes int64
+	// Pool, when non-nil, bounds concurrent shard analyses. The same
+	// pool can back a jobs.Manager on the same process, so coordinator
+	// RPCs and queued jobs draw from one analysis budget instead of
+	// doubling the worker's footprint.
+	Pool *jobs.Pool
 	// Logger receives one line per shard; nil disables logging.
 	Logger *log.Logger
+}
+
+// analyzeShard runs one shard request through the ordinary in-process
+// analysis pipeline. It is the common core of the worker's HTTP
+// endpoint and the shard-analyze job executor.
+func analyzeShard(req *ShardRequest, opts footprint.Options, cache *anacache.Cache) (ShardResponse, uint64) {
+	work := make([]core.BinaryJob, len(req.Files))
+	for i, f := range req.Files {
+		work[i] = core.BinaryJob{Pkg: f.Pkg, Path: f.Path, Data: f.Data, Lib: f.Lib}
+	}
+	// The cache is keyed by the options it was opened under; a request
+	// analyzed under different options must not read or write it.
+	if req.Opts != opts {
+		cache = nil
+	}
+	results := core.AnalyzeJobsLocal(work, req.Opts, cache)
+
+	resp := ShardResponse{Shard: req.Shard, Results: make([]FileResult, len(results))}
+	var fileErrs uint64
+	for i := range results {
+		if err := results[i].Err; err != nil {
+			resp.Results[i].Err = err.Error()
+			fileErrs++
+			continue
+		}
+		resp.Results[i].Summary = results[i].Summary
+	}
+	return resp, fileErrs
 }
 
 // Worker is the HTTP shard-analysis endpoint: it wraps the ordinary
@@ -83,30 +118,20 @@ func (w *Worker) handleAnalyze(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	jobs := make([]core.BinaryJob, len(req.Files))
-	for i, f := range req.Files {
-		jobs[i] = core.BinaryJob{Pkg: f.Pkg, Path: f.Path, Data: f.Data, Lib: f.Lib}
+	// Coordinator RPCs share the analysis budget with any co-resident
+	// job tier; a request that cannot get a slot before the client gives
+	// up is not analyzed at all.
+	release, err := w.cfg.Pool.Acquire(r.Context())
+	if err != nil {
+		http.Error(rw, fmt.Sprintf("waiting for analysis slot: %v", err),
+			http.StatusServiceUnavailable)
+		return
 	}
-	// The cache is keyed by the options it was opened under; a request
-	// analyzed under different options must not read or write it.
-	cache := w.cfg.Cache
-	if req.Opts != w.cfg.Opts {
-		cache = nil
-	}
-	results := core.AnalyzeJobsLocal(jobs, req.Opts, cache)
+	resp, fileErrs := analyzeShard(&req, w.cfg.Opts, w.cfg.Cache)
+	release()
 
-	resp := ShardResponse{Shard: req.Shard, Results: make([]FileResult, len(results))}
-	var fileErrs uint64
-	for i := range results {
-		if err := results[i].Err; err != nil {
-			resp.Results[i].Err = err.Error()
-			fileErrs++
-			continue
-		}
-		resp.Results[i].Summary = results[i].Summary
-	}
 	w.shards.Add(1)
-	w.files.Add(uint64(len(jobs)))
+	w.files.Add(uint64(len(req.Files)))
 	w.fileErrors.Add(fileErrs)
 
 	rw.Header().Set("Content-Type", "application/json")
@@ -115,7 +140,41 @@ func (w *Worker) handleAnalyze(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.logf("shard %d: %d files (%d skipped) in %s",
-		req.Shard, len(jobs), fileErrs, time.Since(start).Round(time.Millisecond))
+		req.Shard, len(req.Files), fileErrs, time.Since(start).Round(time.Millisecond))
+}
+
+// JobShardAnalyze is the job type served by a worker's shard executor.
+const JobShardAnalyze = "shard-analyze"
+
+// ShardExecutor exposes the worker's analysis pipeline as a durable job
+// type: params are a ShardRequest, the result is the ShardResponse the
+// HTTP endpoint would have returned. The executor shares the worker's
+// metrics counters; concurrency is bounded by the manager it is
+// registered on (give that manager the worker's Pool so both paths
+// draw from one budget), so Execute itself takes no slot.
+func (w *Worker) ShardExecutor() jobs.Executor { return shardExecutor{w} }
+
+type shardExecutor struct {
+	w *Worker
+}
+
+func (e shardExecutor) Type() string { return JobShardAnalyze }
+
+func (e shardExecutor) Execute(ctx context.Context, params json.RawMessage) (any, error) {
+	var req ShardRequest
+	if err := json.Unmarshal(params, &req); err != nil {
+		e.w.badShards.Add(1)
+		return nil, jobs.Permanent(fmt.Errorf("decoding shard request: %w", err))
+	}
+	if len(req.Files) == 0 {
+		e.w.badShards.Add(1)
+		return nil, jobs.Permanent(errors.New("shard request carries no files"))
+	}
+	resp, fileErrs := analyzeShard(&req, e.w.cfg.Opts, e.w.cfg.Cache)
+	e.w.shards.Add(1)
+	e.w.files.Add(uint64(len(req.Files)))
+	e.w.fileErrors.Add(fileErrs)
+	return resp, nil
 }
 
 func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {

@@ -2,16 +2,19 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/anacache"
 	"repro/internal/core"
 	"repro/internal/elfx"
 	"repro/internal/footprint"
+	"repro/internal/jobs"
 )
 
 // workerJobs pulls a handful of real ELF jobs out of a generated corpus.
@@ -164,6 +167,83 @@ func TestWorkerHealthzAndMetrics(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "apiworker_shards_total") {
 		t.Errorf("metrics missing apiworker_shards_total:\n%s", buf.String())
+	}
+}
+
+// TestShardExecutor proves the job tier serves the same analysis as the
+// HTTP shard endpoint: a shard-analyze job's result equals the local
+// pipeline's, both paths share one pool, and malformed params fail
+// permanently instead of burning retries.
+func TestShardExecutor(t *testing.T) {
+	work := workerJobs(t, 4)
+	if len(work) == 0 {
+		t.Fatal("no ELF jobs in test corpus")
+	}
+	pool := jobs.NewPool(1)
+	w := NewWorker(WorkerConfig{Pool: pool})
+	m := jobs.New(jobs.Config{Pool: pool, RetryBase: time.Millisecond})
+	if err := m.Register(w.ShardExecutor()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	req := &ShardRequest{Shard: 7, Files: make([]ShardFile, len(work))}
+	for i, j := range work {
+		req.Files[i] = ShardFile{Pkg: j.Pkg, Path: j.Path, Lib: j.Lib, Data: j.Data}
+	}
+	params, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := m.Submit(JobShardAnalyze, params, jobs.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := m.Wait(context.Background(), j.ID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != jobs.StateDone {
+		t.Fatalf("job = %+v", done)
+	}
+	raw, _, err := m.Result(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr ShardResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.validate(req); err != nil {
+		t.Fatal(err)
+	}
+	want := core.AnalyzeJobsLocal(work, footprint.Options{}, nil)
+	for i := range want {
+		got, _ := json.Marshal(sr.Results[i].Summary)
+		exp, _ := json.Marshal(want[i].Summary)
+		if !bytes.Equal(got, exp) {
+			t.Errorf("file %d (%s): job-tier summary differs from local", i, work[i].Path)
+		}
+	}
+	if w.shards.Load() == 0 || w.files.Load() != uint64(len(work)) {
+		t.Errorf("executor did not feed worker counters: shards=%d files=%d",
+			w.shards.Load(), w.files.Load())
+	}
+
+	// Garbage params are a permanent failure.
+	bad, _, err := m.Submit(JobShardAnalyze, json.RawMessage(`{"files":"x"}`), jobs.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badDone, err := m.Wait(context.Background(), bad.ID, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badDone.State != jobs.StateFailed || badDone.Attempts != 1 {
+		t.Fatalf("bad shard job = %+v, want failed after one attempt", badDone)
 	}
 }
 

@@ -1,0 +1,134 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The error-envelope and request-ID contracts: every non-2xx body is
+// {error, retry_after_s?, request_id}, every response echoes an
+// X-Request-ID, and malformed client IDs are replaced rather than
+// propagated into logs and job records.
+
+func TestShedCarriesErrorEnvelope(t *testing.T) {
+	_, svc := testAPI(t)
+	api := New(svc, Options{
+		RequestTimeout: time.Minute,
+		MaxInFlight:    1,
+		MaxQueue:       0,
+		QueueWait:      2 * time.Second,
+	})
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+
+	release, err := api.admission.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/importance/read", nil)
+	req.Header.Set("X-Request-ID", "shed-probe-1")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server = %d, want 429", resp.StatusCode)
+	}
+	var e errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("429 body is not an envelope: %v", err)
+	}
+	if e.Error == "" {
+		t.Error("envelope missing error text")
+	}
+	if e.RetryAfterS <= 0 {
+		t.Errorf("retry_after_s = %d, want positive", e.RetryAfterS)
+	}
+	if e.RequestID != "shed-probe-1" {
+		t.Errorf("request_id = %q, want shed-probe-1", e.RequestID)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "shed-probe-1" {
+		t.Errorf("X-Request-ID header = %q", got)
+	}
+}
+
+func TestNoRouteAndMethodMismatchEnveloped(t *testing.T) {
+	api, _ := testAPI(t)
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+
+	// Unknown path: enveloped 404.
+	var e errorBody
+	getJSON(t, ts, "/v1/nonsense", http.StatusNotFound, &e)
+	if e.Error == "" || e.RequestID == "" {
+		t.Fatalf("404 envelope = %+v", e)
+	}
+
+	// Wrong method on a real route: enveloped 405 keeping Allow.
+	resp, err := ts.Client().Post(ts.URL+"/v1/importance/read", "application/json",
+		strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST on GET route = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+		t.Errorf("Allow = %q, want GET", allow)
+	}
+	e = errorBody{}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("405 body is not an envelope: %v", err)
+	}
+	if e.Error == "" || e.RequestID == "" {
+		t.Fatalf("405 envelope = %+v", e)
+	}
+}
+
+func TestRequestIDGenerationAndSanitization(t *testing.T) {
+	api, _ := testAPI(t)
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+
+	generated := regexp.MustCompile(`^r-[0-9a-f]{16}$`)
+	cases := []struct {
+		name, sent string
+		echoed     bool
+	}{
+		{"valid", "abc.DEF_123-x", true},
+		{"absent", "", false},
+		{"spaces", "has spaces", false},
+		{"punctuation", "semi;colon", false},
+		{"oversized", strings.Repeat("a", maxRequestIDLen+1), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+			if tc.sent != "" {
+				req.Header.Set("X-Request-ID", tc.sent)
+			}
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			got := resp.Header.Get("X-Request-ID")
+			if tc.echoed && got != tc.sent {
+				t.Fatalf("X-Request-ID = %q, want echo of %q", got, tc.sent)
+			}
+			if !tc.echoed && !generated.MatchString(got) {
+				t.Fatalf("X-Request-ID = %q, want generated r-<16 hex>", got)
+			}
+		})
+	}
+}

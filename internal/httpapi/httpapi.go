@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/service"
 )
 
@@ -52,6 +53,17 @@ type Options struct {
 	// QueueWait bounds the time one request may wait for a slot
 	// (default 1s; also bounded by the request's own deadline).
 	QueueWait time.Duration
+	// Jobs, when non-nil, mounts the async job tier: POST
+	// /v1/jobs/{type}, job status/result/list routes, and async
+	// routing of oversized /v1/analyze uploads. Job routes bypass
+	// admission control — the tier has its own bounded queue, and a
+	// long-poll must not pin an admission slot.
+	Jobs *jobs.Manager
+	// AsyncAnalyzeBytes routes /v1/analyze uploads of at least this
+	// many bytes into the job tier as analyze-upload jobs (202 + job
+	// record) instead of analyzing synchronously. 0 defaults to 8 MiB
+	// when Jobs is set; negative keeps every upload synchronous.
+	AsyncAnalyzeBytes int64
 }
 
 // API is the http.Handler serving the query service.
@@ -71,6 +83,9 @@ func New(svc *service.Service, opts Options) *API {
 	}
 	if opts.MaxUploadBytes <= 0 {
 		opts.MaxUploadBytes = 32 << 20
+	}
+	if opts.Jobs != nil && opts.AsyncAnalyzeBytes == 0 {
+		opts.AsyncAnalyzeBytes = 8 << 20
 	}
 	a := &API{
 		svc:     svc,
@@ -94,10 +109,56 @@ func New(svc *service.Service, opts Options) *API {
 	a.handle("GET /v1/seccomp/{pkg}", a.handleSeccomp)
 	a.handle("POST /v1/analyze", a.handleAnalyze)
 	a.handle("GET /v1/compat/systems", a.handleCompatSystems)
+	if opts.Jobs != nil {
+		a.handle("POST /v1/jobs/{type}", a.handleJobSubmit, bypassAdmission)
+		a.handle("GET /v1/jobs", a.handleJobList, bypassAdmission)
+		a.handle("GET /v1/jobs/{id}", a.handleJobStatus, bypassAdmission)
+		a.handle("GET /v1/jobs/{id}/result", a.handleJobResult, bypassAdmission)
+	}
 	return a
 }
 
-func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+// ServeHTTP resolves the request ID first, so even responses produced
+// outside a registered route (404s, 405s) echo one and wear the JSON
+// error envelope.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r, rid := withRequestID(w, r)
+	if _, pattern := a.mux.Handler(r); pattern == "" {
+		// No route: replay the mux into a recorder to keep its exact
+		// verdict (404, or 405 with Allow) but re-dress the body.
+		rec := &recordedResponse{header: make(http.Header)}
+		a.mux.ServeHTTP(rec, r)
+		if allow := rec.header.Get("Allow"); allow != "" {
+			w.Header().Set("Allow", allow)
+		}
+		writeError(w, r, rec.code, "no route for %s %s", r.Method, r.URL.Path)
+		if a.opts.Logger != nil {
+			a.opts.Logger.Printf("%s %s -> %d rid=%s", r.Method, r.URL.Path, rec.code, rid)
+		}
+		return
+	}
+	a.mux.ServeHTTP(w, r)
+}
+
+// recordedResponse captures a handler's status and headers while
+// discarding its body — used to borrow the mux's 404/405 decision.
+type recordedResponse struct {
+	header http.Header
+	code   int
+}
+
+func (r *recordedResponse) Header() http.Header { return r.header }
+func (r *recordedResponse) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+func (r *recordedResponse) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return len(p), nil
+}
 
 // bypassAdmission marks routes that must answer even under overload:
 // health probes and metrics scrapes are how operators see the shed.
@@ -117,24 +178,25 @@ func (a *API) handle(pattern string, h http.HandlerFunc, flags ...string) {
 		ctx, cancel := context.WithTimeout(r.Context(), a.opts.RequestTimeout)
 		defer cancel()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		r = r.WithContext(ctx)
 		if bypass {
-			h(sw, r.WithContext(ctx))
+			h(sw, r)
 		} else if release, err := a.admission.Acquire(ctx); err != nil {
 			retry := a.admission.RetryAfter()
 			sw.Header().Set("Retry-After",
 				strconv.Itoa(int(retry/time.Second)))
-			writeError(sw, http.StatusTooManyRequests, "%v", err)
+			writeError(sw, r, http.StatusTooManyRequests, "%v", err)
 		} else {
 			func() {
 				defer release()
-				h(sw, r.WithContext(ctx))
+				h(sw, r)
 			}()
 		}
 		elapsed := time.Since(start)
 		a.metrics.observe(pattern, sw.code, elapsed)
 		if a.opts.Logger != nil {
-			a.opts.Logger.Printf("%s %s -> %d in %s", r.Method, r.URL.Path, sw.code,
-				elapsed.Round(time.Microsecond))
+			a.opts.Logger.Printf("%s %s -> %d in %s rid=%s", r.Method, r.URL.Path, sw.code,
+				elapsed.Round(time.Microsecond), RequestIDFrom(ctx))
 		}
 	})
 }
@@ -167,23 +229,40 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// errorBody is THE error envelope: every non-2xx response from this
+// API — handler failures, admission sheds, even unrouted 404s — wears
+// this one JSON shape, so clients write a single error decoder.
+// RetryAfterS mirrors the Retry-After header for clients that only
+// read bodies; RequestID ties the failure to the access log line and,
+// for job submissions, the spool record.
 type errorBody struct {
-	Error string `json:"error"`
+	Error       string `json:"error"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+	RequestID   string `json:"request_id,omitempty"`
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
+	body := errorBody{Error: fmt.Sprintf(format, args...)}
+	if r != nil {
+		body.RequestID = RequestIDFrom(r.Context())
+	}
+	if s := w.Header().Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			body.RetryAfterS = secs
+		}
+	}
+	writeJSON(w, code, body)
 }
 
 // writeServiceError maps service-layer errors onto HTTP status codes.
-func writeServiceError(w http.ResponseWriter, err error) {
+func writeServiceError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, service.ErrUnknownPackage):
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeError(w, r, http.StatusNotFound, "%v", err)
 	case errors.Is(err, service.ErrBusy):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 	default:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 	}
 }
 
@@ -221,12 +300,12 @@ type completenessRequest struct {
 func (a *API) handleCompleteness(w http.ResponseWriter, r *http.Request) {
 	var req completenessRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	res, err := a.svc.Completeness(req.Syscalls)
 	if err != nil {
-		writeServiceError(w, err)
+		writeServiceError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -240,12 +319,12 @@ type suggestRequest struct {
 func (a *API) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	var req suggestRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	res, err := a.svc.Suggest(req.Supported, req.K)
 	if err != nil {
-		writeServiceError(w, err)
+		writeServiceError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -256,14 +335,14 @@ func (a *API) handlePath(w http.ResponseWriter, r *http.Request) {
 	if s := r.URL.Query().Get("n"); s != "" {
 		v, err := strconv.Atoi(s)
 		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, "bad n %q", s)
+			writeError(w, r, http.StatusBadRequest, "bad n %q", s)
 			return
 		}
 		n = v
 	}
 	res, err := a.svc.GreedyPrefix(n)
 	if err != nil {
-		writeServiceError(w, err)
+		writeServiceError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -272,7 +351,7 @@ func (a *API) handlePath(w http.ResponseWriter, r *http.Request) {
 func (a *API) handleFootprint(w http.ResponseWriter, r *http.Request) {
 	res, err := a.svc.Footprint(r.PathValue("pkg"))
 	if err != nil {
-		writeServiceError(w, err)
+		writeServiceError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -281,7 +360,7 @@ func (a *API) handleFootprint(w http.ResponseWriter, r *http.Request) {
 func (a *API) handleSeccomp(w http.ResponseWriter, r *http.Request) {
 	res, err := a.svc.Seccomp(r.PathValue("pkg"), r.URL.Query().Get("deny"))
 	if err != nil {
-		writeServiceError(w, err)
+		writeServiceError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -293,21 +372,29 @@ func (a *API) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, r, http.StatusRequestEntityTooLarge,
 				"upload exceeds %d bytes", tooBig.Limit)
 			return
 		}
-		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		writeError(w, r, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
 	if len(data) == 0 {
-		writeError(w, http.StatusBadRequest, "empty body; POST raw ELF bytes")
+		writeError(w, r, http.StatusBadRequest, "empty body; POST raw ELF bytes")
 		return
 	}
 	name := r.URL.Query().Get("name")
+	if a.opts.Jobs != nil && a.opts.AsyncAnalyzeBytes > 0 &&
+		int64(len(data)) >= a.opts.AsyncAnalyzeBytes {
+		// Oversized upload: minutes of disassembly do not belong on a
+		// synchronous connection. 202 + job record; poll or long-poll
+		// /v1/jobs/{id} for the same AnalyzeResult.
+		a.analyzeAsync(w, r, name, data)
+		return
+	}
 	res, err := a.svc.Analyze(r.Context(), name, data)
 	if err != nil {
-		writeServiceError(w, err)
+		writeServiceError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -316,7 +403,7 @@ func (a *API) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 func (a *API) handleCompatSystems(w http.ResponseWriter, r *http.Request) {
 	res, err := a.svc.CompatSystems()
 	if err != nil {
-		writeServiceError(w, err)
+		writeServiceError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -544,6 +631,8 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "apiserved_fleet_worker_evicted{worker=%q} %d\n", ws.URL, boolToInt(ws.Evicted))
 		}
 	}
+
+	a.writeJobsMetrics(&b)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	io.WriteString(w, b.String())

@@ -1,0 +1,222 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/service"
+)
+
+// The async job surface of the API server. These routes bypass
+// admission control deliberately: the job tier carries its own bounded
+// queue (submission beyond it is a 429 of its own), status and list
+// are cheap map reads, and a long-poll parked in Wait would otherwise
+// pin an admission slot for its full duration — 32 pollers could
+// starve the query path that admission exists to protect.
+
+// submitJob enqueues one job on behalf of an HTTP request and writes
+// the job record: 202 for new work, 200 when an existing job absorbed
+// the submission (the deduped header says which).
+func (a *API) submitJob(w http.ResponseWriter, r *http.Request, typ string, params json.RawMessage) {
+	j, deduped, err := a.opts.Jobs.Submit(typ, params, jobs.SubmitOptions{
+		RequestID: RequestIDFrom(r.Context()),
+	})
+	if err != nil {
+		code := jobs.SubmitErrorStatus(err)
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, r, code, "%v", err)
+		return
+	}
+	w.Header().Set("X-Job-Deduped", strconv.FormatBool(deduped))
+	writeJSON(w, jobs.SubmitStatus(deduped), j)
+}
+
+func (a *API) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, a.opts.MaxUploadBytes*2+1))
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > a.opts.MaxUploadBytes*2 {
+		// Params are JSON (an embedded ELF arrives base64-encoded, ~4/3
+		// its raw size), so the job limit sits above the upload limit.
+		writeError(w, r, http.StatusRequestEntityTooLarge,
+			"params exceed %d bytes", a.opts.MaxUploadBytes*2)
+		return
+	}
+	a.submitJob(w, r, r.PathValue("type"), body)
+}
+
+// jobWait parses ?wait= and caps it under the request timeout, so a
+// long-poll always returns a 200 snapshot before the server-side
+// deadline would kill the request.
+func (a *API) jobWait(r *http.Request) (time.Duration, error) {
+	max := a.opts.RequestTimeout - time.Second
+	if max <= 0 {
+		max = a.opts.RequestTimeout / 2
+	}
+	return jobs.ParseWait(r.URL.Query().Get("wait"), max)
+}
+
+func (a *API) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	wait, err := a.jobWait(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var j *jobs.Job
+	if wait > 0 {
+		j, err = a.opts.Jobs.Wait(r.Context(), id, wait)
+	} else {
+		var ok bool
+		if j, ok = a.opts.Jobs.Get(id); !ok {
+			err = fmt.Errorf("%w: %q", jobs.ErrUnknownJob, id)
+		}
+	}
+	if err != nil {
+		writeError(w, r, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (a *API) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	wait, err := a.jobWait(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if wait > 0 {
+		if _, err := a.opts.Jobs.Wait(r.Context(), id, wait); err != nil {
+			writeError(w, r, http.StatusNotFound, "%v", err)
+			return
+		}
+	}
+	raw, j, err := a.opts.Jobs.Result(id)
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(raw)
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeError(w, r, http.StatusNotFound, "%v", err)
+	case j != nil && !j.State.Terminal():
+		// In progress: a 202 with the record mirrors the submission
+		// response, so pollers decode one shape until the result lands.
+		writeJSON(w, http.StatusAccepted, j)
+	default:
+		writeError(w, r, http.StatusInternalServerError,
+			"job %s: %s", j.State, j.Error)
+	}
+}
+
+func (a *API) handleJobList(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, "bad limit %q", q)
+			return
+		}
+		limit = v
+	}
+	js, err := a.opts.Jobs.List(jobs.State(r.URL.Query().Get("state")),
+		r.URL.Query().Get("type"), limit)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": js, "count": len(js)})
+}
+
+// analyzeAsync routes an oversized /v1/analyze upload into the job
+// tier: the raw ELF becomes an analyze-upload job and the caller gets
+// 202 + the job record instead of holding a connection (and an
+// analysis-pool slot) for the whole disassembly.
+func (a *API) analyzeAsync(w http.ResponseWriter, r *http.Request, name string, data []byte) {
+	params, err := json.Marshal(service.AnalyzeUploadParams{Name: name, ELF: data})
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, "encoding job params: %v", err)
+		return
+	}
+	a.submitJob(w, r, service.JobAnalyzeUpload, params)
+}
+
+// writeJobsMetrics appends the apiserved_jobs_* family to a /metrics
+// render (no-op when the job tier is off).
+func (a *API) writeJobsMetrics(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP apiserved_jobs_enabled Whether the async job tier is configured.\n")
+	fmt.Fprintf(b, "# TYPE apiserved_jobs_enabled gauge\n")
+	fmt.Fprintf(b, "apiserved_jobs_enabled %d\n", boolToInt(a.opts.Jobs != nil))
+	if a.opts.Jobs == nil {
+		return
+	}
+	st := a.opts.Jobs.Stats()
+	fmt.Fprintf(b, "# HELP apiserved_jobs_state Jobs currently known, by state.\n")
+	fmt.Fprintf(b, "# TYPE apiserved_jobs_state gauge\n")
+	for _, s := range []jobs.State{jobs.StateQueued, jobs.StateRunning,
+		jobs.StateDone, jobs.StateFailed, jobs.StateDead} {
+		fmt.Fprintf(b, "apiserved_jobs_state{state=%q} %d\n", string(s), st.States[s])
+	}
+	fmt.Fprintf(b, "# HELP apiserved_jobs_queue_depth Jobs waiting for a pool slot.\n")
+	fmt.Fprintf(b, "# TYPE apiserved_jobs_queue_depth gauge\n")
+	fmt.Fprintf(b, "apiserved_jobs_queue_depth %d\n", st.QueueLen)
+	fmt.Fprintf(b, "# HELP apiserved_jobs_pool_active Pool slots currently executing.\n")
+	fmt.Fprintf(b, "# TYPE apiserved_jobs_pool_active gauge\n")
+	fmt.Fprintf(b, "apiserved_jobs_pool_active %d\n", st.PoolActive)
+	fmt.Fprintf(b, "apiserved_jobs_pool_size %d\n", st.PoolSize)
+	fmt.Fprintf(b, "# HELP apiserved_jobs_submitted_total New jobs admitted to the queue.\n")
+	fmt.Fprintf(b, "# TYPE apiserved_jobs_submitted_total counter\n")
+	fmt.Fprintf(b, "apiserved_jobs_submitted_total %d\n", st.Submitted)
+	fmt.Fprintf(b, "# HELP apiserved_jobs_deduped_total Submissions absorbed by an existing job.\n")
+	fmt.Fprintf(b, "# TYPE apiserved_jobs_deduped_total counter\n")
+	fmt.Fprintf(b, "apiserved_jobs_deduped_total %d\n", st.Deduped)
+	fmt.Fprintf(b, "# HELP apiserved_jobs_rejected_total Submissions refused because the queue was full.\n")
+	fmt.Fprintf(b, "# TYPE apiserved_jobs_rejected_total counter\n")
+	fmt.Fprintf(b, "apiserved_jobs_rejected_total %d\n", st.Rejected)
+	fmt.Fprintf(b, "# HELP apiserved_jobs_completed_total Jobs finished successfully.\n")
+	fmt.Fprintf(b, "# TYPE apiserved_jobs_completed_total counter\n")
+	fmt.Fprintf(b, "apiserved_jobs_completed_total %d\n", st.Completed)
+	fmt.Fprintf(b, "# HELP apiserved_jobs_failures_total Jobs that ended failed or dead.\n")
+	fmt.Fprintf(b, "# TYPE apiserved_jobs_failures_total counter\n")
+	fmt.Fprintf(b, "apiserved_jobs_failures_total %d\n", st.Failures)
+	fmt.Fprintf(b, "# HELP apiserved_jobs_retries_total Transient failures re-queued with backoff.\n")
+	fmt.Fprintf(b, "# TYPE apiserved_jobs_retries_total counter\n")
+	fmt.Fprintf(b, "apiserved_jobs_retries_total %d\n", st.Retries)
+	fmt.Fprintf(b, "# HELP apiserved_jobs_resumed_total Jobs re-admitted from the spool at startup.\n")
+	fmt.Fprintf(b, "# TYPE apiserved_jobs_resumed_total counter\n")
+	fmt.Fprintf(b, "apiserved_jobs_resumed_total %d\n", st.Resumed)
+	fmt.Fprintf(b, "# HELP apiserved_jobs_expired_total Terminal records swept by the result TTL.\n")
+	fmt.Fprintf(b, "# TYPE apiserved_jobs_expired_total counter\n")
+	fmt.Fprintf(b, "apiserved_jobs_expired_total %d\n", st.Expired)
+
+	fmt.Fprintf(b, "# HELP apiserved_jobs_duration_ms Job execution wall time, by type.\n")
+	fmt.Fprintf(b, "# TYPE apiserved_jobs_duration_ms histogram\n")
+	types := make([]string, 0, len(st.Durations))
+	for typ := range st.Durations {
+		types = append(types, typ)
+	}
+	sort.Strings(types)
+	for _, typ := range types {
+		h := st.Durations[typ]
+		for i, ub := range h.BucketsMs {
+			fmt.Fprintf(b, "apiserved_jobs_duration_ms_bucket{type=%q,le=%q} %d\n",
+				typ, strconv.FormatFloat(ub, 'g', -1, 64), h.Counts[i])
+		}
+		fmt.Fprintf(b, "apiserved_jobs_duration_ms_bucket{type=%q,le=\"+Inf\"} %d\n", typ, h.Count)
+		fmt.Fprintf(b, "apiserved_jobs_duration_ms_sum{type=%q} %g\n", typ, h.SumMs)
+		fmt.Fprintf(b, "apiserved_jobs_duration_ms_count{type=%q} %d\n", typ, h.Count)
+	}
+}

@@ -1,0 +1,287 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/service"
+)
+
+// jobsAPI builds a jobs-enabled API over the shared test study.
+func jobsAPI(t *testing.T, opts Options) (*API, *jobs.Manager, *httptest.Server) {
+	t.Helper()
+	_, svc := testAPI(t)
+	m := jobs.New(jobs.Config{Workers: 2, RetryBase: time.Millisecond})
+	if err := service.RegisterExecutors(m, svc); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	opts.Jobs = m
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = time.Minute
+	}
+	api := New(svc, opts)
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+	return api, m, ts
+}
+
+// testELF returns one ELF executable from the shared study's corpus.
+func testELF(t *testing.T) []byte {
+	t.Helper()
+	_, svc := testAPI(t)
+	repo := svc.Snapshot().Study.Core().Corpus.Repo
+	for _, name := range repo.Names() {
+		for _, f := range repo.Get(name).Files {
+			if len(f.Data) > 4 && string(f.Data[:4]) == "\x7fELF" {
+				return f.Data
+			}
+		}
+	}
+	t.Fatal("no ELF in corpus")
+	return nil
+}
+
+func TestJobRoutesEndToEnd(t *testing.T) {
+	_, _, ts := jobsAPI(t, Options{})
+	params, err := json.Marshal(service.AnalyzeUploadParams{Name: "e2e.bin", ELF: testELF(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Submit: 202 + job record carrying the request ID.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs/analyze-upload", bytes.NewReader(params))
+	req.Header.Set("X-Request-ID", "trace-123")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var j jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if j.ID == "" || j.Type != "analyze-upload" {
+		t.Fatalf("job = %+v", j)
+	}
+	if j.RequestID != "trace-123" {
+		t.Fatalf("request ID not propagated into job record: %+v", j)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "trace-123" {
+		t.Fatalf("X-Request-ID echo = %q", got)
+	}
+
+	// Identical submission: 200, deduped, same job.
+	resp, err = ts.Client().Post(ts.URL+"/v1/jobs/analyze-upload", "application/json",
+		bytes.NewReader(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dup jobs.Job
+	json.NewDecoder(resp.Body).Decode(&dup)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || dup.ID != j.ID {
+		t.Fatalf("dedupe = %d, job %s (want 200, %s)", resp.StatusCode, dup.ID, j.ID)
+	}
+	if h := resp.Header.Get("X-Job-Deduped"); h != "true" {
+		t.Fatalf("X-Job-Deduped = %q", h)
+	}
+
+	// Long-poll to terminal, then fetch the result.
+	var done jobs.Job
+	getJSON(t, ts, "/v1/jobs/"+j.ID+"?wait=20s", http.StatusOK, &done)
+	if done.State != jobs.StateDone {
+		t.Fatalf("long-polled job = %+v", done)
+	}
+	var res service.AnalyzeResult
+	getJSON(t, ts, "/v1/jobs/"+j.ID+"/result", http.StatusOK, &res)
+	if len(res.Syscalls) == 0 && res.Sites == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+
+	// The job shows up in the filtered list.
+	var list struct {
+		Jobs  []jobs.Job `json:"jobs"`
+		Count int        `json:"count"`
+	}
+	getJSON(t, ts, "/v1/jobs?state=done&type=analyze-upload", http.StatusOK, &list)
+	found := false
+	for _, lj := range list.Jobs {
+		found = found || lj.ID == j.ID
+	}
+	if !found {
+		t.Fatalf("job %s missing from list: %+v", j.ID, list)
+	}
+
+	// Unknown type and unknown job answer enveloped errors.
+	var e errorBody
+	postJSON(t, ts, "/v1/jobs/no-such-type", map[string]any{}, http.StatusNotFound, &e)
+	if e.Error == "" || e.RequestID == "" {
+		t.Fatalf("unknown-type envelope = %+v", e)
+	}
+	getJSON(t, ts, "/v1/jobs/j-ffffffffffffffff", http.StatusNotFound, nil)
+}
+
+func TestDeadLetterOverHTTP(t *testing.T) {
+	_, m, ts := jobsAPI(t, Options{})
+	// An empty ELF payload fails permanently; exhausting retries needs a
+	// transient error, so use bogus corpus-diff params... which are also
+	// permanent. Drive a dead job through the manager directly instead:
+	// a type registered only here, always erroring transiently.
+	if err := m.Register(nil); err == nil {
+		t.Fatal("nil executor accepted")
+	}
+	// Registration is closed after Start; go through a failed job
+	// instead — permanent failures land in state=failed, and dead-letter
+	// listing must filter both ways.
+	params, _ := json.Marshal(service.AnalyzeUploadParams{Name: "void"})
+	var j jobs.Job
+	postJSON(t, ts, "/v1/jobs/analyze-upload", json.RawMessage(params), http.StatusAccepted, &j)
+	getJSON(t, ts, "/v1/jobs/"+j.ID+"?wait=20s", http.StatusOK, &j)
+	if j.State != jobs.StateFailed {
+		t.Fatalf("empty upload = %+v, want failed", j)
+	}
+
+	var list struct {
+		Jobs []jobs.Job `json:"jobs"`
+	}
+	getJSON(t, ts, "/v1/jobs?state=failed", http.StatusOK, &list)
+	if len(list.Jobs) == 0 {
+		t.Fatal("failed job not listed")
+	}
+	// Its result endpoint reports the failure as an enveloped 500.
+	var e errorBody
+	getJSON(t, ts, "/v1/jobs/"+j.ID+"/result", http.StatusInternalServerError, &e)
+	if e.Error == "" || e.RequestID == "" {
+		t.Fatalf("failure envelope = %+v", e)
+	}
+	// State filter typos are 400, not silence.
+	getJSON(t, ts, "/v1/jobs?state=bogus", http.StatusBadRequest, nil)
+}
+
+func TestAnalyzeRoutesOversizedUploadsToJobs(t *testing.T) {
+	_, _, ts := jobsAPI(t, Options{AsyncAnalyzeBytes: 1})
+	elf := testELF(t)
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/analyze?name=big.bin",
+		"application/octet-stream", bytes.NewReader(elf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("oversized analyze = %d, want 202: %s", resp.StatusCode, body)
+	}
+	var j jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Type != "analyze-upload" || j.ID == "" {
+		t.Fatalf("async analyze job = %+v", j)
+	}
+
+	// The job's result equals the synchronous answer for the same bytes.
+	var async service.AnalyzeResult
+	getJSON(t, ts, "/v1/jobs/"+j.ID+"/result?wait=20s", http.StatusOK, &async)
+	_, svc := testAPI(t)
+	sync, err := svc.Analyze(context.Background(), "big.bin", elf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(async.Syscalls, ",") != strings.Join(sync.Syscalls, ",") {
+		t.Fatalf("async/sync footprints differ: %v vs %v", async.Syscalls, sync.Syscalls)
+	}
+
+	// Re-uploading the same bytes dedupes to the same job ID.
+	resp, err = ts.Client().Post(ts.URL+"/v1/analyze?name=big.bin",
+		"application/octet-stream", bytes.NewReader(elf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again jobs.Job
+	json.NewDecoder(resp.Body).Decode(&again)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || again.ID != j.ID {
+		t.Fatalf("duplicate upload = %d job %s, want 200 %s", resp.StatusCode, again.ID, j.ID)
+	}
+}
+
+func TestAnalyzeSmallUploadsStaySynchronous(t *testing.T) {
+	_, _, ts := jobsAPI(t, Options{AsyncAnalyzeBytes: 1 << 30})
+	resp, err := ts.Client().Post(ts.URL+"/v1/analyze", "application/octet-stream",
+		bytes.NewReader(testELF(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small analyze = %d, want synchronous 200", resp.StatusCode)
+	}
+	var res service.AnalyzeResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Syscalls) == 0 && res.Sites == 0 {
+		t.Fatalf("empty sync result: %+v", res)
+	}
+}
+
+func TestJobRoutesAbsentWithoutManager(t *testing.T) {
+	api, _ := testAPI(t)
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+	var e errorBody
+	getJSON(t, ts, "/v1/jobs", http.StatusNotFound, &e)
+	if e.Error == "" {
+		t.Fatalf("expected enveloped 404, got %+v", e)
+	}
+}
+
+func TestJobsMetricsExported(t *testing.T) {
+	_, _, ts := jobsAPI(t, Options{})
+	params, _ := json.Marshal(service.AnalyzeUploadParams{Name: "m.bin", ELF: testELF(t)})
+	var j jobs.Job
+	postJSON(t, ts, "/v1/jobs/analyze-upload", json.RawMessage(params), http.StatusAccepted, &j)
+	getJSON(t, ts, "/v1/jobs/"+j.ID+"?wait=20s", http.StatusOK, &j)
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{
+		"apiserved_jobs_enabled 1",
+		`apiserved_jobs_state{state="done"}`,
+		"apiserved_jobs_queue_depth 0",
+		"apiserved_jobs_pool_size 2",
+		`apiserved_jobs_duration_ms_count{type="analyze-upload"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if v := metricValue(t, text, "apiserved_jobs_submitted_total"); v < 1 {
+		t.Errorf("submitted_total = %v", v)
+	}
+	if v := metricValue(t, text, "apiserved_jobs_completed_total"); v < 1 {
+		t.Errorf("completed_total = %v", v)
+	}
+}

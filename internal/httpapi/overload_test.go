@@ -73,6 +73,84 @@ func TestAdmissionShedsDeterministically(t *testing.T) {
 	getJSON(t, ts, "/v1/importance/read", http.StatusOK, nil)
 }
 
+// TestQueuedClientDisconnectFreesPosition pins the HTTP side of the
+// queue-leak regression: a client that drops its connection while its
+// request waits for an admission slot must be counted as a cancelled
+// shed and give its queue position back, so the next client queues
+// instead of being shed queue-full.
+func TestQueuedClientDisconnectFreesPosition(t *testing.T) {
+	_, svc := testAPI(t)
+	api := New(svc, Options{
+		RequestTimeout: time.Minute,
+		MaxInFlight:    1,
+		MaxQueue:       1,
+		QueueWait:      30 * time.Second,
+	})
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+
+	release, err := api.admission.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/importance/read", nil)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ts.Client().Do(req)
+		errc <- err
+	}()
+	// Wait until the request is parked in the admission queue, then
+	// drop the client.
+	deadline := time.Now().Add(5 * time.Second)
+	for api.admission.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled request reported success")
+	}
+
+	for api.admission.Stats().Queued != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue position leaked after disconnect: %+v", api.admission.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := api.admission.Stats(); st.ShedCancelled != 1 || st.ShedQueueFull != 0 {
+		t.Errorf("stats = %+v, want exactly one cancelled shed", st)
+	}
+
+	// The freed position serves the next client: it queues, and gets
+	// admitted the moment the held slot releases.
+	okc := make(chan int, 1)
+	go func() {
+		resp, err := ts.Client().Get(ts.URL + "/v1/importance/read")
+		if err != nil {
+			okc <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		okc <- resp.StatusCode
+	}()
+	for api.admission.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follow-up request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	if code := <-okc; code != http.StatusOK {
+		t.Fatalf("follow-up after disconnect = %d, want 200", code)
+	}
+}
+
 // metricValue extracts the value of an exact metric line prefix.
 func metricValue(t *testing.T, text, name string) float64 {
 	t.Helper()

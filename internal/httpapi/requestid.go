@@ -1,0 +1,72 @@
+package httpapi
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// Every request gets an X-Request-ID: the client's, when it sent a
+// well-formed one, else a fresh random ID. The ID is echoed in the
+// response header, embedded in every error envelope, printed in the
+// access log, and stamped into job records — so one identifier traces
+// a submission from client through access log to spool file.
+
+type ridKeyType struct{}
+
+var ridKey ridKeyType
+
+// requestIDHeader is the canonical header name.
+const requestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds accepted client-supplied IDs.
+const maxRequestIDLen = 64
+
+// RequestIDFrom returns the request ID stored in ctx ("" outside a
+// request served by API).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey).(string)
+	return id
+}
+
+// withRequestID resolves the request's ID (validated client value or a
+// fresh one), sets the response header, and returns the request with
+// the ID in its context.
+func withRequestID(w http.ResponseWriter, r *http.Request) (*http.Request, string) {
+	id := r.Header.Get(requestIDHeader)
+	if !validRequestID(id) {
+		id = newRequestID()
+	}
+	w.Header().Set(requestIDHeader, id)
+	return r.WithContext(context.WithValue(r.Context(), ridKey, id)), id
+}
+
+// validRequestID accepts modest header-safe tokens: letters, digits,
+// dot, underscore, dash. Anything else (too long, empty, spaces,
+// control bytes) is replaced rather than propagated into logs.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func newRequestID() string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// Out of entropy is not worth failing a request over; a fixed
+		// fallback still satisfies "every response carries an ID".
+		return "r-0000000000000000"
+	}
+	return "r-" + hex.EncodeToString(buf[:])
+}

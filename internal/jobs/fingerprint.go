@@ -1,0 +1,65 @@
+package jobs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Canonicalize reduces a JSON params document to a canonical byte
+// form: decoded with UseNumber (so 1e2 and 100 stay distinct from
+// 100.0 only as their source text dictates, and no float precision is
+// lost) and re-marshaled — encoding/json emits object keys sorted
+// recursively, which is exactly the property the fingerprint needs.
+// Whitespace and key order differences between two submissions of the
+// same logical request therefore vanish. An empty or absent document
+// canonicalizes to "null" so "no params" is itself a stable value.
+func Canonicalize(params json.RawMessage) (json.RawMessage, error) {
+	if len(bytes.TrimSpace(params)) == 0 {
+		return json.RawMessage("null"), nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(params))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("invalid JSON: %w", err)
+	}
+	if err := checkTrailing(dec); err != nil {
+		return nil, err
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func checkTrailing(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("trailing data after JSON document")
+	}
+	return nil
+}
+
+// Fingerprint returns the hex SHA-256 of the job type and its
+// canonical params — the dedupe and result-store key. The NUL
+// separator keeps ("ab", "c"...) and ("a", "bc"...) distinct.
+func Fingerprint(typ string, canonical json.RawMessage) string {
+	h := sha256.New()
+	io.WriteString(h, typ)
+	h.Write([]byte{0})
+	h.Write(canonical)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// IDFor derives the public job ID from a fingerprint. Deterministic by
+// construction: the same type+params always yields the same ID, which
+// is what lets a resubmission after a crash land on the spooled record
+// and what makes dedupe a map lookup.
+func IDFor(fingerprint string) string {
+	return "j-" + fingerprint[:16]
+}

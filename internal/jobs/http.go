@@ -1,0 +1,196 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// NewHandler returns the minimal self-contained HTTP surface over a
+// manager, mounted by processes that are not the full API server —
+// cmd/apiworker composes it next to the fleet shard endpoint so a
+// worker can take jobs directly. internal/httpapi does NOT use this
+// handler: the API server wires the same manager through its own
+// routes to get admission bypass, the unified error envelope and
+// request-ID propagation.
+//
+//	POST /v1/jobs/{type}        submit (202 new, 200 deduped)
+//	GET  /v1/jobs               list; ?state=dead&type=...&limit=...
+//	GET  /v1/jobs/{id}          status; ?wait=30s long-polls
+//	GET  /v1/jobs/{id}/result   result; ?wait=30s long-polls
+func NewHandler(m *Manager) http.Handler {
+	h := &handler{m: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs/{type}", h.submit)
+	mux.HandleFunc("GET /v1/jobs", h.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", h.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", h.result)
+	return mux
+}
+
+type handler struct {
+	m *Manager
+}
+
+// MaxParamsBytes bounds a job submission body read by the HTTP
+// surfaces. Large payloads (ELF uploads) are expected: an
+// analyze-upload job carries the binary base64-encoded in its params.
+const MaxParamsBytes = 64 << 20
+
+// SubmitStatus returns the HTTP status for a submission outcome:
+// 202 Accepted for newly queued work, 200 OK when an existing job
+// absorbed the submission.
+func SubmitStatus(deduped bool) int {
+	if deduped {
+		return http.StatusOK
+	}
+	return http.StatusAccepted
+}
+
+// SubmitErrorStatus maps a Submit error to an HTTP status.
+func SubmitErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownType):
+		return http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// ParseWait interprets a ?wait= query value as a long-poll duration,
+// clamped to max (so a handler never outlives its server-side request
+// timeout). Empty means no wait; bad syntax is an error for a 400.
+func ParseWait(q string, max time.Duration) (time.Duration, error) {
+	if q == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(q)
+	if err != nil {
+		return 0, fmt.Errorf("bad wait %q: %w", q, err)
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > max {
+		d = max
+	}
+	return d, nil
+}
+
+func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
+	typ := r.PathValue("type")
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxParamsBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > MaxParamsBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "params exceed %d bytes", MaxParamsBytes)
+		return
+	}
+	j, deduped, err := h.m.Submit(typ, body, SubmitOptions{
+		RequestID: r.Header.Get("X-Request-ID"),
+	})
+	if err != nil {
+		code := SubmitErrorStatus(err)
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, SubmitStatus(deduped), j)
+}
+
+func (h *handler) list(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &limit); err != nil {
+			httpError(w, http.StatusBadRequest, "bad limit %q", q)
+			return
+		}
+	}
+	js, err := h.m.List(State(r.URL.Query().Get("state")), r.URL.Query().Get("type"), limit)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": js, "count": len(js)})
+}
+
+func (h *handler) status(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	wait, err := ParseWait(r.URL.Query().Get("wait"), time.Minute)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var j *Job
+	if wait > 0 {
+		j, err = h.m.Wait(r.Context(), id, wait)
+	} else {
+		var ok bool
+		j, ok = h.m.Get(id)
+		if !ok {
+			err = fmt.Errorf("%w: %q", ErrUnknownJob, id)
+		}
+	}
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (h *handler) result(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	wait, err := ParseWait(r.URL.Query().Get("wait"), time.Minute)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if wait > 0 {
+		if _, err := h.m.Wait(r.Context(), id, wait); err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+	}
+	raw, j, err := h.m.Result(id)
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(raw)
+	case errors.Is(err, ErrUnknownJob):
+		httpError(w, http.StatusNotFound, "%v", err)
+	case j != nil && !j.State.Terminal():
+		// Not finished: report progress, not an error — 202 mirrors
+		// the submission response so pollers share one decode path.
+		writeJSON(w, http.StatusAccepted, j)
+	default:
+		// failed or dead: the result will never exist.
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error": fmt.Sprintf("job %s: %s", j.State, j.Error),
+			"job":   j,
+		})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]any{"error": fmt.Sprintf(format, args...)})
+}

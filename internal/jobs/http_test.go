@@ -1,0 +1,235 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newHandlerServer(t *testing.T, cfg Config, execs ...Executor) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := newTestManager(t, cfg, execs...)
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(srv.Close)
+	return m, srv
+}
+
+func decodeJob(t *testing.T, resp *http.Response) Job {
+	t.Helper()
+	defer resp.Body.Close()
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatalf("decoding job: %v", err)
+	}
+	return j
+}
+
+func TestHandlerSubmitPollResult(t *testing.T) {
+	_, srv := newHandlerServer(t, Config{}, echoExec("echo"))
+
+	resp, err := http.Post(srv.URL+"/v1/jobs/echo", "application/json",
+		strings.NewReader(`{"hello":"world"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	j := decodeJob(t, resp)
+	if j.ID == "" || j.Type != "echo" {
+		t.Fatalf("submit response = %+v", j)
+	}
+
+	// Duplicate submission: 200 with the same job.
+	resp, err = http.Post(srv.URL+"/v1/jobs/echo", "application/json",
+		strings.NewReader(` {"hello": "world"} `))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dedupe status = %d, want 200", resp.StatusCode)
+	}
+	if dup := decodeJob(t, resp); dup.ID != j.ID {
+		t.Fatalf("dedupe returned different job: %s vs %s", dup.ID, j.ID)
+	}
+
+	// Long-poll status until terminal.
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + j.ID + "?wait=5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeJob(t, resp); got.State != StateDone {
+		t.Fatalf("long-polled state = %s, want done", got.State)
+	}
+
+	// Result body is the raw executor result.
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + j.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status = %d, want 200", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["hello"] != "world" {
+		t.Fatalf("result = %+v", out)
+	}
+}
+
+func TestHandlerResultPendingAndWait(t *testing.T) {
+	gate := make(chan struct{})
+	ex := fnExec{typ: "slow", fn: func(ctx context.Context, _ json.RawMessage) (any, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return 99, nil
+	}}
+	_, srv := newHandlerServer(t, Config{}, ex)
+
+	resp, err := http.Post(srv.URL+"/v1/jobs/slow", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := decodeJob(t, resp)
+
+	// Result before completion: 202 with the job record, not an error.
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + j.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("pending result status = %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// ?wait on the result endpoint blocks until done then serves it.
+	done := make(chan string, 1)
+	go func() {
+		r, err := http.Get(srv.URL + "/v1/jobs/" + j.ID + "/result?wait=5s")
+		if err != nil {
+			done <- "error: " + err.Error()
+			return
+		}
+		defer r.Body.Close()
+		var n int
+		json.NewDecoder(r.Body).Decode(&n)
+		done <- fmt.Sprintf("%d/%d", r.StatusCode, n)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	select {
+	case got := <-done:
+		if got != "200/99" {
+			t.Fatalf("waited result = %s, want 200/99", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("result long-poll never returned")
+	}
+}
+
+func TestHandlerDeadLetterList(t *testing.T) {
+	ex := fnExec{typ: "doomed", fn: func(_ context.Context, _ json.RawMessage) (any, error) {
+		return nil, errors.New("broken")
+	}}
+	m, srv := newHandlerServer(t, Config{MaxAttempts: 1}, ex)
+	j, _, err := m.Submit("doomed", nil, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID, StateDead)
+
+	resp, err := http.Get(srv.URL + "/v1/jobs?state=dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Jobs  []Job `json:"jobs"`
+		Count int   `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 1 || len(out.Jobs) != 1 || out.Jobs[0].ID != j.ID || out.Jobs[0].State != StateDead {
+		t.Fatalf("dead list = %+v", out)
+	}
+
+	// A dead job's result endpoint reports the failure.
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + j.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("dead result status = %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	_, srv := newHandlerServer(t, Config{}, echoExec("echo"))
+
+	resp, err := http.Post(srv.URL+"/v1/jobs/nope", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown type status = %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL+"/v1/jobs/echo", "application/json", strings.NewReader(`{bad`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad params status = %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/jobs/j-0000000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/jobs/j-0000000000000000?wait=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad wait status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestParseWait(t *testing.T) {
+	if d, err := ParseWait("", time.Minute); err != nil || d != 0 {
+		t.Fatalf("empty: %v, %v", d, err)
+	}
+	if d, err := ParseWait("2s", time.Minute); err != nil || d != 2*time.Second {
+		t.Fatalf("2s: %v, %v", d, err)
+	}
+	if d, err := ParseWait("10m", time.Minute); err != nil || d != time.Minute {
+		t.Fatalf("clamp: %v, %v", d, err)
+	}
+	if _, err := ParseWait("soon", time.Minute); err == nil {
+		t.Fatal("bad syntax accepted")
+	}
+}

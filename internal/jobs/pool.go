@@ -1,0 +1,69 @@
+package jobs
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Pool is a counting semaphore over execution slots. It exists as its
+// own type (rather than a channel inside Manager) so one pool can be
+// shared across consumers: in cmd/apiworker the fleet shard handler
+// and the job executors draw from the same slots, making "concurrent
+// heavy analyses per process" a single budget no matter which door the
+// work came in through.
+type Pool struct {
+	slots  chan struct{}
+	active atomic.Int64
+}
+
+// NewPool returns a pool with n slots (n < 1 is clamped to 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{slots: make(chan struct{}, n)}
+}
+
+// Acquire blocks for a slot and returns its release func, or ctx's
+// error. A nil pool is unlimited: Acquire succeeds immediately.
+// The release func is idempotent.
+func (p *Pool) Acquire(ctx context.Context) (func(), error) {
+	if p == nil {
+		return func() {}, nil
+	}
+	select {
+	case p.slots <- struct{}{}:
+	default:
+		// Slow path only when contended; the fast path above keeps an
+		// uncontended Acquire off the ctx.Done select.
+		select {
+		case p.slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	p.active.Add(1)
+	var released atomic.Bool
+	return func() {
+		if released.CompareAndSwap(false, true) {
+			p.active.Add(-1)
+			<-p.slots
+		}
+	}, nil
+}
+
+// Size returns the slot count (0 for a nil, unlimited pool).
+func (p *Pool) Size() int {
+	if p == nil {
+		return 0
+	}
+	return cap(p.slots)
+}
+
+// Active returns the number of currently held slots.
+func (p *Pool) Active() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.active.Load())
+}

@@ -1,0 +1,68 @@
+package jobs
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// pqueue orders ready jobs by priority (higher first), FIFO within a
+// priority via the manager's submission sequence. Jobs delayed for
+// retry backoff are NOT in the queue — a timer pushes them back when
+// their NotBefore passes — so len() counts only dispatchable work.
+type pqueue struct {
+	h jobHeap
+}
+
+func newPQueue() *pqueue {
+	return &pqueue{}
+}
+
+func (q *pqueue) len() int { return q.h.Len() }
+
+func (q *pqueue) push(j *Job) {
+	heap.Push(&q.h, j)
+}
+
+// pop removes and returns the highest-priority job, or nil when empty.
+func (q *pqueue) pop() *Job {
+	if q.h.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Job)
+}
+
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+
+func (h jobHeap) Less(i, k int) bool {
+	if h[i].Priority != h[k].Priority {
+		return h[i].Priority > h[k].Priority
+	}
+	return h[i].seq < h[k].seq
+}
+
+func (h jobHeap) Swap(i, k int) { h[i], h[k] = h[k], h[i] }
+
+func (h *jobHeap) Push(x any) { *h = append(*h, x.(*Job)) }
+
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// sortJobs orders records newest-submission-first for List output.
+func sortJobs(js []*Job) {
+	sort.Slice(js, func(i, k int) bool {
+		if !js[i].CreatedAt.Equal(js[k].CreatedAt) {
+			return js[i].CreatedAt.After(js[k].CreatedAt)
+		}
+		return js[i].ID < js[k].ID
+	})
+}
+
+func sortStrings(ss []string) { sort.Strings(ss) }

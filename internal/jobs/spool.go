@@ -1,0 +1,141 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// spool persists job records and results as individual JSON files:
+//
+//	<dir>/jobs/<id>.json     one Job record, rewritten on every state change
+//	<dir>/results/<id>.json  the raw result document of a done job
+//
+// Writes follow the anacache discipline — temp file in the target
+// directory, then rename — so a concurrent reader (or a crash mid-
+// write) sees the old complete file or the new complete file, never a
+// torn one. All methods are nil-receiver safe: a Manager without a
+// SpoolDir simply calls into no-ops, keeping the hot paths free of
+// "if persistent" branches.
+type spool struct {
+	jobsDir    string
+	resultsDir string
+}
+
+func openSpool(dir string) (*spool, error) {
+	s := &spool{
+		jobsDir:    filepath.Join(dir, "jobs"),
+		resultsDir: filepath.Join(dir, "results"),
+	}
+	for _, d := range []string{s.jobsDir, s.resultsDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("jobs: creating spool: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// putJob persists the current job record. Spool write failures are
+// deliberately non-fatal to the job itself (the in-memory state
+// machine stays authoritative); durability degrades, execution does
+// not.
+func (s *spool) putJob(j *Job) {
+	if s == nil {
+		return
+	}
+	data, err := json.Marshal(j)
+	if err != nil {
+		return
+	}
+	writeAtomic(filepath.Join(s.jobsDir, j.ID+".json"), data)
+}
+
+func (s *spool) putResult(id string, raw json.RawMessage) {
+	if s == nil {
+		return
+	}
+	writeAtomic(filepath.Join(s.resultsDir, id+".json"), raw)
+}
+
+func (s *spool) getResult(id string) (json.RawMessage, error) {
+	if s == nil {
+		return nil, fmt.Errorf("no spool")
+	}
+	return os.ReadFile(filepath.Join(s.resultsDir, id+".json"))
+}
+
+func (s *spool) hasResult(id string) bool {
+	if s == nil {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(s.resultsDir, id+".json"))
+	return err == nil
+}
+
+// remove deletes a job's record and result (TTL expiry).
+func (s *spool) remove(id string) {
+	if s == nil {
+		return
+	}
+	os.Remove(filepath.Join(s.jobsDir, id+".json"))
+	os.Remove(filepath.Join(s.resultsDir, id+".json"))
+}
+
+// loadJobs reads every job record in the spool. Unparseable or
+// foreign files are skipped, not fatal: one corrupt record must not
+// block recovery of the rest.
+func (s *spool) loadJobs() ([]*Job, error) {
+	if s == nil {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.jobsDir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: scanning spool: %w", err)
+	}
+	var out []*Job
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".tmp-") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.jobsDir, name))
+		if err != nil {
+			continue
+		}
+		var j Job
+		if err := json.Unmarshal(data, &j); err != nil {
+			continue
+		}
+		if j.ID == "" || j.ID != strings.TrimSuffix(name, ".json") {
+			continue
+		}
+		out = append(out, &j)
+	}
+	return out, nil
+}
+
+// writeAtomic is the temp+rename write: the destination is replaced in
+// one rename, so readers never observe a partial file.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package jobs
+
+import "time"
+
+// DurationBucketsMs are the histogram bucket upper bounds, in
+// milliseconds, for per-type job execution durations. Jobs live on a
+// much longer scale than serving requests (minutes of compute is the
+// point of the tier), so the list extends to five minutes.
+var DurationBucketsMs = []float64{5, 25, 100, 500, 2500, 10000, 60000, 300000}
+
+// statsCounters accumulates lifetime counters and per-type duration
+// histograms; guarded by Manager.mu.
+type statsCounters struct {
+	submitted uint64 // new jobs admitted to the queue
+	deduped   uint64 // submissions answered by an existing job
+	rejected  uint64 // submissions refused with ErrQueueFull
+	completed uint64 // executions that reached done
+	failures  uint64 // executions that reached failed or dead
+	retries   uint64 // transient failures re-queued with backoff
+	resumed   uint64 // jobs re-admitted from the spool at Start
+	expired   uint64 // terminal records swept by TTL
+
+	durations map[string]*typeHist
+}
+
+type typeHist struct {
+	counts [len8]uint64
+	count  uint64
+	sumMs  float64
+}
+
+// len8 pins the bucket-count array to DurationBucketsMs' length.
+const len8 = 8
+
+func (s *statsCounters) observe(typ string, _ State, elapsed time.Duration) {
+	if s.durations == nil {
+		s.durations = make(map[string]*typeHist)
+	}
+	h := s.durations[typ]
+	if h == nil {
+		h = &typeHist{}
+		s.durations[typ] = h
+	}
+	ms := float64(elapsed) / float64(time.Millisecond)
+	for i, le := range DurationBucketsMs {
+		if ms <= le {
+			h.counts[i]++
+		}
+	}
+	h.count++
+	h.sumMs += ms
+}
+
+// DurationHist is a snapshot of one job type's execution-duration
+// histogram, cumulative per Prometheus convention (+Inf implied by
+// Count).
+type DurationHist struct {
+	BucketsMs []float64
+	Counts    []uint64
+	Count     uint64
+	SumMs     float64
+}
+
+// Stats is a point-in-time snapshot of the manager, shaped for the
+// /metrics exporter: state gauges, queue and pool occupancy, lifetime
+// counters, per-type duration histograms.
+type Stats struct {
+	States     map[State]int
+	QueueLen   int
+	PoolActive int
+	PoolSize   int
+
+	Submitted uint64
+	Deduped   uint64
+	Rejected  uint64
+	Completed uint64
+	Failures  uint64
+	Retries   uint64
+	Resumed   uint64
+	Expired   uint64
+
+	Durations map[string]DurationHist
+}
+
+// Stats returns a consistent snapshot of counters and gauges.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		States: map[State]int{
+			StateQueued: 0, StateRunning: 0, StateDone: 0,
+			StateFailed: 0, StateDead: 0,
+		},
+		QueueLen:   m.queue.len(),
+		PoolActive: m.pool.Active(),
+		PoolSize:   m.pool.Size(),
+		Submitted:  m.stats.submitted,
+		Deduped:    m.stats.deduped,
+		Rejected:   m.stats.rejected,
+		Completed:  m.stats.completed,
+		Failures:   m.stats.failures,
+		Retries:    m.stats.retries,
+		Resumed:    m.stats.resumed,
+		Expired:    m.stats.expired,
+		Durations:  make(map[string]DurationHist, len(m.stats.durations)),
+	}
+	for _, j := range m.jobs {
+		st.States[j.State]++
+	}
+	for typ, h := range m.stats.durations {
+		st.Durations[typ] = DurationHist{
+			BucketsMs: DurationBucketsMs,
+			Counts:    append([]uint64(nil), h.counts[:]...),
+			Count:     h.count,
+			SumMs:     h.sumMs,
+		}
+	}
+	return st
+}

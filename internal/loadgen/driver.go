@@ -3,6 +3,7 @@ package loadgen
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -232,7 +233,8 @@ func defaultClient(conns int) *http.Client {
 }
 
 // fire sends one request and returns its status code (0 on transport
-// failure).
+// failure). A FollowJob request is measured end to end: the submission
+// plus long-polling the returned job to a terminal state.
 func fire(client *http.Client, baseURL string, req Request) (int, bool) {
 	var body io.Reader
 	if req.Body != nil {
@@ -249,9 +251,51 @@ func fire(client *http.Client, baseURL string, req Request) (int, bool) {
 	if err != nil {
 		return 0, true
 	}
-	io.Copy(io.Discard, resp.Body)
+	if !req.FollowJob || (resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted) {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, false
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&job)
 	resp.Body.Close()
-	return resp.StatusCode, false
+	if err != nil || job.ID == "" {
+		return 0, true
+	}
+	return followJob(client, baseURL, job.ID, job.State)
+}
+
+// followJob long-polls one job until it is terminal: done reports as
+// 200, failed/dead as 500 (a job the server accepted but could not
+// finish is a server error for SLO purposes). The iteration bound only
+// guards against a stuck server; each poll parks server-side in the
+// job tier's waiter list, not in a busy loop.
+func followJob(client *http.Client, baseURL, id, state string) (int, bool) {
+	for i := 0; i < 30; i++ {
+		switch state {
+		case "done":
+			return http.StatusOK, false
+		case "failed", "dead":
+			return http.StatusInternalServerError, false
+		}
+		resp, err := client.Get(baseURL + "/v1/jobs/" + id + "?wait=2s")
+		if err != nil {
+			return 0, true
+		}
+		var job struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return 0, true
+		}
+		state = job.State
+	}
+	return 0, true
 }
 
 // Run drives one measurement pass and returns its report.

@@ -2,10 +2,14 @@ package loadgen
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -186,6 +190,84 @@ func stubServer(delay time.Duration) *httptest.Server {
 		}
 		w.Write([]byte(`{}`))
 	}))
+}
+
+// TestJobsEndpointFollowsToTerminal drives the jobs mix against a stub
+// job tier that needs two status polls before finishing: every
+// observation must be the full submit→done round trip mapped to 200,
+// and a dead job must surface as a 5xx.
+func TestJobsEndpointFollowsToTerminal(t *testing.T) {
+	p := testProfile(t)
+	var submits, polls atomic.Int64
+	pollsByJob := map[string]int{}
+	var mu sync.Mutex
+	fail := false
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs/analyze-upload", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		n := submits.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"id":"j-%d","state":"queued"}`, n)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		polls.Add(1)
+		id := r.PathValue("id")
+		mu.Lock()
+		pollsByJob[id]++
+		n := pollsByJob[id]
+		mu.Unlock()
+		state := "running"
+		if n >= 2 {
+			state = "done"
+			if fail {
+				state = "dead"
+			}
+		}
+		fmt.Fprintf(w, `{"id":%q,"state":%q}`, id, state)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), p, Options{
+		BaseURL:  ts.URL,
+		Mode:     ModeClosed,
+		Workers:  2,
+		Duration: 200 * time.Millisecond,
+		Mix:      Mix{EpJobs: 1},
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overall.Requests == 0 {
+		t.Fatal("no job round trips measured")
+	}
+	if rep.Overall.Codes["200"] != rep.Overall.Requests || rep.HTTP5xx != 0 {
+		t.Errorf("codes = %v over %d requests", rep.Overall.Codes, rep.Overall.Requests)
+	}
+	if polls.Load() < 2*submits.Load() {
+		t.Errorf("jobs not followed: %d submits, %d polls", submits.Load(), polls.Load())
+	}
+
+	// A job that dies must count as a server error, not a success.
+	mu.Lock()
+	fail = true
+	pollsByJob = map[string]int{}
+	mu.Unlock()
+	rep, err = Run(context.Background(), p, Options{
+		BaseURL:  ts.URL,
+		Mode:     ModeClosed,
+		Workers:  1,
+		Duration: 100 * time.Millisecond,
+		Mix:      Mix{EpJobs: 1},
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HTTP5xx == 0 || rep.HTTP5xx != rep.Overall.Requests {
+		t.Errorf("dead jobs reported as %v, want all 5xx", rep.Overall.Codes)
+	}
 }
 
 func TestClosedLoopDriver(t *testing.T) {

@@ -20,6 +20,10 @@ const (
 	EpSuggest      = "suggest"
 	EpFootprint    = "footprint"
 	EpAnalyze      = "analyze"
+	// EpJobs submits an analyze-upload job and follows it to a terminal
+	// state (submit + long-poll); its latency is the full job round
+	// trip. Only meaningful against a server running the job tier.
+	EpJobs = "jobs"
 )
 
 // Mix is the endpoint mix as relative weights. Zero-weight endpoints
@@ -57,7 +61,7 @@ func ParseMix(s string) (Mix, error) {
 			return nil, fmt.Errorf("loadgen: bad mix weight %q", part)
 		}
 		switch name {
-		case EpImportance, EpCompleteness, EpSuggest, EpFootprint, EpAnalyze:
+		case EpImportance, EpCompleteness, EpSuggest, EpFootprint, EpAnalyze, EpJobs:
 			m[name] = w
 		default:
 			return nil, fmt.Errorf("loadgen: unknown endpoint %q", name)
@@ -73,6 +77,11 @@ type Request struct {
 	Path        string
 	Body        []byte
 	ContentType string
+	// FollowJob marks a job submission: the driver decodes the returned
+	// job record and long-polls /v1/jobs/{id} until the job is terminal,
+	// reporting the whole round trip as one observation (done maps to
+	// 200, failed/dead to 500).
+	FollowJob bool
 }
 
 // Profile is the data a workload draws from: the study's package
@@ -171,7 +180,7 @@ func NewGenerator(p *Profile, mix Mix, seed int64) (*Generator, error) {
 	sort.Strings(names)
 	for _, name := range names {
 		w := mix[name]
-		if w <= 0 || (name == EpAnalyze && p.ELF == nil) {
+		if w <= 0 || ((name == EpAnalyze || name == EpJobs) && p.ELF == nil) {
 			continue
 		}
 		g.endpoints = append(g.endpoints, name)
@@ -250,6 +259,18 @@ func (g *Generator) Next() Request {
 		return Request{
 			Endpoint: EpFootprint, Method: "GET",
 			Path: "/v1/footprint/" + g.pickPackage(),
+		}
+	case EpJobs:
+		// A small pool of distinct names: early submissions create jobs,
+		// later ones dedupe onto finished records — both server paths see
+		// steady traffic.
+		body, _ := json.Marshal(map[string]any{
+			"name": fmt.Sprintf("loadgen-%d.bin", g.rng.Intn(8)),
+			"elf":  g.p.ELF,
+		})
+		return Request{
+			Endpoint: EpJobs, Method: "POST", Path: "/v1/jobs/analyze-upload",
+			Body: body, ContentType: "application/json", FollowJob: true,
 		}
 	default: // EpAnalyze
 		return Request{

@@ -136,6 +136,83 @@ func TestAdmissionWaiterGetsFreedSlot(t *testing.T) {
 	}
 }
 
+// TestAdmissionClientDisconnectWhileQueued is the regression test for
+// queue-position leaks: a client that goes away while waiting for a
+// slot must free its queue position immediately — not hold it until
+// QueueWait — and be counted as a cancellation. A leaked position
+// would turn every later arrival into a spurious queue-full shed.
+func TestAdmissionClientDisconnectWhileQueued(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 1, QueueWait: time.Minute})
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx)
+		got <- err
+	}()
+	for i := 0; i < 1000 && a.Stats().Queued == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if a.Stats().Queued != 1 {
+		t.Fatal("waiter never enqueued")
+	}
+	// The single queue position is taken: the next arrival sheds full.
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("second waiter = %v, want queue-full shed", err)
+	}
+
+	// Disconnect the queued client. Its position must free well before
+	// the minute-long QueueWait.
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrShed) {
+			t.Fatalf("cancelled waiter = %v, want ErrShed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter stuck in queue")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Stats().Queued != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue position leaked: %+v", a.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := a.Stats()
+	if st.ShedCancelled != 1 || st.ShedQueueFull != 1 {
+		t.Errorf("stats = %+v, want 1 cancelled + 1 queue-full", st)
+	}
+
+	// The freed position is reusable: a fresh waiter enqueues instead of
+	// shedding, and is admitted once the slot releases.
+	admitted := make(chan error, 1)
+	go func() {
+		r, err := a.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		admitted <- err
+	}()
+	for i := 0; i < 1000 && a.Stats().Queued == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	select {
+	case err := <-admitted:
+		if err != nil {
+			t.Fatalf("waiter after disconnect = %v, want admission", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter after disconnect never admitted")
+	}
+}
+
 // TestAdmissionConcurrentInvariants hammers the limiter from many
 // goroutines (run under -race in CI) and checks the two safety
 // properties: admitted concurrency never exceeds MaxInFlight, and

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// newJobService wires a test service to a fresh started job manager.
+func newJobService(t *testing.T) (*Service, *jobs.Manager) {
+	t.Helper()
+	svc := newTestService(t, Config{})
+	m := jobs.New(jobs.Config{Workers: 2, RetryBase: time.Millisecond})
+	if err := RegisterExecutors(m, svc); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return svc, m
+}
+
+func runJob(t *testing.T, m *jobs.Manager, typ string, params any) *jobs.Job {
+	t.Helper()
+	raw, err := json.Marshal(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := m.Submit(typ, raw, jobs.SubmitOptions{})
+	if err != nil {
+		t.Fatalf("Submit(%s): %v", typ, err)
+	}
+	got, err := m.Wait(context.Background(), j.ID, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func jobResult(t *testing.T, m *jobs.Manager, id string, into any) {
+	t.Helper()
+	raw, _, err := m.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, into); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecutorTypesRegistered(t *testing.T) {
+	_, m := newJobService(t)
+	want := []string{JobAnalyzeUpload, JobCompatMatrix, JobCorpusDiff, JobSnapshotRebuild}
+	got := m.Types()
+	if len(got) != len(want) {
+		t.Fatalf("types = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("types = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAnalyzeUploadJob(t *testing.T) {
+	svc, m := newJobService(t)
+	data := corpusELF(t, svc.Snapshot().Study)
+
+	j := runJob(t, m, JobAnalyzeUpload, AnalyzeUploadParams{Name: "upload.bin", ELF: data})
+	if j.State != jobs.StateDone {
+		t.Fatalf("job = %+v", j)
+	}
+	var res AnalyzeResult
+	jobResult(t, m, j.ID, &res)
+	if len(res.Syscalls) == 0 && res.Sites == 0 {
+		t.Fatalf("empty analysis result: %+v", res)
+	}
+
+	// A corrupt binary is a permanent failure: no retries burned.
+	bad := runJob(t, m, JobAnalyzeUpload, AnalyzeUploadParams{Name: "junk", ELF: []byte("not an ELF")})
+	if bad.State != jobs.StateFailed || bad.Attempts != 1 {
+		t.Fatalf("bad upload = %+v, want failed after one attempt", bad)
+	}
+	// So is an empty payload.
+	empty := runJob(t, m, JobAnalyzeUpload, AnalyzeUploadParams{Name: "void"})
+	if empty.State != jobs.StateFailed {
+		t.Fatalf("empty upload = %+v, want failed", empty)
+	}
+}
+
+func TestCompatMatrixJob(t *testing.T) {
+	_, m := newJobService(t)
+	j := runJob(t, m, JobCompatMatrix, struct{}{})
+	if j.State != jobs.StateDone {
+		t.Fatalf("job = %+v", j)
+	}
+	var res CompatMatrixResult
+	jobResult(t, m, j.ID, &res)
+	if len(res.Systems) == 0 || len(res.LibcVariants) == 0 {
+		t.Fatalf("matrix missing tables: systems=%d libc=%d", len(res.Systems), len(res.LibcVariants))
+	}
+	if res.Generation == 0 {
+		t.Fatal("generation not stamped")
+	}
+}
+
+func TestCorpusDiffJob(t *testing.T) {
+	_, m := newJobService(t)
+	// Diff the resident study against a baseline generated from a
+	// different, smaller config: deltas must exist.
+	j := runJob(t, m, JobCorpusDiff, CorpusDiffParams{
+		Packages: 60, Installations: 100000, Seed: 31, Threshold: 0.001, Limit: 10,
+	})
+	if j.State != jobs.StateDone {
+		t.Fatalf("job = %+v", j)
+	}
+	var res CorpusDiffResult
+	jobResult(t, m, j.ID, &res)
+	if res.Total == 0 || len(res.Deltas) == 0 {
+		t.Fatalf("no deltas between different corpora: %+v", res)
+	}
+	if len(res.Deltas) > 10 {
+		t.Fatalf("limit not applied: %d rows", len(res.Deltas))
+	}
+
+	// Bad params fail permanently.
+	bad := runJob(t, m, JobCorpusDiff, CorpusDiffParams{Packages: -1})
+	if bad.State != jobs.StateFailed {
+		t.Fatalf("bad diff params = %+v, want failed", bad)
+	}
+}
+
+func TestSnapshotRebuildJob(t *testing.T) {
+	svc, m := newJobService(t)
+	before := svc.Generation()
+
+	j := runJob(t, m, JobSnapshotRebuild, SnapshotRebuildParams{
+		Packages: 60, Installations: 100000, Seed: 31,
+	})
+	if j.State != jobs.StateDone {
+		t.Fatalf("job = %+v", j)
+	}
+	var res SnapshotRebuildResult
+	jobResult(t, m, j.ID, &res)
+	if res.Generation != before+1 || svc.Generation() != before+1 {
+		t.Fatalf("generation = %d (service %d), want %d", res.Generation, svc.Generation(), before+1)
+	}
+	if res.Packages != 60 || res.Fingerprint == "" {
+		t.Fatalf("rebuild result = %+v", res)
+	}
+
+	// Ambiguous and empty params fail permanently.
+	for _, p := range []SnapshotRebuildParams{
+		{},
+		{CorpusDir: "/tmp/x", Packages: 10},
+	} {
+		j := runJob(t, m, JobSnapshotRebuild, p)
+		if j.State != jobs.StateFailed {
+			t.Fatalf("params %+v: job = %+v, want failed", p, j)
+		}
+	}
+}
+
+func TestSnapshotRebuildFromCorpusDir(t *testing.T) {
+	svc, m := newJobService(t)
+	dir := t.TempDir()
+	if err := svc.Snapshot().Study.SaveCorpus(dir); err != nil {
+		t.Fatal(err)
+	}
+	before := svc.Generation()
+	j := runJob(t, m, JobSnapshotRebuild, SnapshotRebuildParams{CorpusDir: dir})
+	if j.State != jobs.StateDone {
+		t.Fatalf("job = %+v", j)
+	}
+	if svc.Generation() != before+1 {
+		t.Fatalf("generation = %d, want %d", svc.Generation(), before+1)
+	}
+	if src := svc.Snapshot().Source; src != dir {
+		t.Fatalf("source = %q, want %q", src, dir)
+	}
+}

@@ -149,6 +149,25 @@ func (s *Service) Reload(dir string) (uint64, error) {
 	return s.Swap(study, dir), nil
 }
 
+// RebuildGenerated regenerates a calibrated synthetic corpus from cfg,
+// analyzes it (through the analysis cache and worker fleet when
+// configured, like Reload) and atomically swaps the new study in.
+// Returns the new generation.
+func (s *Service) RebuildGenerated(cfg repro.Config) (uint64, error) {
+	var analyze repro.JobAnalyzer
+	if s.cfg.Fleet != nil {
+		analyze = s.cfg.Fleet.AnalyzeJobs
+	}
+	study, err := repro.NewStudyDistributed(cfg, s.cfg.Cache, analyze)
+	if err != nil {
+		s.reloadsFailed.Add(1)
+		return 0, err
+	}
+	s.reloads.Add(1)
+	source := fmt.Sprintf("generated(packages=%d seed=%d)", cfg.Packages, cfg.Seed)
+	return s.Swap(study, source), nil
+}
+
 // Generation returns the current snapshot generation.
 func (s *Service) Generation() uint64 { return s.gen.Load() }
 

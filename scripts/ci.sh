@@ -4,11 +4,12 @@
 # footprint resolution in internal/core, the intern table and bitset
 # footprints in internal/linuxapi/footprint/metrics, the
 # snapshot-swap/cache/analysis-pool paths in internal/service, and the
-# coordinator/worker fleet in internal/fleet, and the load drivers in
-# internal/loadgen), a two-worker end-to-end fleet smoke test, and an
-# end-to-end load smoke test that gates the serving SLO. Run from the
-# repository root; used by .github/workflows/ci.yml and fine to run
-# locally.
+# coordinator/worker fleet in internal/fleet, the load drivers in
+# internal/loadgen, and the async job tier in internal/jobs), a
+# two-worker end-to-end fleet smoke test, a job-tier smoke test (spool
+# persistence across kill -9), and an end-to-end load smoke test that
+# gates the serving SLO. Run from the repository root; used by
+# .github/workflows/ci.yml and fine to run locally.
 set -eu
 
 echo "== gofmt"
@@ -32,13 +33,16 @@ go test ./...
 echo "== go test -shuffle (order-independence)"
 go test -count=1 -shuffle=on ./...
 
-echo "== go test -race (pipeline, intern/bitset/metrics, service, HTTP API, analysis cache, fleet, loadgen)"
+echo "== go test -race (pipeline, intern/bitset/metrics, service, HTTP API, analysis cache, fleet, loadgen, jobs)"
 go test -race ./internal/core ./internal/linuxapi ./internal/footprint ./internal/metrics \
     ./internal/service ./internal/httpapi ./internal/anacache ./internal/fleet \
-    ./internal/loadgen
+    ./internal/loadgen ./internal/jobs
 
 echo "== fleet smoke test (two-worker end-to-end)"
 sh scripts/fleet_smoke.sh
+
+echo "== jobs smoke test (spool persistence, kill -9 resume, dedupe)"
+sh scripts/jobs_smoke.sh
 
 echo "== load smoke test (apiserved + apiload + serving SLO gate)"
 sh scripts/load_smoke.sh

@@ -1,0 +1,121 @@
+#!/bin/sh
+# End-to-end job-tier smoke test: builds the real binaries, starts
+# apiserved with a spool directory, and drives the durable-job contract
+# through the apijobs CLI — an analyze-upload job runs to a result,
+# duplicate submissions collapse onto the same job ID, a slow job
+# killed -9 mid-run resumes under the same ID after a restart, finished
+# results survive the restart, and the failed/dead-letter listings
+# answer. This is the async tier's integration gate above
+# internal/jobs' unit tests: flag plumbing, the spool on a real disk,
+# process lifecycle, and the CLI transport (no curl in CI).
+# Run from the repository root; used by scripts/ci.sh and fine to run
+# locally.
+set -eu
+
+tmp=$(mktemp -d)
+srv_pid=""
+cleanup() {
+    [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "== jobs smoke: build"
+go build -o "$tmp/apiserved" ./cmd/apiserved
+go build -o "$tmp/apijobs" ./cmd/apijobs
+go build -o "$tmp/corpusgen" ./cmd/corpusgen
+
+echo "== jobs smoke: corpus"
+"$tmp/corpusgen" -out "$tmp/corpus" -packages 40 -seed 17 -installations 100000
+
+addr=127.0.0.1:18861
+srv="http://$addr"
+jobs() { "$tmp/apijobs" -server "$srv" "$@"; }
+
+start_server() {
+    "$tmp/apiserved" -addr "$addr" -corpus "$tmp/corpus" \
+        -spool-dir "$tmp/spool" -job-workers 2 -quiet \
+        >>"$tmp/apiserved.log" 2>&1 &
+    srv_pid=$!
+}
+wait_healthy() {
+    i=0
+    until jobs probe 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -ge 150 ]; then
+            echo "jobs smoke: apiserved never became healthy" >&2
+            cat "$tmp/apiserved.log" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+echo "== jobs smoke: apiserved on $addr (spool $tmp/spool)"
+start_server
+wait_healthy
+
+elf=$(find "$tmp/corpus/pool" -type f -path '*/usr/bin/*' | sort | head -1)
+if [ -z "$elf" ]; then
+    echo "jobs smoke: no ELF in generated corpus" >&2
+    exit 1
+fi
+
+echo "== jobs smoke: analyze-upload runs to a result"
+id1=$(jobs -id-only analyze "$elf")
+jobs wait "$id1" >/dev/null
+jobs result "$id1" | grep -q '"syscalls"' || {
+    echo "jobs smoke: analyze result carries no syscalls" >&2
+    jobs result "$id1" >&2 || true
+    exit 1
+}
+
+echo "== jobs smoke: duplicate submission dedupes onto $id1"
+id1b=$(jobs -id-only analyze "$elf" 2>/dev/null)
+if [ "$id1b" != "$id1" ]; then
+    echo "jobs smoke: duplicate got new job $id1b, want $id1" >&2
+    exit 1
+fi
+
+echo "== jobs smoke: slow corpus-diff, kill -9 mid-run"
+id2=$(jobs -id-only submit corpus-diff \
+    '{"packages":400,"installations":200000,"seed":29,"threshold":0.001}')
+kill -9 "$srv_pid" 2>/dev/null
+wait "$srv_pid" 2>/dev/null || true
+srv_pid=""
+
+echo "== jobs smoke: restart on the same spool"
+start_server
+wait_healthy
+
+echo "== jobs smoke: killed job resumes and finishes under $id2"
+jobs -timeout 300s wait "$id2" >/dev/null
+jobs result "$id2" | grep -q '"total"' || {
+    echo "jobs smoke: corpus-diff result missing after resume" >&2
+    exit 1
+}
+
+echo "== jobs smoke: finished result survived the restart"
+jobs result "$id1" | grep -q '"syscalls"' || {
+    echo "jobs smoke: pre-restart result lost" >&2
+    exit 1
+}
+id1c=$(jobs -id-only analyze "$elf" 2>/dev/null)
+if [ "$id1c" != "$id1" ]; then
+    echo "jobs smoke: dedupe broken across restart: $id1c vs $id1" >&2
+    exit 1
+fi
+
+echo "== jobs smoke: failures are visible; dead-letter listing answers"
+idf=$(jobs -id-only submit analyze-upload '{"name":"void"}')
+if jobs wait "$idf" >/dev/null 2>&1; then
+    echo "jobs smoke: empty upload reported success" >&2
+    exit 1
+fi
+jobs -state failed list | grep -q "$idf" || {
+    echo "jobs smoke: failed job missing from state=failed listing" >&2
+    exit 1
+}
+jobs -state dead list >/dev/null
+
+echo "jobs smoke OK: resume under the same ID, durable results, dedupe, dead-letter listing"

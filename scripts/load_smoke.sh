@@ -1,12 +1,14 @@
 #!/bin/sh
 # End-to-end load smoke test: builds the real binaries, starts apiserved
-# on a loopback port with admission control enabled, drives a short
-# fixed-rate open-loop apiload pass against it, and gates the resulting
-# report with benchgate -serving — accepted-request p99 within the SLO,
-# zero 5xx, zero transport errors. This is the serving path's
-# integration gate above internal/loadgen's and internal/httpapi's unit
-# tests: flag plumbing, a real listener, the live /v1/path workload
-# bootstrap, report emission, and the CI artifact.
+# on a loopback port with admission control and the async job tier
+# enabled, drives a short fixed-rate open-loop apiload pass against it
+# (including a jobs slice: submit + follow to done), and gates the
+# resulting report with benchgate -serving — accepted-request p99
+# within the SLO, zero 5xx, zero transport errors. This is the serving
+# path's integration gate above internal/loadgen's and
+# internal/httpapi's unit tests: flag plumbing, a real listener, the
+# live /v1/path workload bootstrap, report emission, and the CI
+# artifact.
 # Run from the repository root; used by scripts/ci.sh and fine to run
 # locally. OUT overrides where the gated artifact lands (default: a
 # temp file, discarded).
@@ -30,13 +32,15 @@ go build -o "$tmp/benchgate" ./cmd/benchgate
 addr=127.0.0.1:18851
 echo "== load smoke: apiserved on $addr"
 "$tmp/apiserved" -addr "$addr" -packages 60 -seed 17 \
-    -max-inflight 64 -max-queue 128 -queue-wait 500ms -quiet \
+    -max-inflight 64 -max-queue 128 -queue-wait 500ms \
+    -spool-dir "$tmp/spool" -job-workers 2 -quiet \
     >"$tmp/apiserved.log" 2>&1 &
 srv_pid=$!
 
-echo "== load smoke: apiload (open loop, 80 rps)"
+echo "== load smoke: apiload (open loop, 80 rps, jobs in the mix)"
 "$tmp/apiload" -target "http://$addr" -wait-healthy 30s \
     -mode open -rps 80 -duration 3s -warmup 1s \
+    -mix importance=30,footprint=25,completeness=20,suggest=15,analyze=5,jobs=5 \
     -packages 60 -seed 17 -load-seed 42 \
     -out "$tmp/report.json" 2>"$tmp/apiload.log" || {
     echo "load smoke: apiload failed:" >&2
