@@ -453,6 +453,57 @@ func BenchmarkStudyColdVsWarm(b *testing.B) {
 	})
 }
 
+// BenchmarkSnapshotOpenVsRebuild prices what the columnar snapshot
+// format buys a replica at swap time: "rebuild" analyzes an on-disk
+// corpus from scratch (what a replica without snapshots must do),
+// "open" restores the same study from a snapshot file (mmap + column
+// decode, no disassembly at all). scripts/bench.sh records both as
+// snapshot_rebuild/snapshot_open in BENCH_pipeline.json and benchgate
+// gates CI on open being ≥10× faster.
+func BenchmarkSnapshotOpenVsRebuild(b *testing.B) {
+	dir := b.TempDir()
+	c, err := corpus.Generate(corpus.Config{
+		Packages: 150, Installations: 1 << 20, Seed: 42, CodeBulk: 24 << 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Save(dir); err != nil {
+		b.Fatal(err)
+	}
+	ref, err := LoadStudy(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "study.snap")
+	if err := ref.WriteSnapshot(snapPath, 1); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := LoadStudy(dir); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("open", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := LoadSnapshotStudy(snapPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s.Fingerprint() != ref.Fingerprint() {
+				b.Fatal("snapshot restored a different study")
+			}
+			s.Close()
+		}
+	})
+}
+
 // BenchmarkStudyFleetVsLocal prices the fleet's coordination tax on one
 // machine: "local" analyzes an on-disk corpus in-process, "fleet" routes
 // every shard through two loopback HTTP workers (serialize, POST, analyze

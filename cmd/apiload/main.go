@@ -22,11 +22,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +63,9 @@ func main() {
 		outPath = flag.String("out", "", "write the JSON report here (empty: stdout)")
 		wait    = flag.Duration("wait-healthy", 10*time.Second, "poll -target /healthz up to this long before driving load")
 
+		fetch     = flag.String("fetch", "", "one-shot: wait for -target /healthz, request this path, print the raw body, exit (non-2xx exits 1)")
+		fetchBody = flag.String("fetch-body", "", "JSON body for -fetch (switches the request from GET to POST)")
+
 		inflight  = flag.Int("max-inflight", 64, "in-process server: max concurrently served requests")
 		queue     = flag.Int("max-queue", 128, "in-process server: max queued requests")
 		queueWait = flag.Duration("queue-wait", time.Second, "in-process server: max queue wait")
@@ -73,6 +78,19 @@ func main() {
 	mix, err := loadgen.ParseMix(*mixSpec)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *fetch != "" {
+		if *target == "" {
+			log.Fatal("-fetch requires -target")
+		}
+		if err := waitHealthy(ctx, *target, *wait); err != nil {
+			log.Fatal(err)
+		}
+		if err := fetchOnce(ctx, *target, *fetch, *fetchBody); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	var profile *loadgen.Profile
@@ -250,6 +268,37 @@ func fetchGreedyOrder(baseURL string) ([]string, error) {
 		return nil, fmt.Errorf("GET /v1/path: empty path")
 	}
 	return res.Syscalls, nil
+}
+
+// fetchOnce performs the -fetch one-shot request and prints the raw
+// response body to stdout, so smoke scripts can capture endpoint
+// answers for byte-for-byte comparison without depending on curl.
+func fetchOnce(ctx context.Context, baseURL, path, body string) error {
+	method, rdr := http.MethodGet, io.Reader(nil)
+	if body != "" {
+		method, rdr = http.MethodPost, strings.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, baseURL+path, rdr)
+	if err != nil {
+		return err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := (&http.Client{Timeout: 30 * time.Second}).Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(raw)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s %s: status %d", method, path, resp.StatusCode)
+	}
+	return nil
 }
 
 // waitHealthy polls /healthz until the target answers 200 or the

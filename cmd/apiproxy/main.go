@@ -1,0 +1,79 @@
+// Command apiproxy fronts a set of apiserved replicas with a
+// health-checked round-robin proxy. A replica that dies mid-request is
+// retried transparently on another replica — clients see zero 5xx
+// while at least one replica stays live — and a replica reporting
+// /healthz 503 (awaiting its first snapshot) is kept out of rotation
+// until a snapshot lands.
+//
+// Usage:
+//
+//	apiproxy -addr :8080 -replicas http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// The proxy serves its own /healthz (200 iff at least one replica is
+// in rotation) and /metrics (apiproxy_* counters plus per-replica
+// up/error gauges); every other path is forwarded.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/proxy"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("apiproxy: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		replicas = flag.String("replicas", "", "comma-separated apiserved base URLs (required)")
+		check    = flag.Duration("check", 500*time.Millisecond, "health-probe interval for down replicas")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-replica attempt timeout")
+		bodyMax  = flag.Int64("max-body", 64<<20, "max buffered request body bytes")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain period")
+		quiet    = flag.Bool("quiet", false, "disable replica up/down logging")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("at least one -replicas URL is required")
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	p := proxy.New(proxy.Config{
+		Replicas:       urls,
+		CheckInterval:  *check,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *bodyMax,
+		Logf:           logf,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go p.Run(ctx)
+
+	log.Printf("proxying %d replicas on %s", len(urls), *addr)
+	if err := httpapi.ListenAndServe(ctx, *addr, p, *grace, log.Default()); err != nil &&
+		!errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("bye")
+}

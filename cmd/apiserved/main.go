@@ -29,6 +29,17 @@
 // Spooled jobs survive a restart, duplicate submissions collapse onto
 // one job, and /v1/analyze uploads at or above -async-analyze-bytes
 // are answered 202 with a job record instead of blocking.
+//
+// Replicated serving: -snapshot-out writes the analyzed study as a
+// columnar snapshot file; -snapshot serves such a file directly
+// (validation failure falls back to rebuilding from -corpus);
+// -await-snapshot -snapshot-dir DIR turns the process into a replica
+// that starts empty (healthz 503), adopts the newest valid snapshot in
+// DIR, and accepts publisher pushes on POST /v1/snapshot with
+// POST /v1/snapshot/rollback and GET /v1/snapshot alongside.
+//
+//	apiserved -addr :8080 -snapshot study.snap
+//	apiserved -addr :8081 -await-snapshot -snapshot-dir /data/snaps
 package main
 
 import (
@@ -73,6 +84,12 @@ func main() {
 		shards    = flag.Int("shards", 0, "shard count for -workers (0: 4 per worker)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 		quiet     = flag.Bool("quiet", false, "disable request logging")
+
+		snapFile     = flag.String("snapshot", "", "serve this snapshot file instead of analyzing a corpus (-corpus becomes the rebuild fallback if the file fails validation)")
+		snapOut      = flag.String("snapshot-out", "", "write the analyzed study as a snapshot file to this path once it is ready")
+		snapDir      = flag.String("snapshot-dir", "", "mount the snapshot admin surface (POST /v1/snapshot, rollback) spooling pushed generations into this directory")
+		awaitSnap    = flag.Bool("await-snapshot", false, "start empty and wait for a pushed snapshot; /healthz reports 503 until one lands")
+		maxSnapBytes = flag.Int64("max-snapshot-bytes", 256<<20, "max /v1/snapshot push body bytes")
 
 		spoolDir   = flag.String("spool-dir", "", "enable the async job tier with this spool directory; queued jobs survive a restart")
 		jobWorkers = flag.Int("job-workers", 2, "concurrent job executions")
@@ -127,11 +144,18 @@ func main() {
 		err    error
 	)
 	start := time.Now()
-	if *corpus != "" {
+	switch {
+	case *awaitSnap || *snapFile != "":
+		// Replica mode: nothing is analyzed here. The study arrives as a
+		// snapshot file — from -snapshot now, from disk adoption
+		// (-snapshot-dir), or from a publisher push.
+		study = repro.EmptyStudy()
+		source = "awaiting-snapshot"
+	case *corpus != "":
 		source = *corpus
 		log.Printf("analyzing corpus %s ...", *corpus)
 		study, err = repro.LoadStudyDistributed(*corpus, anaCache, analyzeFunc(coord))
-	} else {
+	default:
 		cfg := repro.DefaultConfig()
 		cfg.Packages = *packages
 		cfg.Seed = *seed
@@ -143,8 +167,16 @@ func main() {
 		log.Fatal(err)
 	}
 	meta := study.Meta()
-	log.Printf("study ready in %s: %d packages, %d executables, fingerprint %s",
-		time.Since(start).Round(time.Millisecond), meta.Packages, meta.Executables, meta.Fingerprint)
+	if source != "awaiting-snapshot" {
+		log.Printf("study ready in %s: %d packages, %d executables, fingerprint %s",
+			time.Since(start).Round(time.Millisecond), meta.Packages, meta.Executables, meta.Fingerprint)
+		if *snapOut != "" {
+			if err := study.WriteSnapshot(*snapOut, 1); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("snapshot written to %s (generation 1)", *snapOut)
+		}
+	}
 	if anaCache != nil {
 		cs := study.CacheStats()
 		log.Printf("analysis cache: %d hits, %d misses, %d invalidations, %d writes (hit ratio %.2f)",
@@ -157,6 +189,37 @@ func main() {
 		Cache:       anaCache,
 		Fleet:       coord,
 	})
+
+	if *snapFile != "" {
+		// Serve the snapshot file; a corpus directory, when given,
+		// becomes the rebuild fallback for a corrupt or missing file.
+		gen, err := svc.ReloadSnapshot(*snapFile, *corpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap := svc.Snapshot()
+		log.Printf("snapshot %s serving in %s: generation %d, %d packages, fingerprint %s (source %s)",
+			*snapFile, time.Since(start).Round(time.Millisecond), gen,
+			snap.Meta.Packages, snap.Meta.Fingerprint, snap.Source)
+	}
+
+	var snapMgr *service.SnapshotManager
+	if *snapDir != "" {
+		snapMgr, err = service.NewSnapshotManager(svc, *snapDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Only adopt from disk when nothing else produced a study; a
+		// stale spool must not shadow a freshly analyzed corpus.
+		if svc.Snapshot().Meta.Packages == 0 {
+			if gen, err := snapMgr.OpenLatest(); err == nil {
+				log.Printf("adopted snapshot generation %d from %s", gen, *snapDir)
+			} else if !errors.Is(err, service.ErrNoPrevious) {
+				log.Printf("snapshot adoption from %s failed: %v", *snapDir, err)
+			}
+		}
+		log.Printf("snapshot admin surface up, spooling to %s", *snapDir)
+	}
 
 	var mgr *jobs.Manager
 	if *spoolDir != "" {
@@ -190,6 +253,8 @@ func main() {
 		QueueWait:         *queueWait,
 		Jobs:              mgr,
 		AsyncAnalyzeBytes: *asyncBytes,
+		Snapshots:         snapMgr,
+		MaxSnapshotBytes:  *maxSnapBytes,
 	})
 	if *inflight > 0 {
 		log.Printf("admission control: %d in flight, %d queued, %s max wait",
@@ -199,7 +264,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *corpus != "" && *watch > 0 {
+	if *corpus != "" && *watch > 0 && *snapFile == "" && !*awaitSnap {
 		log.Printf("watching %s every %s for corpus changes", *corpus, *watch)
 		go svc.WatchCorpus(ctx, *corpus, *watch, log.Printf)
 	}

@@ -6,9 +6,15 @@
 //
 //	apistudy [-packages N] [-seed S] [-installations M] [-experiment all|fig1|...|tab12|sec6]
 //	apistudy -corpus DIR -workers http://127.0.0.1:8841,http://127.0.0.1:8842
+//
+// It is also the snapshot publisher of the replicated serving tier:
+//
+//	apistudy -experiment none -snapshot-out study.snap
+//	apistudy -experiment none -snapshot-gen 2 -publish http://127.0.0.1:8081,http://127.0.0.1:8082
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -34,7 +40,10 @@ func main() {
 		cacheDir      = flag.String("cache-dir", "", "persistent analysis cache directory (reuses per-binary analyses across runs)")
 		workers       = flag.String("workers", "", "comma-separated apiworker URLs for distributed analysis (empty: analyze in-process)")
 		shards        = flag.Int("shards", 0, "shard count for -workers (0: 4 per worker)")
-		experiment    = flag.String("experiment", "all", "which experiment to print: all, fig1..fig8, tab1..tab12, sec6")
+		experiment    = flag.String("experiment", "all", "which experiment to print: all, fig1..fig8, tab1..tab12, sec6, none")
+		snapshotOut   = flag.String("snapshot-out", "", "write the analyzed study as a snapshot file to this path")
+		snapshotGen   = flag.Uint64("snapshot-gen", 1, "generation stamped into -snapshot-out / -publish snapshots")
+		publish       = flag.String("publish", "", "comma-separated apiserved replica URLs to push the snapshot to (POST /v1/snapshot)")
 		series        = flag.String("series", "", "emit a figure's raw data series instead (fig2, fig3, fig4, fig5f, fig5p, fig6, fig7, fig8)")
 		format        = flag.String("format", "csv", "series format: csv or json")
 		verbose       = flag.Bool("v", false, "log pipeline timing")
@@ -132,6 +141,37 @@ func main() {
 		}
 	}
 
+	if *snapshotOut != "" {
+		if err := study.WriteSnapshot(*snapshotOut, *snapshotGen); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("snapshot written to %s (generation %d)", *snapshotOut, *snapshotGen)
+	}
+	if *publish != "" {
+		var urls []string
+		for _, u := range strings.Split(*publish, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		data, err := study.EncodeSnapshot(*snapshotGen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pub := fleet.NewPublisher(fleet.PublisherConfig{Replicas: urls, Logf: log.Printf})
+		results, err := pub.Publish(context.Background(), data, *snapshotGen, study.Fingerprint())
+		for _, res := range results {
+			if res.Err != "" {
+				log.Printf("publish %s: FAILED: %s", res.Replica, res.Err)
+			} else {
+				log.Printf("publish %s: generation %d, fingerprint %s", res.Replica, res.Generation, res.Fingerprint)
+			}
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	r := study.Metrics()
 	if *series != "" {
 		var err error
@@ -161,6 +201,8 @@ func main() {
 		"sec6": r.Section6,
 	}
 	switch key := strings.ToLower(*experiment); key {
+	case "none":
+		// Snapshot-only invocation: analyze, write/publish, print nothing.
 	case "all":
 		fmt.Print(study.ReportAll())
 	case "ablations":

@@ -58,6 +58,14 @@ type artifact struct {
 	AggregateBitset     sample  `json:"aggregate_bitset"`
 	AggregateSpeedup    float64 `json:"aggregate_speedup"`
 	MinAggregateSpeedup float64 `json:"min_aggregate_speedup"`
+	// Snapshot rows (BenchmarkSnapshotOpenVsRebuild) gate the columnar
+	// snapshot format against rebuilding from the corpus: the format
+	// exists to make replica swaps near-instant, and a change that
+	// erodes the open-over-rebuild ratio below the floor fails CI.
+	SnapshotRebuild    sample  `json:"snapshot_rebuild"`
+	SnapshotOpen       sample  `json:"snapshot_open"`
+	SnapshotSpeedup    float64 `json:"snapshot_speedup"`
+	MinSnapshotSpeedup float64 `json:"min_snapshot_speedup"`
 	// Fleet rows (BenchmarkStudyFleetVsLocal) document the coordinator's
 	// loopback overhead; informational, not gated — on one machine the
 	// fleet can only ever cost, never win.
@@ -72,6 +80,7 @@ type artifact struct {
 const (
 	fleetBench = "BenchmarkStudyFleetVsLocal"
 	aggBench   = "BenchmarkAggregateMetrics"
+	snapBench  = "BenchmarkSnapshotOpenVsRebuild"
 )
 
 // benchLine matches one `go test -bench` result row, e.g.
@@ -89,6 +98,8 @@ func main() {
 		"fail unless cold/warm >= this ratio")
 	minAgg := flag.Float64("min-aggregate-speedup", 2.0,
 		"fail unless map/bitset aggregation >= this ratio")
+	minSnap := flag.Float64("min-snapshot-speedup", 10.0,
+		"fail unless rebuild/open snapshot restore >= this ratio")
 	serving := flag.String("serving", "",
 		"gate a cmd/apiload report instead of benchmark output (path to report JSON)")
 	maxP99 := flag.Float64("max-p99-ms", 500,
@@ -106,7 +117,7 @@ func main() {
 		line := sc.Text()
 		fmt.Println(line) // passthrough so CI logs keep the raw output
 		m := benchLine.FindStringSubmatch(line)
-		if m == nil || (m[1] != *bench && m[1] != fleetBench && m[1] != aggBench) {
+		if m == nil || (m[1] != *bench && m[1] != fleetBench && m[1] != aggBench && m[1] != snapBench) {
 			continue
 		}
 		ns, err := strconv.ParseFloat(m[3], 64)
@@ -120,6 +131,9 @@ func main() {
 		}
 		if m[1] == aggBench {
 			key = "aggregate_" + key
+		}
+		if m[1] == snapBench {
+			key = "snapshot_" + key
 		}
 		s := samples[key]
 		if s == nil {
@@ -151,6 +165,12 @@ func main() {
 				aggBench, name[len("aggregate_"):])
 		}
 	}
+	for _, name := range []string{"snapshot_rebuild", "snapshot_open"} {
+		if s := samples[name]; s == nil || len(s.NsPerOp) == 0 {
+			fatalf("no %s/%s samples in input — did the benchmark run?",
+				snapBench, name[len("snapshot_"):])
+		}
+	}
 
 	a := artifact{
 		Benchmark:           *bench,
@@ -162,11 +182,16 @@ func main() {
 		AggregateMap:        *samples["aggregate_map"],
 		AggregateBitset:     *samples["aggregate_bitset"],
 		MinAggregateSpeedup: *minAgg,
+		SnapshotRebuild:     *samples["snapshot_rebuild"],
+		SnapshotOpen:        *samples["snapshot_open"],
+		MinSnapshotSpeedup:  *minSnap,
 	}
 	a.WarmSpeedup = round2(a.Cold.BestNs / a.Warm.BestNs)
 	a.IncrementalSpeedup = round2(a.Cold.BestNs / a.Incremental.BestNs)
 	a.AggregateSpeedup = round2(a.AggregateMap.BestNs / a.AggregateBitset.BestNs)
-	a.Pass = a.WarmSpeedup >= *minWarm && a.AggregateSpeedup >= *minAgg
+	a.SnapshotSpeedup = round2(a.SnapshotRebuild.BestNs / a.SnapshotOpen.BestNs)
+	a.Pass = a.WarmSpeedup >= *minWarm && a.AggregateSpeedup >= *minAgg &&
+		a.SnapshotSpeedup >= *minSnap
 
 	if fl, f := samples["fleet_local"], samples["fleet"]; fl != nil && f != nil {
 		a.FleetLocal, a.Fleet = fl, f
@@ -187,6 +212,9 @@ func main() {
 	fmt.Printf("benchgate: aggregation map %.0fms vs bitset %.0fms — %.2fx speedup (floor %.2fx)\n",
 		a.AggregateMap.BestNs/1e6, a.AggregateBitset.BestNs/1e6,
 		a.AggregateSpeedup, *minAgg)
+	fmt.Printf("benchgate: snapshot rebuild %.0fms vs open %.0fms — %.2fx speedup (floor %.2fx)\n",
+		a.SnapshotRebuild.BestNs/1e6, a.SnapshotOpen.BestNs/1e6,
+		a.SnapshotSpeedup, *minSnap)
 	if a.Fleet != nil {
 		fmt.Printf("benchgate: fleet %.0fms vs local %.0fms — %.2fx loopback coordination overhead (not gated)\n",
 			a.Fleet.BestNs/1e6, a.FleetLocal.BestNs/1e6, a.FleetOverhead)
@@ -198,6 +226,10 @@ func main() {
 	if a.AggregateSpeedup < *minAgg {
 		fatalf("aggregation speedup %.2fx below floor %.2fx — the bitset path regressed",
 			a.AggregateSpeedup, *minAgg)
+	}
+	if a.SnapshotSpeedup < *minSnap {
+		fatalf("snapshot speedup %.2fx below floor %.2fx — the snapshot format regressed",
+			a.SnapshotSpeedup, *minSnap)
 	}
 }
 

@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PublishResult reports the outcome of one replica's push.
+type PublishResult struct {
+	Replica     string `json:"replica"`
+	Generation  uint64 `json:"generation"`
+	Fingerprint string `json:"fingerprint"`
+	Err         string `json:"error,omitempty"`
+}
+
+// PublisherConfig tunes a Publisher. Only Replicas is required.
+type PublisherConfig struct {
+	// Replicas are base URLs of apiserved instances exposing
+	// POST /v1/snapshot, e.g. "http://127.0.0.1:8871".
+	Replicas []string
+	// PushTimeout bounds one replica push end to end (default 2m —
+	// snapshot bodies can be large).
+	PushTimeout time.Duration
+	// Retries is how many times a failed push is retried per replica
+	// before giving up (default 2). A 409 (stale generation) is never
+	// retried: the replica is already ahead.
+	Retries int
+	// RetryBackoff is the delay before a retry, doubled per attempt
+	// (default 250ms).
+	RetryBackoff time.Duration
+	// Client overrides the HTTP client.
+	Client *http.Client
+	// Logf receives publish progress lines; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *PublisherConfig) withDefaults() {
+	if cfg.PushTimeout <= 0 {
+		cfg.PushTimeout = 2 * time.Minute
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+}
+
+// Publisher pushes encoded snapshot files to a set of apiserved
+// replicas and verifies each replica's echo against the snapshot it
+// sent. Pushes fan out concurrently; each replica succeeds or fails
+// independently so one dead replica cannot block the rest of the fleet.
+type Publisher struct {
+	cfg PublisherConfig
+}
+
+// NewPublisher creates a publisher for the configured replica set.
+func NewPublisher(cfg PublisherConfig) *Publisher {
+	cfg.withDefaults()
+	return &Publisher{cfg: cfg}
+}
+
+// snapshotEcho is the subset of the replica's install response the
+// publisher verifies.
+type snapshotEcho struct {
+	Generation  uint64 `json:"generation"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Publish pushes data to every replica concurrently and returns one
+// result per replica, in replica order. wantGen and wantFingerprint are
+// the generation and fingerprint encoded into data; a replica whose
+// echo disagrees is reported as failed even if it returned 200. The
+// returned error is non-nil if any replica failed.
+func (p *Publisher) Publish(ctx context.Context, data []byte, wantGen uint64, wantFingerprint string) ([]PublishResult, error) {
+	results := make([]PublishResult, len(p.cfg.Replicas))
+	var wg sync.WaitGroup
+	for i, replica := range p.cfg.Replicas {
+		wg.Add(1)
+		go func(i int, replica string) {
+			defer wg.Done()
+			results[i] = p.pushOne(ctx, replica, data, wantGen, wantFingerprint)
+		}(i, replica)
+	}
+	wg.Wait()
+	var failed []string
+	for _, r := range results {
+		if r.Err != "" {
+			failed = append(failed, fmt.Sprintf("%s: %s", r.Replica, r.Err))
+		}
+	}
+	if len(failed) > 0 {
+		return results, fmt.Errorf("fleet: publish failed on %d/%d replicas: %s",
+			len(failed), len(results), strings.Join(failed, "; "))
+	}
+	return results, nil
+}
+
+func (p *Publisher) pushOne(ctx context.Context, replica string, data []byte, wantGen uint64, wantFingerprint string) PublishResult {
+	res := PublishResult{Replica: replica}
+	backoff := p.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				res.Err = ctx.Err().Error()
+				return res
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		echo, retryable, err := p.post(ctx, replica, data)
+		if err == nil {
+			if echo.Generation != wantGen || echo.Fingerprint != wantFingerprint {
+				res.Err = fmt.Sprintf("replica echoed gen %d fingerprint %q, want gen %d %q",
+					echo.Generation, echo.Fingerprint, wantGen, wantFingerprint)
+				return res
+			}
+			res.Generation = echo.Generation
+			res.Fingerprint = echo.Fingerprint
+			p.cfg.Logf("fleet: published gen %d to %s", echo.Generation, replica)
+			return res
+		}
+		lastErr = err
+		if !retryable {
+			break
+		}
+		p.cfg.Logf("fleet: push to %s failed (attempt %d/%d): %v", replica, attempt+1, p.cfg.Retries+1, err)
+	}
+	res.Err = lastErr.Error()
+	return res
+}
+
+// post performs one push attempt. The bool reports whether the failure
+// is worth retrying: transport errors and 5xx are; 4xx are not (the
+// replica understood the request and rejected the snapshot itself).
+func (p *Publisher) post(ctx context.Context, replica string, data []byte) (snapshotEcho, bool, error) {
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.PushTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(replica, "/")+"/v1/snapshot", bytes.NewReader(data))
+	if err != nil {
+		return snapshotEcho{}, false, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return snapshotEcho{}, true, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return snapshotEcho{}, true, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return snapshotEcho{}, resp.StatusCode >= 500,
+			fmt.Errorf("replica returned %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var echo snapshotEcho
+	if err := json.Unmarshal(body, &echo); err != nil {
+		return snapshotEcho{}, false, fmt.Errorf("decoding replica response: %w", err)
+	}
+	return echo, false, nil
+}
+
+// RollbackAll asks every replica to re-serve its previous generation.
+// Replicas with nothing to roll back to (409) are reported in their
+// result but do not fail the call unless every replica refused.
+func (p *Publisher) RollbackAll(ctx context.Context) ([]PublishResult, error) {
+	results := make([]PublishResult, len(p.cfg.Replicas))
+	var wg sync.WaitGroup
+	for i, replica := range p.cfg.Replicas {
+		wg.Add(1)
+		go func(i int, replica string) {
+			defer wg.Done()
+			results[i] = p.rollbackOne(ctx, replica)
+		}(i, replica)
+	}
+	wg.Wait()
+	ok := 0
+	for _, r := range results {
+		if r.Err == "" {
+			ok++
+		}
+	}
+	if ok == 0 && len(results) > 0 {
+		return results, errors.New("fleet: rollback failed on every replica")
+	}
+	return results, nil
+}
+
+func (p *Publisher) rollbackOne(ctx context.Context, replica string) PublishResult {
+	res := PublishResult{Replica: replica}
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.PushTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(replica, "/")+"/v1/snapshot/rollback", nil)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		res.Err = fmt.Sprintf("replica returned %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		return res
+	}
+	var echo snapshotEcho
+	if err := json.Unmarshal(body, &echo); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Generation = echo.Generation
+	res.Fingerprint = echo.Fingerprint
+	return res
+}

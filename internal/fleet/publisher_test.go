@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeReplica mimics apiserved's /v1/snapshot admin surface.
+type fakeReplica struct {
+	gen         atomic.Uint64
+	prevGen     atomic.Uint64
+	fingerprint string
+	pushes      atomic.Uint64
+	fail5xx     atomic.Int64 // serve this many 500s before succeeding
+}
+
+func (f *fakeReplica) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		f.pushes.Add(1)
+		io.Copy(io.Discard, r.Body)
+		if f.fail5xx.Add(-1) >= 0 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		f.prevGen.Store(f.gen.Load())
+		f.gen.Add(1)
+		json.NewEncoder(w).Encode(map[string]any{
+			"generation":  f.gen.Load(),
+			"fingerprint": f.fingerprint,
+		})
+	})
+	mux.HandleFunc("POST /v1/snapshot/rollback", func(w http.ResponseWriter, r *http.Request) {
+		prev := f.prevGen.Load()
+		if prev == 0 {
+			http.Error(w, `{"error":"no previous"}`, http.StatusConflict)
+			return
+		}
+		f.gen.Store(prev)
+		json.NewEncoder(w).Encode(map[string]any{
+			"generation":  prev,
+			"fingerprint": f.fingerprint,
+		})
+	})
+	return mux
+}
+
+func TestPublisherPushesAllReplicas(t *testing.T) {
+	var replicas []*fakeReplica
+	var urls []string
+	for i := 0; i < 3; i++ {
+		f := &fakeReplica{fingerprint: "abc123"}
+		ts := httptest.NewServer(f.handler())
+		defer ts.Close()
+		replicas = append(replicas, f)
+		urls = append(urls, ts.URL)
+	}
+	p := NewPublisher(PublisherConfig{Replicas: urls})
+	results, err := p.Publish(context.Background(), []byte("snap"), 1, "abc123")
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Err != "" || r.Generation != 1 || r.Fingerprint != "abc123" {
+			t.Errorf("replica %d result = %+v", i, r)
+		}
+		if got := replicas[i].pushes.Load(); got != 1 {
+			t.Errorf("replica %d saw %d pushes, want 1", i, got)
+		}
+	}
+}
+
+func TestPublisherRetriesTransientFailure(t *testing.T) {
+	f := &fakeReplica{fingerprint: "abc123"}
+	f.fail5xx.Store(1)
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+	p := NewPublisher(PublisherConfig{
+		Replicas:     []string{ts.URL},
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+	})
+	results, err := p.Publish(context.Background(), []byte("snap"), 1, "abc123")
+	if err != nil {
+		t.Fatalf("Publish after transient 500: %v", err)
+	}
+	if results[0].Generation != 1 {
+		t.Errorf("result = %+v", results[0])
+	}
+	if got := f.pushes.Load(); got != 2 {
+		t.Errorf("replica saw %d pushes, want 2 (one 500 + one success)", got)
+	}
+}
+
+func TestPublisherDoesNotRetryStale(t *testing.T) {
+	var pushes atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pushes.Add(1)
+		http.Error(w, `{"error":"stale"}`, http.StatusConflict)
+	}))
+	defer ts.Close()
+	p := NewPublisher(PublisherConfig{
+		Replicas:     []string{ts.URL},
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+	})
+	results, err := p.Publish(context.Background(), []byte("snap"), 1, "abc123")
+	if err == nil {
+		t.Fatal("stale push reported success")
+	}
+	if !strings.Contains(results[0].Err, "409") {
+		t.Errorf("result = %+v, want 409 error", results[0])
+	}
+	if got := pushes.Load(); got != 1 {
+		t.Errorf("replica saw %d pushes, want 1 (409 must not be retried)", got)
+	}
+}
+
+func TestPublisherRejectsWrongEcho(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"generation": 9, "fingerprint": "other"}`)
+	}))
+	defer ts.Close()
+	p := NewPublisher(PublisherConfig{Replicas: []string{ts.URL}})
+	results, err := p.Publish(context.Background(), []byte("snap"), 1, "abc123")
+	if err == nil {
+		t.Fatal("mismatched echo reported success")
+	}
+	if !strings.Contains(results[0].Err, "echoed") {
+		t.Errorf("result = %+v", results[0])
+	}
+}
+
+func TestPublisherPartialFailure(t *testing.T) {
+	good := &fakeReplica{fingerprint: "abc123"}
+	tsGood := httptest.NewServer(good.handler())
+	defer tsGood.Close()
+	tsDead := httptest.NewServer(nil)
+	tsDead.Close() // connection refused
+
+	p := NewPublisher(PublisherConfig{
+		Replicas:     []string{tsGood.URL, tsDead.URL},
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+	})
+	results, err := p.Publish(context.Background(), []byte("snap"), 1, "abc123")
+	if err == nil {
+		t.Fatal("dead replica reported success")
+	}
+	if results[0].Err != "" || results[0].Generation != 1 {
+		t.Errorf("healthy replica result = %+v", results[0])
+	}
+	if results[1].Err == "" {
+		t.Errorf("dead replica result = %+v, want error", results[1])
+	}
+}
+
+func TestPublisherRollbackAll(t *testing.T) {
+	f := &fakeReplica{fingerprint: "abc123"}
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+	p := NewPublisher(PublisherConfig{Replicas: []string{ts.URL}})
+
+	// Nothing to roll back to yet: every replica refuses.
+	if _, err := p.RollbackAll(context.Background()); err == nil {
+		t.Fatal("rollback with no previous generation reported success")
+	}
+
+	for i := 0; i < 2; i++ {
+		if _, err := p.Publish(context.Background(), []byte("snap"), uint64(i+1), "abc123"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := p.RollbackAll(context.Background())
+	if err != nil {
+		t.Fatalf("RollbackAll: %v", err)
+	}
+	if results[0].Generation != 1 || f.gen.Load() != 1 {
+		t.Errorf("rollback result = %+v, replica gen %d", results[0], f.gen.Load())
+	}
+}

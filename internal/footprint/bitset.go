@@ -143,6 +143,18 @@ func (b *BitSet) Empty() bool {
 	return true
 }
 
+// Words exposes the backing word slice (bit i of word w is ID w*64+i).
+// Callers must treat it as read-only; it is the zero-copy boundary the
+// snapshot layer serializes through.
+func (b *BitSet) Words() []uint64 { return b.words }
+
+// FromWords wraps an existing word slice as a BitSet without copying.
+// The caller must not mutate words afterwards, and the resulting bitset
+// must be used read-only: the slice may alias a read-only file mapping,
+// where a growing write would fault. Used to serve footprints straight
+// out of a mapped snapshot.
+func FromWords(words []uint64) *BitSet { return &BitSet{words: words} }
+
 // Clone returns an independent copy.
 func (b *BitSet) Clone() *BitSet {
 	w := make([]uint64, len(b.words))

@@ -64,6 +64,13 @@ type Options struct {
 	// record) instead of analyzing synchronously. 0 defaults to 8 MiB
 	// when Jobs is set; negative keeps every upload synchronous.
 	AsyncAnalyzeBytes int64
+	// Snapshots, when non-nil, mounts the replica admin surface: POST
+	// /v1/snapshot (publisher push), POST /v1/snapshot/rollback and GET
+	// /v1/snapshot. Admin routes bypass admission control — a publisher
+	// push must land even while query traffic is being shed.
+	Snapshots *service.SnapshotManager
+	// MaxSnapshotBytes caps /v1/snapshot request bodies (default 256 MiB).
+	MaxSnapshotBytes int64
 }
 
 // API is the http.Handler serving the query service.
@@ -86,6 +93,9 @@ func New(svc *service.Service, opts Options) *API {
 	}
 	if opts.Jobs != nil && opts.AsyncAnalyzeBytes == 0 {
 		opts.AsyncAnalyzeBytes = 8 << 20
+	}
+	if opts.MaxSnapshotBytes <= 0 {
+		opts.MaxSnapshotBytes = 256 << 20
 	}
 	a := &API{
 		svc:     svc,
@@ -114,6 +124,11 @@ func New(svc *service.Service, opts Options) *API {
 		a.handle("GET /v1/jobs", a.handleJobList, bypassAdmission)
 		a.handle("GET /v1/jobs/{id}", a.handleJobStatus, bypassAdmission)
 		a.handle("GET /v1/jobs/{id}/result", a.handleJobResult, bypassAdmission)
+	}
+	if opts.Snapshots != nil {
+		a.handle("POST /v1/snapshot", a.handleSnapshotPush, bypassAdmission)
+		a.handle("POST /v1/snapshot/rollback", a.handleSnapshotRollback, bypassAdmission)
+		a.handle("GET /v1/snapshot", a.handleSnapshotStatus, bypassAdmission)
 	}
 	return a
 }
@@ -268,7 +283,7 @@ func writeServiceError(w http.ResponseWriter, r *http.Request, err error) {
 
 func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := a.svc.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"generation":     snap.Generation,
 		"source":         snap.Source,
@@ -277,7 +292,16 @@ func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"fingerprint":    snap.Meta.Fingerprint,
 		"packages":       snap.Meta.Packages,
 		"executables":    snap.Meta.Executables,
-	})
+	}
+	// A replica holding only the empty placeholder study has nothing
+	// real to serve: report 503 so a front proxy keeps it out of
+	// rotation until a snapshot is pushed.
+	if snap.Meta.Packages == 0 {
+		body["status"] = "awaiting snapshot"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (a *API) handleImportance(w http.ResponseWriter, r *http.Request) {
@@ -575,6 +599,23 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# TYPE apiserved_snapshot_reloads_total counter\n")
 	fmt.Fprintf(&b, "apiserved_snapshot_reloads_total %d\n", st.Reloads)
 	fmt.Fprintf(&b, "apiserved_snapshot_reloads_failed_total %d\n", st.ReloadsFailed)
+	fmt.Fprintf(&b, "# HELP apiserved_snapshot_file_loads_total Snapshot files validated and swapped in.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_snapshot_file_loads_total counter\n")
+	fmt.Fprintf(&b, "apiserved_snapshot_file_loads_total %d\n", st.SnapshotLoads)
+	fmt.Fprintf(&b, "apiserved_snapshot_file_errors_total %d\n", st.SnapshotLoadErrors)
+	fmt.Fprintf(&b, "apiserved_snapshot_fallbacks_total %d\n", st.SnapshotFallbacks)
+	fmt.Fprintf(&b, "# HELP apiserved_snapshot_from_file Whether the served study was restored from a snapshot file.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_snapshot_from_file gauge\n")
+	fmt.Fprintf(&b, "apiserved_snapshot_from_file %d\n", boolToInt(st.SnapshotFile != ""))
+	if a.opts.Snapshots != nil {
+		ms := a.opts.Snapshots.Status()
+		fmt.Fprintf(&b, "# HELP apiserved_snapshot_installs_total Snapshot pushes installed via /v1/snapshot.\n")
+		fmt.Fprintf(&b, "# TYPE apiserved_snapshot_installs_total counter\n")
+		fmt.Fprintf(&b, "apiserved_snapshot_installs_total %d\n", ms.Installs)
+		fmt.Fprintf(&b, "apiserved_snapshot_rollbacks_total %d\n", ms.Rollbacks)
+		fmt.Fprintf(&b, "apiserved_snapshot_rejected_stale_total %d\n", ms.RejectedStale)
+		fmt.Fprintf(&b, "apiserved_snapshot_rejected_corrupt_total %d\n", ms.RejectedCorrupt)
+	}
 	fmt.Fprintf(&b, "# HELP apiserved_anacache_enabled Whether a persistent analysis cache is configured.\n")
 	fmt.Fprintf(&b, "# TYPE apiserved_anacache_enabled gauge\n")
 	fmt.Fprintf(&b, "apiserved_anacache_enabled %d\n", boolToInt(st.AnacacheOn))

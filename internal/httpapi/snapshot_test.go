@@ -1,0 +1,202 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/service"
+)
+
+var (
+	snapOnce     sync.Once
+	snapStudyA   *repro.Study
+	snapStudyB   *repro.Study
+	snapStudyErr error
+)
+
+// snapStudies builds two distinct small studies shared by the snapshot
+// endpoint tests (study construction dominates test time).
+func snapStudies(t *testing.T) (*repro.Study, *repro.Study) {
+	t.Helper()
+	snapOnce.Do(func() {
+		snapStudyA, snapStudyErr = repro.NewStudy(repro.Config{Packages: 120, Installations: 150000, Seed: 41})
+		if snapStudyErr != nil {
+			return
+		}
+		snapStudyB, snapStudyErr = repro.NewStudy(repro.Config{Packages: 120, Installations: 150000, Seed: 42})
+	})
+	if snapStudyErr != nil {
+		t.Fatal(snapStudyErr)
+	}
+	return snapStudyA, snapStudyB
+}
+
+// replicaServer stands up an apiserved replica the way cmd/apiserved
+// does in -await-snapshot mode: empty study, snapshot manager mounted.
+func replicaServer(t *testing.T) (*httptest.Server, *service.Service, *service.SnapshotManager) {
+	t.Helper()
+	svc := service.New(repro.EmptyStudy(), "awaiting-snapshot", service.Config{})
+	mgr, err := service.NewSnapshotManager(svc, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := New(svc, Options{RequestTimeout: time.Minute, Snapshots: mgr})
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+	return ts, svc, mgr
+}
+
+func postSnapshot(t *testing.T, ts *httptest.Server, data []byte, wantCode int, v any) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/snapshot", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/snapshot = %d, want %d: %s", resp.StatusCode, wantCode, raw)
+	}
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decoding push response: %v", err)
+		}
+	}
+}
+
+func TestSnapshotPushLifecycle(t *testing.T) {
+	a, b := snapStudies(t)
+	ts, svc, _ := replicaServer(t)
+
+	// Before any push the replica reports itself unready.
+	var health struct {
+		Status   string `json:"status"`
+		Packages int    `json:"packages"`
+	}
+	getJSON(t, ts, "/healthz", http.StatusServiceUnavailable, &health)
+	if health.Status != "awaiting snapshot" || health.Packages != 0 {
+		t.Fatalf("pre-push healthz = %+v", health)
+	}
+
+	gen1, err := a.EncodeSnapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info service.SnapshotInfo
+	postSnapshot(t, ts, gen1, http.StatusOK, &info)
+	if info.Generation != 1 || info.Fingerprint != a.Fingerprint() {
+		t.Fatalf("push echo = %+v, want gen 1 fingerprint %q", info, a.Fingerprint())
+	}
+	getJSON(t, ts, "/healthz", http.StatusOK, &health)
+	if health.Status != "ok" || health.Packages == 0 {
+		t.Fatalf("post-push healthz = %+v", health)
+	}
+
+	// The pushed replica answers queries identically to serving the
+	// study in process.
+	ref := service.New(a, "in-process", service.Config{})
+	var got service.ImportanceResult
+	getJSON(t, ts, "/v1/importance/read", http.StatusOK, &got)
+	want := ref.Importance("read")
+	if got.Importance != want.Importance || got.Unweighted != want.Unweighted {
+		t.Errorf("served importance %+v, want %+v", got, want)
+	}
+
+	// Corrupt bytes: typed 400, served study untouched.
+	bad := append([]byte(nil), gen1...)
+	bad[len(bad)-2] ^= 0x10
+	postSnapshot(t, ts, bad, http.StatusBadRequest, nil)
+
+	// Non-advancing push of different content: 409.
+	stale, err := b.EncodeSnapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postSnapshot(t, ts, stale, http.StatusConflict, nil)
+	if svc.Generation() != 1 {
+		t.Fatalf("rejected pushes moved generation to %d", svc.Generation())
+	}
+
+	gen2, err := b.EncodeSnapshot(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postSnapshot(t, ts, gen2, http.StatusOK, &info)
+	if info.Generation != 2 || svc.Generation() != 2 {
+		t.Fatalf("gen-2 push: echo %+v, serving %d", info, svc.Generation())
+	}
+
+	// Rollback re-serves generation 1; a second rollback returns to 2.
+	postJSON(t, ts, "/v1/snapshot/rollback", nil, http.StatusOK, &info)
+	if info.Generation != 1 || svc.Snapshot().Meta.Fingerprint != a.Fingerprint() {
+		t.Fatalf("rollback: echo %+v, serving %q", info, svc.Snapshot().Meta.Fingerprint)
+	}
+
+	var status service.SnapshotManagerStatus
+	getJSON(t, ts, "/v1/snapshot", http.StatusOK, &status)
+	if status.Installs != 2 || status.Rollbacks != 1 || status.RejectedStale != 1 || status.RejectedCorrupt != 1 {
+		t.Errorf("manager status = %+v", status)
+	}
+	if status.Current == nil || status.Current.Generation != 1 {
+		t.Errorf("status current = %+v, want generation 1", status.Current)
+	}
+
+	// Rolling back again swaps forward to generation 2.
+	postJSON(t, ts, "/v1/snapshot/rollback", nil, http.StatusOK, &info)
+	if info.Generation != 2 {
+		t.Fatalf("second rollback landed on generation %d, want 2", info.Generation)
+	}
+
+	// /metrics exports the push counters.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, line := range []string{
+		"apiserved_snapshot_file_loads_total 4",
+		"apiserved_snapshot_from_file 1",
+		"apiserved_snapshot_installs_total 2",
+		"apiserved_snapshot_rollbacks_total 2",
+		"apiserved_snapshot_rejected_stale_total 1",
+		"apiserved_snapshot_rejected_corrupt_total 1",
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("/metrics missing %q", line)
+		}
+	}
+}
+
+func TestSnapshotRollbackWithoutPrevious(t *testing.T) {
+	ts, _, _ := replicaServer(t)
+	postJSON(t, ts, "/v1/snapshot/rollback", nil, http.StatusConflict, nil)
+}
+
+func TestSnapshotPushTooLarge(t *testing.T) {
+	svc := service.New(repro.EmptyStudy(), "awaiting-snapshot", service.Config{})
+	mgr, err := service.NewSnapshotManager(svc, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := New(svc, Options{RequestTimeout: time.Minute, Snapshots: mgr, MaxSnapshotBytes: 64})
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+	postSnapshot(t, ts, make([]byte, 256), http.StatusRequestEntityTooLarge, nil)
+}
+
+func TestSnapshotRoutesAbsentWithoutManager(t *testing.T) {
+	api, _ := testAPI(t)
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+	postSnapshot(t, ts, []byte("x"), http.StatusNotFound, nil)
+}

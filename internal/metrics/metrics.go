@@ -393,13 +393,16 @@ func greedyPath(in *Input, include func(linuxapi.API) bool) []PathPoint {
 		effective[pkg] = d
 	}
 
-	// Weight mass per demand level.
+	// Weight mass per demand level, accumulated in sorted package order:
+	// float addition is not associative, so ranging the map here would
+	// make the curve's low bits vary run to run (and differ between a
+	// corpus-built and a snapshot-restored server answering /v1/path).
 	massAt := make([]float64, len(apis)+1)
 	var total float64
-	for pkg, d := range effective {
+	for _, pkg := range c.pkgs {
 		w := in.Survey.Fraction(pkg)
 		total += w
-		massAt[d] += w
+		massAt[effective[pkg]] += w
 	}
 
 	out := make([]PathPoint, len(apis))

@@ -1,0 +1,229 @@
+package proxy
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func echoReplica(name string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("POST /v1/completeness", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		fmt.Fprintf(w, "%s:%s", name, body)
+	})
+	mux.HandleFunc("GET /v1/importance/{sc}", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "%s:%s", name, r.PathValue("sc"))
+	})
+	mux.HandleFunc("GET /v1/reject", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+	})
+	return mux
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestProxyRoundRobin(t *testing.T) {
+	a := httptest.NewServer(echoReplica("a"))
+	defer a.Close()
+	b := httptest.NewServer(echoReplica("b"))
+	defer b.Close()
+	p := New(Config{Replicas: []string{a.URL, b.URL}})
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	seen := map[string]int{}
+	for i := 0; i < 10; i++ {
+		code, body := get(t, front.URL+"/v1/importance/read")
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		seen[strings.SplitN(body, ":", 2)[0]]++
+	}
+	if seen["a"] != 5 || seen["b"] != 5 {
+		t.Errorf("round-robin split = %v, want 5/5", seen)
+	}
+}
+
+func TestProxyForwardsBody(t *testing.T) {
+	a := httptest.NewServer(echoReplica("a"))
+	defer a.Close()
+	p := New(Config{Replicas: []string{a.URL}})
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/v1/completeness", "application/json", strings.NewReader(`{"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != `a:{"x":1}` {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestProxyRetriesDeadReplica(t *testing.T) {
+	a := httptest.NewServer(echoReplica("a"))
+	defer a.Close()
+	dead := httptest.NewServer(echoReplica("dead"))
+	dead.Close() // connection refused from the start
+
+	p := New(Config{Replicas: []string{dead.URL, a.URL}})
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	// Every request must succeed even though half the rotation is dead.
+	for i := 0; i < 8; i++ {
+		code, body := get(t, front.URL+"/v1/importance/openat")
+		if code != http.StatusOK || !strings.HasPrefix(body, "a:") {
+			t.Fatalf("request %d: status %d body %q", i, code, body)
+		}
+	}
+	// The dead replica is marked down after the first failure, so only
+	// the first request should have needed a retry.
+	code, metrics := get(t, front.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatal(metrics)
+	}
+	if !strings.Contains(metrics, "apiproxy_retries_total 1") {
+		t.Errorf("metrics retries:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, fmt.Sprintf("apiproxy_replica_up{replica=%q} 0", dead.URL)) {
+		t.Errorf("dead replica still marked up:\n%s", metrics)
+	}
+}
+
+func TestProxyAppErrorsPassThrough(t *testing.T) {
+	a := httptest.NewServer(echoReplica("a"))
+	defer a.Close()
+	p := New(Config{Replicas: []string{a.URL}})
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	// A 429 shed is an application answer, not a transport failure: it
+	// must reach the client and must not mark the replica down.
+	code, body := get(t, front.URL+"/v1/reject")
+	if code != http.StatusTooManyRequests || !strings.Contains(body, "shed") {
+		t.Errorf("status %d body %q, want 429 shed", code, body)
+	}
+	code, _ = get(t, front.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Errorf("proxy healthz = %d after app-level 429", code)
+	}
+}
+
+func TestProxyAllDown(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	dead.Close()
+	p := New(Config{Replicas: []string{dead.URL}})
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	code, body := get(t, front.URL+"/v1/importance/read")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "no live replica") {
+		t.Errorf("status %d body %q, want 503", code, body)
+	}
+	code, _ = get(t, front.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("proxy healthz = %d with every replica down, want 503", code)
+	}
+}
+
+func TestProxyReadmitsRecoveredReplica(t *testing.T) {
+	var healthy atomic.Bool
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			// Simulate a dead process: hijack and drop the connection.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("no hijacker")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		echoReplica("b").ServeHTTP(w, r)
+	}))
+	defer backend.Close()
+	a := httptest.NewServer(echoReplica("a"))
+	defer a.Close()
+
+	p := New(Config{Replicas: []string{backend.URL, a.URL}, CheckInterval: 10 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go p.Run(ctx)
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	// First request hits the dropping replica, retries onto a, and
+	// marks the bad one down.
+	code, body := get(t, front.URL+"/v1/importance/read")
+	if code != http.StatusOK || !strings.HasPrefix(body, "a:") {
+		t.Fatalf("status %d body %q", code, body)
+	}
+
+	// Replica recovers; the prober must re-admit it.
+	healthy.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, metrics := get(t, front.URL+"/metrics")
+		if strings.Contains(metrics, fmt.Sprintf("apiproxy_replica_up{replica=%q} 1", backend.URL)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never re-admitted:\n%s", metrics)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Both replicas serve again.
+	seen := map[string]int{}
+	for i := 0; i < 10; i++ {
+		_, body := get(t, front.URL+"/v1/importance/read")
+		seen[strings.SplitN(body, ":", 2)[0]]++
+	}
+	if seen["b"] == 0 {
+		t.Errorf("recovered replica never served: %v", seen)
+	}
+}
+
+func TestProxyZeroFiveXXDuringKill(t *testing.T) {
+	a := httptest.NewServer(echoReplica("a"))
+	defer a.Close()
+	b := httptest.NewServer(echoReplica("b"))
+	p := New(Config{Replicas: []string{a.URL, b.URL}})
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	for i := 0; i < 50; i++ {
+		if i == 20 {
+			b.CloseClientConnections()
+			b.Close() // kill one replica mid-run
+		}
+		code, body := get(t, front.URL+"/v1/importance/read")
+		if code >= 500 {
+			t.Fatalf("request %d: %d %s", i, code, body)
+		}
+	}
+}

@@ -64,6 +64,17 @@ func (c *lruCache) Add(key string, value any) {
 	}
 }
 
+// Reset drops every entry, keeping the cumulative counters. Needed when
+// a snapshot is swapped in at an *explicit* generation (push, rollback):
+// generation numbers may then repeat or move backwards, so
+// generation-embedded keys no longer guarantee entries are current.
+func (c *lruCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.cap)
+}
+
 // Stats returns the cumulative hit/miss counters and current occupancy.
 func (c *lruCache) Stats() (hits, misses uint64, length, capacity int) {
 	c.mu.Lock()

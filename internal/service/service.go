@@ -74,6 +74,9 @@ type Snapshot struct {
 	LoadedAt time.Time
 	// Meta is the study's snapshot metadata, computed once at swap time.
 	Meta repro.Meta
+	// File is the snapshot file backing this study, when it was loaded
+	// from one (see LoadSnapshotFile); empty for analyzed studies.
+	File string
 }
 
 // Service is the resident query layer over one Study snapshot.
@@ -91,6 +94,10 @@ type Service struct {
 
 	reloads       atomic.Uint64
 	reloadsFailed atomic.Uint64
+
+	snapshotLoads      atomic.Uint64
+	snapshotLoadErrors atomic.Uint64
+	snapshotFallbacks  atomic.Uint64
 }
 
 // New publishes study as generation 1 and returns the serving layer.
@@ -189,8 +196,16 @@ type Stats struct {
 	// (zero-valued when the service runs without one).
 	Reloads       uint64
 	ReloadsFailed uint64
-	Anacache      repro.CacheStats
-	AnacacheOn    bool
+	// SnapshotLoads / SnapshotLoadErrors count snapshot-file opens;
+	// SnapshotFallbacks counts corpus rebuilds forced by a snapshot that
+	// failed validation. SnapshotFile names the file backing the current
+	// study (empty when it was analyzed in-process).
+	SnapshotLoads      uint64
+	SnapshotLoadErrors uint64
+	SnapshotFallbacks  uint64
+	SnapshotFile       string
+	Anacache           repro.CacheStats
+	AnacacheOn         bool
 	// Fleet holds the distributed-analysis coordinator counters when the
 	// service runs with a worker fleet (FleetOn); nil otherwise.
 	Fleet   *fleet.Stats
@@ -220,23 +235,27 @@ func (s *Service) Stats() Stats {
 		fleetStats = &fs
 	}
 	return Stats{
-		Generation:       snap.Generation,
-		Source:           snap.Source,
-		LoadedAt:         snap.LoadedAt,
-		Meta:             snap.Meta,
-		CacheHits:        hits,
-		CacheMisses:      misses,
-		CacheLen:         length,
-		CacheCap:         capacity,
-		AnalysesActive:   s.analysesActive.Load(),
-		AnalysesTotal:    s.analysesTotal.Load(),
-		AnalysesRejected: s.analysesRejected.Load(),
-		Reloads:          s.reloads.Load(),
-		ReloadsFailed:    s.reloadsFailed.Load(),
-		Anacache:         anacacheStats,
-		AnacacheOn:       s.cfg.Cache != nil,
-		Fleet:            fleetStats,
-		FleetOn:          s.cfg.Fleet != nil,
+		Generation:         snap.Generation,
+		Source:             snap.Source,
+		LoadedAt:           snap.LoadedAt,
+		Meta:               snap.Meta,
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheLen:           length,
+		CacheCap:           capacity,
+		AnalysesActive:     s.analysesActive.Load(),
+		AnalysesTotal:      s.analysesTotal.Load(),
+		AnalysesRejected:   s.analysesRejected.Load(),
+		Reloads:            s.reloads.Load(),
+		ReloadsFailed:      s.reloadsFailed.Load(),
+		SnapshotLoads:      s.snapshotLoads.Load(),
+		SnapshotLoadErrors: s.snapshotLoadErrors.Load(),
+		SnapshotFallbacks:  s.snapshotFallbacks.Load(),
+		SnapshotFile:       snap.File,
+		Anacache:           anacacheStats,
+		AnacacheOn:         s.cfg.Cache != nil,
+		Fleet:              fleetStats,
+		FleetOn:            s.cfg.Fleet != nil,
 	}
 }
 

@@ -1,0 +1,315 @@
+package service
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/snapshot"
+)
+
+// writeTestSnapshot encodes study at gen into dir and returns the path.
+func writeTestSnapshot(t *testing.T, study *repro.Study, dir string, gen uint64) string {
+	t.Helper()
+	path := filepath.Join(dir, "study.snap")
+	if err := study.WriteSnapshot(path, gen); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	return path
+}
+
+func TestLoadSnapshotFileSwapsAtFileGeneration(t *testing.T) {
+	a, _ := testStudies(t)
+	svc := New(repro.EmptyStudy(), "awaiting-snapshot", Config{})
+	path := writeTestSnapshot(t, a, t.TempDir(), 1)
+
+	// The empty gen-1 study is cached under generation-1 keys; the pushed
+	// snapshot reuses generation 1, so the swap must clear the cache.
+	before, err := svc.GreedyPrefix(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Syscalls) != 0 {
+		t.Fatalf("empty study served a path: %v", before.Syscalls)
+	}
+
+	gen, err := svc.LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("LoadSnapshotFile: %v", err)
+	}
+	if gen != 1 || svc.Generation() != 1 {
+		t.Fatalf("generation = %d/%d, want 1 (the file's)", gen, svc.Generation())
+	}
+	snap := svc.Snapshot()
+	if snap.File != path {
+		t.Errorf("Snapshot.File = %q, want %q", snap.File, path)
+	}
+	if snap.Meta.Fingerprint != a.Fingerprint() {
+		t.Errorf("fingerprint = %q, want %q", snap.Meta.Fingerprint, a.Fingerprint())
+	}
+	after, err := svc.GreedyPrefix(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Syscalls) != 5 {
+		t.Fatalf("stale cache: post-swap path = %v (want 5 syscalls)", after.Syscalls)
+	}
+	st := svc.Stats()
+	if st.SnapshotLoads != 1 || st.SnapshotLoadErrors != 0 {
+		t.Errorf("stats = loads %d errors %d, want 1/0", st.SnapshotLoads, st.SnapshotLoadErrors)
+	}
+}
+
+func TestSnapshotServedAnswersMatchInProcess(t *testing.T) {
+	a, _ := testStudies(t)
+	ref := New(a, "in-process", Config{})
+	path := writeTestSnapshot(t, a, t.TempDir(), 1)
+	svc := New(repro.EmptyStudy(), "awaiting-snapshot", Config{})
+	if _, err := svc.LoadSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	names := []string{"read", "write", "open", "close", "mmap", "futex"}
+	got, err := svc.Completeness(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Completeness(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Completeness != want.Completeness || got.Generation != want.Generation {
+		t.Errorf("completeness %v gen %d, want %v gen %d",
+			got.Completeness, got.Generation, want.Completeness, want.Generation)
+	}
+	gi, wi := svc.Importance("read"), ref.Importance("read")
+	if gi != wi {
+		t.Errorf("importance: got %+v want %+v", gi, wi)
+	}
+}
+
+func TestReloadSnapshotFallsBackToCorpus(t *testing.T) {
+	a, _ := testStudies(t)
+	dir := t.TempDir()
+	corpusDir := filepath.Join(dir, "corpus")
+	if err := a.SaveCorpus(corpusDir); err != nil {
+		t.Fatal(err)
+	}
+	path := writeTestSnapshot(t, a, dir, 5)
+	// Corrupt the snapshot body: validation must reject it and the
+	// service must rebuild from the corpus instead.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc := New(repro.EmptyStudy(), "awaiting-snapshot", Config{})
+	gen, err := svc.ReloadSnapshot(path, corpusDir)
+	if err != nil {
+		t.Fatalf("ReloadSnapshot with fallback: %v", err)
+	}
+	if gen == 0 {
+		t.Fatal("fallback returned generation 0")
+	}
+	st := svc.Stats()
+	if st.SnapshotLoadErrors != 1 || st.SnapshotFallbacks != 1 || st.SnapshotLoads != 0 {
+		t.Errorf("stats = loads %d errors %d fallbacks %d, want 0/1/1",
+			st.SnapshotLoads, st.SnapshotLoadErrors, st.SnapshotFallbacks)
+	}
+	if fp := svc.Snapshot().Meta.Fingerprint; fp != a.Fingerprint() {
+		t.Errorf("fallback served fingerprint %q, want corpus %q", fp, a.Fingerprint())
+	}
+
+	// Without a fallback the corrupt file is a hard, typed error and the
+	// served study is untouched.
+	svc2 := New(repro.EmptyStudy(), "awaiting-snapshot", Config{})
+	if _, err := svc2.ReloadSnapshot(path, ""); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("ReloadSnapshot without fallback: %v, want ErrCorrupt", err)
+	}
+	if svc2.Snapshot().Source != "awaiting-snapshot" {
+		t.Error("corrupt snapshot replaced the served study")
+	}
+}
+
+func TestSnapshotManagerInstallRollback(t *testing.T) {
+	a, b := testStudies(t)
+	svc := New(repro.EmptyStudy(), "awaiting-snapshot", Config{})
+	dir := t.TempDir()
+	mgr, err := NewSnapshotManager(svc, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen1, err := a.EncodeSnapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := mgr.Install(gen1)
+	if err != nil {
+		t.Fatalf("Install gen 1: %v", err)
+	}
+	if info.Generation != 1 || info.Fingerprint != a.Fingerprint() {
+		t.Fatalf("install info = %+v", info)
+	}
+	if svc.Generation() != 1 {
+		t.Fatalf("serving generation %d, want 1", svc.Generation())
+	}
+
+	// Idempotent re-push of the identical generation.
+	if _, err := mgr.Install(gen1); err != nil {
+		t.Fatalf("re-push of current generation: %v", err)
+	}
+
+	// A different snapshot at a non-advancing generation is stale.
+	stale, err := b.EncodeSnapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Install(stale); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("stale push: %v, want ErrStaleGeneration", err)
+	}
+
+	// Corrupt bytes are rejected with the snapshot's typed error.
+	bad := append([]byte(nil), gen1...)
+	bad[len(bad)-1] ^= 0x40
+	if _, err := mgr.Install(bad); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("corrupt push: %v, want ErrCorrupt", err)
+	}
+
+	gen2, err := b.EncodeSnapshot(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Install(gen2); err != nil {
+		t.Fatalf("Install gen 2: %v", err)
+	}
+	if fp := svc.Snapshot().Meta.Fingerprint; fp != b.Fingerprint() {
+		t.Fatalf("serving %q, want study B %q", fp, b.Fingerprint())
+	}
+
+	back, err := mgr.Rollback()
+	if err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	if back.Generation != 1 {
+		t.Fatalf("rollback to generation %d, want 1", back.Generation)
+	}
+	if fp := svc.Snapshot().Meta.Fingerprint; fp != a.Fingerprint() {
+		t.Fatalf("after rollback serving %q, want study A %q", fp, a.Fingerprint())
+	}
+	if svc.Generation() != 1 {
+		t.Errorf("after rollback generation %d, want 1", svc.Generation())
+	}
+
+	st := mgr.Status()
+	if st.Installs != 2 || st.Rollbacks != 1 || st.RejectedStale != 1 || st.RejectedCorrupt != 1 {
+		t.Errorf("manager counters = %+v", st)
+	}
+	if st.Current == nil || st.Current.Generation != 1 || st.Previous == nil || st.Previous.Generation != 2 {
+		t.Errorf("manager generations = current %+v previous %+v", st.Current, st.Previous)
+	}
+}
+
+func TestSnapshotManagerOpenLatest(t *testing.T) {
+	a, b := testStudies(t)
+	dir := t.TempDir()
+	// Two generations on disk, newest wins; a corrupt newest is skipped.
+	if err := a.WriteSnapshot(genPath(dir, 3), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteSnapshot(genPath(dir, 4), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(genPath(dir, 5), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc := New(repro.EmptyStudy(), "awaiting-snapshot", Config{})
+	mgr, err := NewSnapshotManager(svc, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := mgr.OpenLatest()
+	if err != nil {
+		t.Fatalf("OpenLatest: %v", err)
+	}
+	if gen != 4 || svc.Generation() != 4 {
+		t.Fatalf("adopted generation %d (serving %d), want 4", gen, svc.Generation())
+	}
+	if fp := svc.Snapshot().Meta.Fingerprint; fp != b.Fingerprint() {
+		t.Errorf("adopted fingerprint %q, want %q", fp, b.Fingerprint())
+	}
+
+	empty := t.TempDir()
+	mgr2, err := NewSnapshotManager(svc, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr2.OpenLatest(); !errors.Is(err, ErrNoPrevious) {
+		t.Fatalf("OpenLatest on empty dir: %v, want ErrNoPrevious", err)
+	}
+}
+
+// TestSnapshotInstallDuringQueries races pushes against reads: queries
+// must always see a coherent snapshot (run under -race in CI).
+func TestSnapshotInstallDuringQueries(t *testing.T) {
+	a, b := testStudies(t)
+	svc := New(repro.EmptyStudy(), "awaiting-snapshot", Config{})
+	mgr, err := NewSnapshotManager(svc, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapA, err := a.EncodeSnapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapB, err := b.EncodeSnapshot(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, err := svc.Completeness([]string{"read", "write", "openat"}); err != nil {
+					t.Error(err)
+					return
+				}
+				svc.Importance("read")
+				if _, err := svc.GreedyPrefix(10); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	if _, err := mgr.Install(snapA); err != nil {
+		t.Error(err)
+	}
+	if _, err := mgr.Install(snapB); err != nil {
+		t.Error(err)
+	}
+	if _, err := mgr.Rollback(); err != nil {
+		t.Error(err)
+	}
+	close(done)
+	wg.Wait()
+	if svc.Generation() != 1 {
+		t.Errorf("final generation %d, want 1 after rollback", svc.Generation())
+	}
+}

@@ -1,0 +1,16 @@
+//go:build !linux && !darwin
+
+package snapshot
+
+import "os"
+
+// mapping is a no-op placeholder on platforms without the mmap path.
+type mapping struct{}
+
+func (m *mapping) close() error { return nil }
+
+// mapFile falls back to reading the whole file into memory.
+func mapFile(path string) ([]byte, *mapping, error) {
+	b, err := os.ReadFile(path)
+	return b, nil, err
+}

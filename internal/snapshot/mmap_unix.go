@@ -1,0 +1,47 @@
+//go:build linux || darwin
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapping owns a live mmap region.
+type mapping struct{ b []byte }
+
+func (m *mapping) close() error {
+	b := m.b
+	m.b = nil
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}
+
+// mapFile maps path read-only with MAP_SHARED so co-located replicas
+// serving the same snapshot file share page cache. A nil mapping with
+// non-nil bytes means the plain-read fallback was used (empty file, or
+// mmap refused, e.g. on filesystems without mmap support).
+func mapFile(path string) ([]byte, *mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		b, err := os.ReadFile(path)
+		return b, nil, err
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		b, rerr := os.ReadFile(path)
+		return b, nil, rerr
+	}
+	return b, &mapping{b: b}, nil
+}

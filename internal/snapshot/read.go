@@ -1,0 +1,486 @@
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+	"unsafe"
+
+	"repro/internal/footprint"
+	"repro/internal/linuxapi"
+)
+
+// hostLittleEndian gates the zero-copy word views: on a big-endian host
+// every multi-byte read falls back to explicit little-endian decoding.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// u64view reinterprets b as a []uint64 without copying when the host is
+// little-endian and b is 8-aligned (sections are written 8-aligned, so
+// this holds for mapped files; crafted layouts fall back to a copy).
+func u64view(b []byte) ([]uint64, bool) {
+	if !hostLittleEndian {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return nil, true
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8), true
+}
+
+// reader is a bounds-checked cursor over one section. Every overrun is
+// ErrTruncated: with the checksum already verified it means a malformed
+// writer, and the caller must fail closed either way.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) need(n int) ([]byte, error) {
+	if n < 0 || n > len(r.b)-r.off {
+		return nil, fmt.Errorf("%w: section cursor overrun", ErrTruncated)
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s, nil
+}
+
+func (r *reader) pad8() error {
+	_, err := r.need((8 - r.off%8) % 8)
+	return err
+}
+
+func (r *reader) u32() (uint32, error) {
+	s, err := r.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(s), nil
+}
+
+func (r *reader) u32s(n int) ([]uint32, error) {
+	if n < 0 || n > (len(r.b)-r.off)/4 {
+		return nil, fmt.Errorf("%w: section cursor overrun", ErrTruncated)
+	}
+	s, err := r.need(4 * n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(s[4*i:])
+	}
+	return out, nil
+}
+
+// u64s returns n words, aliasing the underlying buffer when possible.
+func (r *reader) u64s(n int) ([]uint64, error) {
+	if n < 0 || n > (len(r.b)-r.off)/8 {
+		return nil, fmt.Errorf("%w: section cursor overrun", ErrTruncated)
+	}
+	s, err := r.need(8 * n)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := u64view(s); ok {
+		return v, nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(s[8*i:])
+	}
+	return out, nil
+}
+
+func (r *reader) f64s(n int) ([]float64, error) {
+	w, err := r.u64s(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i, v := range w {
+		out[i] = math.Float64frombits(v)
+	}
+	return out, nil
+}
+
+// Decode validates and parses snapshot bytes. Validation is strict and
+// ordered — magic, format version, analysis version, declared size,
+// SHA-256 — so each corruption class maps to its typed error, and no
+// content is interpreted before the checksum passes. Bitsets are
+// remapped into the process intern table; when the file's API table is
+// an identity prefix of the process table (the common case), footprint
+// words alias data instead of being copied, so the caller must keep
+// data alive and read-only for the life of the returned Data.
+func Decode(data []byte) (*Data, error) {
+	le := binary.LittleEndian
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes is smaller than the %d-byte header",
+			ErrTruncated, len(data), headerSize)
+	}
+	if string(data[offMagic:offMagic+8]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if v := le.Uint32(data[offFormat:]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: file format %d, reader supports %d", ErrVersion, v, FormatVersion)
+	}
+	if v := le.Uint32(data[offAnalysis:]); v != uint32(footprint.AnalysisVersion) {
+		return nil, fmt.Errorf("%w: file analysis version %d, this build uses %d",
+			ErrAnalysisVersion, v, footprint.AnalysisVersion)
+	}
+	if sz := le.Uint64(data[offFileSize:]); sz != uint64(len(data)) {
+		return nil, fmt.Errorf("%w: header declares %d bytes, have %d", ErrTruncated, sz, len(data))
+	}
+	// The checksum covers the whole file with its own field zeroed; hash
+	// around the field because data may be a read-only mapping.
+	h := sha256.New()
+	h.Write(data[:offChecksum])
+	var zero [checksumSize]byte
+	h.Write(zero[:])
+	h.Write(data[offChecksum+checksumSize:])
+	if !bytes.Equal(h.Sum(nil), data[offChecksum:offChecksum+checksumSize]) {
+		return nil, ErrChecksum
+	}
+
+	tableOff := le.Uint64(data[offSecTable:])
+	count := int(le.Uint32(data[offSecCount:]))
+	const entrySize = 24
+	if count < 0 || count > 1<<16 || tableOff < headerSize ||
+		tableOff+uint64(count)*entrySize > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: bad section table", ErrCorrupt)
+	}
+	secs := make(map[uint32][]byte, count)
+	for i := 0; i < count; i++ {
+		e := data[tableOff+uint64(i)*entrySize:]
+		id := le.Uint32(e)
+		off := le.Uint64(e[8:])
+		n := le.Uint64(e[16:])
+		if off < headerSize || off+n < off || off+n > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: section %d out of bounds", ErrCorrupt, id)
+		}
+		secs[id] = data[off : off+n]
+	}
+	sec := func(id uint32) ([]byte, error) {
+		s, ok := secs[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: missing section %d", ErrCorrupt, id)
+		}
+		return s, nil
+	}
+
+	blob, err := sec(secStrings)
+	if err != nil {
+		return nil, err
+	}
+	str := func(off, n uint32) (string, error) {
+		end := uint64(off) + uint64(n)
+		if end > uint64(len(blob)) {
+			return "", fmt.Errorf("%w: string ref out of bounds", ErrCorrupt)
+		}
+		return string(blob[off:end]), nil
+	}
+
+	// API table; re-intern into the process table and detect the
+	// identity fast path (file IDs == process IDs, no remap needed).
+	apiRaw, err := sec(secAPIs)
+	if err != nil {
+		return nil, err
+	}
+	ar := &reader{b: apiRaw}
+	nAPI, err := ar.u32()
+	if err != nil {
+		return nil, err
+	}
+	kinds, err := ar.u32s(int(nAPI))
+	if err != nil {
+		return nil, err
+	}
+	nameRefs, err := ar.u32s(2 * int(nAPI))
+	if err != nil {
+		return nil, err
+	}
+	fileAPIs := make([]linuxapi.API, nAPI)
+	procIDs := make([]uint32, nAPI)
+	identity := true
+	for i := range fileAPIs {
+		name, err := str(nameRefs[2*i], nameRefs[2*i+1])
+		if err != nil {
+			return nil, err
+		}
+		fileAPIs[i] = linuxapi.API{Kind: linuxapi.Kind(kinds[i]), Name: name}
+		procIDs[i] = linuxapi.InternID(fileAPIs[i])
+		if procIDs[i] != uint32(i) {
+			identity = false
+		}
+	}
+
+	pkgRaw, err := sec(secPackages)
+	if err != nil {
+		return nil, err
+	}
+	pr := &reader{b: pkgRaw}
+	nPkg, err := pr.u32()
+	if err != nil {
+		return nil, err
+	}
+	pkgNameRefs, err := pr.u32s(2 * int(nPkg))
+	if err != nil {
+		return nil, err
+	}
+	pkgVerRefs, err := pr.u32s(2 * int(nPkg))
+	if err != nil {
+		return nil, err
+	}
+	if err := pr.pad8(); err != nil {
+		return nil, err
+	}
+	installs, err := pr.u64s(int(nPkg))
+	if err != nil {
+		return nil, err
+	}
+	depStart, err := pr.u32s(int(nPkg) + 1)
+	if err != nil {
+		return nil, err
+	}
+	fpStart, err := pr.u32s(int(nPkg) + 1)
+	if err != nil {
+		return nil, err
+	}
+	dirStart, err := pr.u32s(int(nPkg) + 1)
+	if err != nil {
+		return nil, err
+	}
+
+	depRaw, err := sec(secDeps)
+	if err != nil {
+		return nil, err
+	}
+	dr := &reader{b: depRaw}
+	nDep, err := dr.u32()
+	if err != nil {
+		return nil, err
+	}
+	depRefs, err := dr.u32s(2 * int(nDep))
+	if err != nil {
+		return nil, err
+	}
+
+	fpWords, err := sectionWords(secs, secFootprint)
+	if err != nil {
+		return nil, err
+	}
+	dirWords, err := sectionWords(secs, secDirect)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkPrefix(depStart, uint32(nDep), "deps"); err != nil {
+		return nil, err
+	}
+	if err := checkPrefix(fpStart, uint32(len(fpWords)), "footprint words"); err != nil {
+		return nil, err
+	}
+	if err := checkPrefix(dirStart, uint32(len(dirWords)), "direct words"); err != nil {
+		return nil, err
+	}
+
+	pkgs := make([]Package, nPkg)
+	for i := range pkgs {
+		p := &pkgs[i]
+		if p.Name, err = str(pkgNameRefs[2*i], pkgNameRefs[2*i+1]); err != nil {
+			return nil, err
+		}
+		if p.Version, err = str(pkgVerRefs[2*i], pkgVerRefs[2*i+1]); err != nil {
+			return nil, err
+		}
+		p.Installs = int64(installs[i])
+		if n := depStart[i+1] - depStart[i]; n > 0 {
+			p.Depends = make([]string, 0, n)
+			for j := depStart[i]; j < depStart[i+1]; j++ {
+				dep, err := str(depRefs[2*j], depRefs[2*j+1])
+				if err != nil {
+					return nil, err
+				}
+				p.Depends = append(p.Depends, dep)
+			}
+		}
+		if p.Footprint, err = decodeBits(fpWords[fpStart[i]:fpStart[i+1]], procIDs, identity); err != nil {
+			return nil, err
+		}
+		if p.Direct, err = decodeBits(dirWords[dirStart[i]:dirStart[i+1]], procIDs, identity); err != nil {
+			return nil, err
+		}
+	}
+
+	metRaw, err := sec(secMetrics)
+	if err != nil {
+		return nil, err
+	}
+	mr := &reader{b: metRaw}
+	nMet, err := mr.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nMet != nAPI {
+		return nil, fmt.Errorf("%w: metrics table size %d != api table size %d", ErrCorrupt, nMet, nAPI)
+	}
+	if err := mr.pad8(); err != nil {
+		return nil, err
+	}
+	have, err := mr.u64s((int(nMet) + 63) / 64)
+	if err != nil {
+		return nil, err
+	}
+	impCol, err := mr.f64s(int(nMet))
+	if err != nil {
+		return nil, err
+	}
+	unwCol, err := mr.f64s(int(nMet))
+	if err != nil {
+		return nil, err
+	}
+	importance := make(map[linuxapi.API]float64)
+	unweighted := make(map[linuxapi.API]float64)
+	for wi, w := range have {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			idx := wi*64 + bit
+			if idx >= int(nMet) {
+				return nil, fmt.Errorf("%w: metrics presence bit out of range", ErrCorrupt)
+			}
+			importance[fileAPIs[idx]] = impCol[idx]
+			unweighted[fileAPIs[idx]] = unwCol[idx]
+			w &= w - 1
+		}
+	}
+
+	pathRaw, err := sec(secPath)
+	if err != nil {
+		return nil, err
+	}
+	pathR := &reader{b: pathRaw}
+	nPath, err := pathR.u32()
+	if err != nil {
+		return nil, err
+	}
+	pathIDs, err := pathR.u32s(int(nPath))
+	if err != nil {
+		return nil, err
+	}
+	if err := pathR.pad8(); err != nil {
+		return nil, err
+	}
+	pathImp, err := pathR.f64s(int(nPath))
+	if err != nil {
+		return nil, err
+	}
+	pathCom, err := pathR.f64s(int(nPath))
+	if err != nil {
+		return nil, err
+	}
+	path := make([]PathPoint, nPath)
+	for i := range path {
+		if pathIDs[i] >= nAPI {
+			return nil, fmt.Errorf("%w: path api id out of range", ErrCorrupt)
+		}
+		path[i] = PathPoint{API: fileAPIs[pathIDs[i]], Importance: pathImp[i], Completeness: pathCom[i]}
+	}
+
+	metaRaw, err := sec(secMeta)
+	if err != nil {
+		return nil, err
+	}
+	var mj metaJSON
+	if err := json.Unmarshal(metaRaw, &mj); err != nil {
+		return nil, fmt.Errorf("%w: meta section: %v", ErrCorrupt, err)
+	}
+
+	return &Data{
+		Generation:    le.Uint64(data[offGen:]),
+		Installations: int64(le.Uint64(data[offInstalls:])),
+		Fingerprint:   mj.Fingerprint,
+		Meta:          mj.Meta,
+		Packages:      pkgs,
+		Importance:    importance,
+		Unweighted:    unweighted,
+		Path:          path,
+	}, nil
+}
+
+// sectionWords views a whole section as []uint64 (zero-copy when
+// aligned).
+func sectionWords(secs map[uint32][]byte, id uint32) ([]uint64, error) {
+	s, ok := secs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing section %d", ErrCorrupt, id)
+	}
+	if len(s)%8 != 0 {
+		return nil, fmt.Errorf("%w: section %d not word-sized", ErrCorrupt, id)
+	}
+	r := &reader{b: s}
+	return r.u64s(len(s) / 8)
+}
+
+// checkPrefix validates a prefix-sum index column: starts at 0,
+// non-decreasing, ends at total.
+func checkPrefix(starts []uint32, total uint32, what string) error {
+	if len(starts) == 0 || starts[0] != 0 || starts[len(starts)-1] != total {
+		return fmt.Errorf("%w: bad %s index", ErrCorrupt, what)
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] < starts[i-1] {
+			return fmt.Errorf("%w: bad %s index", ErrCorrupt, what)
+		}
+	}
+	return nil
+}
+
+// decodeBits turns a file-space word run into a process-space bitset:
+// zero-copy wrap under the identity mapping, rebuilt bit-by-bit through
+// procIDs otherwise.
+func decodeBits(w []uint64, procIDs []uint32, identity bool) (*footprint.BitSet, error) {
+	if identity {
+		return footprint.FromWords(w), nil
+	}
+	nb := footprint.NewBitSet()
+	for wi, word := range w {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			idx := wi*64 + bit
+			if idx >= len(procIDs) {
+				return nil, fmt.Errorf("%w: footprint bit beyond api table", ErrCorrupt)
+			}
+			nb.AddID(procIDs[idx])
+			word &= word - 1
+		}
+	}
+	return nb, nil
+}
+
+// Open maps (or, failing that, reads) the snapshot file at path and
+// decodes it. On success the returned Data may alias the mapping; keep
+// it alive until the Data is unreachable, or Close it explicitly once
+// nothing references the decoded bitsets.
+func Open(path string) (*Data, error) {
+	b, m, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d, err := Decode(b)
+	if err != nil {
+		if m != nil {
+			m.close()
+		}
+		return nil, err
+	}
+	d.mapping = m
+	return d, nil
+}

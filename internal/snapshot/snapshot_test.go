@@ -1,0 +1,251 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/footprint"
+	"repro/internal/linuxapi"
+)
+
+func bitset(apis ...linuxapi.API) *footprint.BitSet {
+	b := footprint.NewBitSet()
+	for _, a := range apis {
+		b.AddID(linuxapi.InternID(a))
+	}
+	return b
+}
+
+// testData builds a small but fully-populated snapshot: three packages
+// with shared and distinct strings, empty and non-empty bitsets, deps,
+// metrics, a path and meta stats.
+func testData() *Data {
+	read, write, openat := linuxapi.Sys("read"), linuxapi.Sys("write"), linuxapi.Sys("openat")
+	ioctlA := linuxapi.Ioctl("TCGETS")
+	return &Data{
+		Generation:    7,
+		Installations: 2935744,
+		Fingerprint:   "deadbeefcafef00d",
+		Meta: MetaInfo{
+			Executables:        42,
+			TotalSites:         100,
+			UnresolvedSites:    3,
+			DirectSyscallExecs: 5,
+			DirectSyscallLibs:  2,
+			DistinctFootprints: 17,
+			UniqueFootprints:   9,
+			SkippedFiles:       1,
+			SkippedSamples:     []SkippedSample{{Pkg: "pkg-b", Path: "usr/bin/broken", Err: "truncated ELF"}},
+			Census:             Census{ELFExec: 30, ELFLib: 10, ELFStatic: 2, Scripts: map[string]int{"sh": 4}, Other: 6},
+		},
+		Packages: []Package{
+			{
+				Name: "pkg-a", Version: "1.0-1", Depends: []string{"pkg-b", "libc"},
+				Installs: 1000000, Footprint: bitset(read, write, ioctlA), Direct: bitset(read),
+			},
+			{
+				Name: "pkg-b", Version: "2.3", Depends: nil,
+				Installs: 500, Footprint: bitset(openat), Direct: footprint.NewBitSet(),
+			},
+			{
+				Name: "empty-pkg", Version: "1.0-1", Depends: []string{"pkg-a"},
+				Installs: 0, Footprint: footprint.NewBitSet(), Direct: footprint.NewBitSet(),
+			},
+		},
+		Importance: map[linuxapi.API]float64{
+			read: 0.99, write: 0.75, openat: 0.001, ioctlA: 0,
+		},
+		Unweighted: map[linuxapi.API]float64{
+			read: 2.0 / 3.0, write: 1.0 / 3.0, openat: 1.0 / 3.0, ioctlA: 1.0 / 3.0,
+		},
+		Path: []PathPoint{
+			{API: read, Importance: 0.99, Completeness: 0.1},
+			{API: write, Importance: 0.75, Completeness: 0.4},
+		},
+	}
+}
+
+func sameData(t *testing.T, want, got *Data) {
+	t.Helper()
+	if got.Generation != want.Generation || got.Installations != want.Installations ||
+		got.Fingerprint != want.Fingerprint {
+		t.Fatalf("header fields: got gen=%d installs=%d fp=%q, want gen=%d installs=%d fp=%q",
+			got.Generation, got.Installations, got.Fingerprint,
+			want.Generation, want.Installations, want.Fingerprint)
+	}
+	if !reflect.DeepEqual(got.Meta, want.Meta) {
+		t.Fatalf("meta mismatch:\n got %+v\nwant %+v", got.Meta, want.Meta)
+	}
+	if !reflect.DeepEqual(got.Importance, want.Importance) {
+		t.Fatalf("importance mismatch:\n got %v\nwant %v", got.Importance, want.Importance)
+	}
+	if !reflect.DeepEqual(got.Unweighted, want.Unweighted) {
+		t.Fatalf("unweighted mismatch:\n got %v\nwant %v", got.Unweighted, want.Unweighted)
+	}
+	if !reflect.DeepEqual(got.Path, want.Path) {
+		t.Fatalf("path mismatch:\n got %v\nwant %v", got.Path, want.Path)
+	}
+	if len(got.Packages) != len(want.Packages) {
+		t.Fatalf("package count: got %d want %d", len(got.Packages), len(want.Packages))
+	}
+	for i := range want.Packages {
+		w, g := &want.Packages[i], &got.Packages[i]
+		if g.Name != w.Name || g.Version != w.Version || g.Installs != w.Installs ||
+			!reflect.DeepEqual(g.Depends, w.Depends) {
+			t.Fatalf("package %d scalar mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+		if !reflect.DeepEqual(g.Footprint.SortedIDs(), w.Footprint.SortedIDs()) {
+			t.Fatalf("package %s footprint: got %v want %v", w.Name, g.Footprint.SortedIDs(), w.Footprint.SortedIDs())
+		}
+		if !reflect.DeepEqual(g.Direct.SortedIDs(), w.Direct.SortedIDs()) {
+			t.Fatalf("package %s direct: got %v want %v", w.Name, g.Direct.SortedIDs(), w.Direct.SortedIDs())
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := testData()
+	raw, err := Encode(d)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	sameData(t, d, got)
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	d := testData()
+	a, err := Encode(d)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	b, err := Encode(d)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodes of the same data differ")
+	}
+}
+
+func TestWriteOpen(t *testing.T) {
+	d := testData()
+	path := filepath.Join(t.TempDir(), "study.snap")
+	if err := Write(path, d); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer got.Close()
+	sameData(t, d, got)
+}
+
+// TestDecodeRemap forces the non-identity path: the file's API table is
+// the process table reversed, so every bitset and metric index must be
+// remapped back through re-interning.
+func TestDecodeRemap(t *testing.T) {
+	d := testData()
+	proc := linuxapi.InternedAPIs()
+	rev := make([]linuxapi.API, len(proc))
+	for i, a := range proc {
+		rev[len(proc)-1-i] = a
+	}
+	raw, err := encode(d, rev)
+	if err != nil {
+		t.Fatalf("encode(reversed table): %v", err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	sameData(t, d, got)
+}
+
+func TestCorruptionMatrix(t *testing.T) {
+	d := testData()
+	raw, err := Encode(d)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	le := binary.LittleEndian
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"truncated below header", func(b []byte) []byte { return b[:50] }, ErrTruncated},
+		{"truncated mid body", func(b []byte) []byte { return b[:headerSize+16] }, ErrTruncated},
+		{"truncated by one byte", func(b []byte) []byte { return b[:len(b)-1] }, ErrTruncated},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, ErrBadMagic},
+		{"wrong format version", func(b []byte) []byte { le.PutUint32(b[offFormat:], FormatVersion+1); return b }, ErrVersion},
+		{"wrong analysis version", func(b []byte) []byte { le.PutUint32(b[offAnalysis:], 999); return b }, ErrAnalysisVersion},
+		{"flipped checksum byte", func(b []byte) []byte { b[offChecksum] ^= 0x01; return b }, ErrChecksum},
+		{"flipped body byte", func(b []byte) []byte { b[len(b)-1] ^= 0x80; return b }, ErrChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := tc.mutate(append([]byte(nil), raw...))
+			_, err := Decode(mut)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Decode(%s): got %v, want %v", tc.name, err, tc.wantErr)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Decode(%s): %v does not wrap ErrCorrupt", tc.name, err)
+			}
+		})
+	}
+}
+
+func TestOpenRejectsCorruptFile(t *testing.T) {
+	d := testData()
+	raw, err := Encode(d)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	raw[len(raw)-2] ^= 0xff
+	path := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Open(corrupt): got %v, want ErrChecksum", err)
+	}
+}
+
+func TestEncodeRejectsKeySetMismatch(t *testing.T) {
+	d := testData()
+	delete(d.Unweighted, linuxapi.Sys("read"))
+	if _, err := Encode(d); err == nil {
+		t.Fatal("Encode accepted mismatched importance/unweighted key sets")
+	}
+}
+
+func TestWriteBytesAtomic(t *testing.T) {
+	// A failed install must not leave temp litter behind the final file.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "study.snap")
+	if err := WriteBytes(path, []byte("hello")); err != nil {
+		t.Fatalf("WriteBytes: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("leftover temp files: %v", ents)
+	}
+}

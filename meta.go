@@ -68,7 +68,15 @@ func (s *Study) Meta() Meta {
 // over the same corpus agree; any corpus change (package added, binary
 // rebuilt, survey regenerated) moves it. Serving layers use it to decide
 // whether an on-disk corpus has changed under a resident snapshot.
+//
+// Studies restored from a snapshot file return the fingerprint stored at
+// write time — their corpus carries no file bytes to hash, and the
+// stored value is exactly what makes a replica provably serve the same
+// corpus the publisher analyzed.
 func (s *Study) Fingerprint() string {
+	if s.fingerprint != "" {
+		return s.fingerprint
+	}
 	h := sha256.New()
 	names := s.core.Corpus.Repo.Names()
 	sort.Strings(names)

@@ -1,15 +1,17 @@
 #!/bin/sh
 # Pipeline benchmark + regression gate: runs the cold/warm/incremental
-# study-load benchmark, the fleet-vs-local coordination benchmark, and
-# the map-vs-bitset aggregation benchmark, writes BENCH_pipeline.json
-# (the committed artifact documenting what the analysis cache buys, what
-# fleet coordination costs, and what the dense bitset representation
-# buys the aggregation/metrics stage), and fails when the warm-over-cold
-# or map-over-bitset speedup drops below the floors benchgate enforces
-# (2x by default; the fleet rows are informational). Run from the
-# repository root; used by the `bench` job in .github/workflows/ci.yml
-# and fine to run locally.
+# study-load benchmark, the fleet-vs-local coordination benchmark, the
+# map-vs-bitset aggregation benchmark, and the snapshot open-vs-rebuild
+# benchmark, writes BENCH_pipeline.json (the committed artifact
+# documenting what the analysis cache buys, what fleet coordination
+# costs, what the dense bitset representation buys the aggregation
+# stage, and what the columnar snapshot format buys a replica swap),
+# and fails when the warm-over-cold, map-over-bitset, or
+# rebuild-over-open speedup drops below the floors benchgate enforces
+# (2x / 2x / 10x by default; the fleet rows are informational). Run
+# from the repository root; used by the `bench` job in
+# .github/workflows/ci.yml and fine to run locally.
 set -eu
 
-go test -run '^$' -bench 'BenchmarkStudyColdVsWarm$|BenchmarkStudyFleetVsLocal$|BenchmarkAggregateMetrics$' -benchtime=1x -count=3 . |
+go test -run '^$' -bench 'BenchmarkStudyColdVsWarm$|BenchmarkStudyFleetVsLocal$|BenchmarkAggregateMetrics$|BenchmarkSnapshotOpenVsRebuild$' -benchtime=1x -count=3 . |
     go run ./cmd/benchgate -out BENCH_pipeline.json "$@"

@@ -3,13 +3,17 @@
 # over the concurrent layers (the analysis worker pool and parallel
 # footprint resolution in internal/core, the intern table and bitset
 # footprints in internal/linuxapi/footprint/metrics, the
-# snapshot-swap/cache/analysis-pool paths in internal/service, and the
-# coordinator/worker fleet in internal/fleet, the load drivers in
-# internal/loadgen, and the async job tier in internal/jobs), a
-# two-worker end-to-end fleet smoke test, a job-tier smoke test (spool
-# persistence across kill -9), and an end-to-end load smoke test that
-# gates the serving SLO. Run from the repository root; used by
-# .github/workflows/ci.yml and fine to run locally.
+# snapshot-swap/cache/analysis-pool paths in internal/service, the
+# snapshot file format in internal/snapshot, the replica front proxy in
+# internal/proxy, the coordinator/worker fleet in internal/fleet, the
+# load drivers in internal/loadgen, and the async job tier in
+# internal/jobs), a two-worker end-to-end fleet smoke test, a job-tier
+# smoke test (spool persistence across kill -9), an end-to-end load
+# smoke test that gates the serving SLO, a snapshot round-trip
+# equivalence smoke test, and a replicated-serving smoke test (publish
+# to two replicas, kill one under load behind the proxy, zero 5xx).
+# Run from the repository root; used by .github/workflows/ci.yml and
+# fine to run locally.
 set -eu
 
 echo "== gofmt"
@@ -33,10 +37,10 @@ go test ./...
 echo "== go test -shuffle (order-independence)"
 go test -count=1 -shuffle=on ./...
 
-echo "== go test -race (pipeline, intern/bitset/metrics, service, HTTP API, analysis cache, fleet, loadgen, jobs)"
+echo "== go test -race (pipeline, intern/bitset/metrics, service, HTTP API, analysis cache, fleet, loadgen, jobs, snapshot, proxy)"
 go test -race ./internal/core ./internal/linuxapi ./internal/footprint ./internal/metrics \
     ./internal/service ./internal/httpapi ./internal/anacache ./internal/fleet \
-    ./internal/loadgen ./internal/jobs
+    ./internal/loadgen ./internal/jobs ./internal/snapshot ./internal/proxy
 
 echo "== fleet smoke test (two-worker end-to-end)"
 sh scripts/fleet_smoke.sh
@@ -46,5 +50,11 @@ sh scripts/jobs_smoke.sh
 
 echo "== load smoke test (apiserved + apiload + serving SLO gate)"
 sh scripts/load_smoke.sh
+
+echo "== snapshot smoke test (snapshot file round-trip equivalence)"
+sh scripts/snapshot_smoke.sh
+
+echo "== replica smoke test (publish, proxy failover under kill -9, zero 5xx)"
+sh scripts/replica_smoke.sh
 
 echo "CI OK"

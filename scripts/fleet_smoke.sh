@@ -9,14 +9,8 @@
 # locally.
 set -eu
 
-tmp=$(mktemp -d)
-w1_pid="" w2_pid=""
-cleanup() {
-    [ -n "$w1_pid" ] && kill "$w1_pid" 2>/dev/null || true
-    [ -n "$w2_pid" ] && kill "$w2_pid" 2>/dev/null || true
-    rm -rf "$tmp"
-}
-trap cleanup EXIT INT TERM
+. "$(dirname "$0")/lib.sh"
+smoke_init
 
 echo "== fleet smoke: build"
 go build -o "$tmp/apiworker" ./cmd/apiworker
@@ -30,9 +24,9 @@ w1=http://127.0.0.1:18841
 w2=http://127.0.0.1:18842
 echo "== fleet smoke: workers ($w1, $w2)"
 "$tmp/apiworker" -addr 127.0.0.1:18841 -quiet >"$tmp/w1.log" 2>&1 &
-w1_pid=$!
+smoke_track $!
 "$tmp/apiworker" -addr 127.0.0.1:18842 -quiet >"$tmp/w2.log" 2>&1 &
-w2_pid=$!
+smoke_track $!
 
 for url in $w1 $w2; do
     i=0

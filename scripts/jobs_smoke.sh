@@ -12,13 +12,8 @@
 # locally.
 set -eu
 
-tmp=$(mktemp -d)
-srv_pid=""
-cleanup() {
-    [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
-    rm -rf "$tmp"
-}
-trap cleanup EXIT INT TERM
+. "$(dirname "$0")/lib.sh"
+smoke_init
 
 echo "== jobs smoke: build"
 go build -o "$tmp/apiserved" ./cmd/apiserved
@@ -37,6 +32,7 @@ start_server() {
         -spool-dir "$tmp/spool" -job-workers 2 -quiet \
         >>"$tmp/apiserved.log" 2>&1 &
     srv_pid=$!
+    smoke_track "$srv_pid"
 }
 wait_healthy() {
     i=0
@@ -82,7 +78,6 @@ id2=$(jobs -id-only submit corpus-diff \
     '{"packages":400,"installations":200000,"seed":29,"threshold":0.001}')
 kill -9 "$srv_pid" 2>/dev/null
 wait "$srv_pid" 2>/dev/null || true
-srv_pid=""
 
 echo "== jobs smoke: restart on the same spool"
 start_server

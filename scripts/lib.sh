@@ -1,0 +1,33 @@
+# Shared helpers for the smoke scripts. Source from a script's top:
+#
+#     . "$(dirname "$0")/lib.sh"
+#     smoke_init
+#
+# smoke_init makes a temp dir in $tmp and installs one EXIT/INT/TERM
+# trap that kills every process registered with smoke_track and removes
+# $tmp. Registering each background process right after starting it is
+# what keeps listeners from leaking when a script dies mid-way — the
+# old copy-pasted cleanups only killed the pids stored in fixed
+# variables, so a process whose variable had been reassigned (restart
+# loops) or not yet assigned survived the script.
+#
+# Processes already gone by cleanup time (kill -9 mid-test) are fine:
+# every kill is best-effort.
+
+smoke_init() {
+    tmp=$(mktemp -d)
+    SMOKE_PIDS=""
+    trap smoke_cleanup EXIT INT TERM
+}
+
+# smoke_track PID...: register background processes for cleanup.
+smoke_track() {
+    SMOKE_PIDS="$SMOKE_PIDS $*"
+}
+
+smoke_cleanup() {
+    for pid in $SMOKE_PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    [ -n "${tmp:-}" ] && rm -rf "$tmp"
+}

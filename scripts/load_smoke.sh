@@ -14,13 +14,8 @@
 # temp file, discarded).
 set -eu
 
-tmp=$(mktemp -d)
-srv_pid=""
-cleanup() {
-    [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
-    rm -rf "$tmp"
-}
-trap cleanup EXIT INT TERM
+. "$(dirname "$0")/lib.sh"
+smoke_init
 
 out=${OUT:-"$tmp/BENCH_serving.json"}
 
@@ -35,7 +30,7 @@ echo "== load smoke: apiserved on $addr"
     -max-inflight 64 -max-queue 128 -queue-wait 500ms \
     -spool-dir "$tmp/spool" -job-workers 2 -quiet \
     >"$tmp/apiserved.log" 2>&1 &
-srv_pid=$!
+smoke_track $!
 
 echo "== load smoke: apiload (open loop, 80 rps, jobs in the mix)"
 "$tmp/apiload" -target "http://$addr" -wait-healthy 30s \

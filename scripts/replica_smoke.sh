@@ -1,0 +1,99 @@
+#!/bin/sh
+# Replicated-serving smoke test: builds the real binaries, publishes a
+# snapshot to two empty apiserved replicas (apistudy -publish), fronts
+# them with apiproxy, drives a fixed-rate open-loop apiload pass at the
+# proxy, kills one replica -9 mid-run, and requires (a) zero 5xx and
+# zero transport errors in the gated report — the proxy must absorb the
+# kill — and (b) the surviving replica and the proxy to answer
+# /v1/importance byte-identically to a single-process apiserved run of
+# the same corpus. This is the replicated tier's integration gate:
+# publisher flag plumbing, the push/install path over real HTTP, proxy
+# failover, and snapshot-vs-rebuild equivalence under load.
+# Run from the repository root; used by scripts/ci.sh and fine to run
+# locally.
+set -eu
+
+. "$(dirname "$0")/lib.sh"
+smoke_init
+
+echo "== replica smoke: build"
+go build -o "$tmp/corpusgen" ./cmd/corpusgen
+go build -o "$tmp/apistudy" ./cmd/apistudy
+go build -o "$tmp/apiserved" ./cmd/apiserved
+go build -o "$tmp/apiproxy" ./cmd/apiproxy
+go build -o "$tmp/apiload" ./cmd/apiload
+go build -o "$tmp/benchgate" ./cmd/benchgate
+
+echo "== replica smoke: corpus"
+"$tmp/corpusgen" -out "$tmp/corpus" -packages 60 -seed 17 -installations 100000
+
+ref=http://127.0.0.1:18875
+echo "== replica smoke: reference apiserved -corpus ($ref)"
+"$tmp/apiserved" -addr 127.0.0.1:18875 -corpus "$tmp/corpus" -quiet \
+    >"$tmp/ref.log" 2>&1 &
+smoke_track $!
+"$tmp/apiload" -target "$ref" -wait-healthy 60s -fetch /v1/importance/open \
+    >"$tmp/ref.importance"
+
+repa=http://127.0.0.1:18876
+repb=http://127.0.0.1:18877
+echo "== replica smoke: two empty replicas ($repa, $repb)"
+"$tmp/apiserved" -addr 127.0.0.1:18876 -await-snapshot \
+    -snapshot-dir "$tmp/snaps-a" -quiet >"$tmp/repa.log" 2>&1 &
+repa_pid=$!
+smoke_track "$repa_pid"
+"$tmp/apiserved" -addr 127.0.0.1:18877 -await-snapshot \
+    -snapshot-dir "$tmp/snaps-b" -quiet >"$tmp/repb.log" 2>&1 &
+smoke_track $!
+
+echo "== replica smoke: publish snapshot to both replicas"
+"$tmp/apistudy" -corpus "$tmp/corpus" -experiment none \
+    -publish "$repa,$repb" 2>"$tmp/publish.log" || {
+    echo "replica smoke: publish failed:" >&2
+    cat "$tmp/publish.log" >&2
+    cat "$tmp/repa.log" "$tmp/repb.log" >&2
+    exit 1
+}
+
+front=http://127.0.0.1:18878
+echo "== replica smoke: apiproxy ($front)"
+"$tmp/apiproxy" -addr 127.0.0.1:18878 -replicas "$repa,$repb" -check 200ms \
+    >"$tmp/proxy.log" 2>&1 &
+smoke_track $!
+
+echo "== replica smoke: open-loop load at the proxy, kill -9 one replica mid-run"
+"$tmp/apiload" -target "$front" -wait-healthy 30s \
+    -mode open -rps 60 -duration 4s -warmup 1s \
+    -mix importance=35,footprint=25,completeness=25,suggest=15 \
+    -corpus "$tmp/corpus" -load-seed 42 \
+    -out "$tmp/report.json" 2>"$tmp/apiload.log" &
+load_pid=$!
+sleep 3
+kill -9 "$repa_pid" 2>/dev/null || true
+wait "$load_pid" || {
+    echo "replica smoke: apiload failed:" >&2
+    cat "$tmp/apiload.log" >&2
+    cat "$tmp/proxy.log" >&2
+    exit 1
+}
+
+echo "== replica smoke: gate — zero 5xx, zero transport errors through the kill"
+"$tmp/benchgate" -serving "$tmp/report.json" -max-p99-ms 1000 \
+    -out "$tmp/BENCH_replica.json" || {
+    echo "replica smoke: serving gate failed; proxy log:" >&2
+    tail -10 "$tmp/proxy.log" >&2
+    exit 1
+}
+
+echo "== replica smoke: survivor and proxy answers match the single-process run"
+"$tmp/apiload" -target "$repb" -fetch /v1/importance/open >"$tmp/repb.importance"
+"$tmp/apiload" -target "$front" -fetch /v1/importance/open >"$tmp/front.importance"
+for side in repb front; do
+    if ! cmp -s "$tmp/ref.importance" "$tmp/$side.importance"; then
+        echo "replica smoke: $side /v1/importance differs from reference:" >&2
+        diff "$tmp/ref.importance" "$tmp/$side.importance" >&2 || true
+        exit 1
+    fi
+done
+
+echo "replica smoke OK: kill -9 absorbed with zero 5xx, replica answers byte-identical to in-process run"
