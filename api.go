@@ -156,6 +156,18 @@ func NewStudyDistributed(cfg Config, cache *AnalysisCache, analyze JobAnalyzer) 
 	return &Study{core: s, report: report.New(s)}, nil
 }
 
+// NewStudyOverCorpus runs the pipeline over an already-generated corpus
+// (for example one generation of a corpus.GenerateSeries release series),
+// optionally through an analysis cache and a distributed analyzer. The
+// corpus is not copied; callers must not mutate it afterwards.
+func NewStudyOverCorpus(c *corpus.Corpus, cache *AnalysisCache, analyze JobAnalyzer) (*Study, error) {
+	s, err := core.RunWith(c, Options{}, cache, analyze)
+	if err != nil {
+		return nil, fmt.Errorf("repro: analyzing corpus: %w", err)
+	}
+	return &Study{core: s, report: report.New(s)}, nil
+}
+
 // NewStudyCached generates a calibrated corpus and runs the pipeline
 // through an analysis cache (nil behaves like NewStudy).
 func NewStudyCached(cfg Config, cache *AnalysisCache) (*Study, error) {
@@ -423,7 +435,13 @@ func (s *Study) Diff(old *Study, threshold float64) []APIDelta {
 		if di != dj {
 			return di > dj
 		}
-		return out[i].API < out[j].API
+		if out[i].API != out[j].API {
+			return out[i].API < out[j].API
+		}
+		// A syscall and a libc symbol can share a name and tie exactly
+		// (e.g. syscall fork vs libcsym fork) — break on kind so the
+		// report is stable across map iteration orders.
+		return out[i].Kind < out[j].Kind
 	})
 	return out
 }

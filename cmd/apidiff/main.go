@@ -6,9 +6,15 @@
 // or vanished, which is exactly the signal an OS maintainer needs before
 // retiring an interface.
 //
+// With -timeline the tool instead walks a release series — N generations
+// of one corpus evolved by the deterministic drift model in
+// internal/corpus — and renders the drift between every adjacent pair,
+// an N-point longitudinal report from a single seed.
+//
 // Usage:
 //
 //	apidiff -old-seed 1504 -new-seed 1604 [-packages 500] [-threshold 0.05]
+//	apidiff -timeline [-generations 3] [-seed 1504] [-packages 500]
 package main
 
 import (
@@ -19,23 +25,53 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/corpus"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("apidiff: ")
 	var (
-		packages  = flag.Int("packages", 500, "corpus size for both snapshots")
-		oldSeed   = flag.Int64("old-seed", 1504, "seed of the old snapshot")
-		newSeed   = flag.Int64("new-seed", 1604, "seed of the new snapshot")
-		threshold = flag.Float64("threshold", 0.05, "minimum importance movement to report")
-		limit     = flag.Int("limit", 25, "maximum rows")
+		packages    = flag.Int("packages", 500, "corpus size for both snapshots")
+		oldSeed     = flag.Int64("old-seed", 1504, "seed of the old snapshot")
+		newSeed     = flag.Int64("new-seed", 1604, "seed of the new snapshot")
+		threshold   = flag.Float64("threshold", 0.05, "minimum importance movement to report")
+		limit       = flag.Int("limit", 25, "maximum rows")
+		timeline    = flag.Bool("timeline", false, "walk a release series instead of diffing two seeds")
+		generations = flag.Int("generations", 3, "generations in the release series (with -timeline)")
+		seed        = flag.Int64("seed", 1504, "base seed of the release series (with -timeline)")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *packages, *oldSeed, *newSeed, *threshold, *limit); err != nil {
+	var err error
+	if *timeline {
+		err = runTimeline(os.Stdout, *packages, *seed, *generations, *threshold, *limit)
+	} else {
+		err = run(os.Stdout, *packages, *oldSeed, *newSeed, *threshold, *limit)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runTimeline evolves one corpus through N generations and reports the
+// drift between every adjacent pair.
+func runTimeline(w io.Writer, packages int, seed int64, generations int, threshold float64, limit int) error {
+	cfg := corpus.DefaultSeriesConfig()
+	cfg.Base = corpus.Config{Packages: packages, Seed: seed}
+	cfg.Generations = generations
+	corpora, err := corpus.GenerateSeries(cfg)
+	if err != nil {
+		return err
+	}
+	studies := make([]*repro.Study, len(corpora))
+	for i, c := range corpora {
+		if studies[i], err = repro.NewStudyOverCorpus(c, nil, nil); err != nil {
+			return fmt.Errorf("analyzing generation %d: %w", i, err)
+		}
+	}
+	timelineReport(w, studies, seed, threshold, limit)
+	return nil
 }
 
 func run(w io.Writer, packages int, oldSeed, newSeed int64, threshold float64, limit int) error {
@@ -53,11 +89,37 @@ func run(w io.Writer, packages int, oldSeed, newSeed int64, threshold float64, l
 
 // diffReport renders the movement table for two analyzed snapshots.
 func diffReport(w io.Writer, oldStudy, newStudy *repro.Study, oldSeed, newSeed int64, threshold float64, limit int) {
-	deltas := newStudy.Diff(oldStudy, threshold)
 	fmt.Fprintf(w, "APIs moving by >= %.0f%% importance between seed %d and seed %d:\n",
 		threshold*100, oldSeed, newSeed)
-	shown := 0
-	for _, d := range deltas {
+	writeDeltas(w, newStudy.Diff(oldStudy, threshold), limit)
+}
+
+// timelineReport renders the per-generation drift sections of a release
+// series. Every adjacent pair gets a section — identical generations get
+// an explicit "(none)", never a silently absent section, so an N-point
+// timeline always has N-1 drift blocks.
+func timelineReport(w io.Writer, studies []*repro.Study, seed int64, threshold float64, limit int) {
+	fmt.Fprintf(w, "API usage timeline: %d generations evolved from seed %d\n", len(studies), seed)
+	for i, st := range studies {
+		fmt.Fprintf(w, "  gen %d: %4d packages  fingerprint %s\n",
+			i, len(st.Packages()), st.Fingerprint()[:12])
+	}
+	for i := 1; i < len(studies); i++ {
+		fmt.Fprintf(w, "\ngen %d -> gen %d: APIs moving by >= %.0f%% importance:\n",
+			i-1, i, threshold*100)
+		writeDeltas(w, studies[i].Diff(studies[i-1], threshold), limit)
+	}
+}
+
+// writeDeltas renders one drift section. An empty section is explicit —
+// "(none)" — and only an empty section is: truncation prints the
+// "... N more" marker instead, never both.
+func writeDeltas(w io.Writer, deltas []repro.APIDelta, limit int) {
+	if len(deltas) == 0 {
+		fmt.Fprintln(w, "  (none)")
+		return
+	}
+	for shown, d := range deltas {
 		if shown >= limit {
 			fmt.Fprintf(w, "  ... %d more\n", len(deltas)-shown)
 			break
@@ -72,9 +134,5 @@ func diffReport(w io.Writer, oldStudy, newStudy *repro.Study, oldSeed, newSeed i
 		fmt.Fprintf(w, "  %-10s %-24s importance %6.2f%% -> %6.2f%%   usage %5.2f%% -> %5.2f%%%s\n",
 			d.Kind, d.API, d.OldImportance*100, d.NewImportance*100,
 			d.OldUnweighted*100, d.NewUnweighted*100, tag)
-		shown++
-	}
-	if shown == 0 {
-		fmt.Fprintln(w, "  (none)")
 	}
 }

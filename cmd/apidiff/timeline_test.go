@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/corpus"
+)
+
+var (
+	tlOnce    sync.Once
+	tlStudies []*repro.Study
+	tlErr     error
+)
+
+// timelineStudies analyzes one 3-generation release series for the file.
+func timelineStudies(t *testing.T) []*repro.Study {
+	t.Helper()
+	tlOnce.Do(func() {
+		cfg := corpus.DefaultSeriesConfig()
+		cfg.Base = corpus.Config{Packages: 80, Installations: 100000, Seed: 7}
+		corpora, err := corpus.GenerateSeries(cfg)
+		if err != nil {
+			tlErr = err
+			return
+		}
+		for i, c := range corpora {
+			st, err := repro.NewStudyOverCorpus(c, nil, nil)
+			if err != nil {
+				tlErr = err
+				return
+			}
+			_ = i
+			tlStudies = append(tlStudies, st)
+		}
+	})
+	if tlErr != nil {
+		t.Fatal(tlErr)
+	}
+	return tlStudies
+}
+
+// TestTimelineReportGolden pins the rendered timeline byte-for-byte: the
+// series generator and the analysis are both deterministic, so any drift
+// in ordering, drift classification or formatting is a behavior change.
+func TestTimelineReportGolden(t *testing.T) {
+	studies := timelineStudies(t)
+	var buf bytes.Buffer
+	timelineReport(&buf, studies, 7, 0.001, 10)
+
+	golden := filepath.Join("testdata", "timeline_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("timeline output drifted from golden.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	var again bytes.Buffer
+	timelineReport(&again, studies, 7, 0.001, 10)
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("timelineReport is not deterministic across calls")
+	}
+}
+
+func TestTimelineStructure(t *testing.T) {
+	studies := timelineStudies(t)
+	var buf bytes.Buffer
+	timelineReport(&buf, studies, 7, 0.001, 5)
+	out := buf.String()
+
+	// One header line per generation, one drift section per adjacent pair.
+	for _, want := range []string{
+		"3 generations evolved from seed 7",
+		"gen 0:", "gen 1:", "gen 2:",
+		"gen 0 -> gen 1:", "gen 1 -> gen 2:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Generations really drift: at 0.1% threshold some movement shows.
+	if strings.Count(out, "(none)") == 2 {
+		t.Errorf("no drift in any pair of the evolved series:\n%s", out)
+	}
+}
+
+// TestTimelineIdenticalGenerationsExplicitlyEmpty evolves a series with
+// every mutation knob at zero — each generation is byte-identical to the
+// last — and checks every drift section is explicitly "(none)" rather
+// than absent.
+func TestTimelineIdenticalGenerationsExplicitlyEmpty(t *testing.T) {
+	cfg := corpus.SeriesConfig{
+		Base:        corpus.Config{Packages: 30, Installations: 100000, Seed: 7},
+		Generations: 3,
+	}
+	corpora, err := corpus.GenerateSeries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var studies []*repro.Study
+	for _, c := range corpora {
+		st, err := repro.NewStudyOverCorpus(c, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		studies = append(studies, st)
+	}
+	var buf bytes.Buffer
+	timelineReport(&buf, studies, 7, 0.001, 10)
+	out := buf.String()
+	if got := strings.Count(out, "gen "); got < 5 {
+		t.Fatalf("timeline dropped sections:\n%s", out)
+	}
+	if got := strings.Count(out, "(none)"); got != 2 {
+		t.Errorf("identical generations: %d explicit empty sections, want 2:\n%s", got, out)
+	}
+	if strings.Contains(out, "more\n") {
+		t.Errorf("empty drift rendered a truncation marker:\n%s", out)
+	}
+}
+
+// TestWriteDeltasTruncationNeverPairsWithNone: a truncated section must
+// print the "... N more" marker and never the empty marker beside it.
+func TestWriteDeltasTruncation(t *testing.T) {
+	studies := timelineStudies(t)
+	deltas := studies[1].Diff(studies[0], 0.0001)
+	if len(deltas) == 0 {
+		t.Skip("no drift between generations at minimal threshold")
+	}
+	var buf bytes.Buffer
+	writeDeltas(&buf, deltas, 0)
+	out := buf.String()
+	if !strings.Contains(out, "more\n") || strings.Contains(out, "(none)") {
+		t.Errorf("limit-0 section = %q, want only the truncation marker", out)
+	}
+}

@@ -40,6 +40,12 @@
 //
 //	apiserved -addr :8080 -snapshot study.snap
 //	apiserved -addr :8081 -await-snapshot -snapshot-dir /data/snaps
+//
+// Corpus evolution: -series-dir loads (or builds, -series-gens) a
+// release series — N generations of the corpus under deterministic
+// drift — and serves the cross-generation trend endpoints
+// /v1/trends/importance, /v1/trends/completeness and /v1/trends/path,
+// plus a ?gen= selector on the ordinary query endpoints.
 package main
 
 import (
@@ -56,6 +62,8 @@ import (
 	"time"
 
 	"repro"
+	corpuspkg "repro/internal/corpus"
+	"repro/internal/evolution"
 	"repro/internal/fleet"
 	"repro/internal/httpapi"
 	"repro/internal/jobs"
@@ -90,6 +98,9 @@ func main() {
 		snapDir      = flag.String("snapshot-dir", "", "mount the snapshot admin surface (POST /v1/snapshot, rollback) spooling pushed generations into this directory")
 		awaitSnap    = flag.Bool("await-snapshot", false, "start empty and wait for a pushed snapshot; /healthz reports 503 until one lands")
 		maxSnapBytes = flag.Int64("max-snapshot-bytes", 256<<20, "max /v1/snapshot push body bytes")
+
+		seriesDir  = flag.String("series-dir", "", "release series directory: load gen-*.snap + trends.json, or build a fresh series there (enables /v1/trends/* and ?gen= selectors)")
+		seriesGens = flag.Int("series-gens", 3, "generations to build when -series-dir holds no series yet")
 
 		spoolDir   = flag.String("spool-dir", "", "enable the async job tier with this spool directory; queued jobs survive a restart")
 		jobWorkers = flag.Int("job-workers", 2, "concurrent job executions")
@@ -219,6 +230,29 @@ func main() {
 			}
 		}
 		log.Printf("snapshot admin surface up, spooling to %s", *snapDir)
+	}
+
+	if *seriesDir != "" {
+		seriesStart := time.Now()
+		series, err := evolution.Load(*seriesDir)
+		if err != nil {
+			log.Printf("no loadable series in %s (%v); building %d generations", *seriesDir, err, *seriesGens)
+			scfg := corpuspkg.DefaultSeriesConfig()
+			scfg.Base = corpuspkg.Config{Packages: *packages, Seed: *seed}
+			scfg.Generations = *seriesGens
+			series, err = evolution.Build(evolution.Config{
+				Series:  scfg,
+				Dir:     *seriesDir,
+				Cache:   anaCache,
+				Analyze: analyzeFunc(coord),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		gens := svc.InstallSeries(series, time.Since(seriesStart))
+		log.Printf("release series resident in %s: %d generations from %s (trend endpoints up)",
+			time.Since(seriesStart).Round(time.Millisecond), gens, *seriesDir)
 	}
 
 	var mgr *jobs.Manager

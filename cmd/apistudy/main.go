@@ -25,6 +25,8 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/corpus"
+	"repro/internal/evolution"
 	"repro/internal/fleet"
 	"repro/internal/report"
 )
@@ -45,6 +47,8 @@ func main() {
 		snapshotGen   = flag.Uint64("snapshot-gen", 1, "generation stamped into -snapshot-out / -publish snapshots")
 		publish       = flag.String("publish", "", "comma-separated apiserved replica URLs to push the snapshot to (POST /v1/snapshot)")
 		series        = flag.String("series", "", "emit a figure's raw data series instead (fig2, fig3, fig4, fig5f, fig5p, fig6, fig7, fig8)")
+		seriesOut     = flag.String("series-out", "", "build a release series (N corpus generations + trend series) into this directory and exit")
+		seriesGens    = flag.Int("series-gens", 3, "generations in the -series-out release series")
 		format        = flag.String("format", "csv", "series format: csv or json")
 		verbose       = flag.Bool("v", false, "log pipeline timing")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -111,6 +115,33 @@ func main() {
 			log.Printf("distributing analysis across %d workers", len(urls))
 		}
 	}
+	if *seriesOut != "" {
+		// Series-build invocation: evolve the corpus through N
+		// generations, snapshot and trend each, print the per-generation
+		// fingerprints (machine-readable, for the smoke scripts) and exit.
+		scfg := corpus.DefaultSeriesConfig()
+		scfg.Base = corpus.Config{Packages: *packages, Seed: *seed, Installations: *installations}
+		scfg.Generations = *seriesGens
+		sr, err := evolution.Build(evolution.Config{
+			Series:  scfg,
+			Dir:     *seriesOut,
+			Cache:   anaCache,
+			Analyze: analyze,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, g := range sr.Trends.Generations {
+			fmt.Printf("gen %d %s packages=%d fingerprint=%s cache_hits=%d cache_misses=%d\n",
+				g.Index, g.Snapshot, g.Packages, g.Fingerprint, g.CacheHits, g.CacheMisses)
+		}
+		log.Printf("series written to %s in %v (%d generations, trends over %d APIs)",
+			*seriesOut, time.Since(start).Round(time.Millisecond),
+			sr.Generations(), len(sr.Trends.Importance))
+		sr.Close()
+		return
+	}
+
 	var study *repro.Study
 	var err error
 	if *corpusDir != "" {

@@ -66,6 +66,14 @@ type artifact struct {
 	SnapshotOpen       sample  `json:"snapshot_open"`
 	SnapshotSpeedup    float64 `json:"snapshot_speedup"`
 	MinSnapshotSpeedup float64 `json:"min_snapshot_speedup"`
+	// Evolution rows (BenchmarkEvolutionSeriesColdVsWarm) gate the
+	// incremental series rebuild: the analysis cache carries unchanged
+	// packages byte-identically across generations, and a change that
+	// erodes the warm-over-cold ratio below the floor fails CI.
+	EvolutionCold       sample  `json:"evolution_cold"`
+	EvolutionWarm       sample  `json:"evolution_warm"`
+	EvolutionSpeedup    float64 `json:"evolution_warm_speedup"`
+	MinEvolutionSpeedup float64 `json:"min_evolution_speedup"`
 	// Fleet rows (BenchmarkStudyFleetVsLocal) document the coordinator's
 	// loopback overhead; informational, not gated — on one machine the
 	// fleet can only ever cost, never win.
@@ -81,6 +89,7 @@ const (
 	fleetBench = "BenchmarkStudyFleetVsLocal"
 	aggBench   = "BenchmarkAggregateMetrics"
 	snapBench  = "BenchmarkSnapshotOpenVsRebuild"
+	evoBench   = "BenchmarkEvolutionSeriesColdVsWarm"
 )
 
 // benchLine matches one `go test -bench` result row, e.g.
@@ -100,6 +109,8 @@ func main() {
 		"fail unless map/bitset aggregation >= this ratio")
 	minSnap := flag.Float64("min-snapshot-speedup", 10.0,
 		"fail unless rebuild/open snapshot restore >= this ratio")
+	minEvo := flag.Float64("min-evolution-speedup", 2.0,
+		"fail unless cold/warm series rebuild >= this ratio")
 	serving := flag.String("serving", "",
 		"gate a cmd/apiload report instead of benchmark output (path to report JSON)")
 	maxP99 := flag.Float64("max-p99-ms", 500,
@@ -117,7 +128,8 @@ func main() {
 		line := sc.Text()
 		fmt.Println(line) // passthrough so CI logs keep the raw output
 		m := benchLine.FindStringSubmatch(line)
-		if m == nil || (m[1] != *bench && m[1] != fleetBench && m[1] != aggBench && m[1] != snapBench) {
+		if m == nil || (m[1] != *bench && m[1] != fleetBench && m[1] != aggBench &&
+			m[1] != snapBench && m[1] != evoBench) {
 			continue
 		}
 		ns, err := strconv.ParseFloat(m[3], 64)
@@ -134,6 +146,9 @@ func main() {
 		}
 		if m[1] == snapBench {
 			key = "snapshot_" + key
+		}
+		if m[1] == evoBench {
+			key = "evolution_" + key
 		}
 		s := samples[key]
 		if s == nil {
@@ -171,6 +186,12 @@ func main() {
 				snapBench, name[len("snapshot_"):])
 		}
 	}
+	for _, name := range []string{"evolution_cold", "evolution_warm"} {
+		if s := samples[name]; s == nil || len(s.NsPerOp) == 0 {
+			fatalf("no %s/%s samples in input — did the benchmark run?",
+				evoBench, name[len("evolution_"):])
+		}
+	}
 
 	a := artifact{
 		Benchmark:           *bench,
@@ -185,13 +206,17 @@ func main() {
 		SnapshotRebuild:     *samples["snapshot_rebuild"],
 		SnapshotOpen:        *samples["snapshot_open"],
 		MinSnapshotSpeedup:  *minSnap,
+		EvolutionCold:       *samples["evolution_cold"],
+		EvolutionWarm:       *samples["evolution_warm"],
+		MinEvolutionSpeedup: *minEvo,
 	}
 	a.WarmSpeedup = round2(a.Cold.BestNs / a.Warm.BestNs)
 	a.IncrementalSpeedup = round2(a.Cold.BestNs / a.Incremental.BestNs)
 	a.AggregateSpeedup = round2(a.AggregateMap.BestNs / a.AggregateBitset.BestNs)
 	a.SnapshotSpeedup = round2(a.SnapshotRebuild.BestNs / a.SnapshotOpen.BestNs)
+	a.EvolutionSpeedup = round2(a.EvolutionCold.BestNs / a.EvolutionWarm.BestNs)
 	a.Pass = a.WarmSpeedup >= *minWarm && a.AggregateSpeedup >= *minAgg &&
-		a.SnapshotSpeedup >= *minSnap
+		a.SnapshotSpeedup >= *minSnap && a.EvolutionSpeedup >= *minEvo
 
 	if fl, f := samples["fleet_local"], samples["fleet"]; fl != nil && f != nil {
 		a.FleetLocal, a.Fleet = fl, f
@@ -215,6 +240,9 @@ func main() {
 	fmt.Printf("benchgate: snapshot rebuild %.0fms vs open %.0fms — %.2fx speedup (floor %.2fx)\n",
 		a.SnapshotRebuild.BestNs/1e6, a.SnapshotOpen.BestNs/1e6,
 		a.SnapshotSpeedup, *minSnap)
+	fmt.Printf("benchgate: evolution series cold %.0fms vs warm %.0fms — %.2fx speedup (floor %.2fx)\n",
+		a.EvolutionCold.BestNs/1e6, a.EvolutionWarm.BestNs/1e6,
+		a.EvolutionSpeedup, *minEvo)
 	if a.Fleet != nil {
 		fmt.Printf("benchgate: fleet %.0fms vs local %.0fms — %.2fx loopback coordination overhead (not gated)\n",
 			a.Fleet.BestNs/1e6, a.FleetLocal.BestNs/1e6, a.FleetOverhead)
@@ -230,6 +258,10 @@ func main() {
 	if a.SnapshotSpeedup < *minSnap {
 		fatalf("snapshot speedup %.2fx below floor %.2fx — the snapshot format regressed",
 			a.SnapshotSpeedup, *minSnap)
+	}
+	if a.EvolutionSpeedup < *minEvo {
+		fatalf("evolution warm speedup %.2fx below floor %.2fx — the incremental series rebuild regressed",
+			a.EvolutionSpeedup, *minEvo)
 	}
 }
 

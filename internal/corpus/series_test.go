@@ -1,0 +1,173 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testSeriesConfig() SeriesConfig {
+	return SeriesConfig{
+		Base:        Config{Packages: 80, Installations: 100000, Seed: 7},
+		Generations: 3,
+		Births:      2,
+		Deaths:      1,
+		Drifts:      3,
+		Rewires:     2,
+		PopconShift: 0.3,
+	}
+}
+
+// corpusEqual asserts two corpora are identical in every observable:
+// package order, versions, dependencies, file paths and bytes, installs.
+func corpusEqual(t *testing.T, a, b *Corpus, label string) {
+	t.Helper()
+	an, bn := a.Repo.Names(), b.Repo.Names()
+	if len(an) != len(bn) {
+		t.Fatalf("%s: package count %d vs %d", label, len(an), len(bn))
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Fatalf("%s: package %d name %q vs %q", label, i, an[i], bn[i])
+		}
+		pa, pb := a.Repo.Get(an[i]), b.Repo.Get(bn[i])
+		if pa.Version != pb.Version {
+			t.Errorf("%s: %s version %q vs %q", label, an[i], pa.Version, pb.Version)
+		}
+		if strings.Join(pa.Depends, ",") != strings.Join(pb.Depends, ",") {
+			t.Errorf("%s: %s depends %v vs %v", label, an[i], pa.Depends, pb.Depends)
+		}
+		if len(pa.Files) != len(pb.Files) {
+			t.Fatalf("%s: %s file count %d vs %d", label, an[i], len(pa.Files), len(pb.Files))
+		}
+		for j := range pa.Files {
+			if pa.Files[j].Path != pb.Files[j].Path {
+				t.Errorf("%s: %s file %d path %q vs %q", label, an[i], j, pa.Files[j].Path, pb.Files[j].Path)
+			}
+			if !bytes.Equal(pa.Files[j].Data, pb.Files[j].Data) {
+				t.Errorf("%s: %s file %s bytes differ", label, an[i], pa.Files[j].Path)
+			}
+		}
+		if a.Survey.Installs(an[i]) != b.Survey.Installs(bn[i]) {
+			t.Errorf("%s: %s installs %d vs %d", label, an[i],
+				a.Survey.Installs(an[i]), b.Survey.Installs(bn[i]))
+		}
+	}
+}
+
+func TestGenerateSeriesDeterministic(t *testing.T) {
+	cfg := testSeriesConfig()
+	s1, err := GenerateSeries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := GenerateSeries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != cfg.Generations || len(s2) != cfg.Generations {
+		t.Fatalf("got %d and %d generations, want %d", len(s1), len(s2), cfg.Generations)
+	}
+	for g := range s1 {
+		corpusEqual(t, s1[g], s2[g], "gen "+string(rune('0'+g)))
+	}
+}
+
+func TestSeriesMutations(t *testing.T) {
+	cfg := testSeriesConfig()
+	series, err := GenerateSeries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, next := series[0], series[1]
+
+	births, deaths, drifted, rewired, unchanged := 0, 0, 0, 0, 0
+	prevNames := map[string]bool{}
+	for _, n := range prev.Repo.Names() {
+		prevNames[n] = true
+		if next.Repo.Get(n) == nil {
+			deaths++
+		}
+	}
+	for _, n := range next.Repo.Names() {
+		pkg := next.Repo.Get(n)
+		old := prev.Repo.Get(n)
+		if old == nil {
+			births++
+			if !strings.HasPrefix(n, "pkg-g01-") {
+				t.Errorf("unexpected newborn name %q", n)
+			}
+			continue
+		}
+		if pkg.Version == old.Version {
+			unchanged++
+			// Carried-forward packages must be byte-identical.
+			for j := range pkg.Files {
+				if !bytes.Equal(pkg.Files[j].Data, old.Files[j].Data) {
+					t.Errorf("unchanged package %s file %s bytes differ", n, pkg.Files[j].Path)
+				}
+			}
+			continue
+		}
+		// Version bumped: either an API drift (files re-emitted) or a
+		// rewire (files shared, deps changed).
+		sameBytes := len(pkg.Files) == len(old.Files)
+		if sameBytes {
+			for j := range pkg.Files {
+				if !bytes.Equal(pkg.Files[j].Data, old.Files[j].Data) {
+					sameBytes = false
+					break
+				}
+			}
+		}
+		if sameBytes {
+			rewired++
+			if strings.Join(pkg.Depends, ",") == strings.Join(old.Depends, ",") {
+				t.Errorf("rewired package %s has unchanged depends", n)
+			}
+		} else {
+			drifted++
+		}
+	}
+	if births != cfg.Births {
+		t.Errorf("births = %d, want %d", births, cfg.Births)
+	}
+	if deaths != cfg.Deaths {
+		t.Errorf("deaths = %d, want %d", deaths, cfg.Deaths)
+	}
+	if drifted != cfg.Drifts {
+		t.Errorf("drifted = %d, want %d", drifted, cfg.Drifts)
+	}
+	if rewired != cfg.Rewires {
+		t.Errorf("rewired = %d, want %d", rewired, cfg.Rewires)
+	}
+	if unchanged == 0 {
+		t.Error("no packages carried forward unchanged")
+	}
+
+	// Popcon: the population is fixed, counts move.
+	if prev.Survey.Total != next.Survey.Total {
+		t.Errorf("survey population moved: %d vs %d", prev.Survey.Total, next.Survey.Total)
+	}
+	moved := 0
+	for _, n := range next.Repo.Names() {
+		if prevNames[n] && next.Survey.Installs(n) != prev.Survey.Installs(n) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("no install counts shifted")
+	}
+}
+
+func TestSeriesZeroMutationsIsIdentity(t *testing.T) {
+	cfg := SeriesConfig{
+		Base:        Config{Packages: 30, Installations: 50000, Seed: 11},
+		Generations: 2,
+	}
+	series, err := GenerateSeries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpusEqual(t, series[0], series[1], "identity")
+}

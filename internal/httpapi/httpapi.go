@@ -119,6 +119,9 @@ func New(svc *service.Service, opts Options) *API {
 	a.handle("GET /v1/seccomp/{pkg}", a.handleSeccomp)
 	a.handle("POST /v1/analyze", a.handleAnalyze)
 	a.handle("GET /v1/compat/systems", a.handleCompatSystems)
+	a.handle("GET /v1/trends/importance", a.handleTrendImportance)
+	a.handle("GET /v1/trends/completeness", a.handleTrendCompleteness)
+	a.handle("GET /v1/trends/path", a.handleTrendPath)
 	if opts.Jobs != nil {
 		a.handle("POST /v1/jobs/{type}", a.handleJobSubmit, bypassAdmission)
 		a.handle("GET /v1/jobs", a.handleJobList, bypassAdmission)
@@ -274,6 +277,12 @@ func writeServiceError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, service.ErrUnknownPackage):
 		writeError(w, r, http.StatusNotFound, "%v", err)
+	case errors.Is(err, service.ErrNoSeries):
+		// Trend queries against a server with no release series resident:
+		// the series is the missing resource, not the route.
+		writeError(w, r, http.StatusNotFound, "%v", err)
+	case errors.Is(err, service.ErrBadGeneration):
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 	case errors.Is(err, service.ErrBusy):
 		writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 	default:
@@ -305,8 +314,17 @@ func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleImportance(w http.ResponseWriter, r *http.Request) {
+	gen, err := genParam(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
 	name := r.PathValue("syscall")
-	res := a.svc.Importance(name)
+	res, err := a.svc.ImportanceAt(gen, name)
+	if err != nil {
+		writeServiceError(w, r, err)
+		return
+	}
 	if !res.Known && res.Importance == 0 {
 		// Still a 200 for known-but-unused calls; 404 only for names
 		// outside the syscall table, so typos are distinguishable from
@@ -322,12 +340,17 @@ type completenessRequest struct {
 }
 
 func (a *API) handleCompleteness(w http.ResponseWriter, r *http.Request) {
+	gen, err := genParam(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
 	var req completenessRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := a.svc.Completeness(req.Syscalls)
+	res, err := a.svc.CompletenessAt(gen, req.Syscalls)
 	if err != nil {
 		writeServiceError(w, r, err)
 		return
@@ -341,12 +364,17 @@ type suggestRequest struct {
 }
 
 func (a *API) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	gen, err := genParam(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
 	var req suggestRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := a.svc.Suggest(req.Supported, req.K)
+	res, err := a.svc.SuggestAt(gen, req.Supported, req.K)
 	if err != nil {
 		writeServiceError(w, r, err)
 		return
@@ -355,16 +383,17 @@ func (a *API) handleSuggest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handlePath(w http.ResponseWriter, r *http.Request) {
-	n := 0
-	if s := r.URL.Query().Get("n"); s != "" {
-		v, err := strconv.Atoi(s)
-		if err != nil || v < 0 {
-			writeError(w, r, http.StatusBadRequest, "bad n %q", s)
-			return
-		}
-		n = v
+	gen, err := genParam(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
 	}
-	res, err := a.svc.GreedyPrefix(n)
+	n, err := positiveParam(r, "n")
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := a.svc.GreedyPrefixAt(gen, n)
 	if err != nil {
 		writeServiceError(w, r, err)
 		return
@@ -373,7 +402,12 @@ func (a *API) handlePath(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleFootprint(w http.ResponseWriter, r *http.Request) {
-	res, err := a.svc.Footprint(r.PathValue("pkg"))
+	gen, err := genParam(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := a.svc.FootprintAt(gen, r.PathValue("pkg"))
 	if err != nil {
 		writeServiceError(w, r, err)
 		return
@@ -672,6 +706,27 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "apiserved_fleet_worker_evicted{worker=%q} %d\n", ws.URL, boolToInt(ws.Evicted))
 		}
 	}
+
+	fmt.Fprintf(&b, "# HELP apiserved_evolution_enabled Whether a release series is resident for trend queries.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_evolution_enabled gauge\n")
+	fmt.Fprintf(&b, "apiserved_evolution_enabled %d\n", boolToInt(st.EvolutionOn))
+	fmt.Fprintf(&b, "# HELP apiserved_evolution_generations Generations resident in the release series.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_evolution_generations gauge\n")
+	fmt.Fprintf(&b, "apiserved_evolution_generations %d\n", st.EvolutionGenerations)
+	fmt.Fprintf(&b, "# HELP apiserved_evolution_series_installs_total Release series installed over the server's lifetime.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_evolution_series_installs_total counter\n")
+	fmt.Fprintf(&b, "apiserved_evolution_series_installs_total %d\n", st.SeriesInstalls)
+	fmt.Fprintf(&b, "# HELP apiserved_evolution_trend_queries_total Trend queries answered, by endpoint.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_evolution_trend_queries_total counter\n")
+	fmt.Fprintf(&b, "apiserved_evolution_trend_queries_total{endpoint=\"importance\"} %d\n", st.TrendImportanceQueries)
+	fmt.Fprintf(&b, "apiserved_evolution_trend_queries_total{endpoint=\"completeness\"} %d\n", st.TrendCompletenessQueries)
+	fmt.Fprintf(&b, "apiserved_evolution_trend_queries_total{endpoint=\"path\"} %d\n", st.TrendPathQueries)
+	fmt.Fprintf(&b, "# HELP apiserved_evolution_generation_queries_total Ordinary queries retargeted at a series generation via ?gen=.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_evolution_generation_queries_total counter\n")
+	fmt.Fprintf(&b, "apiserved_evolution_generation_queries_total %d\n", st.GenerationQueries)
+	fmt.Fprintf(&b, "# HELP apiserved_evolution_series_build_seconds Wall time spent building the resident series.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_evolution_series_build_seconds gauge\n")
+	fmt.Fprintf(&b, "apiserved_evolution_series_build_seconds %g\n", st.SeriesBuildSeconds)
 
 	a.writeJobsMetrics(&b)
 

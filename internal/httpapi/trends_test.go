@@ -1,0 +1,200 @@
+package httpapi
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/evolution"
+	"repro/internal/service"
+)
+
+var (
+	trendsOnce   sync.Once
+	trendsSeries *evolution.Series
+	trendsErr    error
+)
+
+// trendsAPI serves a fresh service with a 3-generation release series
+// resident; the series itself is built once per test binary.
+func trendsAPI(t *testing.T) (*API, *service.Service) {
+	t.Helper()
+	_, base := testAPI(t)
+	trendsOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "httpapi-series-*")
+		if err != nil {
+			trendsErr = err
+			return
+		}
+		trendsSeries, trendsErr = evolution.Build(evolution.Config{
+			Series: corpus.SeriesConfig{
+				Base:        corpus.Config{Packages: 80, Installations: 100000, Seed: 7},
+				Generations: 3,
+				Births:      2,
+				Deaths:      1,
+				Drifts:      3,
+				Rewires:     2,
+				PopconShift: 0.3,
+			},
+			Dir: dir,
+		})
+	})
+	if trendsErr != nil {
+		t.Fatal(trendsErr)
+	}
+	svc := service.New(base.Snapshot().Study, "trends-test", service.Config{})
+	svc.InstallSeries(trendsSeries, 2*time.Second)
+	return New(svc, Options{RequestTimeout: time.Minute}), svc
+}
+
+func TestTrendsEndpoints(t *testing.T) {
+	api, svc := trendsAPI(t)
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+	gens := svc.Series().Generations()
+
+	var imp service.TrendImportanceResult
+	getJSON(t, ts, "/v1/trends/importance?top=5", http.StatusOK, &imp)
+	if imp.Generations != gens || len(imp.Trends) != 5 {
+		t.Fatalf("trends/importance = %+v", imp)
+	}
+	getJSON(t, ts, "/v1/trends/importance?api=open", http.StatusOK, &imp)
+	if len(imp.Trends) == 0 || imp.Trends[0].API != "open" {
+		t.Fatalf("trends/importance?api=open = %+v", imp)
+	}
+	if len(imp.Trends[0].Importance) != gens {
+		t.Errorf("trajectory length = %d, want %d", len(imp.Trends[0].Importance), gens)
+	}
+	getJSON(t, ts, "/v1/trends/importance?top=x", http.StatusBadRequest, nil)
+
+	var comp service.TrendCompletenessResult
+	getJSON(t, ts, "/v1/trends/completeness", http.StatusOK, &comp)
+	if comp.Generations != gens || len(comp.Targets) == 0 {
+		t.Fatalf("trends/completeness = %+v", comp)
+	}
+	all := len(comp.Targets)
+	getJSON(t, ts, "/v1/trends/completeness?target=graphene", http.StatusOK, &comp)
+	if len(comp.Targets) == 0 || len(comp.Targets) >= all {
+		t.Errorf("filtered completeness = %d targets (of %d)", len(comp.Targets), all)
+	}
+
+	var path service.TrendPathResult
+	getJSON(t, ts, "/v1/trends/path", http.StatusOK, &path)
+	if path.Generations != gens || path.PathHead == 0 || len(path.Trends) == 0 {
+		t.Fatalf("trends/path = %+v", path)
+	}
+	getJSON(t, ts, "/v1/trends/path?limit=3", http.StatusOK, &path)
+	if len(path.Trends) != 3 {
+		t.Errorf("limited path trends = %d, want 3", len(path.Trends))
+	}
+	getJSON(t, ts, "/v1/trends/path?direction=sideways", http.StatusBadRequest, nil)
+}
+
+// TestTrendsWithoutSeries hits the trend routes on a server with no
+// release series resident: 404, the series is the missing resource.
+func TestTrendsWithoutSeries(t *testing.T) {
+	api, _ := testAPI(t)
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+
+	getJSON(t, ts, "/v1/trends/importance", http.StatusNotFound, nil)
+	getJSON(t, ts, "/v1/trends/completeness", http.StatusNotFound, nil)
+	getJSON(t, ts, "/v1/trends/path", http.StatusNotFound, nil)
+	getJSON(t, ts, "/v1/importance/read?gen=0", http.StatusNotFound, nil)
+}
+
+func TestGenerationSelectorEndpoints(t *testing.T) {
+	api, svc := trendsAPI(t)
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+	series := svc.Series()
+
+	var imp service.ImportanceResult
+	getJSON(t, ts, "/v1/importance/open?gen=1", http.StatusOK, &imp)
+	if imp.Generation != 1 || imp.Importance != series.Study(1).Importance("open") {
+		t.Errorf("gen-1 importance = %+v, study says %v", imp, series.Study(1).Importance("open"))
+	}
+
+	var path service.GreedyPrefixResult
+	getJSON(t, ts, "/v1/path?gen=0&n=5", http.StatusOK, &path)
+	if path.Generation != 0 || len(path.Syscalls) != 5 {
+		t.Errorf("gen-0 path = %+v", path)
+	}
+
+	pkg := series.Study(2).Packages()[0]
+	var fp service.FootprintResult
+	getJSON(t, ts, "/v1/footprint/"+pkg+"?gen=2", http.StatusOK, &fp)
+	if fp.Generation != 2 || fp.Package != pkg {
+		t.Errorf("gen-2 footprint = %+v", fp)
+	}
+
+	var comp service.CompletenessResult
+	postJSON(t, ts, "/v1/completeness?gen=1",
+		map[string]any{"syscalls": path.Syscalls}, http.StatusOK, &comp)
+	if comp.Generation != 1 {
+		t.Errorf("gen-1 completeness = %+v", comp)
+	}
+	want := series.Study(1).WeightedCompleteness(path.Syscalls)
+	if comp.Completeness != want {
+		t.Errorf("gen-1 completeness = %v, study says %v", comp.Completeness, want)
+	}
+
+	var sug service.SuggestResult
+	postJSON(t, ts, "/v1/suggest?gen=0",
+		map[string]any{"supported": path.Syscalls, "k": 3}, http.StatusOK, &sug)
+	if sug.Generation != 0 || len(sug.Suggestions) != 3 {
+		t.Errorf("gen-0 suggest = %+v", sug)
+	}
+
+	getJSON(t, ts, "/v1/importance/open?gen=99", http.StatusBadRequest, nil)
+	getJSON(t, ts, "/v1/importance/open?gen=-1", http.StatusBadRequest, nil)
+	getJSON(t, ts, "/v1/path?gen=abc", http.StatusBadRequest, nil)
+
+	// Without ?gen= the route still answers from the resident snapshot.
+	getJSON(t, ts, "/v1/importance/open", http.StatusOK, &imp)
+	if imp.Generation != svc.Generation() {
+		t.Errorf("default importance generation = %d, want %d", imp.Generation, svc.Generation())
+	}
+}
+
+func TestEvolutionMetrics(t *testing.T) {
+	api, svc := trendsAPI(t)
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+
+	getJSON(t, ts, "/v1/trends/importance?top=3", http.StatusOK, nil)
+	getJSON(t, ts, "/v1/trends/path", http.StatusOK, nil)
+	getJSON(t, ts, "/v1/importance/open?gen=0", http.StatusOK, nil)
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"apiserved_evolution_enabled 1",
+		"apiserved_evolution_generations 3",
+		"apiserved_evolution_series_installs_total 1",
+		"apiserved_evolution_trend_queries_total{endpoint=\"importance\"} 1",
+		"apiserved_evolution_trend_queries_total{endpoint=\"completeness\"} 0",
+		"apiserved_evolution_trend_queries_total{endpoint=\"path\"} 1",
+		"apiserved_evolution_generation_queries_total 1",
+		"apiserved_evolution_series_build_seconds 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	_ = svc
+}

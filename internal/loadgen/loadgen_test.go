@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -130,7 +131,7 @@ func TestGeneratorDeterministicAndMixed(t *testing.T) {
 		seen[r1.Endpoint]++
 	}
 	// Every endpoint of the default mix appears, roughly in proportion.
-	for _, ep := range []string{EpImportance, EpCompleteness, EpSuggest, EpFootprint, EpAnalyze} {
+	for _, ep := range []string{EpImportance, EpCompleteness, EpSuggest, EpFootprint, EpAnalyze, EpTrends} {
 		if seen[ep] == 0 {
 			t.Errorf("endpoint %s never generated (mix %v)", ep, seen)
 		}
@@ -168,16 +169,43 @@ func TestGeneratorZipfWeighting(t *testing.T) {
 }
 
 func TestParseMix(t *testing.T) {
-	m, err := ParseMix("importance=3, footprint=1,analyze=0")
+	m, err := ParseMix("importance=3, footprint=1,analyze=0,trends=2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m[EpImportance] != 3 || m[EpFootprint] != 1 || m[EpAnalyze] != 0 {
+	if m[EpImportance] != 3 || m[EpFootprint] != 1 || m[EpAnalyze] != 0 || m[EpTrends] != 2 {
 		t.Errorf("mix = %v", m)
 	}
 	for _, bad := range []string{"bogus=1", "importance", "importance=-1", "importance=x"} {
 		if _, err := ParseMix(bad); err == nil {
 			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestTrendsEndpointRotates checks the trends slice stays on the three
+// /v1/trends/* surfaces and visits all of them.
+func TestTrendsEndpointRotates(t *testing.T) {
+	p := testProfile(t)
+	g, err := NewGenerator(p, Mix{EpTrends: 1}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for i := 0; i < 300; i++ {
+		r := g.Next()
+		if r.Endpoint != EpTrends || r.Method != "GET" || !strings.HasPrefix(r.Path, "/v1/trends/") {
+			t.Fatalf("trends request = %+v", r)
+		}
+		surface := strings.TrimPrefix(r.Path, "/v1/trends/")
+		if i := strings.IndexByte(surface, '?'); i >= 0 {
+			surface = surface[:i]
+		}
+		seen[surface]++
+	}
+	for _, want := range []string{"importance", "completeness", "path"} {
+		if seen[want] == 0 {
+			t.Errorf("trend surface %s never generated: %v", want, seen)
 		}
 	}
 }

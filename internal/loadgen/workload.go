@@ -24,6 +24,10 @@ const (
 	// state (submit + long-poll); its latency is the full job round
 	// trip. Only meaningful against a server running the job tier.
 	EpJobs = "jobs"
+	// EpTrends rotates across the /v1/trends/* endpoints (importance,
+	// completeness, path). Only meaningful against a server with a
+	// release series resident (-series-dir).
+	EpTrends = "trends"
 )
 
 // Mix is the endpoint mix as relative weights. Zero-weight endpoints
@@ -32,15 +36,16 @@ type Mix map[string]int
 
 // DefaultMix approximates a compat-layer developer's session against
 // the service: mostly cheap importance/footprint lookups, a steady
-// stream of completeness evaluations, occasional suggest iterations
-// and ELF uploads.
+// stream of completeness evaluations, occasional suggest iterations,
+// trend checks and ELF uploads.
 func DefaultMix() Mix {
 	return Mix{
-		EpImportance:   30,
-		EpFootprint:    25,
+		EpImportance:   28,
+		EpFootprint:    23,
 		EpCompleteness: 20,
-		EpSuggest:      15,
+		EpSuggest:      14,
 		EpAnalyze:      10,
+		EpTrends:       5,
 	}
 }
 
@@ -61,7 +66,7 @@ func ParseMix(s string) (Mix, error) {
 			return nil, fmt.Errorf("loadgen: bad mix weight %q", part)
 		}
 		switch name {
-		case EpImportance, EpCompleteness, EpSuggest, EpFootprint, EpAnalyze, EpJobs:
+		case EpImportance, EpCompleteness, EpSuggest, EpFootprint, EpAnalyze, EpJobs, EpTrends:
 			m[name] = w
 		default:
 			return nil, fmt.Errorf("loadgen: unknown endpoint %q", name)
@@ -260,6 +265,24 @@ func (g *Generator) Next() Request {
 			Endpoint: EpFootprint, Method: "GET",
 			Path: "/v1/footprint/" + g.pickPackage(),
 		}
+	case EpTrends:
+		// Rotate across the three trend surfaces, varying the cheap
+		// query parameters so the server's derived cache sees both hits
+		// and distinct keys.
+		var path string
+		switch g.rng.Intn(3) {
+		case 0:
+			path = fmt.Sprintf("/v1/trends/importance?top=%d", 5+g.rng.Intn(20))
+		case 1:
+			path = "/v1/trends/completeness"
+		default:
+			path = []string{
+				"/v1/trends/path",
+				"/v1/trends/path?direction=toward",
+				"/v1/trends/path?direction=away",
+			}[g.rng.Intn(3)]
+		}
+		return Request{Endpoint: EpTrends, Method: "GET", Path: path}
 	case EpJobs:
 		// A small pool of distinct names: early submissions create jobs,
 		// later ones dedupe onto finished records — both server paths see

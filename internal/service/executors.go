@@ -12,8 +12,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"time"
 
 	"repro"
+	"repro/internal/corpus"
+	"repro/internal/evolution"
 	"repro/internal/jobs"
 )
 
@@ -23,6 +27,7 @@ const (
 	JobCorpusDiff      = "corpus-diff"
 	JobCompatMatrix    = "compat-matrix"
 	JobSnapshotRebuild = "snapshot-rebuild"
+	JobTimelineBuild   = "timeline-build"
 )
 
 // RegisterExecutors registers every service-backed job type on m.
@@ -32,6 +37,7 @@ func RegisterExecutors(m *jobs.Manager, s *Service) error {
 		corpusDiffExec{s},
 		compatMatrixExec{s},
 		snapshotRebuildExec{s},
+		timelineBuildExec{s},
 	} {
 		if err := m.Register(ex); err != nil {
 			return err
@@ -232,6 +238,113 @@ type SnapshotRebuildResult struct {
 	Source      string `json:"source"`
 	Fingerprint string `json:"fingerprint"`
 	Packages    int    `json:"packages"`
+}
+
+// TimelineBuildParams are the timeline-build job parameters: a release
+// series to generate, analyze generation by generation through the
+// service's analysis cache, persist as gen-*.snap snapshots plus
+// trends.json, and install for /v1/trends serving.
+type TimelineBuildParams struct {
+	// Packages, Installations and Seed configure generation 0.
+	Packages      int   `json:"packages"`
+	Installations int64 `json:"installations,omitempty"`
+	Seed          int64 `json:"seed"`
+	// Generations is the series length (default 3). Births, Deaths,
+	// Drifts, Rewires and PopconShift are the per-generation mutation
+	// rates (zero values take corpus.DefaultSeriesConfig's defaults).
+	Generations int     `json:"generations,omitempty"`
+	Births      int     `json:"births,omitempty"`
+	Deaths      int     `json:"deaths,omitempty"`
+	Drifts      int     `json:"drifts,omitempty"`
+	Rewires     int     `json:"rewires,omitempty"`
+	PopconShift float64 `json:"popcon_shift,omitempty"`
+	// Dir receives the snapshots and trend series; empty uses a fresh
+	// temporary directory.
+	Dir string `json:"dir,omitempty"`
+}
+
+// TimelineBuildResult is the timeline-build job result.
+type TimelineBuildResult struct {
+	Generations  int      `json:"generations"`
+	Fingerprints []string `json:"fingerprints"`
+	Dir          string   `json:"dir"`
+	DurationMs   int64    `json:"duration_ms"`
+	// TrendAPIs counts the per-API importance trajectories computed.
+	TrendAPIs int `json:"trend_apis"`
+}
+
+type timelineBuildExec struct{ s *Service }
+
+func (timelineBuildExec) Type() string { return JobTimelineBuild }
+
+func (e timelineBuildExec) Execute(ctx context.Context, raw json.RawMessage) (any, error) {
+	var p TimelineBuildParams
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, jobs.Permanent(fmt.Errorf("decoding params: %w", err))
+	}
+	if p.Packages <= 0 {
+		return nil, jobs.Permanent(errors.New("packages must be positive"))
+	}
+	sc := corpus.DefaultSeriesConfig()
+	sc.Base = corpus.Config{
+		Packages:      p.Packages,
+		Installations: p.Installations,
+		Seed:          p.Seed,
+	}
+	if p.Generations > 0 {
+		sc.Generations = p.Generations
+	}
+	if p.Births > 0 {
+		sc.Births = p.Births
+	}
+	if p.Deaths > 0 {
+		sc.Deaths = p.Deaths
+	}
+	if p.Drifts > 0 {
+		sc.Drifts = p.Drifts
+	}
+	if p.Rewires > 0 {
+		sc.Rewires = p.Rewires
+	}
+	if p.PopconShift > 0 {
+		sc.PopconShift = p.PopconShift
+	}
+	dir := p.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "timeline-*"); err != nil {
+			return nil, err // transient: disk pressure may pass
+		}
+	}
+	var analyze repro.JobAnalyzer
+	if e.s.cfg.Fleet != nil {
+		analyze = e.s.cfg.Fleet.AnalyzeJobs
+	}
+	start := time.Now()
+	series, err := evolution.Build(evolution.Config{
+		Series:  sc,
+		Dir:     dir,
+		Cache:   e.s.cfg.Cache,
+		Analyze: analyze,
+	})
+	if err != nil {
+		return nil, jobs.Permanent(fmt.Errorf("building series: %w", err))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	dur := time.Since(start)
+	e.s.InstallSeries(series, dur)
+	out := TimelineBuildResult{
+		Generations: series.Generations(),
+		Dir:         dir,
+		DurationMs:  dur.Milliseconds(),
+		TrendAPIs:   len(series.Trends.Importance),
+	}
+	for _, info := range series.Trends.Generations {
+		out.Fingerprints = append(out.Fingerprints, info.Fingerprint)
+	}
+	return out, nil
 }
 
 type snapshotRebuildExec struct{ s *Service }

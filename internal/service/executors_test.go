@@ -54,7 +54,7 @@ func jobResult(t *testing.T, m *jobs.Manager, id string, into any) {
 
 func TestExecutorTypesRegistered(t *testing.T) {
 	_, m := newJobService(t)
-	want := []string{JobAnalyzeUpload, JobCompatMatrix, JobCorpusDiff, JobSnapshotRebuild}
+	want := []string{JobAnalyzeUpload, JobCompatMatrix, JobCorpusDiff, JobSnapshotRebuild, JobTimelineBuild}
 	got := m.Types()
 	if len(got) != len(want) {
 		t.Fatalf("types = %v, want %v", got, want)

@@ -33,7 +33,6 @@ import (
 	"repro"
 	"repro/internal/fleet"
 	"repro/internal/linuxapi"
-	"repro/internal/metrics"
 )
 
 // ErrUnknownPackage reports a query for a package absent from the corpus.
@@ -98,6 +97,14 @@ type Service struct {
 	snapshotLoads      atomic.Uint64
 	snapshotLoadErrors atomic.Uint64
 	snapshotFallbacks  atomic.Uint64
+
+	// Release-series serving state (see trends.go).
+	series                   atomic.Pointer[seriesState]
+	seriesInstalls           atomic.Uint64
+	trendImportanceQueries   atomic.Uint64
+	trendCompletenessQueries atomic.Uint64
+	trendPathQueries         atomic.Uint64
+	generationQueries        atomic.Uint64
 }
 
 // New publishes study as generation 1 and returns the serving layer.
@@ -210,6 +217,18 @@ type Stats struct {
 	// service runs with a worker fleet (FleetOn); nil otherwise.
 	Fleet   *fleet.Stats
 	FleetOn bool
+	// Evolution counters: a resident release series (EvolutionOn) with
+	// EvolutionGenerations generations, how many series were installed,
+	// per-trend-endpoint query counts, generation-selected query counts,
+	// and how long the resident series took to build.
+	EvolutionOn              bool
+	EvolutionGenerations     int
+	SeriesInstalls           uint64
+	TrendImportanceQueries   uint64
+	TrendCompletenessQueries uint64
+	TrendPathQueries         uint64
+	GenerationQueries        uint64
+	SeriesBuildSeconds       float64
 }
 
 // HitRatio returns cache hits over lookups (0 when idle).
@@ -234,6 +253,16 @@ func (s *Service) Stats() Stats {
 		fs := s.cfg.Fleet.Stats()
 		fleetStats = &fs
 	}
+	var (
+		evolutionOn   bool
+		evolutionGens int
+		buildSeconds  float64
+	)
+	if ss := s.series.Load(); ss != nil {
+		evolutionOn = true
+		evolutionGens = ss.series.Generations()
+		buildSeconds = ss.buildDur.Seconds()
+	}
 	return Stats{
 		Generation:         snap.Generation,
 		Source:             snap.Source,
@@ -256,6 +285,15 @@ func (s *Service) Stats() Stats {
 		AnacacheOn:         s.cfg.Cache != nil,
 		Fleet:              fleetStats,
 		FleetOn:            s.cfg.Fleet != nil,
+
+		EvolutionOn:              evolutionOn,
+		EvolutionGenerations:     evolutionGens,
+		SeriesInstalls:           s.seriesInstalls.Load(),
+		TrendImportanceQueries:   s.trendImportanceQueries.Load(),
+		TrendCompletenessQueries: s.trendCompletenessQueries.Load(),
+		TrendPathQueries:         s.trendPathQueries.Load(),
+		GenerationQueries:        s.generationQueries.Load(),
+		SeriesBuildSeconds:       buildSeconds,
 	}
 }
 
@@ -316,14 +354,8 @@ type ImportanceResult struct {
 
 // Importance reports the measured importance of one system call.
 func (s *Service) Importance(name string) ImportanceResult {
-	snap := s.Snapshot()
-	return ImportanceResult{
-		Syscall:    name,
-		Known:      linuxapi.SyscallByName(name) != nil,
-		Importance: snap.Study.Importance(name),
-		Unweighted: snap.Study.UnweightedImportance(name),
-		Generation: snap.Generation,
-	}
+	res, _ := s.ImportanceAt(-1, name) // never errors for gen < 0
+	return res
 }
 
 // CompletenessResult answers /v1/completeness.
@@ -341,22 +373,7 @@ type CompletenessResult struct {
 // Completeness evaluates the weighted completeness of a supported
 // syscall set (§2.2), caching by normalized set and generation.
 func (s *Service) Completeness(names []string) (CompletenessResult, error) {
-	snap := s.Snapshot()
-	known, unknown := normalizeSyscalls(names)
-	key := fmt.Sprintf("wc|%d|%s", snap.Generation, setKey(known))
-	v, hit, err := s.cached(key, func() (any, error) {
-		return snap.Study.WeightedCompleteness(known), nil
-	})
-	if err != nil {
-		return CompletenessResult{}, err
-	}
-	return CompletenessResult{
-		Syscalls:     len(known),
-		Unknown:      unknown,
-		Completeness: v.(float64),
-		Generation:   snap.Generation,
-		Cached:       hit,
-	}, nil
+	return s.CompletenessAt(-1, names)
 }
 
 // SuggestResult answers /v1/suggest: the paper's §1 question, "which APIs
@@ -373,25 +390,7 @@ type SuggestResult struct {
 // Suggest returns the k most valuable system calls missing from the
 // supported set, with the completeness reached after each addition.
 func (s *Service) Suggest(supported []string, k int) (SuggestResult, error) {
-	if k <= 0 {
-		k = 5
-	}
-	snap := s.Snapshot()
-	known, unknown := normalizeSyscalls(supported)
-	key := fmt.Sprintf("suggest|%d|%d|%s", snap.Generation, k, setKey(known))
-	v, hit, err := s.cached(key, func() (any, error) {
-		return snap.Study.SuggestNext(known, k), nil
-	})
-	if err != nil {
-		return SuggestResult{}, err
-	}
-	return SuggestResult{
-		Supported:   len(known),
-		Unknown:     unknown,
-		Suggestions: v.([]repro.Suggestion),
-		Generation:  snap.Generation,
-		Cached:      hit,
-	}, nil
+	return s.SuggestAt(-1, supported, k)
 }
 
 // GreedyPrefixResult answers greedy-path prefix queries: the first N
@@ -414,27 +413,7 @@ type CurvePointJSON struct {
 
 // GreedyPrefix returns the first n steps of the greedy syscall path.
 func (s *Service) GreedyPrefix(n int) (GreedyPrefixResult, error) {
-	snap := s.Snapshot()
-	key := "path|" + strconv.FormatUint(snap.Generation, 10)
-	v, hit, err := s.cached(key, func() (any, error) {
-		return snap.Study.GreedyPath(), nil
-	})
-	if err != nil {
-		return GreedyPrefixResult{}, err
-	}
-	path := v.([]metrics.PathPoint)
-	if n <= 0 || n > len(path) {
-		n = len(path)
-	}
-	out := GreedyPrefixResult{N: n, Generation: snap.Generation, Cached: hit}
-	for _, pt := range path[:n] {
-		out.Syscalls = append(out.Syscalls, pt.API.Name)
-		out.Curve = append(out.Curve, CurvePointJSON{
-			N: pt.N, Syscall: pt.API.Name,
-			Importance: pt.Importance, Completeness: pt.Completeness,
-		})
-	}
-	return out, nil
+	return s.GreedyPrefixAt(-1, n)
 }
 
 // FootprintResult answers /v1/footprint/{pkg}.
@@ -446,15 +425,7 @@ type FootprintResult struct {
 
 // Footprint returns a package's measured syscall footprint.
 func (s *Service) Footprint(pkg string) (FootprintResult, error) {
-	snap := s.Snapshot()
-	if snap.Study.Core().Input.Footprints[pkg] == nil {
-		return FootprintResult{}, fmt.Errorf("%w: %q", ErrUnknownPackage, pkg)
-	}
-	return FootprintResult{
-		Package:    pkg,
-		Syscalls:   snap.Study.PackageFootprint(pkg),
-		Generation: snap.Generation,
-	}, nil
+	return s.FootprintAt(-1, pkg)
 }
 
 // SeccompResult answers /v1/seccomp/{pkg}: a compiled, verified

@@ -1,17 +1,19 @@
 #!/bin/sh
 # Pipeline benchmark + regression gate: runs the cold/warm/incremental
 # study-load benchmark, the fleet-vs-local coordination benchmark, the
-# map-vs-bitset aggregation benchmark, and the snapshot open-vs-rebuild
-# benchmark, writes BENCH_pipeline.json (the committed artifact
-# documenting what the analysis cache buys, what fleet coordination
-# costs, what the dense bitset representation buys the aggregation
-# stage, and what the columnar snapshot format buys a replica swap),
-# and fails when the warm-over-cold, map-over-bitset, or
-# rebuild-over-open speedup drops below the floors benchgate enforces
-# (2x / 2x / 10x by default; the fleet rows are informational). Run
-# from the repository root; used by the `bench` job in
-# .github/workflows/ci.yml and fine to run locally.
+# map-vs-bitset aggregation benchmark, the snapshot open-vs-rebuild
+# benchmark, and the evolution series cold-vs-warm benchmark, writes
+# BENCH_pipeline.json (the committed artifact documenting what the
+# analysis cache buys, what fleet coordination costs, what the dense
+# bitset representation buys the aggregation stage, what the columnar
+# snapshot format buys a replica swap, and what cross-generation cache
+# carry-forward buys a series rebuild), and fails when the
+# warm-over-cold, map-over-bitset, rebuild-over-open, or
+# evolution warm-over-cold speedup drops below the floors benchgate
+# enforces (2x / 2x / 10x / 2x by default; the fleet rows are
+# informational). Run from the repository root; used by the `bench` job
+# in .github/workflows/ci.yml and fine to run locally.
 set -eu
 
-go test -run '^$' -bench 'BenchmarkStudyColdVsWarm$|BenchmarkStudyFleetVsLocal$|BenchmarkAggregateMetrics$|BenchmarkSnapshotOpenVsRebuild$' -benchtime=1x -count=3 . |
+go test -run '^$' -bench 'BenchmarkStudyColdVsWarm$|BenchmarkStudyFleetVsLocal$|BenchmarkAggregateMetrics$|BenchmarkSnapshotOpenVsRebuild$|BenchmarkEvolutionSeriesColdVsWarm$' -benchtime=1x -count=3 . ./internal/evolution |
     go run ./cmd/benchgate -out BENCH_pipeline.json "$@"

@@ -10,8 +10,10 @@
 # internal/jobs), a two-worker end-to-end fleet smoke test, a job-tier
 # smoke test (spool persistence across kill -9), an end-to-end load
 # smoke test that gates the serving SLO, a snapshot round-trip
-# equivalence smoke test, and a replicated-serving smoke test (publish
-# to two replicas, kill one under load behind the proxy, zero 5xx).
+# equivalence smoke test, a replicated-serving smoke test (publish
+# to two replicas, kill one under load behind the proxy, zero 5xx),
+# and a corpus-evolution smoke test (byte-stable 3-generation series
+# rebuild through a shared analysis cache, live trend queries).
 # Run from the repository root; used by .github/workflows/ci.yml and
 # fine to run locally.
 set -eu
@@ -37,10 +39,11 @@ go test ./...
 echo "== go test -shuffle (order-independence)"
 go test -count=1 -shuffle=on ./...
 
-echo "== go test -race (pipeline, intern/bitset/metrics, service, HTTP API, analysis cache, fleet, loadgen, jobs, snapshot, proxy)"
+echo "== go test -race (pipeline, intern/bitset/metrics, service, HTTP API, analysis cache, fleet, loadgen, jobs, snapshot, proxy, evolution)"
 go test -race ./internal/core ./internal/linuxapi ./internal/footprint ./internal/metrics \
     ./internal/service ./internal/httpapi ./internal/anacache ./internal/fleet \
-    ./internal/loadgen ./internal/jobs ./internal/snapshot ./internal/proxy
+    ./internal/loadgen ./internal/jobs ./internal/snapshot ./internal/proxy \
+    ./internal/evolution
 
 echo "== fleet smoke test (two-worker end-to-end)"
 sh scripts/fleet_smoke.sh
@@ -56,5 +59,8 @@ sh scripts/snapshot_smoke.sh
 
 echo "== replica smoke test (publish, proxy failover under kill -9, zero 5xx)"
 sh scripts/replica_smoke.sh
+
+echo "== evolution smoke test (byte-stable series rebuild, warm cache hits, live trends)"
+sh scripts/evolution_smoke.sh
 
 echo "CI OK"

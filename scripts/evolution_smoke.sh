@@ -1,0 +1,105 @@
+#!/bin/sh
+# Corpus-evolution smoke test: builds a 3-generation release series
+# twice through one shared analysis cache (apistudy -series-out), proves
+# the artifacts are byte-stable — every gen-*.snap and trends.json from
+# the warm rebuild is byte-identical to the cold build — and that the
+# warm rebuild served unchanged binaries from the cache (cache_hits > 0,
+# printed per generation by apistudy). Then starts apiserved on the
+# prebuilt series directory and exercises the evolution surface live:
+# /v1/trends/importance, /v1/trends/completeness, /v1/trends/path, a
+# ?gen= generation-selected query, and the apiserved_evolution_* block
+# in /metrics. This is the evolution tier's integration gate above
+# internal/evolution's unit tests: CLI flag plumbing, on-disk artifact
+# stability, series load (not rebuild) at serving startup, and the live
+# HTTP trend surface.
+# Run from the repository root; used by scripts/ci.sh and fine to run
+# locally.
+set -eu
+
+. "$(dirname "$0")/lib.sh"
+smoke_init
+
+echo "== evolution smoke: build"
+go build -o "$tmp/apistudy" ./cmd/apistudy
+go build -o "$tmp/apiserved" ./cmd/apiserved
+
+pkgs=80
+seed=7
+gens=3
+
+echo "== evolution smoke: cold series build ($gens generations)"
+"$tmp/apistudy" -series-out "$tmp/series-cold" -series-gens $gens \
+    -packages $pkgs -seed $seed -installations 100000 \
+    -cache-dir "$tmp/anacache" >"$tmp/cold.out"
+cat "$tmp/cold.out"
+
+echo "== evolution smoke: warm series rebuild (same seed, shared cache)"
+"$tmp/apistudy" -series-out "$tmp/series-warm" -series-gens $gens \
+    -packages $pkgs -seed $seed -installations 100000 \
+    -cache-dir "$tmp/anacache" >"$tmp/warm.out"
+cat "$tmp/warm.out"
+
+echo "== evolution smoke: byte-stability of snapshots and trends"
+for g in $(seq 0 $((gens - 1))); do
+    snap=$(printf 'gen-%04d.snap' "$g")
+    cmp "$tmp/series-cold/$snap" "$tmp/series-warm/$snap" || {
+        echo "evolution smoke: $snap differs between cold and warm build" >&2
+        exit 1
+    }
+done
+# trends.json embeds the per-build cache counters, so compare everything
+# but the generations block (the trend series themselves must be
+# byte-identical).
+for f in importance completeness path; do
+    grep -A 100000 "\"$f\"" "$tmp/series-cold/trends.json" >"$tmp/cold.$f"
+    grep -A 100000 "\"$f\"" "$tmp/series-warm/trends.json" >"$tmp/warm.$f"
+    cmp "$tmp/cold.$f" "$tmp/warm.$f" || {
+        echo "evolution smoke: trends.json $f section differs between builds" >&2
+        exit 1
+    }
+done
+
+echo "== evolution smoke: warm rebuild hit the analysis cache"
+# Every generation of the warm rebuild must have served some binaries
+# from the cache; generation 0 re-analyzes nothing at all.
+grep -q 'gen 0 .*cache_misses=0' "$tmp/warm.out" || {
+    echo "evolution smoke: warm gen 0 re-analyzed binaries:" >&2
+    cat "$tmp/warm.out" >&2
+    exit 1
+}
+for g in $(seq 0 $((gens - 1))); do
+    grep "gen $g " "$tmp/warm.out" | grep -vq 'cache_hits=0' || {
+        echo "evolution smoke: warm gen $g had no cache hits:" >&2
+        cat "$tmp/warm.out" >&2
+        exit 1
+    }
+done
+
+addr=127.0.0.1:18861
+echo "== evolution smoke: apiserved on $addr serving the prebuilt series"
+"$tmp/apiserved" -addr "$addr" -packages $pkgs -seed $seed \
+    -series-dir "$tmp/series-cold" -quiet \
+    >"$tmp/apiserved.log" 2>&1 &
+smoke_track $!
+
+for i in $(seq 1 60); do
+    if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+    [ "$i" -eq 60 ] && { echo "apiserved never became healthy" >&2; cat "$tmp/apiserved.log" >&2; exit 1; }
+    sleep 0.5
+done
+
+echo "== evolution smoke: live trend queries"
+curl -sf "http://$addr/v1/trends/importance?top=5" | grep -q '"trends"' || {
+    echo "evolution smoke: /v1/trends/importance failed" >&2; exit 1; }
+curl -sf "http://$addr/v1/trends/completeness" | grep -q '"targets"' || {
+    echo "evolution smoke: /v1/trends/completeness failed" >&2; exit 1; }
+curl -sf "http://$addr/v1/trends/path" | grep -q '"path_head"' || {
+    echo "evolution smoke: /v1/trends/path failed" >&2; exit 1; }
+curl -sf "http://$addr/v1/importance/open?gen=1" | grep -q '"generation": 1' || {
+    echo "evolution smoke: generation-selected query failed" >&2; exit 1; }
+curl -sf "http://$addr/metrics" | grep -q '^apiserved_evolution_enabled 1' || {
+    echo "evolution smoke: evolution metrics block missing" >&2; exit 1; }
+curl -sf "http://$addr/metrics" | grep -q "^apiserved_evolution_generations $gens" || {
+    echo "evolution smoke: wrong resident generation count" >&2; exit 1; }
+
+echo "evolution smoke OK: byte-stable series, warm cache hits, live trends"

@@ -25,17 +25,18 @@ go build -o "$tmp/apiload" ./cmd/apiload
 go build -o "$tmp/benchgate" ./cmd/benchgate
 
 addr=127.0.0.1:18851
-echo "== load smoke: apiserved on $addr"
+echo "== load smoke: apiserved on $addr (with a 2-generation release series)"
 "$tmp/apiserved" -addr "$addr" -packages 60 -seed 17 \
     -max-inflight 64 -max-queue 128 -queue-wait 500ms \
+    -series-dir "$tmp/series" -series-gens 2 \
     -spool-dir "$tmp/spool" -job-workers 2 -quiet \
     >"$tmp/apiserved.log" 2>&1 &
 smoke_track $!
 
-echo "== load smoke: apiload (open loop, 80 rps, jobs in the mix)"
+echo "== load smoke: apiload (open loop, 80 rps, jobs and trends in the mix)"
 "$tmp/apiload" -target "http://$addr" -wait-healthy 30s \
     -mode open -rps 80 -duration 3s -warmup 1s \
-    -mix importance=30,footprint=25,completeness=20,suggest=15,analyze=5,jobs=5 \
+    -mix importance=28,footprint=22,completeness=20,suggest=15,analyze=5,jobs=5,trends=5 \
     -packages 60 -seed 17 -load-seed 42 \
     -out "$tmp/report.json" 2>"$tmp/apiload.log" || {
     echo "load smoke: apiload failed:" >&2
