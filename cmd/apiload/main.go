@@ -6,15 +6,20 @@
 // (-workers fixed concurrency) and open-loop (-rps constant arrival
 // rate, latency measured from the scheduled arrival, so a stalling
 // server cannot hide behind coordinated omission) — plus a ramp mode
-// that steps the arrival rate until the p99 target breaks.
+// that steps the arrival rate until the p99 target breaks, and a
+// ceiling mode that walks a closed-loop worker ladder against an
+// in-process server for both read paths (legacy single-lock structs vs
+// the encoded hot path) and reports each path's max sustainable RPS
+// under the SLO.
 //
 // Usage:
 //
 //	apiload -target http://127.0.0.1:8080 -mode open -rps 200 -duration 30s
 //	apiload -packages 300 -seed 17 -mode closed -workers 16    # in-process server
 //	apiload -target http://127.0.0.1:8080 -ramp 50:50:1000 -slo-p99 100
+//	apiload -ceiling 1,2,4,8 -packages 60 -slo-p99 200         # legacy vs hot ceilings
 //
-// The JSON report (-out) is what cmd/benchgate -serving gates in CI.
+// The JSON reports (-out) are what cmd/benchgate -serving gates in CI.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -60,6 +66,8 @@ func main() {
 		ramp   = flag.String("ramp", "", "ramp profile start:step:max in RPS (runs open-loop stages until the SLO breaks)")
 		sloP99 = flag.Float64("slo-p99", 100, "ramp pass criterion: stage p99 <= this many ms")
 
+		ceiling = flag.String("ceiling", "", "comma-separated closed-loop worker counts, e.g. 1,2,4,8: measure the in-process max-throughput ceiling of the legacy read path vs the encoded hot path over one study and emit the comparison (ignores -target)")
+
 		outPath = flag.String("out", "", "write the JSON report here (empty: stdout)")
 		wait    = flag.Duration("wait-healthy", 10*time.Second, "poll -target /healthz up to this long before driving load")
 
@@ -84,12 +92,22 @@ func main() {
 		if *target == "" {
 			log.Fatal("-fetch requires -target")
 		}
-		if err := waitHealthy(ctx, *target, *wait); err != nil {
-			log.Fatal(err)
+		// -wait-healthy 0 skips the probe: auxiliary listeners (the
+		// pprof server, say) have no /healthz to answer.
+		if *wait > 0 {
+			if err := waitHealthy(ctx, *target, *wait); err != nil {
+				log.Fatal(err)
+			}
 		}
 		if err := fetchOnce(ctx, *target, *fetch, *fetchBody); err != nil {
 			log.Fatal(err)
 		}
+		return
+	}
+
+	if *ceiling != "" {
+		cmp := runCeiling(ctx, *ceiling, *corpusD, *packages, *seed, *duration, *warmup, mix, *loadSeed, *sloP99)
+		writeResult(cmp, *outPath)
 		return
 	}
 
@@ -157,36 +175,106 @@ func main() {
 		result = rep
 	}
 
+	writeResult(result, *outPath)
+}
+
+// writeResult emits the JSON report to outPath or stdout.
+func writeResult(result any, outPath string) {
 	raw, err := json.MarshalIndent(result, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	raw = append(raw, '\n')
-	if *outPath == "" {
+	if outPath == "" {
 		os.Stdout.Write(raw)
-	} else if err := os.WriteFile(*outPath, raw, 0o644); err != nil {
+	} else if err := os.WriteFile(outPath, raw, 0o644); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// startInProcess analyzes a study and serves it on a loopback port, so
-// apiload can answer SLO questions without a separately started server.
-func startInProcess(ctx context.Context, corpusDir string, packages int, seed int64, inflight, queue int, queueWait time.Duration) (*loadgen.Profile, string) {
+// runCeiling measures the serving stack's maximum sustainable
+// throughput twice over the same resident study — once through the
+// legacy single-lock read path, once through the encoded hot path —
+// and reports the comparison benchgate holds to its speedup floor. The
+// drivers dispatch straight into each API's handler (no sockets), so
+// the measured difference is the read path itself.
+func runCeiling(ctx context.Context, spec, corpusDir string, packages int, seed int64,
+	duration, warmup time.Duration, mix loadgen.Mix, loadSeed int64, sloP99 float64) *loadgen.CeilingComparison {
+	var workersSeq []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w <= 0 {
+			log.Fatalf("bad -ceiling %q (want comma-separated worker counts)", spec)
+		}
+		workersSeq = append(workersSeq, w)
+	}
+	if len(workersSeq) == 0 {
+		log.Fatalf("bad -ceiling %q (want comma-separated worker counts)", spec)
+	}
+	if len(mix) == 0 {
+		// Read-only mix: the comparison is about the query read path, so
+		// keep upload analysis (identical in both configurations, and far
+		// more expensive) out of the stream.
+		mix = loadgen.Mix{
+			loadgen.EpImportance:   30,
+			loadgen.EpFootprint:    25,
+			loadgen.EpCompleteness: 20,
+			loadgen.EpSuggest:      15,
+			loadgen.EpPath:         10,
+		}
+	}
+
+	study := buildStudy(corpusDir, packages, seed)
+	profile, err := loadgen.FromStudy(study)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure := func(legacy bool) *loadgen.CeilingReport {
+		svc := service.New(study, "ceiling", service.Config{})
+		api := httpapi.New(svc, httpapi.Options{
+			RequestTimeout: time.Minute,
+			LegacyReadPath: legacy,
+		})
+		rep, err := loadgen.Ceiling(ctx, profile, loadgen.Options{
+			Handler:  api,
+			Duration: duration,
+			Warmup:   warmup,
+			Mix:      mix,
+			Seed:     loadSeed,
+		}, workersSeq, sloP99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+	log.Printf("ceiling: legacy read path, workers %v, %s + %s warmup per stage", workersSeq, duration, warmup)
+	baseline := measure(true)
+	log.Printf("ceiling: encoded hot path, same stages")
+	hot := measure(false)
+	cmp := loadgen.CompareCeilings(baseline, hot)
+	log.Printf("max RPS under %.0fms p99: legacy %.0f, hot %.0f — speedup %.2fx",
+		sloP99, cmp.BaselineMaxRPS, cmp.MaxRPSUnderSLO, cmp.Speedup)
+	return cmp
+}
+
+// buildStudy loads or generates the study the in-process modes serve.
+func buildStudy(corpusDir string, packages int, seed int64) *repro.Study {
 	var (
-		study  *repro.Study
-		source string
-		err    error
+		study *repro.Study
+		err   error
 	)
 	start := time.Now()
 	if corpusDir != "" {
-		source = corpusDir
 		log.Printf("analyzing corpus %s ...", corpusDir)
 		study, err = repro.LoadStudy(corpusDir)
 	} else {
 		cfg := repro.DefaultConfig()
 		cfg.Packages = packages
 		cfg.Seed = seed
-		source = "generated"
 		log.Printf("generating and analyzing corpus (%d packages, seed %d) ...", packages, seed)
 		study, err = repro.NewStudy(cfg)
 	}
@@ -194,7 +282,17 @@ func startInProcess(ctx context.Context, corpusDir string, packages int, seed in
 		log.Fatal(err)
 	}
 	log.Printf("in-process study ready in %s", time.Since(start).Round(time.Millisecond))
+	return study
+}
 
+// startInProcess analyzes a study and serves it on a loopback port, so
+// apiload can answer SLO questions without a separately started server.
+func startInProcess(ctx context.Context, corpusDir string, packages int, seed int64, inflight, queue int, queueWait time.Duration) (*loadgen.Profile, string) {
+	source := "generated"
+	if corpusDir != "" {
+		source = corpusDir
+	}
+	study := buildStudy(corpusDir, packages, seed)
 	profile, err := loadgen.FromStudy(study)
 	if err != nil {
 		log.Fatal(err)

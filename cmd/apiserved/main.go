@@ -74,24 +74,26 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("apiserved: ")
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		corpus    = flag.String("corpus", "", "analyze an on-disk corpus directory instead of generating one")
-		packages  = flag.Int("packages", 3000, "generated corpus size (ignored with -corpus)")
-		seed      = flag.Int64("seed", 1504, "generated corpus seed (ignored with -corpus)")
-		cache     = flag.Int("cache", 512, "derived-query cache entries")
-		analyses  = flag.Int("max-analyses", 4, "max concurrent /v1/analyze requests")
-		bodyMax   = flag.Int64("max-upload", 32<<20, "max /v1/analyze body bytes")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
-		inflight  = flag.Int("max-inflight", 256, "max concurrently served /v1/* requests (0 disables admission control)")
-		queue     = flag.Int("max-queue", 512, "max requests waiting for an in-flight slot before shedding")
-		queueWait = flag.Duration("queue-wait", time.Second, "max time a request may queue for a slot")
-		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain period")
-		watch     = flag.Duration("watch", 0, "poll interval for -corpus changes (0 disables reload)")
-		cacheDir  = flag.String("cache-dir", "", "persistent analysis cache directory (warm starts and incremental reloads)")
-		workers   = flag.String("workers", "", "comma-separated apiworker URLs; analysis (startup and reloads) is distributed across them")
-		shards    = flag.Int("shards", 0, "shard count for -workers (0: 4 per worker)")
-		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
-		quiet     = flag.Bool("quiet", false, "disable request logging")
+		addr       = flag.String("addr", ":8080", "listen address")
+		corpus     = flag.String("corpus", "", "analyze an on-disk corpus directory instead of generating one")
+		packages   = flag.Int("packages", 3000, "generated corpus size (ignored with -corpus)")
+		seed       = flag.Int64("seed", 1504, "generated corpus seed (ignored with -corpus)")
+		cache      = flag.Int("cache", 512, "derived-query cache entries")
+		cacheBytes = flag.Int64("cache-bytes", 64<<20, "encoded-answer byte cache budget (resident bytes across shards)")
+		readPath   = flag.String("read-path", "hot", "query read path: hot (encoded byte cache + hotset) or legacy (struct cache, baseline)")
+		analyses   = flag.Int("max-analyses", 4, "max concurrent /v1/analyze requests")
+		bodyMax    = flag.Int64("max-upload", 32<<20, "max /v1/analyze body bytes")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		inflight   = flag.Int("max-inflight", 256, "max concurrently served /v1/* requests (0 disables admission control)")
+		queue      = flag.Int("max-queue", 512, "max requests waiting for an in-flight slot before shedding")
+		queueWait  = flag.Duration("queue-wait", time.Second, "max time a request may queue for a slot")
+		grace      = flag.Duration("grace", 10*time.Second, "shutdown drain period")
+		watch      = flag.Duration("watch", 0, "poll interval for -corpus changes (0 disables reload)")
+		cacheDir   = flag.String("cache-dir", "", "persistent analysis cache directory (warm starts and incremental reloads)")
+		workers    = flag.String("workers", "", "comma-separated apiworker URLs; analysis (startup and reloads) is distributed across them")
+		shards     = flag.Int("shards", 0, "shard count for -workers (0: 4 per worker)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
+		quiet      = flag.Bool("quiet", false, "disable request logging")
 
 		snapFile     = flag.String("snapshot", "", "serve this snapshot file instead of analyzing a corpus (-corpus becomes the rebuild fallback if the file fails validation)")
 		snapOut      = flag.String("snapshot-out", "", "write the analyzed study as a snapshot file to this path once it is ready")
@@ -109,6 +111,9 @@ func main() {
 		asyncBytes = flag.Int64("async-analyze-bytes", 8<<20, "route /v1/analyze uploads at or above this size into the job tier (0: default, negative: never)")
 	)
 	flag.Parse()
+	if *readPath != "hot" && *readPath != "legacy" {
+		log.Fatalf("bad -read-path %q (want hot or legacy)", *readPath)
+	}
 
 	if *pprofAddr != "" {
 		// The profiler gets its own listener so it is never exposed on
@@ -196,6 +201,7 @@ func main() {
 
 	svc := service.New(study, source, service.Config{
 		CacheSize:   *cache,
+		CacheBytes:  *cacheBytes,
 		MaxAnalyses: *analyses,
 		Cache:       anaCache,
 		Fleet:       coord,
@@ -289,7 +295,11 @@ func main() {
 		AsyncAnalyzeBytes: *asyncBytes,
 		Snapshots:         snapMgr,
 		MaxSnapshotBytes:  *maxSnapBytes,
+		LegacyReadPath:    *readPath == "legacy",
 	})
+	if *readPath == "legacy" {
+		log.Printf("read path: legacy (struct cache baseline)")
+	}
 	if *inflight > 0 {
 		log.Printf("admission control: %d in flight, %d queued, %s max wait",
 			*inflight, *queue, *queueWait)

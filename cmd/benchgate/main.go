@@ -74,6 +74,15 @@ type artifact struct {
 	EvolutionWarm       sample  `json:"evolution_warm"`
 	EvolutionSpeedup    float64 `json:"evolution_warm_speedup"`
 	MinEvolutionSpeedup float64 `json:"min_evolution_speedup"`
+	// Hotpath rows (BenchmarkQueryHotPath) gate the encoded read path
+	// against the legacy struct-cache path under parallel mixed reads:
+	// the byte cache and hotset exist to make steady-state queries
+	// lock-free, and a change that erodes the ratio below the floor
+	// fails CI.
+	HotpathLegacy     sample  `json:"hotpath_legacy"`
+	HotpathHot        sample  `json:"hotpath_hot"`
+	HotpathSpeedup    float64 `json:"hotpath_speedup"`
+	MinHotpathSpeedup float64 `json:"min_hotpath_speedup"`
 	// Fleet rows (BenchmarkStudyFleetVsLocal) document the coordinator's
 	// loopback overhead; informational, not gated — on one machine the
 	// fleet can only ever cost, never win.
@@ -90,6 +99,7 @@ const (
 	aggBench   = "BenchmarkAggregateMetrics"
 	snapBench  = "BenchmarkSnapshotOpenVsRebuild"
 	evoBench   = "BenchmarkEvolutionSeriesColdVsWarm"
+	hotBench   = "BenchmarkQueryHotPath"
 )
 
 // benchLine matches one `go test -bench` result row, e.g.
@@ -111,14 +121,22 @@ func main() {
 		"fail unless rebuild/open snapshot restore >= this ratio")
 	minEvo := flag.Float64("min-evolution-speedup", 2.0,
 		"fail unless cold/warm series rebuild >= this ratio")
+	minHot := flag.Float64("min-hotpath-speedup", 2.0,
+		"fail unless legacy/hot query read path >= this ratio")
 	serving := flag.String("serving", "",
 		"gate a cmd/apiload report instead of benchmark output (path to report JSON)")
 	maxP99 := flag.Float64("max-p99-ms", 500,
 		"with -serving: fail unless accepted-request p99 <= this many ms")
+	rampPath := flag.String("ramp", "",
+		"with -serving: also gate a cmd/apiload -ramp report (zero 5xx and zero transport errors across every stage)")
+	ceilPath := flag.String("ceilings", "",
+		"with -serving: also gate a cmd/apiload -ceiling comparison (hot-over-legacy max-RPS speedup)")
+	minTput := flag.Float64("min-throughput-speedup", 2.0,
+		"with -serving -ceilings: fail unless serving_throughput_speedup >= this ratio")
 	flag.Parse()
 
 	if *serving != "" {
-		gateServing(*serving, *out, *maxP99)
+		gateServing(*serving, *rampPath, *ceilPath, *out, *maxP99, *minTput)
 		return
 	}
 
@@ -129,7 +147,7 @@ func main() {
 		fmt.Println(line) // passthrough so CI logs keep the raw output
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil || (m[1] != *bench && m[1] != fleetBench && m[1] != aggBench &&
-			m[1] != snapBench && m[1] != evoBench) {
+			m[1] != snapBench && m[1] != evoBench && m[1] != hotBench) {
 			continue
 		}
 		ns, err := strconv.ParseFloat(m[3], 64)
@@ -149,6 +167,9 @@ func main() {
 		}
 		if m[1] == evoBench {
 			key = "evolution_" + key
+		}
+		if m[1] == hotBench {
+			key = "hotpath_" + key
 		}
 		s := samples[key]
 		if s == nil {
@@ -192,6 +213,12 @@ func main() {
 				evoBench, name[len("evolution_"):])
 		}
 	}
+	for _, name := range []string{"hotpath_legacy", "hotpath_hot"} {
+		if s := samples[name]; s == nil || len(s.NsPerOp) == 0 {
+			fatalf("no %s/%s samples in input — did the benchmark run?",
+				hotBench, name[len("hotpath_"):])
+		}
+	}
 
 	a := artifact{
 		Benchmark:           *bench,
@@ -209,14 +236,19 @@ func main() {
 		EvolutionCold:       *samples["evolution_cold"],
 		EvolutionWarm:       *samples["evolution_warm"],
 		MinEvolutionSpeedup: *minEvo,
+		HotpathLegacy:       *samples["hotpath_legacy"],
+		HotpathHot:          *samples["hotpath_hot"],
+		MinHotpathSpeedup:   *minHot,
 	}
 	a.WarmSpeedup = round2(a.Cold.BestNs / a.Warm.BestNs)
 	a.IncrementalSpeedup = round2(a.Cold.BestNs / a.Incremental.BestNs)
 	a.AggregateSpeedup = round2(a.AggregateMap.BestNs / a.AggregateBitset.BestNs)
 	a.SnapshotSpeedup = round2(a.SnapshotRebuild.BestNs / a.SnapshotOpen.BestNs)
 	a.EvolutionSpeedup = round2(a.EvolutionCold.BestNs / a.EvolutionWarm.BestNs)
+	a.HotpathSpeedup = round2(a.HotpathLegacy.BestNs / a.HotpathHot.BestNs)
 	a.Pass = a.WarmSpeedup >= *minWarm && a.AggregateSpeedup >= *minAgg &&
-		a.SnapshotSpeedup >= *minSnap && a.EvolutionSpeedup >= *minEvo
+		a.SnapshotSpeedup >= *minSnap && a.EvolutionSpeedup >= *minEvo &&
+		a.HotpathSpeedup >= *minHot
 
 	if fl, f := samples["fleet_local"], samples["fleet"]; fl != nil && f != nil {
 		a.FleetLocal, a.Fleet = fl, f
@@ -243,6 +275,9 @@ func main() {
 	fmt.Printf("benchgate: evolution series cold %.0fms vs warm %.0fms — %.2fx speedup (floor %.2fx)\n",
 		a.EvolutionCold.BestNs/1e6, a.EvolutionWarm.BestNs/1e6,
 		a.EvolutionSpeedup, *minEvo)
+	fmt.Printf("benchgate: query read path legacy %.0fns vs hot %.0fns per op — %.2fx speedup (floor %.2fx)\n",
+		a.HotpathLegacy.BestNs, a.HotpathHot.BestNs,
+		a.HotpathSpeedup, *minHot)
 	if a.Fleet != nil {
 		fmt.Printf("benchgate: fleet %.0fms vs local %.0fms — %.2fx loopback coordination overhead (not gated)\n",
 			a.Fleet.BestNs/1e6, a.FleetLocal.BestNs/1e6, a.FleetOverhead)
@@ -263,33 +298,72 @@ func main() {
 		fatalf("evolution warm speedup %.2fx below floor %.2fx — the incremental series rebuild regressed",
 			a.EvolutionSpeedup, *minEvo)
 	}
+	if a.HotpathSpeedup < *minHot {
+		fatalf("query hot-path speedup %.2fx below floor %.2fx — the encoded read path regressed",
+			a.HotpathSpeedup, *minHot)
+	}
 }
 
 // servingArtifact is the committed BENCH_serving.json schema: the
-// apiload report verbatim, plus the gate parameters and verdict.
+// apiload report verbatim, the optional ramp and read-path ceiling
+// comparison, plus the gate parameters and verdict.
 type servingArtifact struct {
 	MaxP99Ms float64         `json:"max_p99_ms"`
 	Pass     bool            `json:"pass"`
 	Report   *loadgen.Report `json:"report"`
+	// MaxRPSUnderSLO is the hot read path's measured throughput ceiling
+	// (from -ceilings, falling back to the ramp's max passing rate);
+	// ServingThroughputSpeedup is its ratio over the legacy single-lock
+	// baseline, gated against MinThroughputSpeedup.
+	MaxRPSUnderSLO           float64                    `json:"max_rps_under_slo,omitempty"`
+	BaselineMaxRPS           float64                    `json:"baseline_max_rps,omitempty"`
+	ServingThroughputSpeedup float64                    `json:"serving_throughput_speedup,omitempty"`
+	MinThroughputSpeedup     float64                    `json:"min_throughput_speedup,omitempty"`
+	Ramp                     *loadgen.RampReport        `json:"ramp,omitempty"`
+	Ceilings                 *loadgen.CeilingComparison `json:"ceilings,omitempty"`
 }
 
-// gateServing checks a load report against the serving SLO and writes
+// gateServing checks a load report — and optionally a ramp report and
+// a read-path ceiling comparison — against the serving SLOs and writes
 // the committed artifact. Shedding under overload is expected and not
-// gated; slow or failing accepted requests fail the build.
-func gateServing(reportPath, out string, maxP99 float64) {
-	raw, err := os.ReadFile(reportPath)
-	if err != nil {
-		fatalf("reading report: %v", err)
-	}
+// gated; slow or failing accepted requests fail the build, as do 5xx
+// anywhere in the ramp and a hot-over-legacy throughput ratio below
+// the floor.
+func gateServing(reportPath, rampPath, ceilPath, out string, maxP99, minTput float64) {
 	var rep loadgen.Report
-	if err := json.Unmarshal(raw, &rep); err != nil {
-		fatalf("parsing %s: %v", reportPath, err)
-	}
+	readJSON(reportPath, &rep)
 	if rep.Accepted.Requests == 0 {
 		fatalf("report has no accepted requests — empty or fully-shed run cannot prove the SLO")
 	}
 	a := servingArtifact{MaxP99Ms: maxP99, Report: &rep}
 	a.Pass = rep.Accepted.P99Ms <= maxP99 && rep.HTTP5xx == 0 && rep.Overall.Errors == 0
+
+	if rampPath != "" {
+		ramp := &loadgen.RampReport{}
+		readJSON(rampPath, ramp)
+		a.Ramp = ramp
+		a.MaxRPSUnderSLO = ramp.MaxPassingRPS
+		if len(ramp.Stages) == 0 || ramp.MaxPassingRPS <= 0 {
+			a.Pass = false
+		}
+		for _, st := range ramp.Stages {
+			if st.Report != nil && (st.Report.HTTP5xx != 0 || st.Report.Overall.Errors != 0) {
+				a.Pass = false
+			}
+		}
+	}
+	if ceilPath != "" {
+		cmp := &loadgen.CeilingComparison{}
+		readJSON(ceilPath, cmp)
+		a.Ceilings = cmp
+		a.MaxRPSUnderSLO = cmp.MaxRPSUnderSLO
+		a.BaselineMaxRPS = cmp.BaselineMaxRPS
+		a.ServingThroughputSpeedup = cmp.Speedup
+		a.MinThroughputSpeedup = minTput
+		if cmp.Speedup < minTput {
+			a.Pass = false
+		}
+	}
 
 	enc, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
@@ -309,6 +383,43 @@ func gateServing(reportPath, out string, maxP99 float64) {
 		fatalf("%d 5xx responses under load — accepted traffic must not fail", rep.HTTP5xx)
 	case rep.Overall.Errors != 0:
 		fatalf("%d transport errors under load", rep.Overall.Errors)
+	}
+	if a.Ramp != nil {
+		fmt.Printf("benchgate: ramp max passing rate %.0f rps across %d stages (SLO p99 %.0fms)\n",
+			a.Ramp.MaxPassingRPS, len(a.Ramp.Stages), a.Ramp.SLOP99Ms)
+		if len(a.Ramp.Stages) == 0 || a.Ramp.MaxPassingRPS <= 0 {
+			fatalf("ramp never passed a stage — the serving path cannot hold any rate under the SLO")
+		}
+		for _, st := range a.Ramp.Stages {
+			if st.Report == nil {
+				continue
+			}
+			if st.Report.HTTP5xx != 0 {
+				fatalf("%d 5xx responses in the %.0f rps ramp stage — the ramp must shed, not fail", st.Report.HTTP5xx, st.RPS)
+			}
+			if st.Report.Overall.Errors != 0 {
+				fatalf("%d transport errors in the %.0f rps ramp stage", st.Report.Overall.Errors, st.RPS)
+			}
+		}
+	}
+	if a.Ceilings != nil {
+		fmt.Printf("benchgate: read-path ceiling legacy %.0f rps vs hot %.0f rps — %.2fx speedup (floor %.2fx)\n",
+			a.BaselineMaxRPS, a.MaxRPSUnderSLO, a.ServingThroughputSpeedup, minTput)
+		if a.ServingThroughputSpeedup < minTput {
+			fatalf("serving throughput speedup %.2fx below floor %.2fx — the encoded read path regressed",
+				a.ServingThroughputSpeedup, minTput)
+		}
+	}
+}
+
+// readJSON loads one JSON file into v or dies.
+func readJSON(path string, v any) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("reading report: %v", err)
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		fatalf("parsing %s: %v", path, err)
 	}
 }
 

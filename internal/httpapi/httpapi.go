@@ -25,7 +25,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/jobs"
@@ -71,6 +71,12 @@ type Options struct {
 	Snapshots *service.SnapshotManager
 	// MaxSnapshotBytes caps /v1/snapshot request bodies (default 256 MiB).
 	MaxSnapshotBytes int64
+	// LegacyReadPath serves the query endpoints through the original
+	// struct-cache handlers (global LRU + per-request JSON encoder)
+	// instead of the encoded byte path. Kept as the benchmark baseline
+	// and as an operational escape hatch; responses are byte-identical
+	// either way.
+	LegacyReadPath bool
 }
 
 // API is the http.Handler serving the query service.
@@ -111,17 +117,30 @@ func New(svc *service.Service, opts Options) *API {
 	}
 	a.handle("GET /healthz", a.handleHealthz, bypassAdmission)
 	a.handle("GET /metrics", a.handleMetrics, bypassAdmission)
-	a.handle("GET /v1/importance/{syscall}", a.handleImportance)
-	a.handle("POST /v1/completeness", a.handleCompleteness)
-	a.handle("POST /v1/suggest", a.handleSuggest)
-	a.handle("GET /v1/path", a.handlePath)
-	a.handle("GET /v1/footprint/{pkg}", a.handleFootprint)
-	a.handle("GET /v1/seccomp/{pkg}", a.handleSeccomp)
+	if opts.LegacyReadPath {
+		a.handle("GET /v1/importance/{syscall}", a.handleImportance)
+		a.handle("POST /v1/completeness", a.handleCompleteness)
+		a.handle("POST /v1/suggest", a.handleSuggest)
+		a.handle("GET /v1/path", a.handlePath)
+		a.handle("GET /v1/footprint/{pkg}", a.handleFootprint)
+		a.handle("GET /v1/seccomp/{pkg}", a.handleSeccomp)
+		a.handle("GET /v1/compat/systems", a.handleCompatSystems)
+		a.handle("GET /v1/trends/importance", a.handleTrendImportance)
+		a.handle("GET /v1/trends/completeness", a.handleTrendCompleteness)
+		a.handle("GET /v1/trends/path", a.handleTrendPath)
+	} else {
+		a.handle("GET /v1/importance/{syscall}", a.handleImportanceBytes)
+		a.handle("POST /v1/completeness", a.handleCompletenessBytes)
+		a.handle("POST /v1/suggest", a.handleSuggestBytes)
+		a.handle("GET /v1/path", a.handlePathBytes)
+		a.handle("GET /v1/footprint/{pkg}", a.handleFootprintBytes)
+		a.handle("GET /v1/seccomp/{pkg}", a.handleSeccompBytes)
+		a.handle("GET /v1/compat/systems", a.handleCompatSystemsBytes)
+		a.handle("GET /v1/trends/importance", a.handleTrendImportanceBytes)
+		a.handle("GET /v1/trends/completeness", a.handleTrendCompletenessBytes)
+		a.handle("GET /v1/trends/path", a.handleTrendPathBytes)
+	}
 	a.handle("POST /v1/analyze", a.handleAnalyze)
-	a.handle("GET /v1/compat/systems", a.handleCompatSystems)
-	a.handle("GET /v1/trends/importance", a.handleTrendImportance)
-	a.handle("GET /v1/trends/completeness", a.handleTrendCompleteness)
-	a.handle("GET /v1/trends/path", a.handleTrendPath)
 	if opts.Jobs != nil {
 		a.handle("POST /v1/jobs/{type}", a.handleJobSubmit, bypassAdmission)
 		a.handle("GET /v1/jobs", a.handleJobList, bypassAdmission)
@@ -191,6 +210,7 @@ func (a *API) handle(pattern string, h http.HandlerFunc, flags ...string) {
 			bypass = true
 		}
 	}
+	a.metrics.register(pattern)
 	a.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		ctx, cancel := context.WithTimeout(r.Context(), a.opts.RequestTimeout)
@@ -487,29 +507,47 @@ var latencyBuckets = []float64{
 // requestMetrics accumulates per-route counters and per-route latency
 // histograms — per-route because a global histogram lets a slow
 // endpoint's tail (/v1/analyze disassembles uploads) hide a regression
-// in a fast one (/v1/importance is a map probe). One mutex is plenty
-// at this layer; the hot path is the study queries, not the counters.
+// in a fast one (/v1/importance is a map probe). The route set is fixed
+// at construction (handle registers each pattern), so observe() is a
+// read-only map probe plus atomic adds: the metrics layer adds no
+// shared lock to the request path it is measuring.
 type requestMetrics struct {
-	mu       sync.Mutex
-	requests map[string]uint64     // "route|code" -> count
-	routes   map[string]*routeHist // route -> latency histogram
+	routes map[string]*routeStats // immutable after registration
+	names  []string               // registration order; sorted lazily
 }
 
-// routeHist is one route's latency histogram over latencyBuckets.
-type routeHist struct {
-	buckets []uint64 // raw per-bucket counts; rendered cumulatively
-	sum     float64  // total seconds observed
-	count   uint64
+// routeStats is one route's counters: per-status-code request counts
+// and a latency histogram over latencyBuckets, all atomics.
+type routeStats struct {
+	codes    [600]atomic.Uint64 // indexed by HTTP status code
+	buckets  []atomic.Uint64    // len(latencyBuckets)+1; raw counts
+	sumNanos atomic.Int64
+	count    atomic.Uint64
 }
 
 func newRequestMetrics() *requestMetrics {
-	return &requestMetrics{
-		requests: make(map[string]uint64),
-		routes:   make(map[string]*routeHist),
+	return &requestMetrics{routes: make(map[string]*routeStats)}
+}
+
+// register adds a route. Called only while New wires the mux, before
+// any traffic: the map is never written concurrently with observe.
+func (m *requestMetrics) register(route string) {
+	if _, ok := m.routes[route]; ok {
+		return
 	}
+	m.routes[route] = &routeStats{buckets: make([]atomic.Uint64, len(latencyBuckets)+1)}
+	m.names = append(m.names, route)
 }
 
 func (m *requestMetrics) observe(route string, code int, d time.Duration) {
+	h := m.routes[route]
+	if h == nil {
+		return
+	}
+	if code < 0 || code >= len(h.codes) {
+		code = len(h.codes) - 1
+	}
+	h.codes[code].Add(1)
 	sec := d.Seconds()
 	idx := len(latencyBuckets)
 	for i, ub := range latencyBuckets {
@@ -518,17 +556,9 @@ func (m *requestMetrics) observe(route string, code int, d time.Duration) {
 			break
 		}
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests[route+"|"+strconv.Itoa(code)]++
-	h := m.routes[route]
-	if h == nil {
-		h = &routeHist{buckets: make([]uint64, len(latencyBuckets)+1)}
-		m.routes[route] = h
-	}
-	h.buckets[idx]++
-	h.sum += sec
-	h.count++
+	h.buckets[idx].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.count.Add(1)
 }
 
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -537,59 +567,58 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	fmt.Fprintf(&b, "# HELP apiserved_requests_total Requests served, by route and status code.\n")
 	fmt.Fprintf(&b, "# TYPE apiserved_requests_total counter\n")
-	a.metrics.mu.Lock()
-	keys := make([]string, 0, len(a.metrics.requests))
-	for k := range a.metrics.requests {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		route, code, _ := strings.Cut(k, "|")
-		fmt.Fprintf(&b, "apiserved_requests_total{route=%q,code=%q} %d\n",
-			route, code, a.metrics.requests[k])
+	routeNames := append([]string(nil), a.metrics.names...)
+	sort.Strings(routeNames)
+	for _, route := range routeNames {
+		h := a.metrics.routes[route]
+		for code := range h.codes {
+			if n := h.codes[code].Load(); n > 0 {
+				fmt.Fprintf(&b, "apiserved_requests_total{route=%q,code=%q} %d\n",
+					route, strconv.Itoa(code), n)
+			}
+		}
 	}
 	// The aggregate (unlabeled) histogram keeps the long-standing series
 	// alive for dashboards; the per-route series are the ones that catch
 	// a single endpoint's tail regressing.
 	fmt.Fprintf(&b, "# HELP apiserved_request_duration_seconds Request latency histogram (aggregate over routes).\n")
 	fmt.Fprintf(&b, "# TYPE apiserved_request_duration_seconds histogram\n")
-	agg := routeHist{buckets: make([]uint64, len(latencyBuckets)+1)}
-	routeNames := make([]string, 0, len(a.metrics.routes))
-	for route, h := range a.metrics.routes {
-		routeNames = append(routeNames, route)
-		for i, c := range h.buckets {
-			agg.buckets[i] += c
+	aggBuckets := make([]uint64, len(latencyBuckets)+1)
+	var aggSum float64
+	var aggCount uint64
+	for _, route := range routeNames {
+		h := a.metrics.routes[route]
+		for i := range h.buckets {
+			aggBuckets[i] += h.buckets[i].Load()
 		}
-		agg.sum += h.sum
-		agg.count += h.count
+		aggSum += float64(h.sumNanos.Load()) / 1e9
+		aggCount += h.count.Load()
 	}
-	sort.Strings(routeNames)
 	var cum uint64
 	for i, ub := range latencyBuckets {
-		cum += agg.buckets[i]
+		cum += aggBuckets[i]
 		fmt.Fprintf(&b, "apiserved_request_duration_seconds_bucket{le=%q} %d\n",
 			strconv.FormatFloat(ub, 'g', -1, 64), cum)
 	}
-	cum += agg.buckets[len(latencyBuckets)]
+	cum += aggBuckets[len(latencyBuckets)]
 	fmt.Fprintf(&b, "apiserved_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(&b, "apiserved_request_duration_seconds_sum %g\n", agg.sum)
-	fmt.Fprintf(&b, "apiserved_request_duration_seconds_count %d\n", agg.count)
+	fmt.Fprintf(&b, "apiserved_request_duration_seconds_sum %g\n", aggSum)
+	fmt.Fprintf(&b, "apiserved_request_duration_seconds_count %d\n", aggCount)
 	fmt.Fprintf(&b, "# HELP apiserved_route_duration_seconds Request latency histogram, per route.\n")
 	fmt.Fprintf(&b, "# TYPE apiserved_route_duration_seconds histogram\n")
 	for _, route := range routeNames {
 		h := a.metrics.routes[route]
 		var cum uint64
 		for i, ub := range latencyBuckets {
-			cum += h.buckets[i]
+			cum += h.buckets[i].Load()
 			fmt.Fprintf(&b, "apiserved_route_duration_seconds_bucket{route=%q,le=%q} %d\n",
 				route, strconv.FormatFloat(ub, 'g', -1, 64), cum)
 		}
-		cum += h.buckets[len(latencyBuckets)]
+		cum += h.buckets[len(latencyBuckets)].Load()
 		fmt.Fprintf(&b, "apiserved_route_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
-		fmt.Fprintf(&b, "apiserved_route_duration_seconds_sum{route=%q} %g\n", route, h.sum)
-		fmt.Fprintf(&b, "apiserved_route_duration_seconds_count{route=%q} %d\n", route, h.count)
+		fmt.Fprintf(&b, "apiserved_route_duration_seconds_sum{route=%q} %g\n", route, float64(h.sumNanos.Load())/1e9)
+		fmt.Fprintf(&b, "apiserved_route_duration_seconds_count{route=%q} %d\n", route, h.count.Load())
 	}
-	a.metrics.mu.Unlock()
 
 	adm := a.admission.Stats()
 	fmt.Fprintf(&b, "# HELP apiserved_admission_enabled Whether admission control is configured.\n")
@@ -612,14 +641,42 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "apiserved_admission_shed_total{reason=\"timeout\"} %d\n", adm.ShedTimeout)
 	fmt.Fprintf(&b, "apiserved_admission_shed_total{reason=\"cancelled\"} %d\n", adm.ShedCancelled)
 
-	fmt.Fprintf(&b, "# HELP apiserved_cache_hits_total Derived-query cache hits.\n")
+	fmt.Fprintf(&b, "# HELP apiserved_cache_hits_total Derived-query cache hits (aggregate; labeled series break out the encoded byte cache by endpoint).\n")
 	fmt.Fprintf(&b, "apiserved_cache_hits_total %d\n", st.CacheHits)
+	for _, es := range st.Endpoints {
+		fmt.Fprintf(&b, "apiserved_cache_hits_total{endpoint=%q} %d\n", es.Endpoint, es.Hits)
+	}
 	fmt.Fprintf(&b, "# HELP apiserved_cache_misses_total Derived-query cache misses.\n")
 	fmt.Fprintf(&b, "apiserved_cache_misses_total %d\n", st.CacheMisses)
+	for _, es := range st.Endpoints {
+		fmt.Fprintf(&b, "apiserved_cache_misses_total{endpoint=%q} %d\n", es.Endpoint, es.Misses)
+	}
+	fmt.Fprintf(&b, "# HELP apiserved_cache_evictions_total Encoded byte-cache entries evicted by the byte budget.\n")
+	fmt.Fprintf(&b, "apiserved_cache_evictions_total %d\n", st.ByteCacheEvictions)
+	for _, es := range st.Endpoints {
+		fmt.Fprintf(&b, "apiserved_cache_evictions_total{endpoint=%q} %d\n", es.Endpoint, es.Evictions)
+	}
 	fmt.Fprintf(&b, "# HELP apiserved_cache_hit_ratio Hits over lookups since start.\n")
 	fmt.Fprintf(&b, "apiserved_cache_hit_ratio %g\n", st.HitRatio())
 	fmt.Fprintf(&b, "apiserved_cache_entries %d\n", st.CacheLen)
 	fmt.Fprintf(&b, "apiserved_cache_capacity %d\n", st.CacheCap)
+	fmt.Fprintf(&b, "# HELP apiserved_cache_bytes Resident bytes in the encoded byte cache.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_cache_bytes gauge\n")
+	fmt.Fprintf(&b, "apiserved_cache_bytes %d\n", st.ByteCacheBytes)
+	fmt.Fprintf(&b, "apiserved_cache_capacity_bytes %d\n", st.ByteCacheCapacity)
+	fmt.Fprintf(&b, "apiserved_cache_byte_entries %d\n", st.ByteCacheEntries)
+	fmt.Fprintf(&b, "# HELP apiserved_cache_oversize_total Answers too large to cache, served uncached.\n")
+	fmt.Fprintf(&b, "apiserved_cache_oversize_total %d\n", st.ByteCacheOversize)
+	fmt.Fprintf(&b, "# HELP apiserved_hotset_hits_total Requests answered from the precomputed per-generation hotset.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_hotset_hits_total counter\n")
+	fmt.Fprintf(&b, "apiserved_hotset_hits_total %d\n", st.HotsetHits)
+	fmt.Fprintf(&b, "# HELP apiserved_hotset_bytes Pre-encoded bytes resident in the current hotset.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_hotset_bytes gauge\n")
+	fmt.Fprintf(&b, "apiserved_hotset_bytes %d\n", st.HotsetBytes)
+	fmt.Fprintf(&b, "apiserved_hotset_entries %d\n", st.HotsetEntries)
+	fmt.Fprintf(&b, "# HELP apiserved_singleflight_shared_total Cache misses that shared another in-flight compute.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_singleflight_shared_total counter\n")
+	fmt.Fprintf(&b, "apiserved_singleflight_shared_total %d\n", st.SingleflightShared)
 	fmt.Fprintf(&b, "# HELP apiserved_snapshot_generation Generation of the resident study snapshot.\n")
 	fmt.Fprintf(&b, "# TYPE apiserved_snapshot_generation gauge\n")
 	fmt.Fprintf(&b, "apiserved_snapshot_generation %d\n", st.Generation)

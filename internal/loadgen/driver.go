@@ -21,6 +21,12 @@ type Options struct {
 	// Client is the HTTP client (nil: a pooled client with a 30s
 	// timeout sized for Workers/OutstandingMax connections).
 	Client *http.Client
+	// Handler, when set (and Client is nil), dispatches every request
+	// straight into the handler in-process instead of over a socket.
+	// This measures the serving stack itself — routing, caches,
+	// encoding — without kernel networking noise, which is what a
+	// read-path throughput comparison wants. BaseURL may be left empty.
+	Handler http.Handler
 
 	// Mode selects the driver: ModeClosed or ModeOpen.
 	Mode string
@@ -298,8 +304,58 @@ func followJob(client *http.Client, baseURL, id, state string) (int, bool) {
 	return 0, true
 }
 
+// handlerTransport is an http.RoundTripper that serves each request by
+// calling a handler directly, buffering the response in memory. It
+// keeps the whole loadgen pipeline — generators, pacing, collectors,
+// reports — usable against an in-process API with zero sockets.
+type handlerTransport struct{ h http.Handler }
+
+// memResponse is the in-memory http.ResponseWriter behind
+// handlerTransport.
+type memResponse struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+}
+
+func (w *memResponse) Header() http.Header { return w.header }
+func (w *memResponse) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+}
+func (w *memResponse) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.body.Write(p)
+}
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	w := &memResponse{header: make(http.Header)}
+	t.h.ServeHTTP(w, req)
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return &http.Response{
+		StatusCode:    w.code,
+		Status:        http.StatusText(w.code),
+		Header:        w.header,
+		Body:          io.NopCloser(&w.body),
+		ContentLength: int64(w.body.Len()),
+		Request:       req,
+		Proto:         "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+	}, nil
+}
+
 // Run drives one measurement pass and returns its report.
 func Run(ctx context.Context, profile *Profile, opts Options) (*Report, error) {
+	if opts.Client == nil && opts.Handler != nil {
+		opts.Client = &http.Client{Transport: handlerTransport{opts.Handler}}
+		if opts.BaseURL == "" {
+			opts.BaseURL = "http://inproc"
+		}
+	}
 	if opts.BaseURL == "" {
 		return nil, fmt.Errorf("loadgen: BaseURL required")
 	}
@@ -447,6 +503,95 @@ func Ramp(ctx context.Context, profile *Profile, opts Options, startRPS, stepRPS
 		ramp.MaxPassingRPS = rps
 	}
 	return ramp, nil
+}
+
+// CeilingStage is one fixed-concurrency step of a throughput ceiling
+// search.
+type CeilingStage struct {
+	Workers int     `json:"workers"`
+	RPS     float64 `json:"rps"`
+	Pass    bool    `json:"pass"`
+	Report  *Report `json:"report"`
+}
+
+// CeilingReport is the result of a max-throughput search: closed-loop
+// stages at increasing concurrency, and the highest accepted-request
+// rate observed while the accepted p99 stayed within the SLO with zero
+// 5xx and zero transport errors.
+type CeilingReport struct {
+	SLOP99Ms       float64        `json:"slo_p99_ms"`
+	Stages         []CeilingStage `json:"stages"`
+	MaxRPSUnderSLO float64        `json:"max_rps_under_slo"`
+	BestWorkers    int            `json:"best_workers,omitempty"`
+}
+
+// Ceiling measures a server's maximum sustainable throughput: for each
+// worker count in workersSeq it runs a closed-loop stage and scores the
+// completion rate, keeping the best rate among stages whose accepted
+// p99 met sloP99Ms with no 5xx and no transport errors. Closed-loop
+// stepping self-paces — past saturation the rate plateaus while the
+// p99 climbs out of SLO, so the reported ceiling is the knee of the
+// curve, not an open-loop overload artifact.
+func Ceiling(ctx context.Context, profile *Profile, opts Options, workersSeq []int, sloP99Ms float64) (*CeilingReport, error) {
+	if len(workersSeq) == 0 {
+		return nil, fmt.Errorf("loadgen: ceiling requires at least one worker count")
+	}
+	out := &CeilingReport{SLOP99Ms: sloP99Ms}
+	for _, workers := range workersSeq {
+		if workers <= 0 {
+			return nil, fmt.Errorf("loadgen: bad ceiling worker count %d", workers)
+		}
+		stage := opts
+		stage.Mode = ModeClosed
+		stage.Workers = workers
+		rep, err := Run(ctx, profile, stage)
+		if err != nil {
+			return nil, err
+		}
+		rate := 0.0
+		if d := stage.Duration.Seconds(); d > 0 {
+			rate = math.Round(float64(rep.Accepted.Requests)/d*100) / 100
+		}
+		pass := rep.Accepted.Requests > 0 &&
+			rep.Accepted.P99Ms <= sloP99Ms &&
+			rep.HTTP5xx == 0 && rep.Overall.Errors == 0
+		out.Stages = append(out.Stages, CeilingStage{
+			Workers: workers, RPS: rate, Pass: pass, Report: rep,
+		})
+		if pass && rate > out.MaxRPSUnderSLO {
+			out.MaxRPSUnderSLO = rate
+			out.BestWorkers = workers
+		}
+	}
+	return out, nil
+}
+
+// CeilingComparison relates two ceiling searches over the same
+// workload — the single-lock legacy read path as baseline and the
+// encoded hot path — into the speedup figure the benchmark gate holds.
+type CeilingComparison struct {
+	SLOP99Ms       float64        `json:"slo_p99_ms"`
+	Baseline       *CeilingReport `json:"baseline"`
+	Hot            *CeilingReport `json:"hot"`
+	BaselineMaxRPS float64        `json:"baseline_max_rps"`
+	MaxRPSUnderSLO float64        `json:"max_rps_under_slo"`
+	Speedup        float64        `json:"serving_throughput_speedup"`
+}
+
+// CompareCeilings builds the comparison; Speedup is 0 when the
+// baseline never passed its SLO (nothing meaningful to divide by).
+func CompareCeilings(baseline, hot *CeilingReport) *CeilingComparison {
+	c := &CeilingComparison{
+		SLOP99Ms:       hot.SLOP99Ms,
+		Baseline:       baseline,
+		Hot:            hot,
+		BaselineMaxRPS: baseline.MaxRPSUnderSLO,
+		MaxRPSUnderSLO: hot.MaxRPSUnderSLO,
+	}
+	if baseline.MaxRPSUnderSLO > 0 {
+		c.Speedup = math.Round(hot.MaxRPSUnderSLO/baseline.MaxRPSUnderSLO*100) / 100
+	}
+	return c
 }
 
 // SortedEndpoints returns the report's endpoint names in stable order.

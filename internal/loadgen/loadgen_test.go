@@ -428,3 +428,138 @@ func TestRampFindsCliff(t *testing.T) {
 		t.Errorf("failing stage has no failure signal: %+v", last.Report.Overall)
 	}
 }
+
+// TestPathEndpointGeneration checks the path mix entry parses and the
+// generator stays on /v1/path, mostly the full-path form the server
+// precomputes, with a minority of ?n= prefix queries.
+func TestPathEndpointGeneration(t *testing.T) {
+	if m, err := ParseMix("path=3"); err != nil || m[EpPath] != 3 {
+		t.Fatalf("ParseMix(path=3) = %v, %v", m, err)
+	}
+	p := testProfile(t)
+	g, err := NewGenerator(p, Mix{EpPath: 1}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, prefixed := 0, 0
+	for i := 0; i < 400; i++ {
+		r := g.Next()
+		if r.Endpoint != EpPath || r.Method != "GET" {
+			t.Fatalf("path request = %+v", r)
+		}
+		switch {
+		case r.Path == "/v1/path":
+			full++
+		case strings.HasPrefix(r.Path, "/v1/path?n="):
+			prefixed++
+		default:
+			t.Fatalf("unexpected path request %q", r.Path)
+		}
+	}
+	if full <= prefixed || prefixed == 0 {
+		t.Errorf("full/prefixed = %d/%d, want full-path majority with some prefixes", full, prefixed)
+	}
+}
+
+// TestHandlerTransport drives the closed loop straight into an
+// http.Handler — no listener, no sockets — and checks the responses
+// are observed exactly like wire responses.
+func TestHandlerTransport(t *testing.T) {
+	p := testProfile(t)
+	var hits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if strings.HasPrefix(r.URL.Path, "/v1/footprint/") {
+			w.WriteHeader(http.StatusNotFound)
+			w.Write([]byte(`{"error":"nope"}`))
+			return
+		}
+		w.Write([]byte(`{}`))
+	})
+	rep, err := Run(context.Background(), p, Options{
+		Handler:  mux,
+		Mode:     ModeClosed,
+		Workers:  2,
+		Duration: 150 * time.Millisecond,
+		Mix:      Mix{EpImportance: 3, EpFootprint: 1},
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overall.Requests == 0 || hits.Load() == 0 {
+		t.Fatal("no requests reached the handler")
+	}
+	if rep.Overall.Errors != 0 || rep.HTTP5xx != 0 {
+		t.Errorf("in-process transport errors: %+v", rep.Overall)
+	}
+	if rep.Overall.Codes["200"] == 0 || rep.Overall.Codes["404"] == 0 {
+		t.Errorf("codes = %v, want both 200s and 404s observed", rep.Overall.Codes)
+	}
+}
+
+// TestCeilingAndComparison steps a fast in-process handler through a
+// worker ladder and checks the report shape, then pins the comparison
+// arithmetic including the baseline-never-passed guard.
+func TestCeilingAndComparison(t *testing.T) {
+	p := testProfile(t)
+	ok := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	})
+	rep, err := Ceiling(context.Background(), p, Options{
+		Handler:  ok,
+		Duration: 100 * time.Millisecond,
+		Mix:      Mix{EpImportance: 1},
+		Seed:     2,
+	}, []int{1, 2}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(rep.Stages))
+	}
+	if rep.MaxRPSUnderSLO <= 0 || rep.BestWorkers == 0 {
+		t.Errorf("ceiling = %+v, want a positive passing rate", rep)
+	}
+	for _, st := range rep.Stages {
+		if !st.Pass || st.RPS <= 0 || st.Report == nil {
+			t.Errorf("stage %+v, want passing with a report", st)
+		}
+	}
+
+	// A handler that always 5xxes can never pass a stage.
+	bad := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	failed, err := Ceiling(context.Background(), p, Options{
+		Handler:  bad,
+		Duration: 50 * time.Millisecond,
+		Mix:      Mix{EpImportance: 1},
+		Seed:     2,
+	}, []int{1}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed.MaxRPSUnderSLO != 0 || failed.BestWorkers != 0 {
+		t.Errorf("all-5xx ceiling = %+v, want no passing rate", failed)
+	}
+
+	cmp := CompareCeilings(&CeilingReport{MaxRPSUnderSLO: 100}, rep)
+	if cmp.BaselineMaxRPS != 100 || cmp.MaxRPSUnderSLO != rep.MaxRPSUnderSLO {
+		t.Errorf("comparison rates = %+v", cmp)
+	}
+	if want := cmp.MaxRPSUnderSLO / 100; cmp.Speedup < want*0.99 || cmp.Speedup > want*1.01 {
+		t.Errorf("speedup = %v, want ~%v", cmp.Speedup, want)
+	}
+	if zero := CompareCeilings(failed, rep); zero.Speedup != 0 {
+		t.Errorf("speedup over a never-passing baseline = %v, want 0", zero.Speedup)
+	}
+
+	if _, err := Ceiling(context.Background(), p, Options{Handler: ok}, nil, 1000); err == nil {
+		t.Error("empty worker ladder accepted")
+	}
+	if _, err := Ceiling(context.Background(), p, Options{Handler: ok}, []int{0}, 1000); err == nil {
+		t.Error("zero worker count accepted")
+	}
+}

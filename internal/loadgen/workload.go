@@ -18,8 +18,11 @@ const (
 	EpImportance   = "importance"
 	EpCompleteness = "completeness"
 	EpSuggest      = "suggest"
-	EpFootprint    = "footprint"
-	EpAnalyze      = "analyze"
+	// EpPath queries the greedy implementation path, mostly the full
+	// path (the precomputed hot answer) with occasional ?n= prefixes.
+	EpPath      = "path"
+	EpFootprint = "footprint"
+	EpAnalyze   = "analyze"
 	// EpJobs submits an analyze-upload job and follows it to a terminal
 	// state (submit + long-poll); its latency is the full job round
 	// trip. Only meaningful against a server running the job tier.
@@ -66,7 +69,7 @@ func ParseMix(s string) (Mix, error) {
 			return nil, fmt.Errorf("loadgen: bad mix weight %q", part)
 		}
 		switch name {
-		case EpImportance, EpCompleteness, EpSuggest, EpFootprint, EpAnalyze, EpJobs, EpTrends:
+		case EpImportance, EpCompleteness, EpSuggest, EpPath, EpFootprint, EpAnalyze, EpJobs, EpTrends:
 			m[name] = w
 		default:
 			return nil, fmt.Errorf("loadgen: unknown endpoint %q", name)
@@ -260,6 +263,14 @@ func (g *Generator) Next() Request {
 			Endpoint: EpSuggest, Method: "POST", Path: "/v1/suggest",
 			Body: body, ContentType: "application/json",
 		}
+	case EpPath:
+		// Mostly the full path — the answer real clients poll, and the
+		// one the server precomputes — with a minority of ?n= prefixes.
+		path := "/v1/path"
+		if g.rng.Intn(4) == 0 {
+			path = fmt.Sprintf("/v1/path?n=%d", 1+g.rng.Intn(40))
+		}
+		return Request{Endpoint: EpPath, Method: "GET", Path: path}
 	case EpFootprint:
 		return Request{
 			Endpoint: EpFootprint, Method: "GET",

@@ -1,6 +1,9 @@
 package service
 
 import (
+	"bytes"
+	"encoding/json"
+	"sync/atomic"
 	"testing"
 )
 
@@ -58,5 +61,127 @@ func BenchmarkServiceCompletenessQuery(b *testing.B) {
 				b.Fatal("unexpected cache hit")
 			}
 		}
+	})
+}
+
+// BenchmarkQueryHotPath is the read-path showdown the serving gate is
+// built on: the same parallel mixed-read workload (importance-heavy
+// with completeness, suggest and path queries — the shape the load
+// generator drives) answered by the legacy struct path
+// (global-LRU structs re-encoded per request, what the handlers did)
+// and by the encoded byte path (hotset + sharded byte cache +
+// singleflight). Run with -benchmem; benchgate derives
+// hotpath_speedup = legacy/hot and gates it >= 2x.
+func BenchmarkQueryHotPath(b *testing.B) {
+	svc := newTestService(b, Config{})
+	path := svc.Snapshot().Study.GreedyPath()
+	var names []string
+	for _, pt := range path {
+		names = append(names, pt.API.Name)
+	}
+	if len(names) < 40 {
+		b.Fatalf("greedy path too short: %d", len(names))
+	}
+	sets := [][]string{names[:10], names[:25], names[:40]}
+
+	// encodeLegacy reproduces what the legacy handler did after the
+	// struct came back: encode indented JSON into a fresh buffer.
+	encodeLegacy := func(b *testing.B, v any) {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+
+	// One mixed operation per iteration, spread deterministically by a
+	// shared counter: 4 importance : 2 completeness : 1 suggest : 1 path.
+	b.Run("legacy", func(b *testing.B) {
+		var ctr atomic.Uint64
+		// Warm the struct LRU so steady state is measured, not fill.
+		for _, set := range sets {
+			if _, err := svc.Completeness(set); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := svc.Suggest(set, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := svc.GreedyPrefix(0); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := ctr.Add(1)
+				switch i % 8 {
+				case 0, 1, 2, 3:
+					encodeLegacy(b, svc.Importance(names[i%40]))
+				case 4, 5:
+					res, err := svc.Completeness(sets[i%3])
+					if err != nil {
+						b.Fatal(err)
+					}
+					encodeLegacy(b, res)
+				case 6:
+					res, err := svc.Suggest(sets[i%3], 3)
+					if err != nil {
+						b.Fatal(err)
+					}
+					encodeLegacy(b, res)
+				default:
+					res, err := svc.GreedyPrefix(0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					encodeLegacy(b, res)
+				}
+			}
+		})
+	})
+
+	b.Run("hot", func(b *testing.B) {
+		var ctr atomic.Uint64
+		for _, set := range sets { // warm the byte cache the same way
+			if _, err := svc.CompletenessBytes(-1, set); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := svc.SuggestBytes(-1, set, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := svc.PathBytes(-1, 0); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := ctr.Add(1)
+				var enc Encoded
+				var err error
+				switch i % 8 {
+				case 0, 1, 2, 3:
+					enc, err = svc.ImportanceBytes(-1, names[i%40])
+				case 4, 5:
+					enc, err = svc.CompletenessBytes(-1, sets[i%3])
+				case 6:
+					enc, err = svc.SuggestBytes(-1, sets[i%3], 3)
+				default:
+					enc, err = svc.PathBytes(-1, 0)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(enc.Body) == 0 {
+					b.Fatal("empty answer")
+				}
+			}
+		})
 	})
 }

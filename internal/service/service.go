@@ -46,6 +46,10 @@ var ErrBusy = errors.New("service: analysis pool saturated")
 type Config struct {
 	// CacheSize bounds the derived-query LRU cache (entries).
 	CacheSize int
+	// CacheBytes bounds the encoded-answer byte cache (resident bytes
+	// across all shards; default 64 MiB). Unlike CacheSize it bounds
+	// memory, not entry count — a few large answers cannot blow the heap.
+	CacheBytes int64
 	// MaxAnalyses bounds concurrently running ad-hoc ELF analyses.
 	MaxAnalyses int
 	// Cache, when non-nil, is the persistent analysis cache reloads go
@@ -60,7 +64,9 @@ type Config struct {
 }
 
 // DefaultConfig returns serving defaults suitable for one resident study.
-func DefaultConfig() Config { return Config{CacheSize: 512, MaxAnalyses: 4} }
+func DefaultConfig() Config {
+	return Config{CacheSize: 512, CacheBytes: 64 << 20, MaxAnalyses: 4}
+}
 
 // Snapshot is one published study plus its serving metadata. Snapshots
 // are immutable once stored; a reload publishes a new one.
@@ -85,6 +91,16 @@ type Service struct {
 	gen  atomic.Uint64
 
 	cache *lruCache
+
+	// The encoded-answer read path (see hotpath.go): per-generation
+	// precomputed answers behind an atomic pointer, a sharded
+	// byte-bounded cache of encoded responses, and a singleflight group
+	// collapsing concurrent misses.
+	hot          atomic.Pointer[hotset]
+	bcache       *byteCache
+	flight       flightGroup
+	hotsetHits   atomic.Uint64
+	flightShared atomic.Uint64
 
 	analyzeSem       chan struct{}
 	analysesActive   atomic.Int64
@@ -113,12 +129,16 @@ func New(study *repro.Study, source string, cfg Config) *Service {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = def.CacheSize
 	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = def.CacheBytes
+	}
 	if cfg.MaxAnalyses <= 0 {
 		cfg.MaxAnalyses = def.MaxAnalyses
 	}
 	s := &Service{
 		cfg:        cfg,
 		cache:      newLRU(cfg.CacheSize),
+		bcache:     newByteCache(cfg.CacheBytes),
 		analyzeSem: make(chan struct{}, cfg.MaxAnalyses),
 	}
 	s.Swap(study, source)
@@ -131,13 +151,20 @@ func New(study *repro.Study, source string, cfg Config) *Service {
 func (s *Service) Swap(study *repro.Study, source string) uint64 {
 	gen := s.gen.Add(1)
 	study.SetGeneration(gen)
+	meta := study.Meta()
+	// Precompute the hotset before publishing: the first request against
+	// the new generation already finds its hot answers. Old byte-cache
+	// entries need no flush — their generation-prefixed keys are simply
+	// never asked for again and age out of the shards.
+	hot := buildHotset(study, gen, meta.Fingerprint, meta.Packages)
 	s.snap.Store(&Snapshot{
 		Study:      study,
 		Generation: gen,
 		Source:     source,
 		LoadedAt:   time.Now(),
-		Meta:       study.Meta(),
+		Meta:       meta,
 	})
+	s.hot.Store(hot)
 	return gen
 }
 
@@ -229,6 +256,23 @@ type Stats struct {
 	TrendPathQueries         uint64
 	GenerationQueries        uint64
 	SeriesBuildSeconds       float64
+	// Encoded read-path counters: CacheHits/CacheMisses above aggregate
+	// the legacy struct-LRU and the byte cache; the ByteCache* fields
+	// break out the byte cache itself (per-endpoint in Endpoints), and
+	// Hotset*/SingleflightShared cover the precomputed-answer table and
+	// the miss-collapsing group in front of it.
+	ByteCacheHits      uint64
+	ByteCacheMisses    uint64
+	ByteCacheEvictions uint64
+	ByteCacheBytes     int64
+	ByteCacheCapacity  int64
+	ByteCacheEntries   int
+	ByteCacheOversize  uint64
+	Endpoints          []EndpointCacheStats
+	HotsetHits         uint64
+	HotsetBytes        int64
+	HotsetEntries      int
+	SingleflightShared uint64
 }
 
 // HitRatio returns cache hits over lookups (0 when idle).
@@ -244,6 +288,13 @@ func (st Stats) HitRatio() float64 {
 func (s *Service) Stats() Stats {
 	snap := s.Snapshot()
 	hits, misses, length, capacity := s.cache.Stats()
+	bc := s.bcache.Stats()
+	var hotsetBytes int64
+	var hotsetEntries int
+	if h := s.hot.Load(); h != nil {
+		hotsetBytes = h.bytes
+		hotsetEntries = len(h.entries)
+	}
 	var anacacheStats repro.CacheStats
 	if s.cfg.Cache != nil {
 		anacacheStats = s.cfg.Cache.Stats()
@@ -268,8 +319,8 @@ func (s *Service) Stats() Stats {
 		Source:             snap.Source,
 		LoadedAt:           snap.LoadedAt,
 		Meta:               snap.Meta,
-		CacheHits:          hits,
-		CacheMisses:        misses,
+		CacheHits:          hits + bc.Hits,
+		CacheMisses:        misses + bc.Misses,
 		CacheLen:           length,
 		CacheCap:           capacity,
 		AnalysesActive:     s.analysesActive.Load(),
@@ -294,6 +345,19 @@ func (s *Service) Stats() Stats {
 		TrendPathQueries:         s.trendPathQueries.Load(),
 		GenerationQueries:        s.generationQueries.Load(),
 		SeriesBuildSeconds:       buildSeconds,
+
+		ByteCacheHits:      bc.Hits,
+		ByteCacheMisses:    bc.Misses,
+		ByteCacheEvictions: bc.Evictions,
+		ByteCacheBytes:     bc.Bytes,
+		ByteCacheCapacity:  bc.CapacityBytes,
+		ByteCacheEntries:   bc.Entries,
+		ByteCacheOversize:  bc.Oversize,
+		Endpoints:          bc.Endpoints,
+		HotsetHits:         s.hotsetHits.Load(),
+		HotsetBytes:        hotsetBytes,
+		HotsetEntries:      hotsetEntries,
+		SingleflightShared: s.flightShared.Load(),
 	}
 }
 

@@ -18,15 +18,22 @@ import (
 func (s *Service) SwapAt(study *repro.Study, source string, gen uint64, file string) uint64 {
 	s.gen.Store(gen)
 	study.SetGeneration(gen)
+	// Explicit generations may repeat or move backwards (push, rollback),
+	// so generation-prefixed cache keys cannot be trusted across this
+	// swap: flush both caches, then publish the rebuilt hotset.
 	s.cache.Reset()
+	s.bcache.Reset()
+	meta := study.Meta()
+	hot := buildHotset(study, gen, meta.Fingerprint, meta.Packages)
 	s.snap.Store(&Snapshot{
 		Study:      study,
 		Generation: gen,
 		Source:     source,
 		LoadedAt:   time.Now(),
-		Meta:       study.Meta(),
+		Meta:       meta,
 		File:       file,
 	})
+	s.hot.Store(hot)
 	return gen
 }
 

@@ -3,13 +3,16 @@
 # over the concurrent layers (the analysis worker pool and parallel
 # footprint resolution in internal/core, the intern table and bitset
 # footprints in internal/linuxapi/footprint/metrics, the
-# snapshot-swap/cache/analysis-pool paths in internal/service, the
-# snapshot file format in internal/snapshot, the replica front proxy in
-# internal/proxy, the coordinator/worker fleet in internal/fleet, the
-# load drivers in internal/loadgen, and the async job tier in
-# internal/jobs), a two-worker end-to-end fleet smoke test, a job-tier
-# smoke test (spool persistence across kill -9), an end-to-end load
-# smoke test that gates the serving SLO, a snapshot round-trip
+# snapshot-swap/cache/analysis-pool, sharded byte-cache, hotset and
+# singleflight paths in internal/service, the byte read path in
+# internal/httpapi, the snapshot file format in internal/snapshot, the
+# replica front proxy in internal/proxy, the coordinator/worker fleet
+# in internal/fleet, the load drivers in internal/loadgen, and the
+# async job tier in internal/jobs), a two-worker end-to-end fleet smoke
+# test, a job-tier smoke test (spool persistence across kill -9), an
+# end-to-end load smoke test that gates the serving SLO, the ramp
+# (zero 5xx to the ceiling) and the hot-over-legacy read-path
+# throughput floor, a snapshot round-trip
 # equivalence smoke test, a replicated-serving smoke test (publish
 # to two replicas, kill one under load behind the proxy, zero 5xx),
 # and a corpus-evolution smoke test (byte-stable 3-generation series
