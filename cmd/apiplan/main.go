@@ -1,0 +1,97 @@
+// Command apiplan builds the stub-aware implement-vs-stub plan for a
+// compatibility layer: every API in the corpus's dynamic footprint is
+// classified by re-running the emulator under fault injection (does the
+// binary survive -ENOSYS? a faked success?), and the greedy path is
+// then re-walked with those measured waivers to produce an ordered
+// worklist — implement this call, fake that one, stub the rest.
+//
+// The plan JSON goes to stdout and is byte-deterministic for a given
+// corpus and policy version, so runs can be diffed or golden-tested.
+// Build statistics — including how many emulator runs the verdict
+// matrix cost, which a warm -cache-dir drops to zero — go to stderr.
+//
+// Usage:
+//
+//	apiplan -system freebsd-emu                      # one system's plan
+//	apiplan -all                                     # every modeled system
+//	apiplan -packages 200 -seed 1504 -cache-dir /tmp/ana -system graphene+sched
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/compat"
+	"repro/internal/stubplan"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apiplan: ")
+	var (
+		packages = flag.Int("packages", 500, "corpus size")
+		seed     = flag.Int64("seed", 1504, "corpus seed")
+		cacheDir = flag.String("cache-dir", "", "persistent analysis/verdict cache directory")
+		system   = flag.String("system", "", "compatibility layer to plan for (see -all for names)")
+		all      = flag.Bool("all", false, "plan for every modeled system")
+	)
+	flag.Parse()
+
+	var targets []compat.System
+	switch {
+	case *all:
+		targets = append(append(targets, compat.Systems...), compat.GrapheneFixed)
+	case *system != "":
+		sys, ok := compat.SystemByName(*system)
+		if !ok {
+			var names []string
+			for _, s := range compat.Systems {
+				names = append(names, s.Name)
+			}
+			names = append(names, compat.GrapheneFixed.Name+compat.GrapheneFixed.Version)
+			log.Fatalf("unknown system %q (known: %v)", *system, names)
+		}
+		targets = append(targets, sys)
+	default:
+		log.Fatal("one of -system or -all is required")
+	}
+
+	var cache *repro.AnalysisCache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = repro.OpenAnalysisCache(*cacheDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+	study, err := repro.NewStudyCached(repro.Config{Packages: *packages, Seed: *seed}, cache)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := stubplan.BuildMatrix(study.Core(), stubplan.Options{Cache: cache})
+	fmt.Fprintf(os.Stderr, "apiplan: matrix policy=%d binaries=%d emulations=%d cache_hits=%d cache_misses=%d inconclusive=%d\n",
+		m.PolicyVersion, m.Stats.Binaries, m.Stats.Emulations,
+		m.Stats.CacheHits, m.Stats.CacheMisses, m.Stats.Inconclusive)
+
+	path := study.GreedyPath()
+	in := study.Core().Input
+	var out any
+	if *all {
+		plans := make([]*stubplan.Plan, 0, len(targets))
+		for _, sys := range targets {
+			plans = append(plans, stubplan.BuildPlan(in, path, sys, m))
+		}
+		out = plans
+	} else {
+		out = stubplan.BuildPlan(in, path, targets[0], m)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}

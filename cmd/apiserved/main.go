@@ -14,7 +14,10 @@
 // Endpoints: /healthz, /metrics, /v1/importance/{syscall},
 // /v1/completeness (POST), /v1/suggest (POST), /v1/path,
 // /v1/footprint/{pkg}, /v1/seccomp/{pkg}, /v1/analyze (POST ELF),
-// /v1/compat/systems. Query endpoints sit behind admission control
+// /v1/compat/systems, /v1/compat/plan?system=NAME (the stub-aware
+// implement-vs-stub worklist; the first plan query of a generation
+// builds the emulator-driven verdict matrix, cached across restarts
+// via -cache-dir). Query endpoints sit behind admission control
 // (-max-inflight/-max-queue/-queue-wait): excess load is shed with
 // 429 + Retry-After instead of queueing unboundedly, while /healthz
 // and /metrics keep answering. SIGINT/SIGTERM drain in-flight requests
@@ -24,7 +27,8 @@
 //
 // With -spool-dir the async job tier comes up alongside the query
 // path: POST /v1/jobs/{type} (analyze-upload, corpus-diff,
-// compat-matrix, snapshot-rebuild), GET /v1/jobs/{id} (?wait=30s
+// compat-matrix, snapshot-rebuild, timeline-build, plan-build),
+// GET /v1/jobs/{id} (?wait=30s
 // long-polls), GET /v1/jobs/{id}/result, GET /v1/jobs?state=dead.
 // Spooled jobs survive a restart, duplicate submissions collapse onto
 // one job, and /v1/analyze uploads at or above -async-analyze-bytes

@@ -83,6 +83,15 @@ type artifact struct {
 	HotpathHot        sample  `json:"hotpath_hot"`
 	HotpathSpeedup    float64 `json:"hotpath_speedup"`
 	MinHotpathSpeedup float64 `json:"min_hotpath_speedup"`
+	// Stubplan rows (BenchmarkStubPlanColdVsWarm) gate the verdict cache
+	// behind stub-aware planning: a cold matrix build re-runs the
+	// emulator under fault injection for every executable, a warm build
+	// replays content-addressed verdicts from disk, and a change that
+	// erodes the warm-over-cold ratio below the floor fails CI.
+	StubPlanCold       sample  `json:"stubplan_cold"`
+	StubPlanWarm       sample  `json:"stubplan_warm"`
+	StubPlanSpeedup    float64 `json:"stubplan_speedup"`
+	MinStubPlanSpeedup float64 `json:"min_stubplan_speedup"`
 	// Fleet rows (BenchmarkStudyFleetVsLocal) document the coordinator's
 	// loopback overhead; informational, not gated — on one machine the
 	// fleet can only ever cost, never win.
@@ -100,6 +109,7 @@ const (
 	snapBench  = "BenchmarkSnapshotOpenVsRebuild"
 	evoBench   = "BenchmarkEvolutionSeriesColdVsWarm"
 	hotBench   = "BenchmarkQueryHotPath"
+	stubBench  = "BenchmarkStubPlanColdVsWarm"
 )
 
 // benchLine matches one `go test -bench` result row, e.g.
@@ -123,6 +133,8 @@ func main() {
 		"fail unless cold/warm series rebuild >= this ratio")
 	minHot := flag.Float64("min-hotpath-speedup", 2.0,
 		"fail unless legacy/hot query read path >= this ratio")
+	minStub := flag.Float64("min-stubplan-speedup", 2.0,
+		"fail unless cold/warm stub-aware plan build >= this ratio")
 	serving := flag.String("serving", "",
 		"gate a cmd/apiload report instead of benchmark output (path to report JSON)")
 	maxP99 := flag.Float64("max-p99-ms", 500,
@@ -147,7 +159,8 @@ func main() {
 		fmt.Println(line) // passthrough so CI logs keep the raw output
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil || (m[1] != *bench && m[1] != fleetBench && m[1] != aggBench &&
-			m[1] != snapBench && m[1] != evoBench && m[1] != hotBench) {
+			m[1] != snapBench && m[1] != evoBench && m[1] != hotBench &&
+			m[1] != stubBench) {
 			continue
 		}
 		ns, err := strconv.ParseFloat(m[3], 64)
@@ -170,6 +183,10 @@ func main() {
 		}
 		if m[1] == hotBench {
 			key = "hotpath_" + key
+		}
+		if m[1] == stubBench {
+			// Disambiguate from the gated study benchmark's cold/warm.
+			key = "stubplan_" + key
 		}
 		s := samples[key]
 		if s == nil {
@@ -219,6 +236,12 @@ func main() {
 				hotBench, name[len("hotpath_"):])
 		}
 	}
+	for _, name := range []string{"stubplan_cold", "stubplan_warm"} {
+		if s := samples[name]; s == nil || len(s.NsPerOp) == 0 {
+			fatalf("no %s/%s samples in input — did the benchmark run?",
+				stubBench, name[len("stubplan_"):])
+		}
+	}
 
 	a := artifact{
 		Benchmark:           *bench,
@@ -239,6 +262,9 @@ func main() {
 		HotpathLegacy:       *samples["hotpath_legacy"],
 		HotpathHot:          *samples["hotpath_hot"],
 		MinHotpathSpeedup:   *minHot,
+		StubPlanCold:        *samples["stubplan_cold"],
+		StubPlanWarm:        *samples["stubplan_warm"],
+		MinStubPlanSpeedup:  *minStub,
 	}
 	a.WarmSpeedup = round2(a.Cold.BestNs / a.Warm.BestNs)
 	a.IncrementalSpeedup = round2(a.Cold.BestNs / a.Incremental.BestNs)
@@ -246,9 +272,10 @@ func main() {
 	a.SnapshotSpeedup = round2(a.SnapshotRebuild.BestNs / a.SnapshotOpen.BestNs)
 	a.EvolutionSpeedup = round2(a.EvolutionCold.BestNs / a.EvolutionWarm.BestNs)
 	a.HotpathSpeedup = round2(a.HotpathLegacy.BestNs / a.HotpathHot.BestNs)
+	a.StubPlanSpeedup = round2(a.StubPlanCold.BestNs / a.StubPlanWarm.BestNs)
 	a.Pass = a.WarmSpeedup >= *minWarm && a.AggregateSpeedup >= *minAgg &&
 		a.SnapshotSpeedup >= *minSnap && a.EvolutionSpeedup >= *minEvo &&
-		a.HotpathSpeedup >= *minHot
+		a.HotpathSpeedup >= *minHot && a.StubPlanSpeedup >= *minStub
 
 	if fl, f := samples["fleet_local"], samples["fleet"]; fl != nil && f != nil {
 		a.FleetLocal, a.Fleet = fl, f
@@ -278,6 +305,9 @@ func main() {
 	fmt.Printf("benchgate: query read path legacy %.0fns vs hot %.0fns per op — %.2fx speedup (floor %.2fx)\n",
 		a.HotpathLegacy.BestNs, a.HotpathHot.BestNs,
 		a.HotpathSpeedup, *minHot)
+	fmt.Printf("benchgate: stub-aware plan cold %.0fms vs warm %.0fms — %.2fx speedup (floor %.2fx)\n",
+		a.StubPlanCold.BestNs/1e6, a.StubPlanWarm.BestNs/1e6,
+		a.StubPlanSpeedup, *minStub)
 	if a.Fleet != nil {
 		fmt.Printf("benchgate: fleet %.0fms vs local %.0fms — %.2fx loopback coordination overhead (not gated)\n",
 			a.Fleet.BestNs/1e6, a.FleetLocal.BestNs/1e6, a.FleetOverhead)
@@ -301,6 +331,10 @@ func main() {
 	if a.HotpathSpeedup < *minHot {
 		fatalf("query hot-path speedup %.2fx below floor %.2fx — the encoded read path regressed",
 			a.HotpathSpeedup, *minHot)
+	}
+	if a.StubPlanSpeedup < *minStub {
+		fatalf("stub-aware plan warm speedup %.2fx below floor %.2fx — the verdict cache regressed",
+			a.StubPlanSpeedup, *minStub)
 	}
 }
 

@@ -44,14 +44,21 @@ type Cache struct {
 	dir string
 	tag string
 
-	mu  sync.RWMutex
-	mem map[string]*footprint.Summary
+	mu   sync.RWMutex
+	mem  map[string]*footprint.Summary
+	vmem map[string]json.RawMessage // verdict payloads by tag+"\x00"+key
 
 	hits          atomic.Uint64
 	misses        atomic.Uint64
 	invalidations atomic.Uint64
 	writes        atomic.Uint64
 	writeErrors   atomic.Uint64
+
+	verdictHits          atomic.Uint64
+	verdictMisses        atomic.Uint64
+	verdictInvalidations atomic.Uint64
+	verdictWrites        atomic.Uint64
+	verdictWriteErrors   atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the cache counters.
@@ -69,6 +76,13 @@ type Stats struct {
 	// (the pipeline proceeds either way — the cache is advisory).
 	Writes      uint64
 	WriteErrors uint64
+	// The Verdict* counters mirror the above for the verdict-record
+	// family (stub/fake tolerance from fault-injection emulation).
+	VerdictHits          uint64
+	VerdictMisses        uint64
+	VerdictInvalidations uint64
+	VerdictWrites        uint64
+	VerdictWriteErrors   uint64
 }
 
 // HitRatio returns hits over lookups (0 when idle).
@@ -181,6 +195,12 @@ func (c *Cache) write(dst, key string, sum *footprint.Summary) error {
 	if err != nil {
 		return fmt.Errorf("anacache: encoding %s: %w", key, err)
 	}
+	return c.writeRaw(dst, raw)
+}
+
+// writeRaw lands encoded bytes at dst via temp file and rename — the
+// atomicity discipline both record families share.
+func (c *Cache) writeRaw(dst string, raw []byte) error {
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return fmt.Errorf("anacache: %w", err)
 	}
@@ -192,7 +212,7 @@ func (c *Cache) write(dst, key string, sum *footprint.Summary) error {
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("anacache: writing %s: %w", key, errors.Join(werr, cerr))
+		return fmt.Errorf("anacache: writing %s: %w", dst, errors.Join(werr, cerr))
 	}
 	if err := os.Rename(tmp.Name(), dst); err != nil {
 		os.Remove(tmp.Name())
@@ -204,10 +224,15 @@ func (c *Cache) write(dst, key string, sum *footprint.Summary) error {
 // Stats snapshots the counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		Invalidations: c.invalidations.Load(),
-		Writes:        c.writes.Load(),
-		WriteErrors:   c.writeErrors.Load(),
+		Hits:                 c.hits.Load(),
+		Misses:               c.misses.Load(),
+		Invalidations:        c.invalidations.Load(),
+		Writes:               c.writes.Load(),
+		WriteErrors:          c.writeErrors.Load(),
+		VerdictHits:          c.verdictHits.Load(),
+		VerdictMisses:        c.verdictMisses.Load(),
+		VerdictInvalidations: c.verdictInvalidations.Load(),
+		VerdictWrites:        c.verdictWrites.Load(),
+		VerdictWriteErrors:   c.verdictWriteErrors.Load(),
 	}
 }

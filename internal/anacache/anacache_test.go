@@ -271,3 +271,99 @@ func TestOpenRejectsEmptyDir(t *testing.T) {
 		t.Fatal("Open(\"\") succeeded")
 	}
 }
+
+// verdictPayload is a stand-in for stubplan's per-binary verdict map —
+// the cache treats it as opaque JSON.
+type verdictPayload struct {
+	Verdicts map[string]string `json:"verdicts"`
+}
+
+func TestVerdictRoundTrip(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), footprint.Options{})
+	key := Key([]byte("\x7fELF verdict bytes"))
+	const tag = "v1 policy=1"
+
+	var got verdictPayload
+	if c.GetVerdicts(key, tag, &got) {
+		t.Fatal("hit on empty cache")
+	}
+	want := verdictPayload{Verdicts: map[string]string{"write": "required", "prctl": "stubbable"}}
+	if err := c.PutVerdicts(key, tag, want); err != nil {
+		t.Fatal(err)
+	}
+	if !c.GetVerdicts(key, tag, &got) {
+		t.Fatal("miss after PutVerdicts")
+	}
+	if got.Verdicts["write"] != "required" || got.Verdicts["prctl"] != "stubbable" {
+		t.Errorf("payload changed across the cache: %+v", got)
+	}
+	st := c.Stats()
+	if st.VerdictHits != 1 || st.VerdictMisses != 1 || st.VerdictWrites != 1 {
+		t.Errorf("stats = %+v, want 1 verdict hit / 1 miss / 1 write", st)
+	}
+}
+
+func TestVerdictTagChangeInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, footprint.Options{})
+	key := Key([]byte("policy drift"))
+	if err := c.PutVerdicts(key, "v1 policy=1", verdictPayload{}); err != nil {
+		t.Fatal(err)
+	}
+	// A bumped policy version must fall back to re-emulation, reading
+	// from disk (a fresh cache value defeats the memo).
+	c2 := mustOpen(t, dir, footprint.Options{})
+	var got verdictPayload
+	if c2.GetVerdicts(key, "v1 policy=2", &got) {
+		t.Fatal("stale verdict record served under a new policy tag")
+	}
+	st := c2.Stats()
+	if st.VerdictInvalidations != 1 || st.VerdictMisses != 1 {
+		t.Errorf("stats = %+v, want 1 verdict invalidation / 1 miss", st)
+	}
+}
+
+func TestVerdictCorruptRecordFallsBackToMiss(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, footprint.Options{})
+	key := Key([]byte("corrupt verdicts"))
+	const tag = "v1 policy=1"
+	if err := c.PutVerdicts(key, tag, verdictPayload{}); err != nil {
+		t.Fatal(err)
+	}
+	path := c.verdictPath(key)
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2 := mustOpen(t, dir, footprint.Options{})
+	var got verdictPayload
+	if c2.GetVerdicts(key, tag, &got) {
+		t.Fatal("corrupt verdict record served")
+	}
+	if st := c2.Stats(); st.VerdictInvalidations != 1 {
+		t.Errorf("stats = %+v, want 1 verdict invalidation", st)
+	}
+}
+
+// TestVerdictAndSummaryRecordsCoexist pins the two families to distinct
+// files in the same sharded tree — a verdict write must never clobber a
+// summary record for the same binary.
+func TestVerdictAndSummaryRecordsCoexist(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, footprint.Options{})
+	data := []byte("same bytes, two families")
+	if err := c.Put(data, testSummary()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutVerdicts(Key(data), "v1 policy=1", verdictPayload{}); err != nil {
+		t.Fatal(err)
+	}
+	c2 := mustOpen(t, dir, footprint.Options{})
+	if _, ok := c2.Get(data); !ok {
+		t.Error("summary record lost after verdict write")
+	}
+	var got verdictPayload
+	if !c2.GetVerdicts(Key(data), "v1 policy=1", &got) {
+		t.Error("verdict record lost after summary write")
+	}
+}

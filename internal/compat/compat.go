@@ -76,6 +76,22 @@ var GrapheneFixed = System{
 	PaperCompleteness: 0.211,
 }
 
+// SystemByName resolves a Table 6 target by name, case-insensitively.
+// "graphene" is the as-shipped row; "graphene+sched" selects the
+// after-fix row (GrapheneFixed).
+func SystemByName(name string) (System, bool) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if n == strings.ToLower(GrapheneFixed.Name+GrapheneFixed.Version) {
+		return GrapheneFixed, true
+	}
+	for _, sys := range Systems {
+		if strings.ToLower(sys.Name) == n {
+			return sys, true
+		}
+	}
+	return System{}, false
+}
+
 // Result is one evaluated row of Table 6.
 type Result struct {
 	System System

@@ -20,7 +20,6 @@ import (
 	"fmt"
 
 	"repro/internal/callgraph"
-	"repro/internal/elfx"
 	"repro/internal/footprint"
 	"repro/internal/linuxapi"
 	"repro/internal/x86"
@@ -47,8 +46,18 @@ type Trace struct {
 	// Steps is the number of instructions executed.
 	Steps int
 	// Stopped describes why execution ended ("ret from entry", "step
-	// budget", "unmodeled instruction", ...).
+	// budget", "unmodeled control flow in <binary> .text+<off>", ...).
+	// Stops caused by code the emulator cannot model name the binary
+	// and section offset that hit them, so a stop mid-library is
+	// attributable without re-running.
 	Stopped string
+}
+
+// Completed reports whether the run finished its entry path normally
+// rather than aborting on a budget, an unmodeled instruction, or a
+// policy-injected fault.
+func (t *Trace) Completed() bool {
+	return t.Stopped == "ret from entry" || t.Stopped == "halt"
 }
 
 // Syscalls returns the set of system-call names observed.
@@ -102,6 +111,35 @@ func (t *Trace) APIs() footprint.Set {
 	return out
 }
 
+// SyscallContext describes one intercepted system-call occurrence, the
+// input a SyscallPolicy decides on.
+type SyscallContext struct {
+	// Event is the recorded occurrence (number, constant args, binary).
+	Event SyscallEvent
+	// Sym is the export symbol through which control entered the frame
+	// issuing the call — "__libc_start_main" for calls made during libc
+	// startup, the wrapper's name ("write", "pthread_create", ...) for
+	// calls inside a library wrapper, and "" for raw syscall
+	// instructions in the executable's own entry code.
+	Sym string
+	// Index is the 0-based position of this occurrence in the run.
+	Index int
+}
+
+// SyscallResult is a policy's decision for one occurrence: the value the
+// emulated program sees in RAX, and optionally a stop reason that aborts
+// the run (modeling a fault the program cannot survive).
+type SyscallResult struct {
+	Ret  int64
+	Stop string
+}
+
+// SyscallPolicy intercepts the syscall instruction and supplies its
+// return value instead of the recording-only default (RAX=0). The event
+// is recorded in the trace either way; fault-injection policies use Stop
+// to declare the entry path dead at this occurrence.
+type SyscallPolicy func(SyscallContext) SyscallResult
+
 // Machine emulates one program against a resolver holding its shared
 // libraries.
 type Machine struct {
@@ -110,6 +148,47 @@ type Machine struct {
 	MaxSteps int
 	// MaxDepth bounds the call stack (default 256).
 	MaxDepth int
+	// Policy, when non-nil, decides every system call's return value
+	// (and may abort the run). Nil preserves the recording-only
+	// behavior: every call "succeeds" with RAX=0.
+	Policy SyscallPolicy
+
+	// dcache memoizes decoded instructions per analysis as dense
+	// per-section arrays indexed by code offset. Code bytes are immutable
+	// for the life of an Analysis, so the cache is exact; it is what
+	// makes fault-injection affordable — verdict measurement re-runs the
+	// same entry path once per (API, treatment) pair, and only the first
+	// run pays for decoding. Frames carry their binary's arrays, so the
+	// per-step fast path is a bounds check and a slice index.
+	dcache map[*footprint.Analysis]*decoded
+}
+
+// decoded holds one binary's decode arrays: slot i caches the
+// instruction starting at byte i of the section (valid when ok[i]).
+type decoded struct {
+	textAddr, pltAddr uint64
+	text, plt         []x86.Inst
+	textOK, pltOK     []bool
+}
+
+func (m *Machine) decodedFor(a *footprint.Analysis) *decoded {
+	if dc, ok := m.dcache[a]; ok {
+		return dc
+	}
+	bin := a.Bin
+	dc := &decoded{
+		textAddr: bin.Text.Addr,
+		text:     make([]x86.Inst, len(bin.Text.Data)),
+		textOK:   make([]bool, len(bin.Text.Data)),
+		pltAddr:  bin.Plt.Addr,
+		plt:      make([]x86.Inst, len(bin.Plt.Data)),
+		pltOK:    make([]bool, len(bin.Plt.Data)),
+	}
+	if m.dcache == nil {
+		m.dcache = make(map[*footprint.Analysis]*decoded)
+	}
+	m.dcache[a] = dc
+	return dc
 }
 
 // New returns a machine resolving imports through r.
@@ -117,10 +196,13 @@ func New(r *footprint.Resolver) *Machine {
 	return &Machine{resolver: r, MaxSteps: 1 << 20, MaxDepth: 256}
 }
 
-// frame is one activation: a binary context and a return address.
+// frame is one activation: a binary context, a return address, and the
+// export symbol through which control entered the context (for policy
+// attribution; "" in the entry binary's own code).
 type frame struct {
-	a  *footprint.Analysis
-	pc uint64
+	a   *footprint.Analysis
+	pc  uint64
+	sym string
 }
 
 type regs struct {
@@ -154,7 +236,7 @@ func (m *Machine) Run(a *footprint.Analysis) (*Trace, error) {
 	if bin.Entry == 0 {
 		return nil, fmt.Errorf("emu: %s has no entry point", bin.Path)
 	}
-	return m.run(a, bin.Entry)
+	return m.run(a, bin.Entry, "")
 }
 
 // RunExport emulates one exported function of a library.
@@ -163,40 +245,55 @@ func (m *Machine) RunExport(a *footprint.Analysis, export string) (*Trace, error
 	if sym == nil {
 		return nil, fmt.Errorf("emu: %s does not define %s", a.Bin.Path, export)
 	}
-	return m.run(a, sym.Addr)
+	return m.run(a, sym.Addr, export)
 }
 
-func (m *Machine) run(a *footprint.Analysis, entry uint64) (*Trace, error) {
+func (m *Machine) run(a *footprint.Analysis, entry uint64, sym string) (*Trace, error) {
 	tr := &Trace{}
 	var r regs
 	var stack []frame
-	cur := frame{a: a, pc: entry}
+	cur := frame{a: a, pc: entry, sym: sym}
 
-	fetch := func(f frame) (x86.Inst, []byte, bool) {
-		bin := f.a.Bin
-		var sec elfx.Section
-		switch {
-		case bin.Text.Contains(f.pc):
-			sec = bin.Text
-		case bin.Plt.Contains(f.pc):
-			sec = bin.Plt
-		default:
-			return x86.Inst{}, nil, false
+	// One-entry memo over the decode cache: the frame's binary changes
+	// only at cross-binary calls and returns, so the per-step cost is a
+	// pointer compare plus a slice index.
+	var dcFor *footprint.Analysis
+	var dc *decoded
+	fetch := func(f frame) (x86.Inst, bool) {
+		if f.a != dcFor {
+			dc = m.decodedFor(f.a)
+			dcFor = f.a
 		}
-		off := f.pc - sec.Addr
-		inst := x86.Decode(sec.Data[off:], f.pc)
-		return inst, sec.Data, true
+		var sec []byte
+		var insts []x86.Inst
+		var ok []bool
+		var off uint64
+		switch {
+		case f.pc >= dc.textAddr && f.pc-dc.textAddr < uint64(len(dc.text)):
+			off = f.pc - dc.textAddr
+			sec, insts, ok = f.a.Bin.Text.Data, dc.text, dc.textOK
+		case f.pc >= dc.pltAddr && f.pc-dc.pltAddr < uint64(len(dc.plt)):
+			off = f.pc - dc.pltAddr
+			sec, insts, ok = f.a.Bin.Plt.Data, dc.plt, dc.pltOK
+		default:
+			return x86.Inst{}, false
+		}
+		if !ok[off] {
+			insts[off] = x86.Decode(sec[off:], f.pc)
+			ok[off] = true
+		}
+		return insts[off], true
 	}
 
 	for tr.Steps = 0; tr.Steps < m.MaxSteps; tr.Steps++ {
-		inst, _, ok := fetch(cur)
+		inst, ok := fetch(cur)
 		if !ok {
-			tr.Stopped = fmt.Sprintf("pc %#x outside code", cur.pc)
+			tr.Stopped = fmt.Sprintf("pc %#x outside code in %s", cur.pc, cur.a.Bin.Path)
 			return tr, nil
 		}
 		switch inst.Op {
 		case x86.OpBad:
-			tr.Stopped = fmt.Sprintf("undecodable byte at %#x", cur.pc)
+			tr.Stopped = fmt.Sprintf("undecodable byte in %s", locate(cur))
 			return tr, nil
 		case x86.OpMovImm:
 			r.set(inst.Dst, inst.Imm)
@@ -216,8 +313,18 @@ func (m *Machine) run(a *footprint.Analysis, entry uint64) (*Trace, error) {
 			ev.Args[0], ev.ArgsKnown[0] = r.get(x86.RDI)
 			ev.Args[1], ev.ArgsKnown[1] = r.get(x86.RSI)
 			ev.Args[2], ev.ArgsKnown[2] = r.get(x86.RDX)
+			idx := len(tr.Events)
 			tr.Events = append(tr.Events, ev)
-			r.set(x86.RAX, 0) // "success"
+			ret := int64(0) // recording-only default: "success"
+			if m.Policy != nil {
+				res := m.Policy(SyscallContext{Event: ev, Sym: cur.sym, Index: idx})
+				if res.Stop != "" {
+					tr.Stopped = res.Stop
+					return tr, nil
+				}
+				ret = res.Ret
+			}
+			r.set(x86.RAX, ret)
 			r.clobber(x86.RCX)
 			r.clobber(x86.R11)
 		case x86.OpCallRel:
@@ -229,10 +336,10 @@ func (m *Machine) run(a *footprint.Analysis, entry uint64) (*Trace, error) {
 				tr.Stopped = "call depth exceeded"
 				return tr, nil
 			}
-			ret := frame{a: cur.a, pc: cur.pc + uint64(inst.Len)}
-			next, ok := m.enter(cur.a, inst.Target)
+			ret := frame{a: cur.a, pc: cur.pc + uint64(inst.Len), sym: cur.sym}
+			next, ok := m.enter(cur, inst.Target)
 			if !ok {
-				tr.Stopped = fmt.Sprintf("unresolved call target %#x", inst.Target)
+				tr.Stopped = fmt.Sprintf("unresolved call target %#x in %s", inst.Target, cur.a.Bin.Path)
 				return tr, nil
 			}
 			stack = append(stack, ret)
@@ -243,9 +350,9 @@ func (m *Machine) run(a *footprint.Analysis, entry uint64) (*Trace, error) {
 				tr.Stopped = "jump without target"
 				return tr, nil
 			}
-			next, ok := m.enter(cur.a, inst.Target)
+			next, ok := m.enter(cur, inst.Target)
 			if !ok {
-				tr.Stopped = fmt.Sprintf("unresolved jump target %#x", inst.Target)
+				tr.Stopped = fmt.Sprintf("unresolved jump target %#x in %s", inst.Target, cur.a.Bin.Path)
 				return tr, nil
 			}
 			cur = next
@@ -265,8 +372,11 @@ func (m *Machine) run(a *footprint.Analysis, entry uint64) (*Trace, error) {
 			// Conditional and register-indirect flow is not modeled; the
 			// corpus generator only emits RIP-relative indirect jumps
 			// inside PLT stubs, which enter() handles below via the call
-			// path — reaching one here means real-world code.
-			tr.Stopped = fmt.Sprintf("unmodeled control flow at %#x (%v)", cur.pc, inst.Op)
+			// path — reaching one here means real-world code. The stop
+			// reason names the binary and section offset: a stop three
+			// libraries deep is otherwise unattributable, and replay
+			// diagnostics (fault-injection re-runs) key on it.
+			tr.Stopped = fmt.Sprintf("unmodeled control flow in %s (%v)", locate(cur), inst.Op)
 			return tr, nil
 		case x86.OpOther:
 			// Fine: nops and arithmetic without modeled effects.
@@ -278,11 +388,14 @@ func (m *Machine) run(a *footprint.Analysis, entry uint64) (*Trace, error) {
 }
 
 // enter resolves a control transfer target: straight into this binary's
-// text, or through a PLT stub into the defining library.
-func (m *Machine) enter(a *footprint.Analysis, target uint64) (frame, bool) {
+// text (inheriting the caller's entry symbol), or through a PLT stub
+// into the defining library (the resolved import becomes the new
+// frame's entry symbol — the context fault-injection policies key on).
+func (m *Machine) enter(from frame, target uint64) (frame, bool) {
+	a := from.a
 	bin := a.Bin
 	if bin.Text.Contains(target) {
-		return frame{a: a, pc: target}, true
+		return frame{a: a, pc: target, sym: from.sym}, true
 	}
 	if bin.Plt.Contains(target) {
 		// Decode the stub: jmp [rip+d] whose slot names the import.
@@ -299,9 +412,23 @@ func (m *Machine) enter(a *footprint.Analysis, target uint64) (frame, bool) {
 		if lib == nil {
 			return frame{}, false
 		}
-		return frame{a: lib, pc: nodeAddr(node)}, true
+		return frame{a: lib, pc: nodeAddr(node), sym: sym}, true
 	}
 	return frame{}, false
+}
+
+// locate renders a frame's position as binary path plus section-relative
+// offset — stable across runs, unlike raw virtual addresses shared by
+// every library loaded at the same synthetic base.
+func locate(f frame) string {
+	bin := f.a.Bin
+	switch {
+	case bin.Text.Contains(f.pc):
+		return fmt.Sprintf("%s .text+%#x", bin.Path, f.pc-bin.Text.Addr)
+	case bin.Plt.Contains(f.pc):
+		return fmt.Sprintf("%s .plt+%#x", bin.Path, f.pc-bin.Plt.Addr)
+	}
+	return fmt.Sprintf("%s pc %#x", bin.Path, f.pc)
 }
 
 func nodeAddr(n *callgraph.Node) uint64 { return n.Addr }

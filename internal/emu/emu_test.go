@@ -324,6 +324,163 @@ func TestEmulateUnresolvedImport(t *testing.T) {
 	}
 }
 
+// TestSyscallPolicyInjection checks that a policy's return value is what
+// the emulated program observes in RAX, replacing the recording-only
+// default, and that the policy sees frame-symbol attribution: calls made
+// inside a library wrapper carry the wrapper's export name, raw syscall
+// instructions in the executable carry "".
+func TestSyscallPolicyInjection(t *testing.T) {
+	r, app := buildPair(t)
+	m := New(r)
+	var ctxs []SyscallContext
+	m.Policy = func(ctx SyscallContext) SyscallResult {
+		ctxs = append(ctxs, ctx)
+		return SyscallResult{Ret: int64(100 + ctx.Index)}
+	}
+	tr, err := m.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stopped != "ret from entry" {
+		t.Fatalf("stopped: %s", tr.Stopped)
+	}
+	if len(ctxs) != len(tr.Events) {
+		t.Fatalf("policy saw %d calls, trace has %d", len(ctxs), len(tr.Events))
+	}
+	for i, ctx := range ctxs {
+		if ctx.Index != i {
+			t.Errorf("occurrence %d reported index %d", i, ctx.Index)
+		}
+	}
+	// buildPair's app: write (via libc wrapper), ioctl (wrapper), raw exit.
+	if ctxs[0].Sym != "write" || ctxs[1].Sym != "ioctl" {
+		t.Errorf("wrapper attribution = %q, %q, want write, ioctl", ctxs[0].Sym, ctxs[1].Sym)
+	}
+	if last := ctxs[len(ctxs)-1]; last.Sym != "" {
+		t.Errorf("raw syscall in the executable attributed to %q", last.Sym)
+	}
+}
+
+// TestSyscallPolicyReturnObserved proves the injected value actually
+// lands in RAX: the program copies RAX into RDI after the first call, so
+// the second event's first argument is the first call's injected return.
+func TestSyscallPolicyReturnObserved(t *testing.T) {
+	b := elfx.NewExec()
+	b.Func("main", true, func(a *x86.Asm) {
+		a.MovRegImm32(x86.RAX, 2) // open
+		a.Syscall()
+		a.MovRegReg(x86.RDI, x86.RAX) // fd := return value
+		a.MovRegImm32(x86.RAX, 3)     // close(fd)
+		a.Syscall()
+		a.Ret()
+	})
+	b.Entry("main")
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := elfx.Open("app", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(footprint.NewResolver())
+	m.Policy = func(ctx SyscallContext) SyscallResult {
+		return SyscallResult{Ret: 7}
+	}
+	tr, err := m.Run(m2a(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 2 {
+		t.Fatalf("events = %+v", tr.Events)
+	}
+	if !tr.Events[1].ArgsKnown[0] || tr.Events[1].Args[0] != 7 {
+		t.Errorf("second call saw rdi=%d (known=%v), want injected 7",
+			tr.Events[1].Args[0], tr.Events[1].ArgsKnown[0])
+	}
+}
+
+// TestSyscallPolicyStop checks that a policy can abort the run with its
+// own stop reason, and that the faulted occurrence is still recorded.
+func TestSyscallPolicyStop(t *testing.T) {
+	r, app := buildPair(t)
+	m := New(r)
+	m.Policy = func(ctx SyscallContext) SyscallResult {
+		if ctx.Index == 1 {
+			return SyscallResult{Stop: "fault: injected -ENOSYS was fatal"}
+		}
+		return SyscallResult{}
+	}
+	tr, err := m.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stopped != "fault: injected -ENOSYS was fatal" {
+		t.Errorf("stopped = %q", tr.Stopped)
+	}
+	if tr.Completed() {
+		t.Error("policy-stopped run must not report completion")
+	}
+	if len(tr.Events) != 2 {
+		t.Errorf("faulted occurrence missing from trace: %+v", tr.Events)
+	}
+}
+
+// TestStopReasonNamesBinary is the hardening regression test: an
+// unmodeled instruction hit inside a library must name the library and
+// its section offset, not just a virtual address every loaded binary
+// shares.
+func TestStopReasonNamesBinary(t *testing.T) {
+	lib := elfx.NewLib("libweird.so.1")
+	lib.Func("branchy", true, func(a *x86.Asm) {
+		a.Nop()
+		a.Label("branchy.self")
+		a.JzLabel("branchy.self") // conditional flow: unmodeled
+		a.Ret()
+	})
+	libData, err := lib.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	libBin, err := elfx.Open("libweird.so.1", libData)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := elfx.NewExec()
+	b.Needed("libweird.so.1")
+	plt := b.Import("branchy")
+	b.Func("main", true, func(a *x86.Asm) {
+		a.CallLabel(plt)
+		a.Ret()
+	})
+	b.Entry("main")
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := elfx.Open("app", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := footprint.NewResolver()
+	r.AddLibrary(footprint.Analyze(libBin, footprint.Options{}))
+	tr, err := New(r).Run(footprint.Analyze(bin, footprint.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.Stopped, "unmodeled control flow") {
+		t.Fatalf("stopped = %q, want unmodeled-control-flow stop", tr.Stopped)
+	}
+	if !strings.Contains(tr.Stopped, "libweird.so.1") {
+		t.Errorf("stop reason %q does not name the binary that hit the stop", tr.Stopped)
+	}
+	if !strings.Contains(tr.Stopped, ".text+") {
+		t.Errorf("stop reason %q does not carry a section offset", tr.Stopped)
+	}
+}
+
 func TestEmulateHalts(t *testing.T) {
 	b := elfx.NewExec()
 	b.Func("main", true, func(a *x86.Asm) {

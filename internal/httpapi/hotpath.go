@@ -142,6 +142,20 @@ func (a *API) handleSeccompBytes(w http.ResponseWriter, r *http.Request) {
 	writeEncoded(w, r, enc)
 }
 
+func (a *API) handlePlanBytes(w http.ResponseWriter, r *http.Request) {
+	system := r.URL.Query().Get("system")
+	if system == "" {
+		writeError(w, r, http.StatusBadRequest, "missing system parameter")
+		return
+	}
+	enc, err := a.svc.PlanBytes(system)
+	if err != nil {
+		writeServiceError(w, r, err)
+		return
+	}
+	writeEncoded(w, r, enc)
+}
+
 func (a *API) handleCompatSystemsBytes(w http.ResponseWriter, r *http.Request) {
 	enc, err := a.svc.CompatSystemsBytes()
 	if err != nil {

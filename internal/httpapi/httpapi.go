@@ -125,6 +125,7 @@ func New(svc *service.Service, opts Options) *API {
 		a.handle("GET /v1/footprint/{pkg}", a.handleFootprint)
 		a.handle("GET /v1/seccomp/{pkg}", a.handleSeccomp)
 		a.handle("GET /v1/compat/systems", a.handleCompatSystems)
+		a.handle("GET /v1/compat/plan", a.handlePlan)
 		a.handle("GET /v1/trends/importance", a.handleTrendImportance)
 		a.handle("GET /v1/trends/completeness", a.handleTrendCompleteness)
 		a.handle("GET /v1/trends/path", a.handleTrendPath)
@@ -136,6 +137,7 @@ func New(svc *service.Service, opts Options) *API {
 		a.handle("GET /v1/footprint/{pkg}", a.handleFootprintBytes)
 		a.handle("GET /v1/seccomp/{pkg}", a.handleSeccompBytes)
 		a.handle("GET /v1/compat/systems", a.handleCompatSystemsBytes)
+		a.handle("GET /v1/compat/plan", a.handlePlanBytes)
 		a.handle("GET /v1/trends/importance", a.handleTrendImportanceBytes)
 		a.handle("GET /v1/trends/completeness", a.handleTrendCompletenessBytes)
 		a.handle("GET /v1/trends/path", a.handleTrendPathBytes)
@@ -300,6 +302,8 @@ func writeServiceError(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.Is(err, service.ErrNoSeries):
 		// Trend queries against a server with no release series resident:
 		// the series is the missing resource, not the route.
+		writeError(w, r, http.StatusNotFound, "%v", err)
+	case errors.Is(err, service.ErrUnknownSystem):
 		writeError(w, r, http.StatusNotFound, "%v", err)
 	case errors.Is(err, service.ErrBadGeneration):
 		writeError(w, r, http.StatusBadRequest, "%v", err)
@@ -480,6 +484,20 @@ func (a *API) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) handleCompatSystems(w http.ResponseWriter, r *http.Request) {
 	res, err := a.svc.CompatSystems()
+	if err != nil {
+		writeServiceError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (a *API) handlePlan(w http.ResponseWriter, r *http.Request) {
+	system := r.URL.Query().Get("system")
+	if system == "" {
+		writeError(w, r, http.StatusBadRequest, "missing system parameter")
+		return
+	}
+	res, err := a.svc.Plan(system)
 	if err != nil {
 		writeServiceError(w, r, err)
 		return
@@ -784,6 +802,29 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP apiserved_evolution_series_build_seconds Wall time spent building the resident series.\n")
 	fmt.Fprintf(&b, "# TYPE apiserved_evolution_series_build_seconds gauge\n")
 	fmt.Fprintf(&b, "apiserved_evolution_series_build_seconds %g\n", st.SeriesBuildSeconds)
+
+	fmt.Fprintf(&b, "# HELP apiserved_stubplan_enabled Whether a stub/fake verdict matrix is resident for the current generation.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_stubplan_enabled gauge\n")
+	fmt.Fprintf(&b, "apiserved_stubplan_enabled %d\n", boolToInt(st.StubMatrixOn))
+	fmt.Fprintf(&b, "# HELP apiserved_stubplan_matrix_builds_total Verdict matrices built over the server's lifetime.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_stubplan_matrix_builds_total counter\n")
+	fmt.Fprintf(&b, "apiserved_stubplan_matrix_builds_total %d\n", st.StubMatrixBuilds)
+	fmt.Fprintf(&b, "# HELP apiserved_stubplan_plan_queries_total Plan queries answered.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_stubplan_plan_queries_total counter\n")
+	fmt.Fprintf(&b, "apiserved_stubplan_plan_queries_total %d\n", st.PlanQueries)
+	fmt.Fprintf(&b, "# HELP apiserved_stubplan_binaries Executables classified by the resident verdict matrix.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_stubplan_binaries gauge\n")
+	fmt.Fprintf(&b, "apiserved_stubplan_binaries %d\n", st.StubBinaries)
+	fmt.Fprintf(&b, "# HELP apiserved_stubplan_emulations_total Emulator runs performed building the resident verdict matrix (zero on a warm verdict cache).\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_stubplan_emulations_total counter\n")
+	fmt.Fprintf(&b, "apiserved_stubplan_emulations_total %d\n", st.StubEmulations)
+	fmt.Fprintf(&b, "# HELP apiserved_stubplan_verdict_cache_total Verdict-cache lookups building the resident matrix, by outcome.\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_stubplan_verdict_cache_total counter\n")
+	fmt.Fprintf(&b, "apiserved_stubplan_verdict_cache_total{outcome=\"hit\"} %d\n", st.StubCacheHits)
+	fmt.Fprintf(&b, "apiserved_stubplan_verdict_cache_total{outcome=\"miss\"} %d\n", st.StubCacheMisses)
+	fmt.Fprintf(&b, "# HELP apiserved_stubplan_inconclusive Binaries whose baseline emulation did not complete (no waivers granted).\n")
+	fmt.Fprintf(&b, "# TYPE apiserved_stubplan_inconclusive gauge\n")
+	fmt.Fprintf(&b, "apiserved_stubplan_inconclusive %d\n", st.StubInconclusive)
 
 	a.writeJobsMetrics(&b)
 

@@ -215,6 +215,10 @@ func TestOverloadShedsAndHoldsSLO(t *testing.T) {
 	// the first 350ms every slot is busy: the queue fills, waiters time
 	// out at QueueWait, the rest shed immediately. After the release the
 	// same swarm must be served within the SLO.
+	// Explicit plan-free mix: the test service has no verdict cache, so a
+	// stray /v1/compat/plan request would cold-build the emulator-driven
+	// matrix — tens of seconds of legitimate work that would drown the
+	// shedding-latency signal this test measures.
 	rep, err := loadgen.Run(context.Background(), profile, loadgen.Options{
 		BaseURL:  ts.URL,
 		Mode:     loadgen.ModeClosed,
@@ -222,6 +226,14 @@ func TestOverloadShedsAndHoldsSLO(t *testing.T) {
 		Duration: 700 * time.Millisecond,
 		Warmup:   100 * time.Millisecond,
 		Seed:     42,
+		Mix: loadgen.Mix{
+			loadgen.EpImportance:   27,
+			loadgen.EpFootprint:    22,
+			loadgen.EpCompleteness: 20,
+			loadgen.EpSuggest:      13,
+			loadgen.EpAnalyze:      10,
+			loadgen.EpTrends:       4,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,144 @@
+package httpapi
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/service"
+)
+
+// planServers builds a legacy-path and a byte-path server over the same
+// small study, sharing one persistent verdict cache: the legacy server
+// is queried first and pays the cold emulator-driven matrix build, the
+// byte-path server replays every verdict from the cache — which is
+// exactly the property the warm-path metrics assertions pin down.
+func planServers(t *testing.T) (legacy, hot *httptest.Server) {
+	t.Helper()
+	cache, err := repro.OpenAnalysisCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := repro.NewStudyCached(repro.Config{Packages: 16, Installations: 200000, Seed: 41}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(legacyPath bool) *httptest.Server {
+		svc := service.New(study, "plan-equivalence", service.Config{Cache: cache})
+		ts := httptest.NewServer(New(svc, Options{RequestTimeout: time.Minute, LegacyReadPath: legacyPath}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	return mk(true), mk(false)
+}
+
+// TestPlanBytesMatchLegacy is the byte-identity contract for
+// /v1/compat/plan: the byte path serves exactly the bytes the legacy
+// struct path writes, for answers and for errors.
+func TestPlanBytesMatchLegacy(t *testing.T) {
+	legacy, hot := planServers(t)
+
+	// Error answers: byte-identical on every pass.
+	for _, path := range []string{
+		"/v1/compat/plan",                         // missing system: 400
+		"/v1/compat/plan?system=z-os",             // unknown system: 404
+		"/v1/compat/plan?system=graphene%2Bsched", // trailing probe below reuses this
+	} {
+		lc, lb := fetch(t, legacy, "GET", path, "")
+		hc, hb := fetch(t, hot, "GET", path, "")
+		if lc != hc || !bytes.Equal(lb, hb) {
+			t.Errorf("GET %s cold: legacy %d %q vs hot %d %q", path, lc, lb, hc, hb)
+		}
+		lc2, lb2 := fetch(t, legacy, "GET", path, "")
+		hc2, hb2 := fetch(t, hot, "GET", path, "")
+		if lc2 != hc2 || !bytes.Equal(lb2, hb2) {
+			t.Errorf("GET %s warm: legacy %d %q vs hot %d %q", path, lc2, lb2, hc2, hb2)
+		}
+	}
+
+	// Systems not queried yet: the byte path's matrix build published
+	// every system's plan into the hotset, so its first response is warm
+	// from birth — it must equal the legacy path's *second* response.
+	for _, sys := range []string{"user-mode-linux", "l4linux", "freebsd-emu", "graphene"} {
+		path := "/v1/compat/plan?system=" + sys
+		_, _ = fetch(t, legacy, "GET", path, "") // warm the legacy cache
+		lc, lb := fetch(t, legacy, "GET", path, "")
+		hc0, hb0 := fetch(t, hot, "GET", path, "")
+		hc1, hb1 := fetch(t, hot, "GET", path, "")
+		if lc != hc0 || !bytes.Equal(lb, hb0) {
+			t.Errorf("GET %s: hot first response != legacy warm response", path)
+		}
+		if hc0 != hc1 || !bytes.Equal(hb0, hb1) {
+			t.Errorf("GET %s: hot responses differ between requests", path)
+		}
+	}
+}
+
+// TestPlanETagAndWarmMetrics pins the conditional-request behavior of
+// the plan route and the stubplan counters: the cold (legacy) server
+// reports emulator runs, the warm (byte-path) server reports zero —
+// every verdict came from the shared persistent cache.
+func TestPlanETagAndWarmMetrics(t *testing.T) {
+	legacy, hot := planServers(t)
+
+	// Cold build on the legacy server first.
+	if code, body := fetch(t, legacy, "GET", "/v1/compat/plan?system=graphene", ""); code != http.StatusOK {
+		t.Fatalf("legacy plan = %d %s", code, body)
+	}
+	_, coldMetrics := fetch(t, legacy, "GET", "/metrics", "")
+	emuLine := regexp.MustCompile(`apiserved_stubplan_emulations_total (\d+)`).FindStringSubmatch(string(coldMetrics))
+	if emuLine == nil {
+		t.Fatal("no apiserved_stubplan_emulations_total in legacy metrics")
+	}
+	if n, _ := strconv.Atoi(emuLine[1]); n == 0 {
+		t.Error("cold matrix build reported zero emulations")
+	}
+
+	resp, err := hot.Client().Get(hot.URL + "/v1/compat/plan?system=graphene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if resp.StatusCode != http.StatusOK || etag == "" || len(body) == 0 {
+		t.Fatalf("plan response = %d, ETag %q, %d bytes", resp.StatusCode, etag, len(body))
+	}
+
+	req, _ := http.NewRequest("GET", hot.URL+"/v1/compat/plan?system=graphene", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = hot.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified || len(raw) != 0 {
+		t.Errorf("If-None-Match replay = %d with %d bytes, want 304 empty", resp.StatusCode, len(raw))
+	}
+
+	_, warmMetrics := fetch(t, hot, "GET", "/metrics", "")
+	text := string(warmMetrics)
+	for _, want := range []string{
+		"apiserved_stubplan_enabled 1",
+		"apiserved_stubplan_matrix_builds_total 1",
+		"apiserved_stubplan_emulations_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("warm metrics missing %q", want)
+		}
+	}
+	if strings.Contains(text, `apiserved_stubplan_verdict_cache_total{outcome="hit"} 0`) {
+		t.Error("warm matrix build recorded zero verdict-cache hits")
+	}
+	if !strings.Contains(text, "apiserved_stubplan_plan_queries_total") {
+		t.Error("warm metrics missing plan query counter")
+	}
+}

@@ -31,6 +31,10 @@ const (
 	// completeness, path). Only meaningful against a server with a
 	// release series resident (-series-dir).
 	EpTrends = "trends"
+	// EpPlan queries /v1/compat/plan, rotating across the modeled
+	// compatibility layers; after the server's first plan query of a
+	// generation builds the verdict matrix, every system is a hotset hit.
+	EpPlan = "plan"
 )
 
 // Mix is the endpoint mix as relative weights. Zero-weight endpoints
@@ -43,12 +47,13 @@ type Mix map[string]int
 // trend checks and ELF uploads.
 func DefaultMix() Mix {
 	return Mix{
-		EpImportance:   28,
-		EpFootprint:    23,
+		EpImportance:   27,
+		EpFootprint:    22,
 		EpCompleteness: 20,
-		EpSuggest:      14,
+		EpSuggest:      13,
 		EpAnalyze:      10,
-		EpTrends:       5,
+		EpTrends:       4,
+		EpPlan:         4,
 	}
 }
 
@@ -69,7 +74,7 @@ func ParseMix(s string) (Mix, error) {
 			return nil, fmt.Errorf("loadgen: bad mix weight %q", part)
 		}
 		switch name {
-		case EpImportance, EpCompleteness, EpSuggest, EpPath, EpFootprint, EpAnalyze, EpJobs, EpTrends:
+		case EpImportance, EpCompleteness, EpSuggest, EpPath, EpFootprint, EpAnalyze, EpJobs, EpTrends, EpPlan:
 			m[name] = w
 		default:
 			return nil, fmt.Errorf("loadgen: unknown endpoint %q", name)
@@ -294,6 +299,17 @@ func (g *Generator) Next() Request {
 			}[g.rng.Intn(3)]
 		}
 		return Request{Endpoint: EpTrends, Method: "GET", Path: path}
+	case EpPlan:
+		// Rotate across the modeled compatibility layers; every name the
+		// service resolves case-insensitively.
+		system := []string{
+			"user-mode-linux", "l4linux", "freebsd-emu",
+			"graphene", "graphene+sched",
+		}[g.rng.Intn(5)]
+		return Request{
+			Endpoint: EpPlan, Method: "GET",
+			Path: "/v1/compat/plan?system=" + system,
+		}
 	case EpJobs:
 		// A small pool of distinct names: early submissions create jobs,
 		// later ones dedupe onto finished records — both server paths see

@@ -243,6 +243,14 @@ type CompletenessOptions struct {
 	// supported package depending on an unsupported one normally becomes
 	// unsupported itself.
 	NoDependencyPropagation bool
+	// Waivable maps package name to APIs that may be missing from the
+	// supported set without making the package unsupported — the
+	// stub-aware relaxation: an API the package's emulated binaries all
+	// tolerate as a stub (-ENOSYS) or a fake costs the target a stub,
+	// not an implementation. Packages absent from the map (or mapped to
+	// nil) are judged presence-only, so the metric is conservative
+	// wherever emulation produced no verdicts.
+	Waivable map[string]footprint.Set
 }
 
 // WeightedCompleteness computes the paper's system-wide metric for a target
@@ -265,7 +273,11 @@ func WeightedCompleteness(in *Input, supported footprint.Set, opts CompletenessO
 	}
 	okOwn := make(map[string]bool, len(c.pkgs))
 	for i, pkg := range c.pkgs {
-		okOwn[pkg] = subsetOK(c.bits[i], sup, mask)
+		if w := opts.Waivable[pkg]; w != nil {
+			okOwn[pkg] = c.bits[i].SubsetOfWaived(sup, mask, footprint.LookupBits(w))
+		} else {
+			okOwn[pkg] = subsetOK(c.bits[i], sup, mask)
+		}
 	}
 	var num, den float64
 	for _, pkg := range c.pkgs {
@@ -321,7 +333,7 @@ type PathPoint struct {
 // Figure 3's curve. Ties break by unweighted importance then name, which
 // keeps the ordering stable and sensible for the 100%-importance plateau.
 func GreedyPath(in *Input, kind linuxapi.Kind) []PathPoint {
-	return greedyPath(in, func(api linuxapi.API) bool { return api.Kind == kind })
+	return greedyPath(in, func(api linuxapi.API) bool { return api.Kind == kind }, nil)
 }
 
 // GreedyPathAll ranks every measured API — system calls, vectored opcodes,
@@ -329,10 +341,19 @@ func GreedyPath(in *Input, kind linuxapi.Kind) []PathPoint {
 // "one can construct a similar path including other APIs, such as vectored
 // system calls, pseudo-files and library APIs".
 func GreedyPathAll(in *Input) []PathPoint {
-	return greedyPath(in, func(linuxapi.API) bool { return true })
+	return greedyPath(in, func(linuxapi.API) bool { return true }, nil)
 }
 
-func greedyPath(in *Input, include func(linuxapi.API) bool) []PathPoint {
+// GreedyPathWaived is the stub-aware greedy path: the API ordering is
+// identical to GreedyPath (importance-ranked), but a package's demand
+// skips APIs waivable for it — a package whose tail API is stubbable
+// becomes supported as soon as its last *required* API lands, so every
+// point on the curve is ≥ the presence-only curve by construction.
+func GreedyPathWaived(in *Input, kind linuxapi.Kind, waivable map[string]footprint.Set) []PathPoint {
+	return greedyPath(in, func(api linuxapi.API) bool { return api.Kind == kind }, waivable)
+}
+
+func greedyPath(in *Input, include func(linuxapi.API) bool, waivable map[string]footprint.Set) []PathPoint {
 	imp := Importance(in)
 	unw := Unweighted(in)
 	var apis []linuxapi.API
@@ -368,12 +389,21 @@ func greedyPath(in *Input, include func(linuxapi.API) bool) []PathPoint {
 		}
 	}
 
-	// A package's demand is the highest rank in its filtered footprint;
-	// with dependency propagation, the max over its closure.
+	// A package's demand is the highest rank in its filtered footprint —
+	// skipping APIs waivable for the package, which a stub satisfies at
+	// every path point; with dependency propagation, the max over its
+	// closure.
 	demand := make(map[string]int, len(c.pkgs))
 	for i, pkg := range c.pkgs {
+		var wb *footprint.BitSet
+		if w := waivable[pkg]; w != nil {
+			wb = footprint.LookupBits(w)
+		}
 		d := 0
 		c.bits[i].ForEach(func(id uint32) {
+			if wb != nil && wb.HasID(id) {
+				return
+			}
 			if r := rankByID[id]; r > d {
 				d = r
 			}

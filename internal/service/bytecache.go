@@ -18,12 +18,13 @@ const (
 	epSeccomp      = "seccomp"
 	epCompat       = "compat"
 	epTrends       = "trends"
+	epPlan         = "plan"
 )
 
 // cacheEndpoints is the fixed label set, in render order.
 var cacheEndpoints = []string{
 	epCompat, epCompleteness, epFootprint, epImportance,
-	epPath, epSeccomp, epSuggest, epTrends,
+	epPath, epPlan, epSeccomp, epSuggest, epTrends,
 }
 
 // endpointCounters is one endpoint's cumulative cache accounting.

@@ -13,12 +13,15 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/compat"
 	"repro/internal/corpus"
 	"repro/internal/evolution"
 	"repro/internal/jobs"
+	"repro/internal/stubplan"
 )
 
 // Job type names registered by RegisterExecutors.
@@ -28,6 +31,7 @@ const (
 	JobCompatMatrix    = "compat-matrix"
 	JobSnapshotRebuild = "snapshot-rebuild"
 	JobTimelineBuild   = "timeline-build"
+	JobPlanBuild       = "plan-build"
 )
 
 // RegisterExecutors registers every service-backed job type on m.
@@ -38,6 +42,7 @@ func RegisterExecutors(m *jobs.Manager, s *Service) error {
 		compatMatrixExec{s},
 		snapshotRebuildExec{s},
 		timelineBuildExec{s},
+		planBuildExec{s},
 	} {
 		if err := m.Register(ex); err != nil {
 			return err
@@ -343,6 +348,63 @@ func (e timelineBuildExec) Execute(ctx context.Context, raw json.RawMessage) (an
 	}
 	for _, info := range series.Trends.Generations {
 		out.Fingerprints = append(out.Fingerprints, info.Fingerprint)
+	}
+	return out, nil
+}
+
+// PlanBuildParams are the plan-build job parameters: one modeled
+// compatibility layer, or every layer when System is "all" or empty.
+// The job exists because the first plan of a generation pays the full
+// emulator-driven verdict-matrix build — minutes of compute on a cold
+// verdict cache — which must not run on the serving path.
+type PlanBuildParams struct {
+	System string `json:"system,omitempty"`
+}
+
+// PlanBuildResult is the plan-build job result.
+type PlanBuildResult struct {
+	Plans      []PlanResult   `json:"plans"`
+	Stats      stubplan.Stats `json:"stats"`
+	Generation uint64         `json:"generation"`
+}
+
+type planBuildExec struct{ s *Service }
+
+func (planBuildExec) Type() string { return JobPlanBuild }
+
+func (e planBuildExec) Execute(ctx context.Context, raw json.RawMessage) (any, error) {
+	var p PlanBuildParams
+	if len(raw) > 0 && string(raw) != "null" {
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, jobs.Permanent(fmt.Errorf("decoding params: %w", err))
+		}
+	}
+	var systems []compat.System
+	switch name := strings.ToLower(strings.TrimSpace(p.System)); name {
+	case "", "all":
+		systems = append(append(systems, compat.Systems...), compat.GrapheneFixed)
+	default:
+		sys, ok := compat.SystemByName(name)
+		if !ok {
+			return nil, jobs.Permanent(fmt.Errorf("%w: %q", ErrUnknownSystem, p.System))
+		}
+		systems = append(systems, sys)
+	}
+	snap := e.s.Snapshot()
+	// One ensureMatrix pays (or replays) the verdict build; the per-system
+	// plans after it are cheap and land in the caches for the read path.
+	m := e.s.ensureMatrix(snap)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := PlanBuildResult{Stats: m.Stats, Generation: snap.Generation}
+	for _, sys := range systems {
+		res, err := e.s.planFor(snap, sys)
+		if err != nil {
+			return nil, jobs.Permanent(err)
+		}
+		res.Cached = false // job results are fresh builds, not cache reads
+		out.Plans = append(out.Plans, res)
 	}
 	return out, nil
 }

@@ -54,7 +54,7 @@ func jobResult(t *testing.T, m *jobs.Manager, id string, into any) {
 
 func TestExecutorTypesRegistered(t *testing.T) {
 	_, m := newJobService(t)
-	want := []string{JobAnalyzeUpload, JobCompatMatrix, JobCorpusDiff, JobSnapshotRebuild, JobTimelineBuild}
+	want := []string{JobAnalyzeUpload, JobCompatMatrix, JobCorpusDiff, JobPlanBuild, JobSnapshotRebuild, JobTimelineBuild}
 	got := m.Types()
 	if len(got) != len(want) {
 		t.Fatalf("types = %v, want %v", got, want)
@@ -105,6 +105,60 @@ func TestCompatMatrixJob(t *testing.T) {
 	}
 	if res.Generation == 0 {
 		t.Fatal("generation not stamped")
+	}
+}
+
+func TestPlanBuildJob(t *testing.T) {
+	// The plan fixture service shares the verdict-cache directory with
+	// the other plan tests, so the matrix build replays cached verdicts
+	// instead of re-emulating when it runs after them.
+	svc := planTestService(t)
+	// Build the verdict matrix inline before any job is submitted: when
+	// this test runs first the build is cold, and under -race a cold
+	// emulator-driven build can outlast the job-wait budget — the path
+	// under test is the executor, not the build.
+	svc.ensureMatrix(svc.Snapshot())
+	m := jobs.New(jobs.Config{Workers: 2, RetryBase: time.Millisecond})
+	if err := RegisterExecutors(m, svc); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+
+	j := runJob(t, m, JobPlanBuild, PlanBuildParams{System: "freebsd-emu"})
+	if j.State != jobs.StateDone {
+		t.Fatalf("job = %+v", j)
+	}
+	var res PlanBuildResult
+	jobResult(t, m, j.ID, &res)
+	if len(res.Plans) != 1 || res.Plans[0].System != "FreeBSD-emu" {
+		t.Fatalf("plans = %+v", res.Plans)
+	}
+	if res.Stats.Binaries == 0 {
+		t.Fatal("matrix stats missing from job result")
+	}
+	if res.Generation == 0 {
+		t.Fatal("generation not stamped")
+	}
+
+	all := runJob(t, m, JobPlanBuild, PlanBuildParams{System: "all"})
+	if all.State != jobs.StateDone {
+		t.Fatalf("job = %+v", all)
+	}
+	var allRes PlanBuildResult
+	jobResult(t, m, all.ID, &allRes)
+	if len(allRes.Plans) != 5 {
+		t.Fatalf("all-systems job built %d plans, want 5", len(allRes.Plans))
+	}
+
+	bad := runJob(t, m, JobPlanBuild, PlanBuildParams{System: "windows-subsystem"})
+	if bad.State != jobs.StateFailed {
+		t.Fatalf("unknown-system job = %+v, want failed (permanent)", bad)
+	}
+	if svc.Stats().StubMatrixBuilds != 1 {
+		t.Errorf("matrix builds = %d, want 1", svc.Stats().StubMatrixBuilds)
 	}
 }
 

@@ -27,12 +27,14 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/fleet"
 	"repro/internal/linuxapi"
+	"repro/internal/stubplan"
 )
 
 // ErrUnknownPackage reports a query for a package absent from the corpus.
@@ -121,6 +123,14 @@ type Service struct {
 	trendCompletenessQueries atomic.Uint64
 	trendPathQueries         atomic.Uint64
 	generationQueries        atomic.Uint64
+
+	// Stub-aware plan serving state (see stubplan.go): the lazily built
+	// per-generation verdict matrix behind an atomic pointer, with a
+	// mutex serializing the (emulation-heavy) build itself.
+	stub        atomic.Pointer[stubState]
+	stubMu      sync.Mutex
+	stubBuilds  atomic.Uint64
+	planQueries atomic.Uint64
 }
 
 // New publishes study as generation 1 and returns the serving layer.
@@ -273,6 +283,19 @@ type Stats struct {
 	HotsetBytes        int64
 	HotsetEntries      int
 	SingleflightShared uint64
+	// Stub-aware planning counters: whether a verdict matrix is resident
+	// for the current generation (StubMatrixOn), how many matrices were
+	// built since start, plan query volume, and the resident matrix's own
+	// build statistics (emulator runs performed versus verdicts served
+	// from the persistent cache — a warm rebuild shows zero emulations).
+	StubMatrixOn     bool
+	StubMatrixBuilds uint64
+	PlanQueries      uint64
+	StubBinaries     uint64
+	StubEmulations   uint64
+	StubCacheHits    uint64
+	StubCacheMisses  uint64
+	StubInconclusive uint64
 }
 
 // HitRatio returns cache hits over lookups (0 when idle).
@@ -314,6 +337,14 @@ func (s *Service) Stats() Stats {
 		evolutionGens = ss.series.Generations()
 		buildSeconds = ss.buildDur.Seconds()
 	}
+	var (
+		stubOn    bool
+		stubStats stubplan.Stats
+	)
+	if st := s.stub.Load(); st != nil {
+		stubOn = st.gen == snap.Generation
+		stubStats = st.matrix.Stats
+	}
 	return Stats{
 		Generation:         snap.Generation,
 		Source:             snap.Source,
@@ -345,6 +376,15 @@ func (s *Service) Stats() Stats {
 		TrendPathQueries:         s.trendPathQueries.Load(),
 		GenerationQueries:        s.generationQueries.Load(),
 		SeriesBuildSeconds:       buildSeconds,
+
+		StubMatrixOn:     stubOn,
+		StubMatrixBuilds: s.stubBuilds.Load(),
+		PlanQueries:      s.planQueries.Load(),
+		StubBinaries:     stubStats.Binaries,
+		StubEmulations:   stubStats.Emulations,
+		StubCacheHits:    stubStats.CacheHits,
+		StubCacheMisses:  stubStats.CacheMisses,
+		StubInconclusive: stubStats.Inconclusive,
 
 		ByteCacheHits:      bc.Hits,
 		ByteCacheMisses:    bc.Misses,

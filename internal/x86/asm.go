@@ -163,6 +163,15 @@ func (a *Asm) JmpLabel(name string) {
 	a.emit32(0)
 }
 
+// JzLabel emits jz rel32 (0F 84) to a label. The corpus generator never
+// emits conditional flow — the emulator treats it as unmodeled — but
+// tests exercising that stop path need a way to produce one.
+func (a *Asm) JzLabel(name string) {
+	a.emit(0x0F, 0x84)
+	a.fixups = append(a.fixups, fixup{off: len(a.buf), kind: fixRel32, label: name})
+	a.emit32(0)
+}
+
 // JmpMemRIP emits jmp qword [rip+disp32] resolving to slot, the shape of a
 // PLT stub's first instruction (FF /4, mod=00 rm=101).
 func (a *Asm) JmpMemRIP(slot uint64) {

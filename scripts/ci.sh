@@ -7,16 +7,19 @@
 # singleflight paths in internal/service, the byte read path in
 # internal/httpapi, the snapshot file format in internal/snapshot, the
 # replica front proxy in internal/proxy, the coordinator/worker fleet
-# in internal/fleet, the load drivers in internal/loadgen, and the
-# async job tier in internal/jobs), a two-worker end-to-end fleet smoke
+# in internal/fleet, the load drivers in internal/loadgen, the
+# async job tier in internal/jobs, and the concurrent verdict-matrix
+# build in internal/stubplan), a two-worker end-to-end fleet smoke
 # test, a job-tier smoke test (spool persistence across kill -9), an
 # end-to-end load smoke test that gates the serving SLO, the ramp
 # (zero 5xx to the ceiling) and the hot-over-legacy read-path
 # throughput floor, a snapshot round-trip
 # equivalence smoke test, a replicated-serving smoke test (publish
 # to two replicas, kill one under load behind the proxy, zero 5xx),
-# and a corpus-evolution smoke test (byte-stable 3-generation series
-# rebuild through a shared analysis cache, live trend queries).
+# a corpus-evolution smoke test (byte-stable 3-generation series
+# rebuild through a shared analysis cache, live trend queries), and a
+# stub-aware planning smoke test (byte-stable plan, golden step
+# ordering, warm serve with zero emulator runs).
 # Run from the repository root; used by .github/workflows/ci.yml and
 # fine to run locally.
 set -eu
@@ -42,11 +45,11 @@ go test ./...
 echo "== go test -shuffle (order-independence)"
 go test -count=1 -shuffle=on ./...
 
-echo "== go test -race (pipeline, intern/bitset/metrics, service, HTTP API, analysis cache, fleet, loadgen, jobs, snapshot, proxy, evolution)"
+echo "== go test -race (pipeline, intern/bitset/metrics, service, HTTP API, analysis cache, fleet, loadgen, jobs, snapshot, proxy, evolution, stubplan)"
 go test -race ./internal/core ./internal/linuxapi ./internal/footprint ./internal/metrics \
     ./internal/service ./internal/httpapi ./internal/anacache ./internal/fleet \
     ./internal/loadgen ./internal/jobs ./internal/snapshot ./internal/proxy \
-    ./internal/evolution
+    ./internal/evolution ./internal/stubplan
 
 echo "== fleet smoke test (two-worker end-to-end)"
 sh scripts/fleet_smoke.sh
@@ -65,5 +68,8 @@ sh scripts/replica_smoke.sh
 
 echo "== evolution smoke test (byte-stable series rebuild, warm cache hits, live trends)"
 sh scripts/evolution_smoke.sh
+
+echo "== stubplan smoke test (byte-stable plan, golden ordering, warm serve with zero emulations)"
+sh scripts/stubplan_smoke.sh
 
 echo "CI OK"

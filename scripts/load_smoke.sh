@@ -4,7 +4,8 @@
 # pprof listener enabled, then gates the serving path three ways:
 #
 #   1. a short fixed-rate open-loop apiload pass (including a jobs
-#      slice: submit + follow to done) — accepted-request p99 within
+#      slice — submit + follow to done — and a stub-aware plan slice
+#      over a pre-warmed verdict cache) — accepted-request p99 within
 #      the SLO, zero 5xx, zero transport errors;
 #   2. a ramp-to-ceiling pass stepping the arrival rate until the SLO
 #      breaks, with a CPU profile captured over the ramp window via the
@@ -34,12 +35,27 @@ out=${OUT:-"$tmp/BENCH_serving.json"}
 echo "== load smoke: build"
 go build -o "$tmp/apiserved" ./cmd/apiserved
 go build -o "$tmp/apiload" ./cmd/apiload
+go build -o "$tmp/apiplan" ./cmd/apiplan
 go build -o "$tmp/benchgate" ./cmd/benchgate
+
+# Pre-warm the verdict cache offline: the stub-aware plan endpoint is in
+# the load mix, and its first query of a generation builds the
+# emulator-driven verdict matrix — tens of seconds cold on one core, far
+# beyond any request SLO. apiplan populates the shared analysis cache so
+# the server's matrix build replays verdicts from disk in a moment.
+echo "== load smoke: apiplan pre-warm of the verdict cache"
+"$tmp/apiplan" -packages 60 -seed 17 -cache-dir "$tmp/anacache" \
+    -system graphene >/dev/null 2>"$tmp/apiplan.log" || {
+    echo "load smoke: apiplan pre-warm failed:" >&2
+    cat "$tmp/apiplan.log" >&2
+    exit 1
+}
 
 addr=127.0.0.1:18851
 pprof=127.0.0.1:18852
 echo "== load smoke: apiserved on $addr (2-generation release series, pprof on $pprof)"
 "$tmp/apiserved" -addr "$addr" -packages 60 -seed 17 \
+    -cache-dir "$tmp/anacache" \
     -max-inflight 64 -max-queue 128 -queue-wait 500ms \
     -series-dir "$tmp/series" -series-gens 2 \
     -spool-dir "$tmp/spool" -job-workers 2 \
@@ -47,10 +63,23 @@ echo "== load smoke: apiserved on $addr (2-generation release series, pprof on $
     >"$tmp/apiserved.log" 2>&1 &
 smoke_track $!
 
-echo "== load smoke: apiload (open loop, 80 rps, jobs and trends in the mix)"
+# One plan fetch before load: the warm matrix build runs once off the
+# request path's budget and publishes every system's plan into the
+# hotset, so plan traffic below is all lock-free hits.
+echo "== load smoke: warm plan matrix over the cache"
+"$tmp/apiload" -target "http://$addr" -wait-healthy 30s \
+    -fetch "/v1/compat/plan?system=graphene" \
+    >/dev/null 2>"$tmp/planwarm.log" || {
+    echo "load smoke: plan warm fetch failed:" >&2
+    cat "$tmp/planwarm.log" >&2
+    cat "$tmp/apiserved.log" >&2
+    exit 1
+}
+
+echo "== load smoke: apiload (open loop, 80 rps, jobs, trends and plans in the mix)"
 "$tmp/apiload" -target "http://$addr" -wait-healthy 30s \
     -mode open -rps 80 -duration 3s -warmup 1s \
-    -mix importance=28,footprint=22,completeness=20,suggest=15,analyze=5,jobs=5,trends=5 \
+    -mix importance=26,footprint=21,completeness=19,suggest=14,analyze=5,jobs=5,trends=5,plan=5 \
     -packages 60 -seed 17 -load-seed 42 \
     -out "$tmp/report.json" 2>"$tmp/apiload.log" || {
     echo "load smoke: apiload failed:" >&2
@@ -69,7 +98,7 @@ echo "== load smoke: ramp to ceiling (CPU profile over the ramp window)"
 profile_pid=$!
 "$tmp/apiload" -target "http://$addr" -wait-healthy 10s \
     -ramp 40:60:160 -slo-p99 500 -duration 1500ms -warmup 500ms \
-    -mix importance=30,footprint=25,completeness=20,suggest=15,path=10 \
+    -mix importance=28,footprint=23,completeness=19,suggest=15,path=10,plan=5 \
     -packages 60 -seed 17 -load-seed 42 \
     -out "$tmp/ramp.json" 2>"$tmp/ramp.log" || {
     echo "load smoke: ramp failed:" >&2
@@ -87,7 +116,11 @@ if [ -n "${PROFILE_OUT:-}" ]; then
 fi
 
 echo "== load smoke: read-path throughput ceilings (legacy vs hot, in-process)"
+# Explicit plan-free mix: the ceiling services are built in-process with
+# no verdict cache, so a plan request would cold-build the matrix inside
+# a one-second measurement stage.
 "$tmp/apiload" -ceiling 1,2,4,8 -packages 60 -seed 17 \
+    -mix importance=30,footprint=25,completeness=20,suggest=15,path=10 \
     -duration 1s -warmup 300ms -slo-p99 200 -load-seed 42 \
     -out "$tmp/ceilings.json" 2>"$tmp/ceiling.log" || {
     echo "load smoke: ceiling run failed:" >&2
